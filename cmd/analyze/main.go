@@ -1,0 +1,118 @@
+// Command analyze regenerates the paper's tables from released dataset
+// files alone, without re-running the measurement — the consumer side of
+// the paper's code-and-data release (contribution 4).
+//
+//	tft -dump out/          # produce out/geo.jsonl, out/dns.jsonl, ...
+//	analyze -dir out/       # regenerate the tables from the files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"github.com/tftproject/tft/internal/analysis"
+	"github.com/tftproject/tft/internal/dataset"
+	"github.com/tftproject/tft/internal/geo"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "directory containing tft dataset files")
+	flag.Parse()
+
+	// Each experiment ran against its own world, so each carries its own
+	// geo snapshot; geo.jsonl is the DNS world's (and the fallback).
+	loadGeo := func(names ...string) (*dataset.Header, *geo.Registry) {
+		for _, name := range names {
+			f, err := os.Open(filepath.Join(*dir, name))
+			if err != nil {
+				continue
+			}
+			h, reg, err := dataset.ReadGeo(f)
+			f.Close()
+			if err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+			return h, reg
+		}
+		log.Fatalf("no geo snapshot found in %s (need geo.jsonl); attribution requires the AS/org mapping", *dir)
+		return nil, nil
+	}
+	gh, reg := loadGeo("geo.jsonl")
+	cfg := analysis.Config{Scale: gh.Scale}
+	fmt.Printf("loaded geo snapshot: %d ASes, %d orgs (seed %d, scale %.3f)\n\n",
+		reg.NumASes(), reg.NumOrgs(), gh.Seed, gh.Scale)
+
+	open := func(name string) *os.File {
+		f, err := os.Open(filepath.Join(*dir, name))
+		if err != nil {
+			return nil
+		}
+		return f
+	}
+
+	if f := open("dns.jsonl"); f != nil {
+		h, ds, err := dataset.ReadDNS(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("dns.jsonl: %v", err)
+		}
+		a := analysis.AnalyzeDNS(cfg, reg, ds)
+		s := a.Summary()
+		fmt.Printf("== DNS: %d records; %d measured, hijacked %.1f%%, attribution %v\n\n",
+			h.Records, s.MeasuredNodes, s.HijackPct, s.Attribution)
+		fmt.Println(a.Table3(10))
+		fmt.Println(a.Table4())
+		_, t5 := a.Table5()
+		fmt.Println(t5)
+	}
+
+	if f := open("http.jsonl"); f != nil {
+		h, ds, err := dataset.ReadHTTP(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("http.jsonl: %v", err)
+		}
+		_, hreg := loadGeo("geo-http.jsonl", "geo.jsonl")
+		a := analysis.AnalyzeHTTP(cfg, hreg, ds)
+		s := a.Summary()
+		fmt.Printf("== HTTP: %d records; HTML modified %d, images %d, JS %d, CSS %d\n\n",
+			h.Records, s.HTMLModified, s.ImageModified, s.JSReplaced, s.CSSReplaced)
+		_, t6 := a.Table6()
+		fmt.Println(t6)
+		_, t7 := a.Table7()
+		fmt.Println(t7)
+	}
+
+	if f := open("tls.jsonl"); f != nil {
+		h, ds, err := dataset.ReadTLS(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("tls.jsonl: %v", err)
+		}
+		_, treg := loadGeo("geo-tls.jsonl", "geo.jsonl")
+		a := analysis.AnalyzeTLS(cfg, treg, ds)
+		s := a.Summary()
+		fmt.Printf("== HTTPS: %d records; affected %d (%.2f%%)\n\n", h.Records, s.Affected, s.AffectedPct)
+		_, t8 := a.Table8()
+		fmt.Println(t8)
+	}
+
+	if f := open("monitor.jsonl"); f != nil {
+		h, ds, err := dataset.ReadMonitor(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("monitor.jsonl: %v", err)
+		}
+		_, mreg := loadGeo("geo-monitor.jsonl", "geo.jsonl")
+		a := analysis.AnalyzeMonitor(cfg, mreg, ds)
+		s := a.Summary()
+		fmt.Printf("== Monitoring: %d records; monitored %d (%.2f%%)\n\n", h.Records, s.Monitored, s.MonitoredPct)
+		_, t9 := a.Table9(6)
+		fmt.Println(t9)
+		fmt.Println(a.Figure5Table(6))
+		fmt.Println(analysis.PlotCDFs(a.Figure5(6), 90, 18))
+	}
+}

@@ -1,0 +1,82 @@
+// Command authdns runs the measurement team's authoritative DNS server over
+// UDP, implementing the d1/d2 gate of §4.1: d1-* names always resolve to the
+// web server; d2-* names resolve only for queries arriving from the super
+// proxy's source address; everything else under the zone is NXDOMAIN.
+//
+//	authdns -listen 127.0.0.1:5353 -zone probe.tft-example.net \
+//	        -web 127.0.0.1 [-super-src 127.0.0.2]
+//
+// -super-src is the source address the super proxy's resolver queries from
+// (its -dns-bind); on loopback, distinct 127.x.y.z addresses make the gate
+// work without address spoofing.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"net/netip"
+	"strings"
+
+	"github.com/tftproject/tft/internal/dnsserver"
+	"github.com/tftproject/tft/internal/simnet"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:5353", "UDP listen address")
+		zone     = flag.String("zone", "probe.tft-example.net", "authoritative zone")
+		web      = flag.String("web", "127.0.0.1", "web server address for answered names")
+		superSrc = flag.String("super-src", "", "super proxy resolver source address (the d2 gate)")
+		logQs    = flag.Bool("log", true, "log every query")
+	)
+	flag.Parse()
+
+	webIP, err := netip.ParseAddr(*web)
+	if err != nil {
+		log.Fatalf("bad -web: %v", err)
+	}
+	var superIP netip.Addr
+	if *superSrc != "" {
+		superIP, err = netip.ParseAddr(*superSrc)
+		if err != nil {
+			log.Fatalf("bad -super-src: %v", err)
+		}
+	}
+
+	auth := dnsserver.NewAuthority(*zone, simnet.Real{})
+	auth.SetFallback(func(name string) dnsserver.Rule {
+		label, _, ok := strings.Cut(name, ".")
+		if !ok {
+			return nil
+		}
+		switch {
+		case strings.HasPrefix(label, "d1-"), strings.HasPrefix(label, "h-"),
+			strings.HasPrefix(label, "u-"):
+			return dnsserver.Always(webIP)
+		case strings.HasPrefix(label, "d2-"):
+			return dnsserver.OnlyFrom(webIP, func(src netip.Addr) bool {
+				return superIP.IsValid() && src == superIP
+			})
+		}
+		return nil
+	})
+
+	pc, err := net.ListenPacket("udp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("authoritative for %s on %s (web %s, super gate %s)", *zone, *listen, *web, *superSrc)
+	handler := auth.Handler()
+	wrapped := handler
+	if *logQs {
+		wrapped = func(src netip.Addr, query []byte) []byte {
+			resp := handler(src, query)
+			log.Printf("query from %s (%d bytes) -> %d bytes", src, len(query), len(resp))
+			return resp
+		}
+	}
+	if err := dnsserver.ServeUDP(pc, wrapped); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+// Command exitnode runs one exit-node agent: the end-user-machine half of
+// the proxy service. It maintains persistent connections to the super
+// proxy's agent gateway and performs DNS resolution and HTTP fetches
+// locally — through whatever middleboxes its flags configure, which is how
+// the real-network demos reproduce the paper's violations.
+//
+//	exitnode -zid znode0001 -country DE \
+//	         -gateway 127.0.0.1:22226 -dns 127.0.0.1:5353 \
+//	         [-dns-bind 127.0.0.3] [-hijack-landing 127.0.0.1:9090] \
+//	         [-inject-sig msmdzbsyrw.org] [-mitm-issuer "Avast Web/Mail Shield Root"]
+//
+// -hijack-landing makes the node's resolver rewrite NXDOMAIN answers to the
+// given landing server (ISP-style hijacking). -inject-sig appends an ad
+// script to HTML responses (end-host adware). -mitm-issuer installs a TLS
+// interceptor replacing certificate chains (AV-style SSL proxying).
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/netip"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/tftproject/tft/internal/cert"
+	"github.com/tftproject/tft/internal/dnsserver"
+	"github.com/tftproject/tft/internal/geo"
+	"github.com/tftproject/tft/internal/middlebox"
+	"github.com/tftproject/tft/internal/proxynet"
+)
+
+func main() {
+	var (
+		zid        = flag.String("zid", "znode0001", "persistent node identifier")
+		country    = flag.String("country", "DE", "advertised ISO country code")
+		gateway    = flag.String("gateway", "127.0.0.1:22226", "super proxy agent gateway")
+		dns        = flag.String("dns", "127.0.0.1:5353", "the node's DNS resolver upstream (host:port)")
+		dnsBind    = flag.String("dns-bind", "", "local address for the node's DNS queries")
+		nodeIP     = flag.String("ip", "127.0.0.1", "the node's advertised IP")
+		conns      = flag.Int("conns", 4, "parallel agent connections")
+		hijackLand = flag.String("hijack-landing", "", "rewrite NXDOMAIN answers to this landing address (host[:port])")
+		injectSig  = flag.String("inject-sig", "", "inject an ad script with this signature domain into HTML")
+		mitmIssuer = flag.String("mitm-issuer", "", "replace TLS certificate chains under this issuer CN")
+	)
+	flag.Parse()
+
+	dnsAP, err := netip.ParseAddrPort(*dns)
+	if err != nil {
+		log.Fatalf("bad -dns: %v", err)
+	}
+	addr, err := netip.ParseAddr(*nodeIP)
+	if err != nil {
+		log.Fatalf("bad -ip: %v", err)
+	}
+
+	resolver := &dnsserver.Resolver{
+		Addr: addr,
+		Net: &dnsserver.UDPExchanger{Port: dnsAP.Port(), BindSrc: *dnsBind != "",
+			Timeout: 2 * time.Second},
+		Upstream: func(string) (netip.Addr, bool) { return dnsAP.Addr(), true },
+	}
+	if *dnsBind != "" {
+		bind, err := netip.ParseAddr(*dnsBind)
+		if err != nil {
+			log.Fatalf("bad -dns-bind: %v", err)
+		}
+		resolver.EgressFor = func(netip.Addr) netip.Addr { return bind }
+	}
+	if *hijackLand != "" {
+		landing, err := netip.ParseAddr(*hijackLand)
+		if err != nil {
+			log.Fatalf("bad -hijack-landing: %v", err)
+		}
+		resolver.Hijack = dnsserver.StaticNX{Name: "exitnode-flag", Landing: landing}
+		log.Printf("NXDOMAIN hijacking enabled -> %s", landing)
+	}
+
+	path := &middlebox.Path{}
+	if *injectSig != "" {
+		path.HTTP = append(path.HTTP, middlebox.HTMLInjector{
+			Product: "flag adware", Signature: *injectSig, SignatureIsURL: true,
+		})
+		log.Printf("HTML injection enabled (signature %s)", *injectSig)
+	}
+	if *mitmIssuer != "" {
+		store, _ := cert.NewOSRootStore(time.Now())
+		spec := middlebox.ProductSpec{Product: *mitmIssuer, IssuerCN: *mitmIssuer,
+			Kind: "Anti-Virus/Security", ReuseKey: true, Invalid: middlebox.InvalidLaunder}
+		path.TLS = append(path.TLS, spec.Build(time.Now(), store).Instance(*zid, time.Now))
+		log.Printf("TLS interception enabled (issuer %q)", *mitmIssuer)
+	}
+
+	node := &proxynet.ExitNode{
+		ZID:      *zid,
+		Addr:     addr,
+		Country:  geo.CountryCode(*country),
+		Resolver: resolver,
+		Path:     path,
+		Net:      &proxynet.TCPDialer{Timeout: 5 * time.Second},
+	}
+	agent := &proxynet.Agent{Node: node, Gateway: *gateway, Conns: *conns}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	log.Printf("exit node %s (%s) connecting to %s", *zid, *country, *gateway)
+	if err := agent.Run(ctx); err != nil && ctx.Err() == nil {
+		log.Fatal(err)
+	}
+}

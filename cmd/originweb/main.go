@@ -1,0 +1,44 @@
+// Command originweb runs the measurement web server over TCP: it serves the
+// four §5.1 probe objects on their canonical paths, logs every request with
+// source address and Host header, and periodically prints hosts that
+// received unexpected (multi-source) requests — the §7 monitoring signal.
+//
+//	originweb -listen 127.0.0.1:8080 [-allow-skew]
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"time"
+
+	"github.com/tftproject/tft/internal/origin"
+	"github.com/tftproject/tft/internal/proxynet"
+	"github.com/tftproject/tft/internal/simnet"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:8080", "TCP listen address")
+		allowSkew = flag.Bool("allow-skew", false, "honour the X-Tft-Clock-Skew simulation header")
+		report    = flag.Duration("report", 10*time.Second, "interval for the request-count report")
+	)
+	flag.Parse()
+
+	srv := origin.NewServer(simnet.Real{})
+	srv.AllowSkew = *allowSkew
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("measurement web server on %s", *listen)
+	go func() {
+		for range time.Tick(*report) {
+			log.Printf("served %d requests", srv.RequestCount())
+		}
+	}()
+	if err := proxynet.ServeListener(l, srv.ConnHandler()); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,90 @@
+// Command superproxy runs the Luminati-style super proxy over real TCP: a
+// client-facing HTTP proxy port (absolute-form GET + CONNECT) and an agent
+// gateway port where exit nodes (cmd/exitnode) register over persistent
+// connections.
+//
+//	superproxy -listen 127.0.0.1:22225 -agents 127.0.0.1:22226 \
+//	           -dns 127.0.0.1:5353 [-dns-bind 127.0.0.2] \
+//	           [-http-port 8080] [-connect-port 8443]
+//
+// -dns points at the authoritative server (cmd/authdns). -dns-bind pins the
+// super proxy's resolver egress address; on loopback, distinct 127.x.y.z
+// addresses let the authoritative server's d2 gate recognize the super
+// proxy, exactly as the paper's methodology requires (§4.1).
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"net/netip"
+	"time"
+
+	"github.com/tftproject/tft/internal/dnsserver"
+	"github.com/tftproject/tft/internal/geo"
+	"github.com/tftproject/tft/internal/proxynet"
+	"github.com/tftproject/tft/internal/simnet"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", "127.0.0.1:22225", "client-facing proxy address")
+		agents      = flag.String("agents", "127.0.0.1:22226", "agent gateway address")
+		dns         = flag.String("dns", "127.0.0.1:5353", "authoritative DNS server (host:port)")
+		dnsBind     = flag.String("dns-bind", "", "local address for the proxy's DNS queries (the d2 gate key)")
+		httpPort    = flag.Uint("http-port", 80, "destination port allowed for proxied GETs")
+		connectPort = flag.Uint("connect-port", 443, "destination port allowed for CONNECT")
+		churn       = flag.Float64("churn", 0, "probability a selected peer transiently fails (retry demo)")
+	)
+	flag.Parse()
+
+	dnsAP, err := netip.ParseAddrPort(*dns)
+	if err != nil {
+		log.Fatalf("bad -dns: %v", err)
+	}
+	egress := geo.SuperProxyResolverEgress
+	if *dnsBind != "" {
+		egress, err = netip.ParseAddr(*dnsBind)
+		if err != nil {
+			log.Fatalf("bad -dns-bind: %v", err)
+		}
+	}
+	resolver := &dnsserver.Resolver{
+		Addr: geo.GoogleDNSAddr,
+		Net: &dnsserver.UDPExchanger{Port: dnsAP.Port(), BindSrc: *dnsBind != "",
+			Timeout: 2 * time.Second},
+		Upstream:  func(string) (netip.Addr, bool) { return dnsAP.Addr(), true },
+		EgressFor: func(netip.Addr) netip.Addr { return egress },
+	}
+
+	pool := proxynet.NewPool(simnet.NewRand(uint64(time.Now().UnixNano())), *churn)
+	selfIP, _ := netip.ParseAddr("127.0.0.1")
+	sp := proxynet.NewSuperProxy(selfIP, pool, resolver, simnet.Real{})
+	sp.HTTPPort = uint16(*httpPort)
+	sp.ConnectPort = uint16(*connectPort)
+
+	gw := proxynet.NewGateway(pool)
+	al, err := net.Listen("tcp", *agents)
+	if err != nil {
+		log.Fatalf("agent listener: %v", err)
+	}
+	go func() {
+		if err := gw.Serve(al); err != nil {
+			log.Fatalf("agent gateway: %v", err)
+		}
+	}()
+
+	cl, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("client listener: %v", err)
+	}
+	log.Printf("super proxy on %s (agents on %s, DNS via %s)", *listen, *agents, *dns)
+	go func() {
+		for range time.Tick(10 * time.Second) {
+			log.Printf("pool: %d peers registered", pool.Len())
+		}
+	}()
+	if err := sp.Serve(cl); err != nil {
+		log.Fatal(err)
+	}
+}

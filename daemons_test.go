@@ -1,0 +1,136 @@
+package tft
+
+// Cross-process integration: build the four daemons, launch them as real
+// processes wired together over loopback, and drive a proxied measurement
+// through the assembled service — the paper's infrastructure as separate
+// programs.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/netip"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/tftproject/tft/internal/content"
+	"github.com/tftproject/tft/internal/proxynet"
+)
+
+// freePort grabs an available loopback TCP port.
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port
+}
+
+func freeUDPPort(t *testing.T) int {
+	t.Helper()
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	return pc.LocalAddr().(*net.UDPAddr).Port
+}
+
+func TestDaemonsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-process test in -short mode")
+	}
+	bin := t.TempDir()
+	build := exec.Command("go", "build", "-o", bin, "./cmd/authdns", "./cmd/originweb", "./cmd/superproxy", "./cmd/exitnode")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building daemons: %v", err)
+	}
+
+	dnsPort := freeUDPPort(t)
+	webPort := freePort(t)
+	proxyPort := freePort(t)
+	agentPort := freePort(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	start := func(name string, args ...string) {
+		t.Helper()
+		cmd := exec.CommandContext(ctx, filepath.Join(bin, name), args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting %s: %v", name, err)
+		}
+		t.Cleanup(func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+		})
+	}
+
+	start("authdns",
+		"-listen", fmt.Sprintf("127.0.0.1:%d", dnsPort),
+		"-web", "127.0.0.1", "-super-src", "127.0.0.2", "-log=false")
+	start("originweb", "-listen", fmt.Sprintf("127.0.0.1:%d", webPort))
+	start("superproxy",
+		"-listen", fmt.Sprintf("127.0.0.1:%d", proxyPort),
+		"-agents", fmt.Sprintf("127.0.0.1:%d", agentPort),
+		"-dns", fmt.Sprintf("127.0.0.1:%d", dnsPort),
+		"-dns-bind", "127.0.0.2",
+		"-http-port", fmt.Sprint(webPort))
+	start("exitnode",
+		"-zid", "zproc0001", "-country", "DE",
+		"-gateway", fmt.Sprintf("127.0.0.1:%d", agentPort),
+		"-dns", fmt.Sprintf("127.0.0.1:%d", dnsPort),
+		"-dns-bind", "127.0.0.3")
+
+	client := &proxynet.Client{
+		Net: &proxynet.TCPDialer{
+			MapAddr: func(netip.Addr, uint16) string {
+				return fmt.Sprintf("127.0.0.1:%d", proxyPort)
+			},
+			Timeout: 2 * time.Second,
+		},
+		Src:   netip.MustParseAddr("127.0.0.1"),
+		Proxy: netip.MustParseAddr("127.0.0.1"),
+		User:  "lum-customer-it", Password: "pw",
+	}
+
+	// The agent needs a moment to register; retry the proxied GET until the
+	// service is assembled.
+	deadline := time.Now().Add(15 * time.Second)
+	url := fmt.Sprintf("http://d1-proc.probe.tft-example.net:%d/object.css", webPort)
+	var lastErr string
+	for time.Now().Before(deadline) {
+		resp, dbg, err := client.Get(context.Background(), proxynet.Options{RemoteDNS: true}, url)
+		if err == nil && resp.StatusCode == 200 && dbg.ZID == "zproc0001" {
+			if string(resp.Body) != string(content.Object(content.KindCSS)) {
+				t.Fatalf("body mismatch: %d bytes", len(resp.Body))
+			}
+			// And the honest-NXDOMAIN path across processes: d2 names are
+			// gated on the super proxy's 127.0.0.2 source, so the node's
+			// 127.0.0.3 resolver sees NXDOMAIN.
+			d2url := fmt.Sprintf("http://d2-proc.probe.tft-example.net:%d/", webPort)
+			resp2, dbg2, err := client.Get(context.Background(), proxynet.Options{RemoteDNS: true}, d2url)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !dbg2.PeerNXDomain() {
+				t.Fatalf("d2 probe: status %d, dbg %+v", resp2.StatusCode, dbg2)
+			}
+			return
+		}
+		if err != nil {
+			lastErr = err.Error()
+		} else {
+			lastErr = fmt.Sprintf("status %d dbg %+v", resp.StatusCode, dbg)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	t.Fatalf("service never assembled: %s", lastErr)
+}

@@ -1,0 +1,41 @@
+// Quickstart: build a small calibrated world, run all four of the paper's
+// experiments against it, and print the reproduced tables plus the
+// paper-vs-measured report.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	tft "github.com/tftproject/tft"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Println("Running the four experiments at 2% of paper scale...")
+
+	res, err := tft.RunAll(context.Background(), tft.Options{Seed: 42, Scale: 0.02})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(res.Overview())
+	for _, t := range res.DNS.Tables() {
+		fmt.Println(t)
+	}
+	for _, t := range res.HTTP.Tables() {
+		fmt.Println(t)
+	}
+	for _, t := range res.TLS.Tables() {
+		fmt.Println(t)
+	}
+	for _, t := range res.Monitor.Tables() {
+		fmt.Println(t)
+	}
+	fmt.Println(res.Report())
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,3 @@
+module github.com/tftproject/tft
+
+go 1.22

@@ -1,0 +1,564 @@
+package analysis
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/tftproject/tft/internal/content"
+	"github.com/tftproject/tft/internal/core"
+	"github.com/tftproject/tft/internal/geo"
+	"github.com/tftproject/tft/internal/httpwire"
+	"github.com/tftproject/tft/internal/middlebox"
+)
+
+// testGeo builds a registry with two ISPs, a public operator, and Google.
+func testGeo(t *testing.T) (*geo.Registry, map[string]geo.ASN) {
+	t.Helper()
+	r := geo.NewRegistry()
+	if err := geo.InstallGoogle(r); err != nil {
+		t.Fatal(err)
+	}
+	asns := map[string]geo.ASN{}
+	add := func(key, org, name string, cc geo.CountryCode) {
+		if _, err := r.AddOrg(geo.OrgID(org), name, cc); err != nil {
+			t.Fatal(err)
+		}
+		as, err := r.AddAS(geo.ASN(1000+len(asns)), geo.OrgID(org), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		asns[key] = as.Number
+	}
+	add("tmnet", "tmnet", "TMnet", "MY")
+	add("cleanisp", "cleanisp", "Clean ISP", "DE")
+	add("comodo", "comodo", "Comodo DNS", "US")
+	add("mobile", "mobile", "Globe Telecom", "PH")
+	if as, ok := r.ASInfo(asns["mobile"]); ok {
+		as.Mobile = true
+	}
+	add("monitor", "monitor", "Trend Micro", "US")
+	return r, asns
+}
+
+func addrIn(t *testing.T, r *geo.Registry, asn geo.ASN) netip.Addr {
+	t.Helper()
+	a, err := r.NextAddr(asn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestDNSAttribution(t *testing.T) {
+	r, asns := testGeo(t)
+	tmnetResolver := addrIn(t, r, asns["tmnet"])
+	comodoResolver := addrIn(t, r, asns["comodo"])
+	cleanResolver := addrIn(t, r, asns["cleanisp"])
+
+	ds := &core.DNSDataset{}
+	addObs := func(n int, resolver netip.Addr, nodeAS geo.ASN, cc geo.CountryCode, hijacked bool, landing string) {
+		for i := 0; i < n; i++ {
+			o := &core.DNSObservation{
+				ZID: fmt.Sprintf("z%s%d%v%d", cc, nodeAS, hijacked, i), NodeIP: addrIn(t, r, nodeAS),
+				ResolverIP: resolver, ASN: nodeAS, Country: cc, Hijacked: hijacked,
+			}
+			if hijacked {
+				o.LandingBody = []byte("<a href=\"http://" + landing + "/x\">go</a>")
+				o.LandingDomains = []string{landing}
+			}
+			ds.Observations = append(ds.Observations, o)
+		}
+	}
+	// TMnet's own resolver hijacks all 20 of its nodes.
+	addObs(20, tmnetResolver, asns["tmnet"], "MY", true, "midascdn.nervesis.com")
+	// Comodo's public resolver hijacks nodes in 3+ countries.
+	addObs(5, comodoResolver, asns["cleanisp"], "DE", true, "securedns.comodo.com")
+	addObs(5, comodoResolver, asns["tmnet"], "MY", true, "securedns.comodo.com")
+	addObs(5, comodoResolver, asns["mobile"], "PH", true, "securedns.comodo.com")
+	// Google users hijacked on path.
+	g := geo.GoogleEgressFor(netip.MustParseAddr("91.0.0.1"))
+	if g == geo.SuperProxyResolverEgress {
+		g = geo.GoogleEgressFor(netip.MustParseAddr("91.0.0.2"))
+	}
+	addObs(6, g, asns["cleanisp"], "DE", true, "nortonsafe.search.ask.com")
+	// Clean nodes.
+	addObs(60, cleanResolver, asns["cleanisp"], "DE", false, "")
+	// A filtered shared-anycast node.
+	ds.Observations = append(ds.Observations, &core.DNSObservation{
+		ZID: "zfiltered", SharedAnycast: true,
+	})
+
+	a := AnalyzeDNS(Config{Scale: 0.3}, r, ds)
+	sum := a.Summary()
+	if sum.MeasuredNodes != 101 || sum.FilteredAnycast != 1 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.Hijacked != 41 {
+		t.Fatalf("hijacked = %d", sum.Hijacked)
+	}
+	if got := a.Attribution[SourceISPResolver]; got != 20 {
+		t.Errorf("ISP attribution = %d, want 20", got)
+	}
+	if got := a.Attribution[SourcePublicResolver]; got != 15 {
+		t.Errorf("public attribution = %d, want 15", got)
+	}
+	if got := a.Attribution[SourceOther]; got != 6 {
+		t.Errorf("other attribution = %d, want 6", got)
+	}
+
+	// Table 4 lists TMnet only.
+	rows := a.ISPHijackers()
+	if len(rows) != 1 || rows[0].ISP != "TMnet" || rows[0].Nodes != 20 || rows[0].Servers != 1 {
+		t.Fatalf("Table4 rows = %+v", rows)
+	}
+
+	// Public resolver stats see Comodo.
+	ps := a.PublicResolvers()
+	if ps.HijackingServers != 1 || ps.HijackedNodes != 15 || ps.Operators["Comodo DNS"] != 1 {
+		t.Fatalf("public stats = %+v", ps)
+	}
+
+	// Table 5 catches the Norton landing domain on Google-DNS nodes.
+	t5, tbl := a.Table5()
+	if len(t5) != 1 || t5[0].Domain != "nortonsafe.search.ask.com" || t5[0].Nodes != 6 {
+		t.Fatalf("Table5 = %+v", t5)
+	}
+	if !strings.Contains(tbl.String(), "nortonsafe") {
+		t.Fatal("rendered table missing domain")
+	}
+}
+
+func TestDNSTable3Ranking(t *testing.T) {
+	r, asns := testGeo(t)
+	res := addrIn(t, r, asns["tmnet"])
+	ds := &core.DNSDataset{}
+	mk := func(cc geo.CountryCode, asn geo.ASN, hij, total int) {
+		for i := 0; i < total; i++ {
+			ds.Observations = append(ds.Observations, &core.DNSObservation{
+				ZID: fmt.Sprintf("%s-%d", cc, i), ResolverIP: res, ASN: asn,
+				Country: cc, Hijacked: i < hij,
+			})
+		}
+	}
+	mk("MY", asns["tmnet"], 10, 20)   // 50%
+	mk("DE", asns["cleanisp"], 2, 40) // 5%
+	mk("PH", asns["mobile"], 1, 3)    // below country threshold
+	a := AnalyzeDNS(Config{Scale: 0.05}, r, ds)
+	tbl := a.Table3(10)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %v", tbl.Rows)
+	}
+	if tbl.Rows[0][1] != "Malaysia" || tbl.Rows[1][1] != "Germany" {
+		t.Fatalf("ranking = %v", tbl.Rows)
+	}
+}
+
+func TestSharedApplianceDetection(t *testing.T) {
+	r, asns := testGeo(t)
+	res := addrIn(t, r, asns["tmnet"])
+	page := middlebox.LandingSpec{Operator: "TMnet", RedirectURL: "http://x.example/s", SharedAppliance: true}.Render()
+	ds := &core.DNSDataset{Observations: []*core.DNSObservation{
+		{ZID: "z1", ResolverIP: res, ASN: asns["tmnet"], Country: "MY", Hijacked: true, LandingBody: page},
+	}}
+	a := AnalyzeDNS(Config{}, r, ds)
+	got := a.SharedApplianceISPs()
+	if len(got) != 1 || got[0] != "TMnet" {
+		t.Fatalf("shared appliance ISPs = %v", got)
+	}
+}
+
+func httpObs(zid string, asn geo.ASN, cc geo.CountryCode) *core.HTTPObservation {
+	o := &core.HTTPObservation{ZID: zid, ASN: asn, Country: cc}
+	for k := range o.Objects {
+		o.Objects[k] = core.ObjectResult{Outcome: core.ObjUnmodified}
+	}
+	return o
+}
+
+func TestHTTPSummaryAndTable6(t *testing.T) {
+	r, asns := testGeo(t)
+	ds := &core.HTTPDataset{}
+	orig := content.Object(content.KindHTML)
+
+	// Injected node: cloudfront signature.
+	inj := middlebox.HTMLInjector{Product: "x", Signature: "d36mw5gp02ykm5.cloudfront.net", SignatureIsURL: true}
+	for i := 0; i < 3; i++ {
+		o := httpObs(fmt.Sprintf("zi%d", i), asns["cleanisp"], "DE")
+		got := inj.InterceptHTTP("h", "/object.html", newHTMLResponse(append([]byte(nil), orig...)))
+		o.Objects[content.KindHTML] = core.ObjectResult{Outcome: core.ObjModified, Body: got.Body, BodyLen: len(got.Body)}
+		ds.Observations = append(ds.Observations, o)
+	}
+	// Block page node.
+	bp := httpObs("zb", asns["cleanisp"], "DE")
+	bp.Objects[content.KindHTML] = core.ObjectResult{Outcome: core.ObjBlocked, Body: []byte("<h1>bandwidth exceeded</h1>")}
+	ds.Observations = append(ds.Observations, bp)
+	// Clean node.
+	ds.Observations = append(ds.Observations, httpObs("zc", asns["cleanisp"], "DE"))
+	// JS replaced.
+	js := httpObs("zj", asns["cleanisp"], "DE")
+	js.Objects[content.KindJS] = core.ObjectResult{Outcome: core.ObjEmpty}
+	ds.Observations = append(ds.Observations, js)
+
+	a := AnalyzeHTTP(Config{Scale: 0.3}, r, ds)
+	sum := a.Summary()
+	if sum.HTMLModified != 4 || sum.HTMLBlockPage != 1 || sum.HTMLInjected != 3 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.JSReplaced != 1 || sum.CSSReplaced != 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	rows, _ := a.Table6()
+	if len(rows) != 1 || rows[0].Signature != "d36mw5gp02ykm5.cloudfront.net" || rows[0].Nodes != 3 || !rows[0].IsURL {
+		t.Fatalf("Table6 = %+v", rows)
+	}
+}
+
+// newHTMLResponse adapts bytes to an httpwire response for interceptor
+// reuse in tests.
+func newHTMLResponse(body []byte) *httpwire.Response {
+	resp := httpwire.NewResponse(200, body)
+	resp.Header.Set("Content-Type", "text/html; charset=utf-8")
+	return resp
+}
+
+func TestExtractSignatureKeyword(t *testing.T) {
+	orig := content.Object(content.KindHTML)
+	inj := middlebox.HTMLInjector{Product: "x", Signature: "var oiasudoj;"}
+	resp := newHTMLResponse(append([]byte(nil), orig...))
+	got := inj.InterceptHTTP("h", "/object.html", resp)
+	sig, isURL := ExtractSignature(orig, got.Body)
+	if isURL || !strings.Contains(sig, "oiasudoj") {
+		t.Fatalf("sig = %q (url=%v)", sig, isURL)
+	}
+}
+
+func TestExtractSignatureNetSparkMeta(t *testing.T) {
+	orig := content.Object(content.KindHTML)
+	cf := middlebox.ContentFilter{Product: "NetSpark"}
+	got := cf.InterceptHTTP("h", "/object.html", newHTMLResponse(append([]byte(nil), orig...)))
+	sig, _ := ExtractSignature(orig, got.Body)
+	if !strings.Contains(sig, "NetSparkQuiltingResult") {
+		t.Fatalf("sig = %q", sig)
+	}
+}
+
+func TestTable7Compression(t *testing.T) {
+	r, asns := testGeo(t)
+	ds := &core.HTTPDataset{}
+	// 12 nodes in the mobile AS: 8 compressed at two ratios, 4 clean.
+	for i := 0; i < 12; i++ {
+		o := httpObs(fmt.Sprintf("zm%d", i), asns["mobile"], "PH")
+		if i < 8 {
+			ratio := 0.35
+			if i%2 == 1 {
+				ratio = 0.60
+			}
+			o.Objects[content.KindImage] = core.ObjectResult{Outcome: core.ObjModified, ImageRatio: ratio}
+		}
+		ds.Observations = append(ds.Observations, o)
+	}
+	// An AS below the node threshold.
+	small := httpObs("zs", asns["cleanisp"], "DE")
+	small.Objects[content.KindImage] = core.ObjectResult{Outcome: core.ObjModified, ImageRatio: 0.5}
+	ds.Observations = append(ds.Observations, small)
+
+	a := AnalyzeHTTP(Config{Scale: 0.5}, r, ds)
+	rows, tbl := a.Table7()
+	if len(rows) != 1 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	row := rows[0]
+	if row.ASN != asns["mobile"] || row.Modified != 8 || row.Total != 12 || !row.Mobile {
+		t.Fatalf("row = %+v", row)
+	}
+	if len(row.Ratios) != 2 || row.RatioLabel() != "M" {
+		t.Fatalf("ratios = %v", row.Ratios)
+	}
+	if !strings.Contains(tbl.String(), "Globe Telecom") {
+		t.Fatal("ISP missing from rendered table")
+	}
+}
+
+func TestTLSSummaryAndTable8(t *testing.T) {
+	r, asns := testGeo(t)
+	ds := &core.TLSDataset{}
+	keyA := [16]byte{1}
+	keyB := [16]byte{2}
+	// Kaspersky-like node: key reuse + laundering.
+	ds.Observations = append(ds.Observations, &core.TLSObservation{
+		ZID: "zk", ASN: asns["cleanisp"], Country: "DE", Phase2: true,
+		Sites: []core.SiteResult{
+			{Host: "a", Class: core.SitePopular, Replaced: true, IssuerCN: "Kaspersky Anti-Virus Personal Root", LeafKey: keyA},
+			{Host: "b", Class: core.SiteUniversity, Replaced: true, IssuerCN: "Kaspersky Anti-Virus Personal Root", LeafKey: keyA},
+			{Host: "c", Class: core.SiteInvalid, Replaced: true, IssuerCN: "Kaspersky Anti-Virus Personal Root", LeafKey: keyA},
+		},
+	})
+	ds.Observations = append(ds.Observations, &core.TLSObservation{
+		ZID: "zk2", ASN: asns["tmnet"], Country: "MY", Phase2: true,
+		Sites: []core.SiteResult{
+			{Host: "a", Class: core.SitePopular, Replaced: true, IssuerCN: "Kaspersky Anti-Virus Personal Root", LeafKey: keyB},
+			{Host: "b", Class: core.SitePopular, Replaced: true, IssuerCN: "Kaspersky Anti-Virus Personal Root", LeafKey: keyB},
+		},
+	})
+	// Selective nodes: one replaced site, one untouched.
+	for i := 0; i < 2; i++ {
+		ds.Observations = append(ds.Observations, &core.TLSObservation{
+			ZID: fmt.Sprintf("zo%d", i), ASN: asns["cleanisp"], Country: "DE", Phase2: true,
+			Sites: []core.SiteResult{
+				{Host: "a", Class: core.SitePopular, Replaced: true, IssuerCN: "OpenDNS Root Certificate Authority", LeafKey: keyB},
+				{Host: "b", Class: core.SitePopular, Replaced: false},
+			},
+		})
+	}
+	// Clean nodes.
+	for i := 0; i < 97; i++ {
+		ds.Observations = append(ds.Observations, &core.TLSObservation{
+			ZID: fmt.Sprintf("zc%d", i), ASN: asns["cleanisp"], Country: "DE",
+			Sites: []core.SiteResult{{Host: "a", Class: core.SitePopular}},
+		})
+	}
+
+	a := AnalyzeTLS(Config{Scale: 0.3}, r, ds)
+	sum := a.Summary()
+	if sum.Affected != 4 || sum.MeasuredNodes != 101 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.SelectiveNodes != 2 {
+		t.Fatalf("selective = %d", sum.SelectiveNodes)
+	}
+	rows, _ := a.Table8()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].IssuerCN != "Kaspersky Anti-Virus Personal Root" || rows[0].Nodes != 2 {
+		t.Fatalf("row0 = %+v", rows[0])
+	}
+	if rows[0].Kind != "Anti-Virus/Security" || rows[0].KeyReuseNodes != 2 || rows[0].LaunderNodes != 1 {
+		t.Fatalf("row0 detail = %+v", rows[0])
+	}
+	if rows[1].Kind != "Content filter" {
+		t.Fatalf("row1 = %+v", rows[1])
+	}
+}
+
+func TestMonitorSummaryTable9Figure5(t *testing.T) {
+	r, asns := testGeo(t)
+	monIP1 := addrIn(t, r, asns["monitor"])
+	monIP2 := addrIn(t, r, asns["monitor"])
+	ds := &core.MonDataset{}
+	for i := 0; i < 10; i++ {
+		o := &core.MonObservation{ZID: fmt.Sprintf("zm%d", i), ASN: asns["cleanisp"], Country: "DE"}
+		o.Unexpected = []core.UnexpectedRequest{
+			{Src: monIP1, ASN: asns["monitor"], Org: "Trend Micro", Delay: time.Duration(20+i) * time.Second},
+			{Src: monIP2, ASN: asns["monitor"], Org: "Trend Micro", Delay: time.Duration(300+i*100) * time.Second},
+		}
+		ds.Observations = append(ds.Observations, o)
+	}
+	// A Bluecoat-style pre-fetch.
+	ds.Observations = append(ds.Observations, &core.MonObservation{
+		ZID: "zpre", ASN: asns["cleanisp"], Country: "DE",
+		Unexpected: []core.UnexpectedRequest{{Src: monIP1, ASN: asns["monitor"], Org: "Trend Micro", Delay: -time.Second}},
+	})
+	for i := 0; i < 89; i++ {
+		ds.Observations = append(ds.Observations, &core.MonObservation{ZID: fmt.Sprintf("zc%d", i)})
+	}
+
+	a := AnalyzeMonitor(Config{}, r, ds)
+	sum := a.Summary()
+	if sum.Monitored != 11 || sum.MeasuredNodes != 100 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.UniqueIPs != 2 || sum.ASGroups != 1 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	rows, tbl := a.Table9(5)
+	if len(rows) != 1 || rows[0].Name != "Trend Micro" || rows[0].Nodes != 11 || rows[0].IPs != 2 {
+		t.Fatalf("Table9 = %+v", rows)
+	}
+	if !strings.Contains(tbl.String(), "Trend Micro") {
+		t.Fatal("render missing entity")
+	}
+	cdfs := a.Figure5(5)
+	if len(cdfs) != 1 {
+		t.Fatal("no CDF")
+	}
+	c := cdfs[0]
+	if c.NegativeShare() <= 0 {
+		t.Fatal("negative delays lost")
+	}
+	if c.At(25*time.Second) <= c.At(5*time.Second) {
+		t.Fatal("CDF not increasing")
+	}
+	if c.Quantile(0.99) < c.Quantile(0.10) {
+		t.Fatal("quantiles inverted")
+	}
+}
+
+func TestOverviewTables(t *testing.T) {
+	t1 := Table1()
+	if len(t1.Rows) != 5 || !strings.Contains(t1.String(), "Netalyzr") {
+		t.Fatal("Table 1 malformed")
+	}
+	t2 := Table2([]DatasetOverview{
+		{Name: "DNS", Nodes: 753111, ASes: 10197, Countries: 167},
+		{Name: "HTTP", Nodes: 49545, ASes: 12658, Countries: 171},
+		{Name: "HTTPS", Nodes: 807910, ASes: 10007, Countries: 115},
+		{Name: "Monitoring", Nodes: 747449, ASes: 11638, Countries: 167},
+	})
+	if len(t2.Rows) != 3 || !strings.Contains(t2.String(), "753111") {
+		t.Fatalf("Table 2 malformed:\n%s", t2)
+	}
+}
+
+func TestCDFEmptyAndSingle(t *testing.T) {
+	e := NewCDF("empty", nil)
+	if e.At(time.Second) != 0 || e.Quantile(0.5) != 0 || e.NegativeShare() != 0 {
+		t.Fatal("empty CDF misbehaves")
+	}
+	s := NewCDF("one", []time.Duration{5 * time.Second})
+	if s.At(4*time.Second) != 0 || s.At(5*time.Second) != 1 {
+		t.Fatal("single-sample CDF wrong")
+	}
+}
+
+func TestResolverStats(t *testing.T) {
+	r, asns := testGeo(t)
+	ispRes := addrIn(t, r, asns["tmnet"])   // ISP server, hijacking, 12 nodes
+	smallRes := addrIn(t, r, asns["tmnet"]) // ISP server below threshold
+	pubRes := addrIn(t, r, asns["comodo"])  // public (multi-country)
+	ds := &core.DNSDataset{}
+	add := func(res netip.Addr, asn geo.ASN, cc geo.CountryCode, n int, hijacked bool) {
+		for i := 0; i < n; i++ {
+			ds.Observations = append(ds.Observations, &core.DNSObservation{
+				ZID: fmt.Sprintf("z%v%v%d%v", res, cc, i, hijacked), NodeIP: addrIn(t, r, asn),
+				ResolverIP: res, ASN: asn, Country: cc, Hijacked: hijacked,
+			})
+		}
+	}
+	add(ispRes, asns["tmnet"], "MY", 12, true)
+	add(smallRes, asns["tmnet"], "MY", 1, false)
+	add(pubRes, asns["tmnet"], "MY", 4, false)
+	add(pubRes, asns["cleanisp"], "DE", 4, false)
+	add(pubRes, asns["mobile"], "PH", 4, false)
+
+	a := AnalyzeDNS(Config{Scale: 0.5}, r, ds)
+	st := a.ResolverStats()
+	if st.TotalServers != 3 {
+		t.Fatalf("total = %d", st.TotalServers)
+	}
+	// Threshold at scale 0.5 is 5 nodes: isp (12) and public (12) qualify.
+	if st.AboveThreshold != 2 {
+		t.Fatalf("above threshold = %d", st.AboveThreshold)
+	}
+	if st.ISPServers != 2 || st.ISPAboveThreshold != 1 || st.HijackingISP != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGoogleHeavyASes(t *testing.T) {
+	r, asns := testGeo(t)
+	g := geo.GoogleEgressFor(netip.MustParseAddr("41.85.1.1"))
+	if g == geo.SuperProxyResolverEgress {
+		g = geo.GoogleEgressFor(netip.MustParseAddr("41.85.1.2"))
+	}
+	isp := addrIn(t, r, asns["cleanisp"])
+	ds := &core.DNSDataset{}
+	// Heavy AS: 9 of 10 nodes on Google.
+	for i := 0; i < 10; i++ {
+		res := g
+		if i == 9 {
+			res = isp
+		}
+		ds.Observations = append(ds.Observations, &core.DNSObservation{
+			ZID: fmt.Sprintf("zg%d", i), ASN: asns["tmnet"], Country: "MY", ResolverIP: res,
+		})
+	}
+	// Light AS: 1 of 10 on Google.
+	for i := 0; i < 10; i++ {
+		res := isp
+		if i == 0 {
+			res = g
+		}
+		ds.Observations = append(ds.Observations, &core.DNSObservation{
+			ZID: fmt.Sprintf("zl%d", i), ASN: asns["cleanisp"], Country: "DE", ResolverIP: res,
+		})
+	}
+	a := AnalyzeDNS(Config{Scale: 0.5}, r, ds)
+	heavy := a.GoogleHeavyASes(0.8)
+	if len(heavy) != 1 || heavy[0].ASN != asns["tmnet"] || heavy[0].Google != 9 {
+		t.Fatalf("heavy = %+v", heavy)
+	}
+	if s := heavy[0].Share(); s < 0.89 || s > 0.91 {
+		t.Fatalf("share = %.2f", s)
+	}
+}
+
+func TestClusterRatios(t *testing.T) {
+	got := clusterRatios([]float64{0.50, 0.51, 0.52, 0.49})
+	if len(got) != 1 || got[0] < 0.49 || got[0] > 0.52 {
+		t.Fatalf("single cluster = %v", got)
+	}
+	got = clusterRatios([]float64{0.35, 0.36, 0.60, 0.61})
+	if len(got) != 2 {
+		t.Fatalf("two clusters = %v", got)
+	}
+	if got[0] > 0.4 || got[1] < 0.55 {
+		t.Fatalf("cluster centers = %v", got)
+	}
+	if got := clusterRatios(nil); got != nil {
+		t.Fatalf("empty input = %v", got)
+	}
+}
+
+func TestInjectedSegment(t *testing.T) {
+	orig := []byte("aaaa-MIDDLE-zzzz")
+	mod := []byte("aaaa-MIDDLE-injected-zzzz")
+	seg := injectedSegment(orig, mod)
+	if !strings.Contains(string(seg), "injected") {
+		t.Fatalf("segment = %q", seg)
+	}
+	// Identical inputs: empty segment.
+	if seg := injectedSegment(orig, orig); len(seg) != 0 {
+		t.Fatalf("identical inputs segment = %q", seg)
+	}
+	// Pure prefix injection.
+	if seg := injectedSegment([]byte("tail"), []byte("head-tail")); string(seg) != "head-" {
+		t.Fatalf("prefix injection = %q", seg)
+	}
+}
+
+func TestExtractSignatureNoChange(t *testing.T) {
+	orig := content.Object(content.KindHTML)
+	sig, _ := ExtractSignature(orig, orig)
+	if sig != "" {
+		t.Fatalf("signature from identical bodies: %q", sig)
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tbl := &Table{ID: "T", Title: "x", Headers: []string{"A", "BBBB"},
+		Rows: [][]string{{"aaaaaa", "b"}, {"c", "dd"}}}
+	out := tbl.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns align: "BBBB" and "b" start at the same offset.
+	h := strings.Index(lines[1], "BBBB")
+	r := strings.Index(lines[3], "b")
+	if h != r {
+		t.Fatalf("misaligned: header col %d, row col %d\n%s", h, r, out)
+	}
+}
+
+func TestIssuerKindUnknown(t *testing.T) {
+	if IssuerKind("Totally Unknown CA") != "N/A" {
+		t.Fatal("unknown issuer not N/A")
+	}
+	if IssuerKind("Cloudguard.me") != "Malware" {
+		t.Fatal("Cloudguard misclassified")
+	}
+}

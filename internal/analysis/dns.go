@@ -1,0 +1,519 @@
+package analysis
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"github.com/tftproject/tft/internal/core"
+	"github.com/tftproject/tft/internal/geo"
+	"github.com/tftproject/tft/internal/middlebox"
+)
+
+// HijackSource classifies who rewrote a node's NXDOMAIN (§4.3).
+type HijackSource int
+
+// The attribution classes of §4.4.
+const (
+	// SourceISPResolver: the node's ISP-operated DNS server.
+	SourceISPResolver HijackSource = iota
+	// SourcePublicResolver: a public resolver used from many countries.
+	SourcePublicResolver
+	// SourceOther: on-path middlebox or end-host software — the node's
+	// resolver (often Google) is known honest, yet the answer was rewritten.
+	SourceOther
+)
+
+// String names the source.
+func (s HijackSource) String() string {
+	switch s {
+	case SourceISPResolver:
+		return "ISP DNS server"
+	case SourcePublicResolver:
+		return "public DNS server"
+	case SourceOther:
+		return "middlebox/software"
+	}
+	return fmt.Sprintf("HijackSource(%d)", int(s))
+}
+
+// ResolverGroup aggregates the nodes observed behind one resolver egress.
+type ResolverGroup struct {
+	Addr      netip.Addr
+	ASN       geo.ASN
+	Org       *geo.Organization
+	Nodes     int
+	Hijacked  int
+	Countries map[geo.CountryCode]int
+	// SameOrg: every node's organization matches the resolver's.
+	SameOrg bool
+}
+
+// HijackRatio is the group's hijacked fraction.
+func (g *ResolverGroup) HijackRatio() float64 {
+	if g.Nodes == 0 {
+		return 0
+	}
+	return float64(g.Hijacked) / float64(g.Nodes)
+}
+
+// IsPublic applies the §4.3.2 heuristic: nodes from more than two
+// countries.
+func (g *ResolverGroup) IsPublic() bool { return len(g.Countries) > 2 }
+
+// DNSAnalysis is the full §4 analysis over a DNS dataset.
+type DNSAnalysis struct {
+	Cfg Config
+	Geo *geo.Registry
+
+	// Measured excludes shared-anycast-filtered nodes.
+	Measured []*core.DNSObservation
+	Filtered int
+
+	// Groups maps resolver egress to its group.
+	Groups map[netip.Addr]*ResolverGroup
+
+	// Attribution per hijacked node.
+	Attribution   map[HijackSource]int
+	HijackedTotal int
+}
+
+// AnalyzeDNS runs grouping and attribution.
+func AnalyzeDNS(cfg Config, reg *geo.Registry, ds *core.DNSDataset) *DNSAnalysis {
+	a := &DNSAnalysis{
+		Cfg: cfg, Geo: reg,
+		Groups:      make(map[netip.Addr]*ResolverGroup),
+		Attribution: make(map[HijackSource]int),
+	}
+	for _, o := range ds.Observations {
+		if o.SharedAnycast {
+			a.Filtered++
+			continue
+		}
+		a.Measured = append(a.Measured, o)
+		g := a.Groups[o.ResolverIP]
+		if g == nil {
+			g = &ResolverGroup{Addr: o.ResolverIP, Countries: make(map[geo.CountryCode]int), SameOrg: true}
+			if asn, ok := reg.LookupAS(o.ResolverIP); ok {
+				g.ASN = asn
+				g.Org, _ = reg.Org(asn)
+			}
+			a.Groups[o.ResolverIP] = g
+		}
+		g.Nodes++
+		g.Countries[o.Country]++
+		if o.Hijacked {
+			g.Hijacked++
+			a.HijackedTotal++
+		}
+		nodeOrg, ok := reg.Org(o.ASN)
+		if !ok || g.Org == nil || nodeOrg.ID != g.Org.ID {
+			g.SameOrg = false
+		}
+	}
+	for _, o := range a.Measured {
+		if !o.Hijacked {
+			continue
+		}
+		a.Attribution[a.attributeNode(o)]++
+	}
+	return a
+}
+
+// attributeNode decides who hijacked one node's response.
+func (a *DNSAnalysis) attributeNode(o *core.DNSObservation) HijackSource {
+	if geo.IsGoogleEgress(o.ResolverIP) {
+		// Google is well known not to hijack (§4.3.3): the rewrite happened
+		// on the path or on the host.
+		return SourceOther
+	}
+	g := a.Groups[o.ResolverIP]
+	nodeOrg, okN := a.Geo.Org(o.ASN)
+	resOrg, okR := a.Geo.Org(g.ASN)
+	if okN && okR && nodeOrg.ID == resOrg.ID {
+		return SourceISPResolver
+	}
+	if g.IsPublic() {
+		return SourcePublicResolver
+	}
+	// A resolver outside the node's ISP serving few countries: most are
+	// regional ISP infrastructure shared across sibling orgs; the server
+	// itself is still doing the rewriting when its ratio is high.
+	if g.HijackRatio() >= HijackServerRatio {
+		return SourceISPResolver
+	}
+	return SourceOther
+}
+
+// Summary reports the headline §4.2/§4.4 numbers.
+type DNSSummary struct {
+	MeasuredNodes   int
+	FilteredAnycast int
+	UniqueResolvers int
+	Hijacked        int
+	HijackPct       float64
+	Countries       int
+	ASes            int
+	Attribution     map[HijackSource]int
+}
+
+// Summary computes the dataset-wide statistics.
+func (a *DNSAnalysis) Summary() DNSSummary {
+	countries := map[geo.CountryCode]bool{}
+	ases := map[geo.ASN]bool{}
+	for _, o := range a.Measured {
+		countries[o.Country] = true
+		ases[o.ASN] = true
+	}
+	s := DNSSummary{
+		MeasuredNodes:   len(a.Measured),
+		FilteredAnycast: a.Filtered,
+		UniqueResolvers: len(a.Groups),
+		Hijacked:        a.HijackedTotal,
+		Countries:       len(countries),
+		ASes:            len(ases),
+		Attribution:     a.Attribution,
+	}
+	if s.MeasuredNodes > 0 {
+		s.HijackPct = 100 * float64(s.Hijacked) / float64(s.MeasuredNodes)
+	}
+	return s
+}
+
+// Table3 ranks countries by hijacked ratio (≥ the scaled 100-node cutoff).
+func (a *DNSAnalysis) Table3(topN int) *Table {
+	type row struct {
+		cc         geo.CountryCode
+		hij, total int
+	}
+	byCC := map[geo.CountryCode]*row{}
+	for _, o := range a.Measured {
+		r := byCC[o.Country]
+		if r == nil {
+			r = &row{cc: o.Country}
+			byCC[o.Country] = r
+		}
+		r.total++
+		if o.Hijacked {
+			r.hij++
+		}
+	}
+	var rows []*row
+	min := a.Cfg.MinNodesPerCountry()
+	for _, r := range byCC {
+		if r.total >= min {
+			rows = append(rows, r)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		ri := float64(rows[i].hij) / float64(rows[i].total)
+		rj := float64(rows[j].hij) / float64(rows[j].total)
+		if ri != rj {
+			return ri > rj
+		}
+		return rows[i].cc < rows[j].cc
+	})
+	if topN > 0 && len(rows) > topN {
+		rows = rows[:topN]
+	}
+	t := &Table{ID: "Table 3", Title: "Top countries by ratio of hijacked exit nodes",
+		Headers: []string{"Rank", "Country", "Hijacked", "Total", "Ratio"}}
+	for i, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			itoa(i + 1), geo.CountryName(r.cc), itoa(r.hij), itoa(r.total), pct(r.hij, r.total),
+		})
+	}
+	return t
+}
+
+// ISPHijackRow is one Table 4 entry.
+type ISPHijackRow struct {
+	Country geo.CountryCode
+	ISP     string
+	Servers int
+	Nodes   int
+}
+
+// ISPHijackers identifies ISP-provided servers hijacking ≥90% of their
+// nodes (§4.3.1), aggregated by organization.
+func (a *DNSAnalysis) ISPHijackers() []ISPHijackRow {
+	min := a.Cfg.MinNodesPerServer()
+	type agg struct {
+		row ISPHijackRow
+	}
+	byOrg := map[geo.OrgID]*agg{}
+	for _, g := range a.Groups {
+		if g.Org == nil || !g.SameOrg || g.Nodes < min || g.IsPublic() {
+			continue
+		}
+		if g.HijackRatio() < HijackServerRatio {
+			continue
+		}
+		ag := byOrg[g.Org.ID]
+		if ag == nil {
+			ag = &agg{row: ISPHijackRow{Country: g.Org.Country, ISP: g.Org.Name}}
+			byOrg[g.Org.ID] = ag
+		}
+		ag.row.Servers++
+		ag.row.Nodes += g.Nodes
+	}
+	rows := make([]ISPHijackRow, 0, len(byOrg))
+	for _, ag := range byOrg {
+		rows = append(rows, ag.row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Country != rows[j].Country {
+			return rows[i].Country < rows[j].Country
+		}
+		return rows[i].ISP < rows[j].ISP
+	})
+	return rows
+}
+
+// Table4 renders the ISP hijacker list.
+func (a *DNSAnalysis) Table4() *Table {
+	t := &Table{ID: "Table 4", Title: "ISP DNS servers hijacking responses for >90% of exit nodes",
+		Headers: []string{"Country", "ISP", "DNS Servers", "Exit Nodes"}}
+	for _, r := range a.ISPHijackers() {
+		t.Rows = append(t.Rows, []string{
+			geo.CountryName(r.Country), r.ISP, itoa(r.Servers), itoa(r.Nodes),
+		})
+	}
+	return t
+}
+
+// PublicResolverStats summarises §4.3.2.
+type PublicResolverStats struct {
+	PublicServers    int
+	HijackingServers int
+	HijackedNodes    int
+	// Operators maps the owning organization of each hijacking server (by
+	// BGP prefix ownership) to its server count.
+	Operators map[string]int
+}
+
+// PublicResolvers applies the multi-country heuristic and the ≥90%
+// criterion.
+func (a *DNSAnalysis) PublicResolvers() PublicResolverStats {
+	min := a.Cfg.MinNodesPerServer()
+	st := PublicResolverStats{Operators: map[string]int{}}
+	for _, g := range a.Groups {
+		if g.Nodes < min || !g.IsPublic() || geo.IsGoogleEgress(g.Addr) {
+			continue
+		}
+		st.PublicServers++
+		if g.HijackRatio() >= HijackServerRatio {
+			st.HijackingServers++
+			st.HijackedNodes += g.Hijacked
+			name := "(unknown)"
+			if g.Org != nil {
+				name = g.Org.Name
+			}
+			st.Operators[name]++
+		}
+	}
+	return st
+}
+
+// Table5Row is one hijack-landing-domain entry for Google-DNS nodes.
+type Table5Row struct {
+	Domain string
+	Nodes  int
+	ASes   int
+	// Software: spread over many ASes relative to nodes suggests end-host
+	// software rather than an ISP path device (§4.3.3).
+	Software bool
+}
+
+// Table5 analyses nodes hijacked despite using Google DNS: the landing
+// domains in the content they received, with AS spread.
+func (a *DNSAnalysis) Table5() ([]Table5Row, *Table) {
+	type agg struct {
+		nodes int
+		ases  map[geo.ASN]bool
+	}
+	byDomain := map[string]*agg{}
+	for _, o := range a.Measured {
+		if !o.Hijacked || !geo.IsGoogleEgress(o.ResolverIP) {
+			continue
+		}
+		for _, d := range o.LandingDomains {
+			ag := byDomain[d]
+			if ag == nil {
+				ag = &agg{ases: map[geo.ASN]bool{}}
+				byDomain[d] = ag
+			}
+			ag.nodes++
+			ag.ases[o.ASN] = true
+		}
+	}
+	var rows []Table5Row
+	min := a.Cfg.MinRowNodes()
+	for d, ag := range byDomain {
+		if ag.nodes < min {
+			continue
+		}
+		rows = append(rows, Table5Row{
+			Domain: d, Nodes: ag.nodes, ASes: len(ag.ases),
+			// Heuristic from §4.3.3: ISP path devices concentrate in 1–3
+			// ASes; software spreads across many.
+			Software: len(ag.ases) >= 4 && len(ag.ases)*2 >= ag.nodes,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Nodes != rows[j].Nodes {
+			return rows[i].Nodes > rows[j].Nodes
+		}
+		return rows[i].Domain < rows[j].Domain
+	})
+	t := &Table{ID: "Table 5", Title: "Domains in hijacked responses of Google-DNS nodes",
+		Headers: []string{"URL domain", "Exit Nodes", "ASes", "Likely source"}}
+	for _, r := range rows {
+		src := "ISP path device"
+		if r.Software {
+			src = "anti-virus/malware"
+		}
+		t.Rows = append(t.Rows, []string{r.Domain, itoa(r.Nodes), itoa(r.ASes), src})
+	}
+	return rows, t
+}
+
+// SharedApplianceISPs finds landing pages embedding the byte-identical
+// redirect JavaScript block (§4.3.1's five-ISP finding).
+func (a *DNSAnalysis) SharedApplianceISPs() []string {
+	orgs := map[string]bool{}
+	for _, o := range a.Measured {
+		if !o.Hijacked || len(o.LandingBody) == 0 {
+			continue
+		}
+		if !strings.Contains(string(o.LandingBody), middlebox.SharedRedirectJS) {
+			continue
+		}
+		if org, ok := a.Geo.Org(o.ASN); ok {
+			orgs[org.Name] = true
+		}
+	}
+	out := make([]string, 0, len(orgs))
+	for name := range orgs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ResolverStats summarises the resolver population the way §4.2/§4.3.1 do:
+// total unique servers, servers above the observation threshold, and the
+// ISP-provided subset (every observed node shares the server's
+// organization).
+type ResolverStats struct {
+	TotalServers int
+	// AboveThreshold servers were observed from at least the (scaled) ten
+	// nodes the paper requires for statistical significance.
+	AboveThreshold int
+	// ISPServers is the ISP-provided subset (all sizes); ISPAboveThreshold
+	// applies the node cutoff.
+	ISPServers        int
+	ISPAboveThreshold int
+	// HijackingISP counts ISP servers above threshold with ≥90% hijacked.
+	HijackingISP int
+}
+
+// ResolverStats computes the §4.2 server-population numbers.
+func (a *DNSAnalysis) ResolverStats() ResolverStats {
+	min := a.Cfg.MinNodesPerServer()
+	var st ResolverStats
+	for _, g := range a.Groups {
+		st.TotalServers++
+		if g.Nodes >= min {
+			st.AboveThreshold++
+		}
+		if g.SameOrg && g.Org != nil && !g.IsPublic() {
+			st.ISPServers++
+			if g.Nodes >= min {
+				st.ISPAboveThreshold++
+				if g.HijackRatio() >= HijackServerRatio {
+					st.HijackingISP++
+				}
+			}
+		}
+	}
+	return st
+}
+
+// GoogleHeavyAS is an AS whose subscribers are pointed at Google DNS —
+// footnote 9's finding (91 such ASes; OPT Benin at 99.1%).
+type GoogleHeavyAS struct {
+	ASN     geo.ASN
+	Org     string
+	Country geo.CountryCode
+	Google  int
+	Total   int
+}
+
+// Share is the AS's Google-DNS fraction.
+func (g GoogleHeavyAS) Share() float64 {
+	if g.Total == 0 {
+		return 0
+	}
+	return float64(g.Google) / float64(g.Total)
+}
+
+// GoogleHeavyASes lists ASes (≥ the scaled server cutoff of nodes) where at
+// least threshold of nodes resolve through Google.
+func (a *DNSAnalysis) GoogleHeavyASes(threshold float64) []GoogleHeavyAS {
+	type agg struct{ google, total int }
+	byAS := map[geo.ASN]*agg{}
+	for _, o := range a.Measured {
+		ag := byAS[o.ASN]
+		if ag == nil {
+			ag = &agg{}
+			byAS[o.ASN] = ag
+		}
+		ag.total++
+		if geo.IsGoogleEgress(o.ResolverIP) {
+			ag.google++
+		}
+	}
+	min := a.Cfg.MinNodesPerServer()
+	var out []GoogleHeavyAS
+	for asn, ag := range byAS {
+		if ag.total < min || float64(ag.google)/float64(ag.total) < threshold {
+			continue
+		}
+		row := GoogleHeavyAS{ASN: asn, Google: ag.google, Total: ag.total}
+		if org, ok := a.Geo.Org(asn); ok {
+			row.Org = org.Name
+			row.Country = org.Country
+		}
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := out[i].Share(), out[j].Share()
+		if si != sj {
+			return si > sj
+		}
+		return out[i].ASN < out[j].ASN
+	})
+	return out
+}
+
+// WaveRow is one longitudinal wave's summary row.
+type WaveRow struct {
+	Wave      int
+	Measured  int
+	Hijacked  int
+	HijackPct float64
+}
+
+// TableLongitudinal renders a hijack-rate time series — the §9 continuous-
+// measurement output.
+func TableLongitudinal(rows []WaveRow) *Table {
+	t := &Table{ID: "Longitudinal", Title: "NXDOMAIN hijacking over repeated weekly crawls (§9)",
+		Headers: []string{"Wave", "Measured", "Hijacked", "Rate"}}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{itoa(r.Wave), itoa(r.Measured), itoa(r.Hijacked),
+			fmt.Sprintf("%.2f%%", r.HijackPct)})
+	}
+	return t
+}

@@ -1,0 +1,43 @@
+package analysis
+
+// Table1 is the paper's platform-comparison table — static context, not a
+// measurement output.
+func Table1() *Table {
+	return &Table{
+		ID:      "Table 1",
+		Title:   "Comparison with complementary measurement platforms",
+		Headers: []string{"Project", "Nodes", "ASes", "Countries", "Period", "ICMP", "DNS", "HTTP", "HTTPS"},
+		Rows: [][]string{
+			{"This approach", "1,276,873", "14,772", "172", "5 days", "", "Y", "Y", "Y"},
+			{"Netalyzr", "1,217,181", "14,375", "196", "6 years", "Y", "Y", "Y", "Y"},
+			{"BISmark", "406", "118", "34", "2 years", "Y", "Y", "Y", "Y"},
+			{"Dasu", "100,104", "1,802", "147", "6 years", "Y", "Y", "Y", "Y"},
+			{"RIPE Atlas", "9,300", "3,333", "181", "6 years", "Y", "Y", "Y", "Y"},
+		},
+	}
+}
+
+// DatasetOverview is one experiment's coverage row.
+type DatasetOverview struct {
+	Name      string
+	Nodes     int
+	ASes      int
+	Countries int
+}
+
+// Table2 renders experiment coverage.
+func Table2(rows []DatasetOverview) *Table {
+	t := &Table{ID: "Table 2", Title: "Exit nodes, ASes, and countries per experiment",
+		Headers: []string{"", "DNS", "HTTP", "HTTPS", "Monitoring"}}
+	get := func(f func(DatasetOverview) int) []string {
+		out := make([]string, 0, len(rows))
+		for _, r := range rows {
+			out = append(out, itoa(f(r)))
+		}
+		return out
+	}
+	t.Rows = append(t.Rows, append([]string{"Exit Nodes"}, get(func(r DatasetOverview) int { return r.Nodes })...))
+	t.Rows = append(t.Rows, append([]string{"ASes"}, get(func(r DatasetOverview) int { return r.ASes })...))
+	t.Rows = append(t.Rows, append([]string{"Countries"}, get(func(r DatasetOverview) int { return r.Countries })...))
+	return t
+}

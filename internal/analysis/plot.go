@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// PlotCDFs renders a set of delay CDFs as an ASCII chart with a log-scaled
+// x axis — the textual rendition of the paper's Figure 5. Negative delays
+// (Bluecoat's pre-fetches) lift a curve's starting height above zero, the
+// "CDF starts at 41%" effect.
+func PlotCDFs(cdfs []CDF, width, height int) string {
+	if width < 20 {
+		width = 72
+	}
+	if height < 5 {
+		height = 16
+	}
+	// X axis spans 100ms..10h in log space, matching Figure 5's range.
+	minX, maxX := 0.1, 36_000.0 // seconds
+	logMin, logMax := math.Log10(minX), math.Log10(maxX)
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "TKCAB5123467890" // one rune per curve
+	var legend strings.Builder
+
+	for ci, c := range cdfs {
+		if len(c.Samples) == 0 {
+			continue
+		}
+		mark := marks[ci%len(marks)]
+		fmt.Fprintf(&legend, "  %c = %s (%d samples, %.0f%% negative)\n",
+			mark, c.Name, len(c.Samples), 100*c.NegativeShare())
+		for col := 0; col < width; col++ {
+			x := math.Pow(10, logMin+(logMax-logMin)*float64(col)/float64(width-1))
+			y := c.At(time.Duration(x * float64(time.Second)))
+			row := height - 1 - int(y*float64(height-1)+0.5)
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = mark
+		}
+	}
+
+	var sb strings.Builder
+	sb.WriteString("Figure 5: CDF of delay between exit-node request and unexpected request\n")
+	for i, row := range grid {
+		yVal := 1 - float64(i)/float64(height-1)
+		fmt.Fprintf(&sb, "%4.1f |%s\n", yVal, string(row))
+	}
+	sb.WriteString("     +" + strings.Repeat("-", width) + "\n")
+	// X tick labels at decade boundaries.
+	ticks := "      "
+	lastEnd := 0
+	for d := math.Ceil(logMin); d <= logMax; d++ {
+		col := int((d - logMin) / (logMax - logMin) * float64(width-1))
+		label := humanSeconds(math.Pow(10, d))
+		if col > lastEnd {
+			ticks += strings.Repeat(" ", col-lastEnd) + label
+			lastEnd = col + len(label)
+		}
+	}
+	sb.WriteString(ticks + "\n")
+	sb.WriteString(legend.String())
+	return sb.String()
+}
+
+func humanSeconds(s float64) string {
+	switch {
+	case s < 1:
+		return fmt.Sprintf("%.0fms", s*1000)
+	case s < 60:
+		return fmt.Sprintf("%.0fs", s)
+	case s < 3600:
+		return fmt.Sprintf("%.0fm", s/60)
+	default:
+		return fmt.Sprintf("%.0fh", s/3600)
+	}
+}

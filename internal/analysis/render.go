@@ -1,0 +1,104 @@
+// Package analysis turns experiment datasets into the paper's tables and
+// figures: hijack attribution (§4.3–4.4), country and ISP rankings
+// (Tables 3–5), injection signatures (Table 6), image-transcoding ASes
+// (Table 7), certificate-replacement issuers (Table 8), monitoring entities
+// (Table 9), and the monitoring-delay CDF (Figure 5).
+//
+// Everything here consumes only measurement observations plus the public
+// IP→AS/org mapping — never the world's ground truth.
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered result table.
+type Table struct {
+	ID      string // "Table 3", "Figure 5", ...
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %s\n", t.ID, t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Headers)
+	total := len(t.Headers) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+// pct formats a ratio as a percentage.
+func pct(num, den int) string {
+	if den == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(num)/float64(den))
+}
+
+// itoa is a short fmt helper.
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+// Config carries analysis thresholds, scaled so that the paper's absolute
+// cutoffs (10 nodes per server, 100 per country, 5 per table row) keep
+// their selective power at reduced world scales.
+type Config struct {
+	Scale float64
+}
+
+// scaleThreshold converts a full-scale cutoff.
+func (c Config) scaleThreshold(full int, floor int) int {
+	if c.Scale <= 0 || c.Scale > 1 {
+		return full
+	}
+	v := int(float64(full)*c.Scale + 0.5)
+	if v < floor {
+		v = floor
+	}
+	return v
+}
+
+// MinNodesPerServer is the §4.3.1 "at least 10 exit nodes" server cutoff.
+func (c Config) MinNodesPerServer() int { return c.scaleThreshold(10, 2) }
+
+// MinNodesPerCountry is the §4.2 "at least 100 exit nodes" country cutoff.
+func (c Config) MinNodesPerCountry() int { return c.scaleThreshold(100, 5) }
+
+// MinRowNodes is the ≥5-node row cutoff used by Tables 5, 6, and 8.
+func (c Config) MinRowNodes() int { return c.scaleThreshold(5, 2) }
+
+// MinASNodes is Table 7's ≥10-measured-nodes AS cutoff.
+func (c Config) MinASNodes() int { return c.scaleThreshold(10, 2) }
+
+// HijackServerRatio is the ≥90% per-server hijack criterion (§4.3.1).
+const HijackServerRatio = 0.9

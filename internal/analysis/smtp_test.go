@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/tftproject/tft/internal/core"
+)
+
+func TestSMTPSummaryAndTable(t *testing.T) {
+	r, asns := testGeo(t)
+	ds := &core.SMTPDataset{}
+	// A blocking AS: 10 nodes, all blocked.
+	for i := 0; i < 10; i++ {
+		ds.Observations = append(ds.Observations, &core.SMTPObservation{
+			ZID: fmt.Sprintf("zb%d", i), ASN: asns["tmnet"], Country: "MY", Blocked: true,
+		})
+	}
+	// A stripping AS: 6 nodes without STARTTLS.
+	for i := 0; i < 6; i++ {
+		ds.Observations = append(ds.Observations, &core.SMTPObservation{
+			ZID: fmt.Sprintf("zs%d", i), ASN: asns["mobile"], Country: "PH",
+			Banner: "mail ok", StartTLS: false,
+		})
+	}
+	// Clean nodes.
+	for i := 0; i < 84; i++ {
+		ds.Observations = append(ds.Observations, &core.SMTPObservation{
+			ZID: fmt.Sprintf("zc%d", i), ASN: asns["cleanisp"], Country: "DE",
+			Banner: "mail ok", StartTLS: true,
+		})
+	}
+	a := AnalyzeSMTP(Config{Scale: 0.5}, r, ds)
+	s := a.Summary()
+	if s.Blocked != 10 || s.Stripped != 6 || s.MeasuredNodes != 100 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.StripperASes != 1 {
+		t.Fatalf("stripper ASes = %d", s.StripperASes)
+	}
+	rows, tbl := a.TableSMTP()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].Kind != "port-25 blocked" || rows[0].Affected != 10 {
+		t.Fatalf("row0 = %+v", rows[0])
+	}
+	if rows[1].Kind != "STARTTLS stripped" || rows[1].ISP != "Globe Telecom" {
+		t.Fatalf("row1 = %+v", rows[1])
+	}
+	if !strings.Contains(tbl.String(), "STARTTLS stripped") {
+		t.Fatal("render missing violation")
+	}
+}
+
+func TestPlotCDFs(t *testing.T) {
+	var tm, bc []time.Duration
+	for i := 0; i < 50; i++ {
+		tm = append(tm, time.Duration(12+i*2)*time.Second)
+		tm = append(tm, time.Duration(200+i*200)*time.Second)
+		if i < 20 {
+			bc = append(bc, -time.Duration(i+1)*100*time.Millisecond)
+		} else {
+			bc = append(bc, time.Duration(i)*time.Second)
+		}
+	}
+	plot := PlotCDFs([]CDF{NewCDF("Trend Micro", tm), NewCDF("Bluecoat", bc)}, 72, 14)
+	if !strings.Contains(plot, "Trend Micro") || !strings.Contains(plot, "Bluecoat") {
+		t.Fatalf("legend missing:\n%s", plot)
+	}
+	if !strings.Contains(plot, "40% negative") {
+		t.Fatalf("negative share missing:\n%s", plot)
+	}
+	// The Bluecoat curve must start above the bottom row: its mark appears
+	// in the leftmost column somewhere above y=0.
+	lines := strings.Split(plot, "\n")
+	foundElevatedStart := false
+	for _, l := range lines {
+		if strings.HasPrefix(l, " 0.4") && strings.Contains(l, "K") {
+			foundElevatedStart = true
+		}
+	}
+	if !foundElevatedStart {
+		t.Fatalf("Bluecoat curve does not start elevated:\n%s", plot)
+	}
+	// Axis labels present.
+	if !strings.Contains(plot, "1s") || !strings.Contains(plot, "3h") {
+		t.Fatalf("axis labels missing:\n%s", plot)
+	}
+}
+
+func TestPlotCDFsEmpty(t *testing.T) {
+	plot := PlotCDFs(nil, 0, 0)
+	if !strings.Contains(plot, "Figure 5") {
+		t.Fatal("empty plot broken")
+	}
+}

@@ -1,0 +1,316 @@
+// Package cert implements the certificate model used by the HTTPS
+// experiment (§6): X.509-shaped certificates with subject/issuer names,
+// validity windows, per-certificate public keys, and issuer signatures over
+// the to-be-signed bytes, plus a root store and chain verification.
+//
+// The signature scheme is deliberately a structural stand-in, not real
+// public-key cryptography: Sign computes SHA-256 over the issuer's public
+// key and the TBS bytes. This preserves everything the paper's methodology
+// observes — chain linkage, trust-anchor membership, issuer common names,
+// public-key reuse across spoofed leaves, expiry and common-name validity —
+// while keeping million-certificate simulations cheap. No simulated actor
+// attempts cryptographic forgery, so the weakened scheme is never load-
+// bearing; the measurement client detects MITM exactly as the paper does,
+// by validating chains against a clean OS root store that does not contain
+// the interceptor's root.
+package cert
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// KeyID is a public-key fingerprint. The paper's §6.2 finding that most AV
+// products reuse one key pair for every spoofed certificate on a host makes
+// key identity a first-class observable.
+type KeyID [16]byte
+
+// String renders the fingerprint in hex.
+func (k KeyID) String() string { return fmt.Sprintf("%x", k[:]) }
+
+// KeyPair is a simulated asymmetric key pair.
+type KeyPair struct {
+	Public KeyID
+}
+
+// NewKeyPair derives a key pair from a seed. Distinct seeds give distinct
+// keys; the same seed reproduces the same key, which the deterministic world
+// generator relies on.
+func NewKeyPair(seed string) KeyPair {
+	sum := sha256.Sum256([]byte("tft-key:" + seed))
+	var id KeyID
+	copy(id[:], sum[:])
+	return KeyPair{Public: id}
+}
+
+// Name is a distinguished name, reduced to the fields the paper inspects.
+type Name struct {
+	CommonName   string
+	Organization string
+	Country      string
+}
+
+// String renders the name in a compact openssl-like form.
+func (n Name) String() string {
+	parts := []string{"CN=" + n.CommonName}
+	if n.Organization != "" {
+		parts = append(parts, "O="+n.Organization)
+	}
+	if n.Country != "" {
+		parts = append(parts, "C="+n.Country)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Certificate is one certificate.
+type Certificate struct {
+	SerialNumber uint64
+	Subject      Name
+	Issuer       Name
+	NotBefore    time.Time
+	NotAfter     time.Time
+	IsCA         bool
+	PublicKey    KeyID
+	// DNSNames lists additional subject alternative names; CommonName is
+	// always implicitly included.
+	DNSNames  []string
+	Signature [32]byte
+}
+
+// tbsBytes serializes every signed field.
+func (c *Certificate) tbsBytes() []byte {
+	var b []byte
+	b = binary.BigEndian.AppendUint64(b, c.SerialNumber)
+	for _, s := range []string{
+		c.Subject.CommonName, c.Subject.Organization, c.Subject.Country,
+		c.Issuer.CommonName, c.Issuer.Organization, c.Issuer.Country,
+	} {
+		b = binary.BigEndian.AppendUint32(b, uint32(len(s)))
+		b = append(b, s...)
+	}
+	b = binary.BigEndian.AppendUint64(b, uint64(c.NotBefore.Unix()))
+	b = binary.BigEndian.AppendUint64(b, uint64(c.NotAfter.Unix()))
+	if c.IsCA {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = append(b, c.PublicKey[:]...)
+	for _, dn := range c.DNSNames {
+		b = binary.BigEndian.AppendUint32(b, uint32(len(dn)))
+		b = append(b, dn...)
+	}
+	return b
+}
+
+// sign computes the simulated signature of tbs under the issuer key.
+func sign(issuerKey KeyID, tbs []byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("tft-sig:"))
+	h.Write(issuerKey[:])
+	h.Write(tbs)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// CheckSignatureFrom verifies that parent's key signed c.
+func (c *Certificate) CheckSignatureFrom(parent *Certificate) error {
+	want := sign(parent.PublicKey, c.tbsBytes())
+	if c.Signature != want {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// SelfSigned reports whether the certificate is signed by its own key.
+func (c *Certificate) SelfSigned() bool {
+	return c.Signature == sign(c.PublicKey, c.tbsBytes())
+}
+
+// Fingerprint returns a stable identity for the exact certificate contents,
+// used by the invalid-site exact-match check (§6.1: "we check whether the
+// invalid certificate matches exactly").
+func (c *Certificate) Fingerprint() [32]byte {
+	h := sha256.New()
+	h.Write(c.tbsBytes())
+	h.Write(c.Signature[:])
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Clone returns a deep copy.
+func (c *Certificate) Clone() *Certificate {
+	dup := *c
+	dup.DNSNames = append([]string(nil), c.DNSNames...)
+	return &dup
+}
+
+// MatchesHostname reports whether the certificate covers host, honouring
+// single-label wildcards (*.example.org).
+func (c *Certificate) MatchesHostname(host string) bool {
+	host = strings.ToLower(strings.TrimSuffix(host, "."))
+	names := append([]string{c.Subject.CommonName}, c.DNSNames...)
+	for _, n := range names {
+		n = strings.ToLower(strings.TrimSuffix(n, "."))
+		if n == host {
+			return true
+		}
+		if rest, ok := strings.CutPrefix(n, "*."); ok {
+			if i := strings.IndexByte(host, '.'); i > 0 && host[i+1:] == rest {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CA couples a certificate with signing ability. Issue is safe for
+// concurrent use: one product root signs spoofed leaves on many simulated
+// hosts at once.
+type CA struct {
+	Cert *Certificate
+	key  KeyPair
+
+	mu     sync.Mutex
+	serial uint64
+}
+
+// NewRootCA creates a self-signed root.
+func NewRootCA(name Name, keySeed string, notBefore time.Time, lifetime time.Duration) *CA {
+	kp := NewKeyPair(keySeed)
+	c := &Certificate{
+		SerialNumber: 1,
+		Subject:      name,
+		Issuer:       name,
+		NotBefore:    notBefore,
+		NotAfter:     notBefore.Add(lifetime),
+		IsCA:         true,
+		PublicKey:    kp.Public,
+	}
+	c.Signature = sign(kp.Public, c.tbsBytes())
+	return &CA{Cert: c, key: kp, serial: 1}
+}
+
+// Template carries the caller-controlled fields of a new certificate.
+type Template struct {
+	Subject   Name
+	DNSNames  []string
+	NotBefore time.Time
+	NotAfter  time.Time
+	IsCA      bool
+	// KeySeed fixes the subject key; AV products that reuse one key across
+	// every spoofed certificate pass the same seed each time.
+	KeySeed string
+}
+
+// Issue signs a new certificate from the template.
+func (ca *CA) Issue(tmpl Template) *Certificate {
+	ca.mu.Lock()
+	ca.serial++
+	serial := ca.serial
+	ca.mu.Unlock()
+	kp := NewKeyPair(tmpl.KeySeed)
+	c := &Certificate{
+		SerialNumber: serial,
+		Subject:      tmpl.Subject,
+		Issuer:       ca.Cert.Subject,
+		NotBefore:    tmpl.NotBefore,
+		NotAfter:     tmpl.NotAfter,
+		IsCA:         tmpl.IsCA,
+		PublicKey:    kp.Public,
+		DNSNames:     append([]string(nil), tmpl.DNSNames...),
+	}
+	c.Signature = sign(ca.key.Public, c.tbsBytes())
+	return c
+}
+
+// IssueIntermediate creates a subordinate CA.
+func (ca *CA) IssueIntermediate(name Name, keySeed string, notBefore time.Time, lifetime time.Duration) *CA {
+	c := ca.Issue(Template{
+		Subject: name, NotBefore: notBefore, NotAfter: notBefore.Add(lifetime),
+		IsCA: true, KeySeed: keySeed,
+	})
+	return &CA{Cert: c, key: NewKeyPair(keySeed), serial: 1000}
+}
+
+// Verification errors.
+var (
+	ErrBadSignature  = errors.New("cert: signature verification failed")
+	ErrExpired       = errors.New("cert: certificate expired or not yet valid")
+	ErrNameMismatch  = errors.New("cert: certificate name does not match host")
+	ErrUntrustedRoot = errors.New("cert: chain does not terminate at a trusted root")
+	ErrEmptyChain    = errors.New("cert: empty certificate chain")
+	ErrNotCA         = errors.New("cert: intermediate is not a CA certificate")
+)
+
+// Store is a set of trusted root certificates, the analogue of the OS X
+// 10.11 root store (187 roots) the paper validated against.
+type Store struct {
+	roots map[KeyID]*Certificate
+}
+
+// NewStore builds a store from roots.
+func NewStore(roots ...*Certificate) *Store {
+	s := &Store{roots: make(map[KeyID]*Certificate, len(roots))}
+	for _, r := range roots {
+		s.roots[r.PublicKey] = r
+	}
+	return s
+}
+
+// Add inserts a root. Installing an AV product's root into a victim's store
+// is exactly the paper's §6.2 scenario; the measurement client never does
+// this, which is why replaced chains fail its validation.
+func (s *Store) Add(root *Certificate) { s.roots[root.PublicKey] = root }
+
+// Contains reports whether the store trusts a root with the given key.
+func (s *Store) Contains(key KeyID) bool { _, ok := s.roots[key]; return ok }
+
+// Len returns the number of trusted roots.
+func (s *Store) Len() int { return len(s.roots) }
+
+// Verify checks a presented chain (leaf first) against the store: hostname
+// match on the leaf, validity window and signature on every link, CA bit on
+// intermediates, and a trusted terminal root. It mirrors `openssl verify`
+// as the paper used it (§6.1).
+func (s *Store) Verify(host string, chain []*Certificate, at time.Time) error {
+	if len(chain) == 0 {
+		return ErrEmptyChain
+	}
+	leaf := chain[0]
+	if host != "" && !leaf.MatchesHostname(host) {
+		return fmt.Errorf("%w: %q not covered by %q", ErrNameMismatch, host, leaf.Subject.CommonName)
+	}
+	for i, c := range chain {
+		if at.Before(c.NotBefore) || at.After(c.NotAfter) {
+			return fmt.Errorf("%w: %q (depth %d)", ErrExpired, c.Subject.CommonName, i)
+		}
+		if i > 0 && !c.IsCA {
+			return fmt.Errorf("%w: %q (depth %d)", ErrNotCA, c.Subject.CommonName, i)
+		}
+	}
+	for i := 0; i < len(chain)-1; i++ {
+		if err := chain[i].CheckSignatureFrom(chain[i+1]); err != nil {
+			return fmt.Errorf("%w: depth %d", err, i)
+		}
+	}
+	last := chain[len(chain)-1]
+	// The chain may either end at a trusted root itself, or at a
+	// certificate signed by a trusted root's key.
+	if s.Contains(last.PublicKey) && last.SelfSigned() {
+		return nil
+	}
+	for key := range s.roots {
+		if last.Signature == sign(key, last.tbsBytes()) {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: issuer %q", ErrUntrustedRoot, last.Issuer.CommonName)
+}

@@ -1,0 +1,36 @@
+package cert
+
+import (
+	"fmt"
+	"time"
+)
+
+// NumOSRoots matches the paper's §6.1 footnote: the OS X 10.11 root store
+// the authors validated against contained 187 unique root certificates.
+const NumOSRoots = 187
+
+// NewOSRootStore builds the measurement client's trust store: NumOSRoots
+// synthetic public roots plus handles to a few named CAs that the site
+// registry issues real site certificates from. The returned CAs all have
+// their roots in the store.
+func NewOSRootStore(epoch time.Time) (*Store, []*CA) {
+	lifetime := 20 * 365 * 24 * time.Hour
+	cas := []*CA{
+		NewRootCA(Name{CommonName: "TFT Global Root CA", Organization: "TFT Trust Services", Country: "US"}, "root-global", epoch.Add(-5*365*24*time.Hour), lifetime),
+		NewRootCA(Name{CommonName: "TFT EV Root CA", Organization: "TFT Trust Services", Country: "US"}, "root-ev", epoch.Add(-5*365*24*time.Hour), lifetime),
+		NewRootCA(Name{CommonName: "Academic Trust Root", Organization: "EduCert", Country: "US"}, "root-edu", epoch.Add(-5*365*24*time.Hour), lifetime),
+	}
+	store := NewStore()
+	for _, ca := range cas {
+		store.Add(ca.Cert)
+	}
+	for i := store.Len(); i < NumOSRoots; i++ {
+		filler := NewRootCA(Name{
+			CommonName:   fmt.Sprintf("Public Root CA %03d", i),
+			Organization: "Assorted Trust Operators",
+			Country:      "US",
+		}, fmt.Sprintf("root-filler-%d", i), epoch.Add(-10*365*24*time.Hour), lifetime)
+		store.Add(filler.Cert)
+	}
+	return store, cas
+}

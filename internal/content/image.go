@@ -1,0 +1,131 @@
+package content
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Image is a minimal JPEG-like object: a header carrying dimensions and a
+// quality factor, followed by an entropy-coded payload whose length scales
+// with quality. Recompressing to a lower quality yields a deterministic,
+// smaller object — the behaviour the paper's mobile-ISP transcoders exhibit
+// (§5.2, Table 7), where per-ISP compression ratios are the attribution
+// signal.
+type Image struct {
+	Width, Height uint16
+	// Quality is the compression quality factor, 1–100.
+	Quality uint8
+	// ID seeds the payload so different source images differ.
+	ID uint32
+}
+
+// imageMagic identifies the format ("TFIM" — tft image).
+var imageMagic = [4]byte{'T', 'F', 'I', 'M'}
+
+// headerSize is the encoded header length.
+const headerSize = 4 + 2 + 2 + 1 + 4 + 4 // magic, w, h, quality, id, payload length
+
+// ErrBadImage reports malformed image bytes.
+var ErrBadImage = errors.New("content: malformed image")
+
+// PayloadSize returns the entropy payload length this codec produces for a
+// raw size target at the image's quality. Like JPEG, output size is roughly
+// proportional to quality with a floor for structural overhead.
+func (im Image) PayloadSize(fullSize int) int {
+	usable := fullSize - headerSize
+	if usable < 16 {
+		usable = 16
+	}
+	// Quality 92 (the origin's setting) fills the target; lower qualities
+	// shrink proportionally.
+	p := usable * int(im.Quality) / 92
+	if p < 16 {
+		p = 16
+	}
+	if p > usable {
+		p = usable
+	}
+	return p
+}
+
+// Encode serializes the image sized against fullSize (the byte budget the
+// origin encodes at quality 92 to fill).
+func (im Image) Encode(fullSize int) []byte {
+	payload := im.PayloadSize(fullSize)
+	out := make([]byte, headerSize+payload)
+	copy(out[0:4], imageMagic[:])
+	binary.BigEndian.PutUint16(out[4:6], im.Width)
+	binary.BigEndian.PutUint16(out[6:8], im.Height)
+	out[8] = im.Quality
+	binary.BigEndian.PutUint32(out[9:13], im.ID)
+	binary.BigEndian.PutUint32(out[13:17], uint32(payload))
+	// Deterministic "entropy-coded" bytes derived from (ID, quality).
+	state := im.ID*2654435761 + uint32(im.Quality)*40503
+	for i := 0; i < payload; i++ {
+		state = state*1664525 + 1013904223
+		out[headerSize+i] = byte(state >> 24)
+	}
+	return out
+}
+
+// DecodeImage parses image bytes.
+func DecodeImage(b []byte) (Image, error) {
+	if len(b) < headerSize {
+		return Image{}, fmt.Errorf("%w: %d bytes", ErrBadImage, len(b))
+	}
+	if [4]byte(b[0:4]) != imageMagic {
+		return Image{}, fmt.Errorf("%w: bad magic", ErrBadImage)
+	}
+	im := Image{
+		Width:   binary.BigEndian.Uint16(b[4:6]),
+		Height:  binary.BigEndian.Uint16(b[6:8]),
+		Quality: b[8],
+		ID:      binary.BigEndian.Uint32(b[9:13]),
+	}
+	payload := int(binary.BigEndian.Uint32(b[13:17]))
+	if len(b) != headerSize+payload {
+		return Image{}, fmt.Errorf("%w: payload length %d, have %d", ErrBadImage, payload, len(b)-headerSize)
+	}
+	if im.Quality == 0 || im.Quality > 100 {
+		return Image{}, fmt.Errorf("%w: quality %d", ErrBadImage, im.Quality)
+	}
+	return im, nil
+}
+
+// Recompress decodes b and re-encodes it at newQuality, the transcoder
+// operation. The result is smaller when newQuality is lower, and the
+// achieved byte ratio (len(out)/len(in)) is stable per quality setting — the
+// per-ISP fingerprint Table 7 reports.
+func Recompress(b []byte, newQuality uint8) ([]byte, error) {
+	im, err := DecodeImage(b)
+	if err != nil {
+		return nil, err
+	}
+	origFull := len(b) * 92 / int(im.Quality) // reconstruct the full-size budget
+	im.Quality = newQuality
+	return im.Encode(origFull), nil
+}
+
+// QualityForRatio returns the quality setting a transcoder must use to
+// achieve (approximately) the target output/input size ratio against the
+// origin's quality-92 objects. Table 7's "Cmp." column is expressed as this
+// ratio.
+func QualityForRatio(ratio float64) uint8 {
+	q := int(ratio*92 + 0.5)
+	if q < 1 {
+		q = 1
+	}
+	if q > 100 {
+		q = 100
+	}
+	return uint8(q)
+}
+
+// CompressionRatio reports len(modified)/len(original).
+func CompressionRatio(original, modified []byte) float64 {
+	if len(original) == 0 {
+		return 0
+	}
+	return float64(len(modified)) / float64(len(original))
+}

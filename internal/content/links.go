@@ -1,0 +1,99 @@
+package content
+
+import (
+	"sort"
+	"strings"
+)
+
+// ExtractLinks pulls the absolute http/https URLs out of an HTML (or
+// script) body. §4.3.3 extracts links from hijack landing pages to decide
+// whether an ISP or end-host software produced them; the parser here is a
+// small scanner, not a full HTML parser, because landing pages embed their
+// URLs in plain attributes and script strings.
+func ExtractLinks(body []byte) []string {
+	s := string(body)
+	seen := make(map[string]bool)
+	var out []string
+	for i := 0; i < len(s); {
+		j := indexURLStart(s, i)
+		if j < 0 {
+			break
+		}
+		end := j
+		for end < len(s) && isURLByte(s[end]) {
+			end++
+		}
+		u := strings.TrimRight(s[j:end], ".,;:!?'\")")
+		if host := HostOf(u); host != "" && !seen[u] {
+			seen[u] = true
+			out = append(out, u)
+		}
+		i = end
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ExtractDomains returns the unique hostnames of every link in body,
+// sorted. Table 5 aggregates hijack pages by domain.
+func ExtractDomains(body []byte) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, u := range ExtractLinks(body) {
+		h := HostOf(u)
+		if h != "" && !seen[h] {
+			seen[h] = true
+			out = append(out, h)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HostOf extracts the hostname from an absolute http/https URL, dropping
+// any port. Returns "" for non-URLs.
+func HostOf(u string) string {
+	rest, ok := strings.CutPrefix(u, "http://")
+	if !ok {
+		rest, ok = strings.CutPrefix(u, "https://")
+	}
+	if !ok || rest == "" {
+		return ""
+	}
+	for i := 0; i < len(rest); i++ {
+		if c := rest[i]; c == '/' || c == '?' || c == '#' || c == ':' {
+			rest = rest[:i]
+			break
+		}
+	}
+	rest = strings.ToLower(strings.TrimSuffix(rest, "."))
+	if rest == "" || !strings.Contains(rest, ".") {
+		return ""
+	}
+	return rest
+}
+
+func indexURLStart(s string, from int) int {
+	h := strings.Index(s[from:], "http://")
+	hs := strings.Index(s[from:], "https://")
+	switch {
+	case h < 0 && hs < 0:
+		return -1
+	case h < 0:
+		return from + hs
+	case hs < 0:
+		return from + h
+	case h < hs:
+		return from + h
+	default:
+		return from + hs
+	}
+}
+
+func isURLByte(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return true
+	}
+	return strings.IndexByte("-._~:/?#[]@!$&'()*+,;=%", c) >= 0
+}

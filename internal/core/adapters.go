@@ -1,0 +1,24 @@
+package core
+
+import (
+	"github.com/tftproject/tft/internal/geo"
+	"github.com/tftproject/tft/internal/population"
+)
+
+// TargetsFromRegistry converts a world's site registry into the
+// experiment's target list.
+func TargetsFromRegistry(sr *population.SiteRegistry) *TLSTargets {
+	t := &TLSTargets{Popular: make(map[geo.CountryCode][]TLSSite)}
+	for _, cc := range sr.Countries() {
+		for _, s := range sr.Popular[cc] {
+			t.Popular[cc] = append(t.Popular[cc], TLSSite{Host: s.Host, IP: s.IP, KnownChain: s.Chain, Class: SitePopular})
+		}
+	}
+	for _, s := range sr.Universities {
+		t.Universities = append(t.Universities, TLSSite{Host: s.Host, IP: s.IP, KnownChain: s.Chain, Class: SiteUniversity})
+	}
+	for _, s := range sr.Invalid {
+		t.Invalid = append(t.Invalid, TLSSite{Host: s.Host, IP: s.IP, KnownChain: s.Chain, Class: SiteInvalid})
+	}
+	return t
+}

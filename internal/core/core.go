@@ -1,0 +1,234 @@
+// Package core implements the paper's contribution: the measurement
+// techniques that turn a P2P HTTP/S proxy service into a large-scale
+// detector for end-to-end connectivity violations.
+//
+// Four experiment drivers mirror §4–§7:
+//
+//   - DNSExperiment: the d1/d2 NXDOMAIN-hijack probe, including the
+//     super-proxy resolver gate and the shared-anycast filter.
+//   - HTTPExperiment: four-object content-modification detection with the
+//     3-nodes-per-AS sampling strategy and revisit-on-detection.
+//   - TLSExperiment: two-phase certificate collection over CONNECT tunnels
+//     against popular, international, and deliberately-invalid sites.
+//   - MonitorExperiment: unique per-node domains plus a 24-hour watch for
+//     unexpected third-party requests.
+//
+// The drivers observe the world only through what the paper could see: the
+// proxy client's responses and debug headers, the authoritative DNS query
+// log, and the measurement web server's request log. Ground truth from the
+// population package is never consulted.
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+
+	"github.com/tftproject/tft/internal/geo"
+)
+
+// Budget enforces the paper's per-node courtesy cap (§3.4): never more than
+// MaxBytes downloaded through any single exit node across all experiments.
+type Budget struct {
+	// MaxBytes per zID; zero means the paper's 1 MB.
+	MaxBytes int64
+
+	mu   sync.Mutex
+	used map[string]int64
+}
+
+// DefaultBudgetBytes is the paper's 1 MB per exit node.
+const DefaultBudgetBytes = 1 << 20
+
+// NewBudget creates a budget tracker.
+func NewBudget(maxBytes int64) *Budget {
+	if maxBytes <= 0 {
+		maxBytes = DefaultBudgetBytes
+	}
+	return &Budget{MaxBytes: maxBytes, used: make(map[string]int64)}
+}
+
+// Charge records n bytes against zid, reporting whether the node remains
+// within budget. Callers must stop measuring a node once Charge returns
+// false.
+func (b *Budget) Charge(zid string, n int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.used[zid] += int64(n)
+	return b.used[zid] <= b.MaxBytes
+}
+
+// Used reports the bytes charged to zid.
+func (b *Budget) Used(zid string) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.used[zid]
+}
+
+// CrawlConfig tunes the §3.2 exit-node discovery loop shared by all
+// experiments.
+type CrawlConfig struct {
+	// Workers is the number of concurrent measurement sessions.
+	Workers int
+	// Window and StopNewRate implement the stop rule: once fewer than
+	// StopNewRate of the last Window sessions discovered a new zID, the
+	// crawl ends ("the rate of new exit nodes we discover drops
+	// significantly").
+	Window      int
+	StopNewRate float64
+	// MaxSessions bounds the crawl regardless (0 = derived from the
+	// country weights).
+	MaxSessions int
+}
+
+// withDefaults fills unset fields.
+func (c CrawlConfig) withDefaults(totalNodes int) CrawlConfig {
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.Window <= 0 {
+		c.Window = 400
+	}
+	if c.StopNewRate <= 0 {
+		c.StopNewRate = 0.05
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 12*totalNodes + 1000
+	}
+	return c
+}
+
+// crawler implements weighted country selection, zID dedup, and the stop
+// rule. Safe for concurrent use by the worker pool.
+type crawler struct {
+	cfg       CrawlConfig
+	countries []geo.CountryCode
+	cum       []int // cumulative weights
+	totalW    int
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	seen     map[string]bool
+	recent   []bool
+	recentAt int
+	filled   int
+	newInWin int
+	sessions int
+	stopped  bool
+}
+
+// newCrawler builds a crawler over the service-reported country weights.
+func newCrawler(cfg CrawlConfig, weights map[geo.CountryCode]int, rng *rand.Rand) *crawler {
+	total := 0
+	var countries []geo.CountryCode
+	for cc := range weights {
+		countries = append(countries, cc)
+	}
+	// Deterministic order for reproducible sampling.
+	sortCountries(countries)
+	cum := make([]int, len(countries))
+	for i, cc := range countries {
+		total += weights[cc]
+		cum[i] = total
+	}
+	cfg = cfg.withDefaults(total)
+	return &crawler{
+		cfg: cfg, countries: countries, cum: cum, totalW: total,
+		rng:    rng,
+		seen:   make(map[string]bool),
+		recent: make([]bool, cfg.Window),
+	}
+}
+
+func sortCountries(cs []geo.CountryCode) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j] < cs[j-1]; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+// next picks a country (weight-proportional) and a fresh session ID, or
+// reports that the crawl should stop.
+func (c *crawler) next() (geo.CountryCode, string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped || c.sessions >= c.cfg.MaxSessions || c.totalW == 0 {
+		return "", "", false
+	}
+	c.sessions++
+	id := fmt.Sprintf("s%08d", c.sessions)
+	w := int(c.rng.IntN(c.totalW))
+	idx := 0
+	for idx < len(c.cum) && c.cum[idx] <= w {
+		idx++
+	}
+	return c.countries[idx], id, true
+}
+
+// observe records a measured zID, returning false when this node was
+// already measured. It also advances the stop rule.
+func (c *crawler) observe(zid string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	isNew := !c.seen[zid]
+	if isNew {
+		c.seen[zid] = true
+	}
+	// Ring buffer of recent novelty outcomes.
+	if c.filled == len(c.recent) {
+		if c.recent[c.recentAt] {
+			c.newInWin--
+		}
+	} else {
+		c.filled++
+	}
+	c.recent[c.recentAt] = isNew
+	if isNew {
+		c.newInWin++
+	}
+	c.recentAt = (c.recentAt + 1) % len(c.recent)
+	if c.filled == len(c.recent) &&
+		float64(c.newInWin) < c.cfg.StopNewRate*float64(len(c.recent)) {
+		c.stopped = true
+	}
+	return isNew
+}
+
+// Stats summarises a crawl.
+type Stats struct {
+	// Sessions is how many proxy sessions the crawl spent.
+	Sessions int
+	// UniqueNodes is how many distinct zIDs were measured.
+	UniqueNodes int
+	// StoppedByRule reports whether the new-node-rate rule (rather than the
+	// session cap) ended the crawl.
+	StoppedByRule bool
+}
+
+func (c *crawler) stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Sessions: c.sessions, UniqueNodes: len(c.seen), StoppedByRule: c.stopped}
+}
+
+// runWorkers drives measure() from cfg.Workers goroutines until the crawl
+// stops. measure is called with a country and session ID and must do its
+// own recording.
+func (c *crawler) runWorkers(measure func(cc geo.CountryCode, session string)) {
+	var wg sync.WaitGroup
+	for w := 0; w < c.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				cc, sess, ok := c.next()
+				if !ok {
+					return
+				}
+				measure(cc, sess)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"strings"
+	"sync"
+
+	"github.com/tftproject/tft/internal/content"
+	"github.com/tftproject/tft/internal/dnsserver"
+	"github.com/tftproject/tft/internal/geo"
+	"github.com/tftproject/tft/internal/origin"
+	"github.com/tftproject/tft/internal/proxynet"
+	"github.com/tftproject/tft/internal/simnet"
+)
+
+// DNSObservation is one measured exit node's NXDOMAIN result (§4.1).
+type DNSObservation struct {
+	ZID    string
+	NodeIP netip.Addr
+	// ResolverIP is the egress address of the node's DNS server, learned
+	// from the authoritative query log for d1 (step 2).
+	ResolverIP netip.Addr
+	// ASN and Country are derived from NodeIP via the public IP→AS mapping.
+	ASN     geo.ASN
+	Country geo.CountryCode
+	// SharedAnycast marks nodes filtered per footnote 8: their Google
+	// anycast instance is the super proxy's, so the d2 gate cannot
+	// distinguish them.
+	SharedAnycast bool
+	// Hijacked is true when d2 returned content instead of NXDOMAIN.
+	Hijacked bool
+	// LandingDomains are the link hosts extracted from the hijack page.
+	LandingDomains []string
+	// LandingBody is the raw hijack page (kept for fingerprinting the
+	// shared-appliance JavaScript).
+	LandingBody []byte
+}
+
+// DNSDataset is the DNS experiment's output.
+type DNSDataset struct {
+	Observations []*DNSObservation
+	Crawl        Stats
+	// Failures counts sessions that errored before yielding a node.
+	Failures int
+	// Duplicates counts sessions that landed on an already-measured node.
+	Duplicates int
+	// Discarded counts sessions where the exit node changed between d1 and
+	// d2 (visible in the retry debug header).
+	Discarded int
+}
+
+// DNSExperiment drives §4's methodology.
+type DNSExperiment struct {
+	Client *proxynet.Client
+	Auth   *dnsserver.Authority
+	Web    *origin.Server
+	Geo    *geo.Registry
+	// Zone is the measurement domain.
+	Zone string
+	// Weights are the service-reported per-country node counts (§3.2).
+	Weights map[geo.CountryCode]int
+	Budget  *Budget
+	Crawl   CrawlConfig
+	Seed    uint64
+}
+
+// namePrefixes used under the zone.
+const (
+	d1Prefix = "d1-"
+	d2Prefix = "d2-"
+)
+
+// InstallRules points the authoritative server's fallback at the d1/d2
+// semantics (§4.1 step 1): d1-* names always resolve to the web server;
+// d2-* names resolve only for the super proxy's resolver egress.
+func (e *DNSExperiment) InstallRules(webIP netip.Addr) {
+	e.Auth.SetFallback(func(name string) dnsserver.Rule {
+		label, _, ok := strings.Cut(name, ".")
+		if !ok {
+			return nil
+		}
+		switch {
+		case strings.HasPrefix(label, d1Prefix):
+			return dnsserver.Always(webIP)
+		case strings.HasPrefix(label, d2Prefix):
+			return dnsserver.OnlyFrom(webIP, func(src netip.Addr) bool {
+				return src == geo.SuperProxyResolverEgress
+			})
+		}
+		return nil
+	})
+}
+
+// Run executes the crawl and returns the dataset.
+func (e *DNSExperiment) Run(ctx context.Context) (*DNSDataset, error) {
+	if e.Budget == nil {
+		e.Budget = NewBudget(0)
+	}
+	cr := newCrawler(e.Crawl, e.Weights, simnet.SubRand(e.Seed, "crawl/dns"))
+	ds := &DNSDataset{}
+	var mu sync.Mutex
+
+	cr.runWorkers(func(cc geo.CountryCode, sess string) {
+		obs, outcome := e.measure(ctx, cr, cc, sess)
+		mu.Lock()
+		defer mu.Unlock()
+		switch outcome {
+		case outcomeOK:
+			ds.Observations = append(ds.Observations, obs)
+		case outcomeFailed:
+			ds.Failures++
+		case outcomeDuplicate:
+			ds.Duplicates++
+		case outcomeDiscarded:
+			ds.Discarded++
+		}
+	})
+	ds.Crawl = cr.stats()
+	return ds, ctx.Err()
+}
+
+type outcome int
+
+const (
+	outcomeOK outcome = iota
+	outcomeFailed
+	outcomeDuplicate
+	outcomeDiscarded
+)
+
+// measure runs the three-step §4.1 probe through one session.
+func (e *DNSExperiment) measure(ctx context.Context, cr *crawler, cc geo.CountryCode, sess string) (*DNSObservation, outcome) {
+	d1 := fmt.Sprintf("%s%s.%s", d1Prefix, sess, e.Zone)
+	d2 := fmt.Sprintf("%s%s.%s", d2Prefix, sess, e.Zone)
+	opts := proxynet.Options{Country: cc, Session: sess, RemoteDNS: true}
+
+	// Step 2: fetch d1; the node's resolver must answer, and both our DNS
+	// and web logs light up.
+	resp1, dbg1, err := e.Client.Get(ctx, opts, "http://"+d1+"/")
+	if err != nil || dbg1 == nil || dbg1.ZID == "" || dbg1.Err != "" {
+		return nil, outcomeFailed
+	}
+	if !cr.observe(dbg1.ZID) {
+		return nil, outcomeDuplicate
+	}
+	obs := &DNSObservation{ZID: dbg1.ZID}
+
+	// The exit node's IP comes from the web server's request log.
+	reqs := e.Web.RequestsFor(d1)
+	if len(reqs) == 0 {
+		return nil, outcomeFailed
+	}
+	obs.NodeIP = reqs[0].Src
+	if asn, ok := e.Geo.LookupAS(obs.NodeIP); ok {
+		obs.ASN = asn
+		obs.Country, _ = e.Geo.Country(asn)
+	}
+
+	// The node's resolver egress comes from the DNS log: drop one query
+	// from the super proxy's own resolution, and what remains is the
+	// node's resolver.
+	superSeen := false
+	for _, q := range e.Auth.QueriesFor(d1) {
+		if !superSeen && q.Src == geo.SuperProxyResolverEgress {
+			superSeen = true
+			continue
+		}
+		obs.ResolverIP = q.Src
+	}
+	if !obs.ResolverIP.IsValid() || obs.ResolverIP == geo.SuperProxyResolverEgress {
+		// Footnote 8: the node's resolver egress is the super proxy's own
+		// anycast instance, so the d2 gate cannot tell them apart — filter.
+		obs.SharedAnycast = true
+		e.Budget.Charge(obs.ZID, len(resp1.Body))
+		return obs, outcomeOK
+	}
+
+	// Step 3: request d2 through the same node; NXDOMAIN in the debug log
+	// means the node received the honest error.
+	resp2, dbg2, err := e.Client.Get(ctx, opts, "http://"+d2+"/")
+	if err != nil || dbg2 == nil {
+		return nil, outcomeFailed
+	}
+	if dbg2.ZID != obs.ZID {
+		return nil, outcomeDiscarded
+	}
+	e.Budget.Charge(obs.ZID, len(resp1.Body)+len(resp2.Body))
+	if dbg2.PeerNXDomain() {
+		return obs, outcomeOK
+	}
+	if resp2.StatusCode == 200 {
+		obs.Hijacked = true
+		obs.LandingBody = resp2.Body
+		obs.LandingDomains = content.ExtractDomains(resp2.Body)
+	}
+	return obs, outcomeOK
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/netip"
+	"strings"
+	"sync"
+
+	"github.com/tftproject/tft/internal/content"
+	"github.com/tftproject/tft/internal/dnsserver"
+	"github.com/tftproject/tft/internal/geo"
+	"github.com/tftproject/tft/internal/proxynet"
+	"github.com/tftproject/tft/internal/simnet"
+)
+
+// ObjectOutcome classifies what came back for one measurement object.
+type ObjectOutcome int
+
+// Outcomes per object.
+const (
+	// ObjUnmodified: byte-identical to what the origin served.
+	ObjUnmodified ObjectOutcome = iota
+	// ObjModified: 200 response with different bytes.
+	ObjModified
+	// ObjBlocked: replaced by an error/block page (non-200).
+	ObjBlocked
+	// ObjEmpty: 200 with an empty body.
+	ObjEmpty
+	// ObjError: the proxied fetch failed.
+	ObjError
+)
+
+// String names the outcome.
+func (o ObjectOutcome) String() string {
+	switch o {
+	case ObjUnmodified:
+		return "unmodified"
+	case ObjModified:
+		return "modified"
+	case ObjBlocked:
+		return "blocked"
+	case ObjEmpty:
+		return "empty"
+	case ObjError:
+		return "error"
+	}
+	return fmt.Sprintf("ObjectOutcome(%d)", int(o))
+}
+
+// ObjectResult is the per-object record.
+type ObjectResult struct {
+	Outcome ObjectOutcome
+	// BodyLen is the received length.
+	BodyLen int
+	// Body is retained only for modified HTML (signature extraction) and
+	// block pages (filtering).
+	Body []byte
+	// ImageRatio is received/original size for the image object.
+	ImageRatio float64
+}
+
+// HTTPObservation is one measured node.
+type HTTPObservation struct {
+	ZID     string
+	NodeIP  netip.Addr
+	ASN     geo.ASN
+	Country geo.CountryCode
+	Objects [4]ObjectResult
+}
+
+// AnyModified reports whether any object came back tampered.
+func (o *HTTPObservation) AnyModified() bool {
+	for _, r := range o.Objects {
+		if r.Outcome != ObjUnmodified {
+			return true
+		}
+	}
+	return false
+}
+
+// HTTPDataset is the HTTP experiment's output.
+type HTTPDataset struct {
+	Observations []*HTTPObservation
+	Crawl        Stats
+	Failures     int
+	Duplicates   int
+	// SkippedQuota counts nodes left unmeasured because their AS already
+	// had its three samples and showed no modification (§5.1).
+	SkippedQuota int
+}
+
+// HTTPExperiment drives §5's methodology.
+type HTTPExperiment struct {
+	Client  *proxynet.Client
+	Auth    *dnsserver.Authority
+	Geo     *geo.Registry
+	Zone    string
+	Weights map[geo.CountryCode]int
+	Budget  *Budget
+	Crawl   CrawlConfig
+	Seed    uint64
+	// PerASQuota is the initial sample per AS (paper: 3). Setting it very
+	// high disables the sampling strategy (the exhaustive ablation).
+	PerASQuota int
+	// Kinds restricts the fetched objects (ablations); nil means all four.
+	Kinds []content.Kind
+}
+
+const httpPrefix = "h-"
+
+// InstallRules makes h-* names resolve to the web server.
+func (e *HTTPExperiment) InstallRules(webIP netip.Addr) {
+	e.Auth.SetFallback(func(name string) dnsserver.Rule {
+		if strings.HasPrefix(name, httpPrefix) {
+			return dnsserver.Always(webIP)
+		}
+		return nil
+	})
+}
+
+// Run executes the crawl.
+func (e *HTTPExperiment) Run(ctx context.Context) (*HTTPDataset, error) {
+	if e.Budget == nil {
+		e.Budget = NewBudget(0)
+	}
+	if e.PerASQuota <= 0 {
+		e.PerASQuota = 3
+	}
+	kinds := e.Kinds
+	if kinds == nil {
+		kinds = content.Kinds
+	}
+	cr := newCrawler(e.Crawl, e.Weights, simnet.SubRand(e.Seed, "crawl/http"))
+	ds := &HTTPDataset{}
+	var mu sync.Mutex
+	asCount := make(map[geo.ASN]int)
+	asFlagged := make(map[geo.ASN]bool)
+
+	cr.runWorkers(func(cc geo.CountryCode, sess string) {
+		obs, oc := e.measure(ctx, cr, cc, sess, kinds, &mu, asCount, asFlagged)
+		mu.Lock()
+		defer mu.Unlock()
+		switch oc {
+		case outcomeOK:
+			ds.Observations = append(ds.Observations, obs)
+			asCount[obs.ASN]++
+			if obs.AnyModified() {
+				asFlagged[obs.ASN] = true
+			}
+		case outcomeFailed:
+			ds.Failures++
+		case outcomeDuplicate:
+			ds.Duplicates++
+		case outcomeDiscarded:
+			ds.SkippedQuota++
+		}
+	})
+	ds.Crawl = cr.stats()
+	return ds, ctx.Err()
+}
+
+// measure fetches the four objects through one node.
+func (e *HTTPExperiment) measure(ctx context.Context, cr *crawler, cc geo.CountryCode, sess string,
+	kinds []content.Kind, mu *sync.Mutex, asCount map[geo.ASN]int, asFlagged map[geo.ASN]bool) (*HTTPObservation, outcome) {
+
+	opts := proxynet.Options{Country: cc, Session: sess}
+	obs := &HTTPObservation{}
+	for i := range obs.Objects {
+		obs.Objects[i].Outcome = ObjError
+	}
+
+	for idx, k := range kinds {
+		host := fmt.Sprintf("%s%s-%d.%s", httpPrefix, sess, idx, e.Zone)
+		resp, dbg, err := e.Client.Get(ctx, opts, "http://"+host+k.Path())
+		if err != nil || dbg == nil || dbg.ZID == "" || dbg.Err != "" {
+			if idx == 0 {
+				return nil, outcomeFailed
+			}
+			continue
+		}
+		if idx == 0 {
+			if !cr.observe(dbg.ZID) {
+				return nil, outcomeDuplicate
+			}
+			obs.ZID = dbg.ZID
+			obs.NodeIP = dbg.NodeIP
+			if asn, ok := e.Geo.LookupAS(obs.NodeIP); ok {
+				obs.ASN = asn
+				obs.Country, _ = e.Geo.Country(asn)
+			}
+			// The bandwidth-minimizing strategy: skip fully measuring
+			// ASes that already gave 3 clean samples (§5.1).
+			mu.Lock()
+			skip := asCount[obs.ASN] >= e.PerASQuota && !asFlagged[obs.ASN]
+			mu.Unlock()
+			if skip {
+				return nil, outcomeDiscarded
+			}
+		} else if dbg.ZID != obs.ZID {
+			// Node switched mid-measurement; keep what we have.
+			continue
+		}
+		if !e.Budget.Charge(obs.ZID, len(resp.Body)) {
+			break
+		}
+		obs.Objects[int(k)] = classify(k, resp.StatusCode, resp.Body)
+	}
+	if obs.ZID == "" {
+		return nil, outcomeFailed
+	}
+	return obs, outcomeOK
+}
+
+// classify compares a received object with the canonical one.
+func classify(k content.Kind, status int, body []byte) ObjectResult {
+	orig := content.Object(k)
+	r := ObjectResult{BodyLen: len(body)}
+	switch {
+	case status != 200:
+		r.Outcome = ObjBlocked
+		r.Body = body
+	case len(body) == 0:
+		r.Outcome = ObjEmpty
+	case bytes.Equal(body, orig):
+		r.Outcome = ObjUnmodified
+	default:
+		r.Outcome = ObjModified
+		if k == content.KindHTML {
+			r.Body = body
+		}
+		if k == content.KindImage {
+			r.ImageRatio = content.CompressionRatio(orig, body)
+		}
+	}
+	return r
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/tftproject/tft/internal/dnsserver"
+	"github.com/tftproject/tft/internal/geo"
+	"github.com/tftproject/tft/internal/origin"
+	"github.com/tftproject/tft/internal/proxynet"
+	"github.com/tftproject/tft/internal/simnet"
+)
+
+// UnexpectedRequest is one third-party fetch of a unique measurement domain
+// (§7.1) — the content-monitoring signal.
+type UnexpectedRequest struct {
+	Src netip.Addr
+	// ASN and Org locate the requester (Table 9's grouping).
+	ASN geo.ASN
+	Org string
+	// Delay is the time between the node's own request and this one;
+	// negative when the monitor raced ahead (Bluecoat).
+	Delay time.Duration
+	// UserAgent the request carried.
+	UserAgent string
+}
+
+// MonObservation is one measured node.
+type MonObservation struct {
+	ZID     string
+	NodeIP  netip.Addr
+	ASN     geo.ASN
+	Country geo.CountryCode
+	// Host is the node's unique probe domain.
+	Host string
+	// RequestAt is when the client issued the fetch.
+	RequestAt time.Time
+	// ViaVPN: the node's own request arrived from an address other than the
+	// service-reported node IP (AnchorFree, §7.2.1).
+	ViaVPN bool
+	// OwnSrc is the address the node's own request arrived from.
+	OwnSrc netip.Addr
+	// Unexpected lists the third-party fetches within the watch window.
+	Unexpected []UnexpectedRequest
+}
+
+// Monitored reports whether any third party refetched this node's domain.
+func (o *MonObservation) Monitored() bool { return len(o.Unexpected) > 0 }
+
+// MonDataset is the monitoring experiment's output.
+type MonDataset struct {
+	Observations []*MonObservation
+	Crawl        Stats
+	Failures     int
+	Duplicates   int
+}
+
+// MonitorExperiment drives §7's methodology.
+type MonitorExperiment struct {
+	Client  *proxynet.Client
+	Auth    *dnsserver.Authority
+	Web     *origin.Server
+	Geo     *geo.Registry
+	Clock   *simnet.Virtual
+	Zone    string
+	Weights map[geo.CountryCode]int
+	Budget  *Budget
+	Crawl   CrawlConfig
+	Seed    uint64
+	// Watch is how long the server log is monitored after the fetches
+	// (paper: 24 hours).
+	Watch time.Duration
+}
+
+const monPrefix = "u-"
+
+// InstallRules makes u-* names resolve to the web server.
+func (e *MonitorExperiment) InstallRules(webIP netip.Addr) {
+	e.Auth.SetFallback(func(name string) dnsserver.Rule {
+		if strings.HasPrefix(name, monPrefix) {
+			return dnsserver.Always(webIP)
+		}
+		return nil
+	})
+}
+
+// Run crawls, waits out the watch window on the virtual clock, then
+// collects the unexpected requests.
+func (e *MonitorExperiment) Run(ctx context.Context) (*MonDataset, error) {
+	if e.Budget == nil {
+		e.Budget = NewBudget(0)
+	}
+	if e.Watch <= 0 {
+		e.Watch = 24 * time.Hour
+	}
+	cr := newCrawler(e.Crawl, e.Weights, simnet.SubRand(e.Seed, "crawl/mon"))
+	ds := &MonDataset{}
+	var mu sync.Mutex
+
+	cr.runWorkers(func(cc geo.CountryCode, sess string) {
+		obs, oc := e.fetch(ctx, cr, cc, sess)
+		mu.Lock()
+		defer mu.Unlock()
+		switch oc {
+		case outcomeOK:
+			ds.Observations = append(ds.Observations, obs)
+		case outcomeFailed:
+			ds.Failures++
+		case outcomeDuplicate:
+			ds.Duplicates++
+		}
+	})
+	ds.Crawl = cr.stats()
+
+	// Monitors schedule their refetches on the virtual clock; advancing
+	// past the watch window delivers every one that falls inside it.
+	e.Clock.Advance(e.Watch)
+
+	for _, obs := range ds.Observations {
+		e.collect(obs)
+	}
+	return ds, ctx.Err()
+}
+
+// fetch issues the single request for a node's unique domain.
+func (e *MonitorExperiment) fetch(ctx context.Context, cr *crawler, cc geo.CountryCode, sess string) (*MonObservation, outcome) {
+	host := fmt.Sprintf("%s%s.%s", monPrefix, sess, e.Zone)
+	opts := proxynet.Options{Country: cc, Session: sess}
+	at := e.Clock.Now()
+	resp, dbg, err := e.Client.Get(ctx, opts, "http://"+host+"/")
+	if err != nil || dbg == nil || dbg.ZID == "" || dbg.Err != "" {
+		return nil, outcomeFailed
+	}
+	if !cr.observe(dbg.ZID) {
+		return nil, outcomeDuplicate
+	}
+	e.Budget.Charge(dbg.ZID, len(resp.Body))
+	obs := &MonObservation{ZID: dbg.ZID, NodeIP: dbg.NodeIP, Host: host, RequestAt: at}
+	if asn, ok := e.Geo.LookupAS(obs.NodeIP); ok {
+		obs.ASN = asn
+		obs.Country, _ = e.Geo.Country(asn)
+	}
+	return obs, outcomeOK
+}
+
+// collect splits the server log for the node's domain into its own request
+// and the unexpected ones, computing delays.
+func (e *MonitorExperiment) collect(obs *MonObservation) {
+	reqs := e.Web.RequestsFor(obs.Host)
+	if len(reqs) == 0 {
+		return
+	}
+	// Identify the node's own request: by source address, or — when the
+	// node browses through a VPN — the earliest arrival.
+	ownIdx := -1
+	for i, r := range reqs {
+		if r.Src == obs.NodeIP {
+			ownIdx = i
+			break
+		}
+	}
+	if ownIdx < 0 {
+		obs.ViaVPN = true
+		ownIdx = 0
+		for i, r := range reqs {
+			if r.Time.Before(reqs[ownIdx].Time) {
+				ownIdx = i
+			}
+		}
+	}
+	obs.OwnSrc = reqs[ownIdx].Src
+	ownAt := reqs[ownIdx].Time
+	cutoff := ownAt.Add(e.Watch)
+	for i, r := range reqs {
+		if i == ownIdx || r.Time.After(cutoff) {
+			continue
+		}
+		u := UnexpectedRequest{Src: r.Src, Delay: r.Time.Sub(ownAt), UserAgent: r.UserAgent}
+		if asn, ok := e.Geo.LookupAS(r.Src); ok {
+			u.ASN = asn
+			if org, ok := e.Geo.Org(asn); ok {
+				u.Org = org.Name
+			}
+		}
+		obs.Unexpected = append(obs.Unexpected, u)
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"sync"
+
+	"github.com/tftproject/tft/internal/geo"
+	"github.com/tftproject/tft/internal/proxynet"
+	"github.com/tftproject/tft/internal/simnet"
+	"github.com/tftproject/tft/internal/smtpwire"
+)
+
+// SMTPObservation is one node's view of the mail server — the §3.4
+// extension: through a VPN that tunnels arbitrary ports, SMTP becomes
+// measurable.
+type SMTPObservation struct {
+	ZID     string
+	NodeIP  netip.Addr
+	ASN     geo.ASN
+	Country geo.CountryCode
+	// Blocked: the tunnel opened but no SMTP banner ever arrived — the
+	// signature of ISP port-25 blocking (indistinguishable on the wire
+	// from a dead server, which is why the experiment uses its own mail
+	// server as the target).
+	Blocked bool
+	// StartTLS reports whether the STARTTLS capability survived the path.
+	StartTLS bool
+	// Banner is the greeting the node saw.
+	Banner string
+}
+
+// SMTPDataset is the extension experiment's output.
+type SMTPDataset struct {
+	Observations []*SMTPObservation
+	Crawl        Stats
+	Failures     int
+	Duplicates   int
+}
+
+// SMTPExperiment probes a mail server the measurement team controls
+// through every exit node and detects port-25 blocking and STARTTLS
+// stripping. It requires a tunnel service with AnyPortConnect (§3.4's
+// hypothetical VPN); against the Luminati-faithful 443-only configuration
+// every probe fails at the proxy, which is itself the paper's point.
+type SMTPExperiment struct {
+	Client  *proxynet.Client
+	Geo     *geo.Registry
+	Weights map[geo.CountryCode]int
+	Crawl   CrawlConfig
+	Seed    uint64
+	// MailIP/MailHost locate the measurement mail server.
+	MailIP   netip.Addr
+	MailHost string
+}
+
+// Run executes the crawl.
+func (e *SMTPExperiment) Run(ctx context.Context) (*SMTPDataset, error) {
+	cr := newCrawler(e.Crawl, e.Weights, simnet.SubRand(e.Seed, "crawl/smtp"))
+	ds := &SMTPDataset{}
+	var mu sync.Mutex
+	cr.runWorkers(func(cc geo.CountryCode, sess string) {
+		obs, oc := e.measure(ctx, cr, cc, sess)
+		mu.Lock()
+		defer mu.Unlock()
+		switch oc {
+		case outcomeOK:
+			ds.Observations = append(ds.Observations, obs)
+		case outcomeFailed:
+			ds.Failures++
+		case outcomeDuplicate:
+			ds.Duplicates++
+		}
+	})
+	ds.Crawl = cr.stats()
+	return ds, ctx.Err()
+}
+
+// measure opens one tunnel to port 25 and runs the SMTP session prefix.
+func (e *SMTPExperiment) measure(ctx context.Context, cr *crawler, cc geo.CountryCode, sess string) (*SMTPObservation, outcome) {
+	opts := proxynet.Options{Country: cc, Session: sess}
+	conn, dbg, err := e.Client.Connect(ctx, opts, fmt.Sprintf("%s:25", e.MailIP))
+	if err != nil || dbg == nil || dbg.ZID == "" {
+		return nil, outcomeFailed
+	}
+	defer conn.Close()
+	if !cr.observe(dbg.ZID) {
+		return nil, outcomeDuplicate
+	}
+	obs := &SMTPObservation{ZID: dbg.ZID, NodeIP: dbg.NodeIP}
+	if asn, ok := e.Geo.LookupAS(obs.NodeIP); ok {
+		obs.ASN = asn
+		obs.Country, _ = e.Geo.Country(asn)
+	}
+	session, err := smtpwire.Probe(conn, e.MailHost)
+	if err != nil {
+		// The tunnel died before a banner: the node's ISP blocks the port.
+		obs.Blocked = true
+		return obs, outcomeOK
+	}
+	obs.Banner = session.Banner
+	obs.StartTLS = session.StartTLS
+	return obs, outcomeOK
+}

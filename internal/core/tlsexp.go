@@ -1,0 +1,257 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/tftproject/tft/internal/cert"
+	"github.com/tftproject/tft/internal/geo"
+	"github.com/tftproject/tft/internal/proxynet"
+	"github.com/tftproject/tft/internal/simnet"
+	"github.com/tftproject/tft/internal/tlssim"
+)
+
+// SiteClass is the §6.1 target taxonomy.
+type SiteClass int
+
+// The three site classes.
+const (
+	SitePopular SiteClass = iota
+	SiteUniversity
+	SiteInvalid
+)
+
+// String names the class.
+func (c SiteClass) String() string {
+	switch c {
+	case SitePopular:
+		return "popular"
+	case SiteUniversity:
+		return "university"
+	case SiteInvalid:
+		return "invalid"
+	}
+	return fmt.Sprintf("SiteClass(%d)", int(c))
+}
+
+// TLSSite is one probe target.
+type TLSSite struct {
+	Host string
+	IP   netip.Addr
+	// KnownChain is what the genuine server presents; for the invalid sites
+	// the team controls, detection is an exact match against it.
+	KnownChain []*cert.Certificate
+	Class      SiteClass
+}
+
+// TLSTargets is the experiment's site list.
+type TLSTargets struct {
+	// Popular holds each country's Alexa-style top sites.
+	Popular      map[geo.CountryCode][]TLSSite
+	Universities []TLSSite
+	Invalid      []TLSSite
+}
+
+// SiteResult is the per-site handshake outcome.
+type SiteResult struct {
+	Host  string
+	Class SiteClass
+	// Replaced: the presented chain is not the genuine one.
+	Replaced bool
+	// IssuerCN of the presented leaf (Table 8's grouping key).
+	IssuerCN string
+	// LeafKey of the presented leaf (key-reuse analysis).
+	LeafKey cert.KeyID
+	// ChainValid: the presented chain verifies against the clean OS store —
+	// for invalid sites this exposes certificate laundering (§6.2).
+	ChainValid bool
+	// Err records handshake failure.
+	Err string
+}
+
+// TLSObservation is one measured node.
+type TLSObservation struct {
+	ZID     string
+	NodeIP  netip.Addr
+	ASN     geo.ASN
+	Country geo.CountryCode
+	// Phase2 reports whether the full 33-site scan ran.
+	Phase2 bool
+	Sites  []SiteResult
+}
+
+// AnyReplaced reports whether any probed site presented a replaced chain.
+func (o *TLSObservation) AnyReplaced() bool {
+	for _, s := range o.Sites {
+		if s.Replaced {
+			return true
+		}
+	}
+	return false
+}
+
+// TLSDataset is the HTTPS experiment's output.
+type TLSDataset struct {
+	Observations []*TLSObservation
+	Crawl        Stats
+	Failures     int
+	Duplicates   int
+	Discarded    int
+	// Probes counts CONNECT tunnels opened — the bandwidth metric the
+	// two-phase design minimizes (§6.1).
+	Probes int64
+}
+
+// TLSExperiment drives §6's methodology.
+type TLSExperiment struct {
+	Client  *proxynet.Client
+	Geo     *geo.Registry
+	Trust   *cert.Store
+	Targets *TLSTargets
+	Weights map[geo.CountryCode]int
+	Budget  *Budget
+	Crawl   CrawlConfig
+	Seed    uint64
+	// Now supplies verification time.
+	Now func() time.Time
+	// AlwaysFullScan disables the two-phase optimization (ablation).
+	AlwaysFullScan bool
+
+	probes *int64
+}
+
+// Run executes the crawl.
+func (e *TLSExperiment) Run(ctx context.Context) (*TLSDataset, error) {
+	if e.Budget == nil {
+		e.Budget = NewBudget(0)
+	}
+	cr := newCrawler(e.Crawl, e.Weights, simnet.SubRand(e.Seed, "crawl/tls"))
+	ds := &TLSDataset{}
+	e.probes = &ds.Probes
+	var mu sync.Mutex
+
+	cr.runWorkers(func(cc geo.CountryCode, sess string) {
+		obs, oc := e.measure(ctx, cr, cc, sess)
+		mu.Lock()
+		defer mu.Unlock()
+		switch oc {
+		case outcomeOK:
+			ds.Observations = append(ds.Observations, obs)
+		case outcomeFailed:
+			ds.Failures++
+		case outcomeDuplicate:
+			ds.Duplicates++
+		case outcomeDiscarded:
+			ds.Discarded++
+		}
+	})
+	ds.Crawl = cr.stats()
+	return ds, ctx.Err()
+}
+
+// measure performs the two-phase scan (§6.1, Figure 3) through one node.
+func (e *TLSExperiment) measure(ctx context.Context, cr *crawler, cc geo.CountryCode, sess string) (*TLSObservation, outcome) {
+	popular := e.Targets.Popular[cc]
+	if len(popular) == 0 {
+		// No usable ranking for this country (the reason the experiment
+		// covers 115 countries, §6.2).
+		return nil, outcomeFailed
+	}
+	rng := simnet.SubRand(e.Seed, "tls/"+sess)
+	phase1 := []TLSSite{
+		popular[rng.IntN(len(popular))],
+		e.Targets.Universities[rng.IntN(len(e.Targets.Universities))],
+		e.Targets.Invalid[rng.IntN(len(e.Targets.Invalid))],
+	}
+	opts := proxynet.Options{Country: cc, Session: sess}
+	obs := &TLSObservation{}
+
+	for i, site := range phase1 {
+		res, dbg, err := e.probe(ctx, opts, site)
+		if err != nil {
+			if i == 0 {
+				return nil, outcomeFailed
+			}
+			res = SiteResult{Host: site.Host, Class: site.Class, Err: err.Error()}
+		}
+		if i == 0 {
+			if !cr.observe(dbg.ZID) {
+				return nil, outcomeDuplicate
+			}
+			obs.ZID = dbg.ZID
+			obs.NodeIP = dbg.NodeIP
+			if asn, ok := e.Geo.LookupAS(obs.NodeIP); ok {
+				obs.ASN = asn
+				obs.Country, _ = e.Geo.Country(asn)
+			}
+		} else if dbg != nil && dbg.ZID != obs.ZID {
+			return obs, outcomeDiscarded
+		}
+		obs.Sites = append(obs.Sites, res)
+	}
+
+	if obs.AnyReplaced() || e.AlwaysFullScan {
+		obs.Phase2 = true
+		probed := map[string]bool{}
+		for _, s := range obs.Sites {
+			probed[s.Host] = true
+		}
+		full := make([]TLSSite, 0, 33)
+		full = append(full, popular...)
+		full = append(full, e.Targets.Universities...)
+		full = append(full, e.Targets.Invalid...)
+		for _, site := range full {
+			if probed[site.Host] {
+				continue
+			}
+			res, dbg, err := e.probe(ctx, opts, site)
+			if err != nil {
+				res = SiteResult{Host: site.Host, Class: site.Class, Err: err.Error()}
+			} else if dbg.ZID != obs.ZID {
+				break
+			}
+			obs.Sites = append(obs.Sites, res)
+		}
+	}
+	return obs, outcomeOK
+}
+
+// probe collects and judges one site's chain through the tunnel.
+func (e *TLSExperiment) probe(ctx context.Context, opts proxynet.Options, site TLSSite) (SiteResult, *proxynet.Debug, error) {
+	res := SiteResult{Host: site.Host, Class: site.Class}
+	if e.probes != nil {
+		atomic.AddInt64(e.probes, 1)
+	}
+	conn, dbg, err := e.Client.Connect(ctx, opts, site.IP.String()+":443")
+	if err != nil {
+		return res, dbg, err
+	}
+	defer conn.Close()
+	chain, err := tlssim.CollectChain(conn, site.Host)
+	if err != nil {
+		return res, dbg, err
+	}
+	e.Budget.Charge(dbg.ZID, len(cert.MarshalChain(chain)))
+	if len(chain) == 0 {
+		return res, dbg, fmt.Errorf("empty chain")
+	}
+	leaf := chain[0]
+	res.IssuerCN = leaf.Issuer.CommonName
+	res.LeafKey = leaf.PublicKey
+	res.ChainValid = e.Trust.Verify(site.Host, chain, e.Now()) == nil
+	switch site.Class {
+	case SiteInvalid:
+		// Exact-match check: the team knows exactly which certificate it
+		// serves (§6.1).
+		res.Replaced = leaf.Fingerprint() != site.KnownChain[0].Fingerprint()
+	default:
+		// CDNs rotate certificates, so validation — not exact matching —
+		// is the criterion for the first two classes (§6.1 footnote).
+		res.Replaced = !res.ChainValid
+	}
+	return res, dbg, nil
+}

@@ -1,0 +1,202 @@
+// Package dnsserver implements the DNS actors of the NXDOMAIN experiment
+// (§4): the measurement team's authoritative server — whose per-name,
+// per-source answer policy is the heart of the d1/d2 trick — and the
+// recursive resolvers exit nodes are configured to use, honest or hijacking.
+//
+// A resolver here is a behaviour, not a byte pipe: it receives a client
+// query, forwards it to the authoritative server for the zone (so the
+// authoritative query log records the resolver's egress address, which is
+// all the paper can observe), and may rewrite an NXDOMAIN answer into an A
+// record pointing at an ad-laden landing page before handing it back.
+package dnsserver
+
+import (
+	"net/netip"
+	"sync"
+	"time"
+
+	"github.com/tftproject/tft/internal/dnswire"
+	"github.com/tftproject/tft/internal/simnet"
+)
+
+// Query is one logged authoritative query.
+type Query struct {
+	Time time.Time
+	// Src is the address the query arrived from: the exit node's resolver's
+	// egress, which step 2 of §4.1 records.
+	Src  netip.Addr
+	Name string
+	Type dnswire.Type
+}
+
+// Rule decides the authoritative answer for one name. Answer returns the A
+// record target, or ok=false for NXDOMAIN.
+type Rule func(src netip.Addr) (ip netip.Addr, ok bool)
+
+// Always answers with ip for every querier (the d1 rule).
+func Always(ip netip.Addr) Rule {
+	return func(netip.Addr) (netip.Addr, bool) { return ip, true }
+}
+
+// OnlyFrom answers with ip when allow(src) is true and NXDOMAIN otherwise —
+// the d2 rule, with allow set to "is the super proxy's resolver" (§4.1
+// step 1).
+func OnlyFrom(ip netip.Addr, allow func(src netip.Addr) bool) Rule {
+	return func(src netip.Addr) (netip.Addr, bool) {
+		if allow(src) {
+			return ip, true
+		}
+		return netip.Addr{}, false
+	}
+}
+
+// Never always answers NXDOMAIN.
+func Never() Rule {
+	return func(netip.Addr) (netip.Addr, bool) { return netip.Addr{}, false }
+}
+
+// Authority is the measurement team's authoritative DNS server for one
+// zone. Every query is logged with its source address and virtual
+// timestamp.
+type Authority struct {
+	zone  string
+	clock simnet.Clock
+
+	mu       sync.Mutex
+	rules    map[string]Rule
+	fallback func(name string) Rule
+	byName   map[string][]int // name -> indexes into log
+	log      []Query
+}
+
+// NewAuthority creates an authoritative server for zone.
+func NewAuthority(zone string, clock simnet.Clock) *Authority {
+	return &Authority{
+		zone:   dnswire.CanonicalName(zone),
+		clock:  clock,
+		rules:  make(map[string]Rule),
+		byName: make(map[string][]int),
+	}
+}
+
+// Zone returns the served zone.
+func (a *Authority) Zone() string { return a.zone }
+
+// SetRule installs the answer rule for name (which must fall inside the
+// zone; out-of-zone names are refused at query time anyway).
+func (a *Authority) SetRule(name string, r Rule) {
+	a.mu.Lock()
+	a.rules[dnswire.CanonicalName(name)] = r
+	a.mu.Unlock()
+}
+
+// SetFallback installs a rule generator consulted for names with no
+// explicit rule. The experiments use it to give entire name families
+// (d1-*, d2-*, u-*) their semantics in O(1) memory, instead of one map
+// entry per probed node.
+func (a *Authority) SetFallback(f func(name string) Rule) {
+	a.mu.Lock()
+	a.fallback = f
+	a.mu.Unlock()
+}
+
+// DeleteRule removes a name's rule; subsequent queries get NXDOMAIN.
+func (a *Authority) DeleteRule(name string) {
+	a.mu.Lock()
+	delete(a.rules, dnswire.CanonicalName(name))
+	a.mu.Unlock()
+}
+
+// Handler adapts the authority to the simnet DNS handler signature.
+func (a *Authority) Handler() simnet.DNSHandler {
+	return func(src netip.Addr, query []byte) []byte {
+		resp := a.HandleQuery(src, query)
+		if resp == nil {
+			return nil
+		}
+		out, err := resp.Marshal()
+		if err != nil {
+			return nil
+		}
+		return out
+	}
+}
+
+// HandleQuery answers one parsed-or-raw query. Malformed input yields a nil
+// response (dropped), mirroring a server that refuses garbage.
+func (a *Authority) HandleQuery(src netip.Addr, query []byte) *dnswire.Message {
+	q, err := dnswire.Unmarshal(query)
+	if err != nil || q.Response || len(q.Questions) != 1 {
+		return nil
+	}
+	return a.Resolve(src, q)
+}
+
+// Resolve produces the authoritative response for a parsed query,
+// logging it.
+func (a *Authority) Resolve(src netip.Addr, q *dnswire.Message) *dnswire.Message {
+	question := q.Questions[0]
+	name := dnswire.CanonicalName(question.Name)
+	resp := q.Reply()
+	resp.Authoritative = true
+
+	if !dnswire.IsSubdomain(name, a.zone) {
+		resp.RCode = dnswire.RCodeRefused
+		return resp
+	}
+
+	a.mu.Lock()
+	a.log = append(a.log, Query{Time: a.clock.Now(), Src: src, Name: name, Type: question.Type})
+	a.byName[name] = append(a.byName[name], len(a.log)-1)
+	rule := a.rules[name]
+	if rule == nil && a.fallback != nil {
+		rule = a.fallback(name)
+	}
+	a.mu.Unlock()
+
+	if question.Type != dnswire.TypeA || rule == nil {
+		resp.RCode = dnswire.RCodeNXDomain
+		resp.Authorities = append(resp.Authorities, a.soa())
+		return resp
+	}
+	ip, ok := rule(src)
+	if !ok {
+		resp.RCode = dnswire.RCodeNXDomain
+		resp.Authorities = append(resp.Authorities, a.soa())
+		return resp
+	}
+	resp.Answers = append(resp.Answers, dnswire.Record{
+		Name: name, Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 5, A: ip,
+	})
+	return resp
+}
+
+func (a *Authority) soa() dnswire.Record {
+	return dnswire.Record{
+		Name: a.zone, Type: dnswire.TypeSOA, Class: dnswire.ClassIN, TTL: 60,
+		SOA: &dnswire.SOAData{
+			MName: "ns1." + a.zone, RName: "hostmaster." + a.zone,
+			Serial: 2016041300, Refresh: 7200, Retry: 900, Expire: 1209600, MinTTL: 60,
+		},
+	}
+}
+
+// QueriesFor returns the logged queries for a name, in arrival order.
+func (a *Authority) QueriesFor(name string) []Query {
+	name = dnswire.CanonicalName(name)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	idx := a.byName[name]
+	out := make([]Query, len(idx))
+	for i, j := range idx {
+		out[i] = a.log[j]
+	}
+	return out
+}
+
+// QueryCount returns the total number of logged queries.
+func (a *Authority) QueryCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.log)
+}

@@ -1,0 +1,280 @@
+package dnsserver
+
+import (
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/tftproject/tft/internal/dnswire"
+	"github.com/tftproject/tft/internal/geo"
+	"github.com/tftproject/tft/internal/simnet"
+)
+
+var (
+	t0        = time.Date(2016, 4, 13, 0, 0, 0, 0, time.UTC)
+	webIP     = netip.MustParseAddr("198.51.100.10")
+	authIP    = netip.MustParseAddr("198.51.100.53")
+	landingIP = netip.MustParseAddr("198.51.100.99")
+	superDNS  = geo.SuperProxyResolverEgress
+	nodeIP    = netip.MustParseAddr("91.5.4.3")
+	ispDNSIP  = netip.MustParseAddr("91.5.0.53")
+)
+
+func testAuthority(t *testing.T) (*Authority, *simnet.Virtual) {
+	t.Helper()
+	clock := simnet.NewVirtual(t0)
+	a := NewAuthority("probe.tft-example.net", clock)
+	a.SetRule("d1.probe.tft-example.net", Always(webIP))
+	a.SetRule("d2.probe.tft-example.net", OnlyFrom(webIP, func(src netip.Addr) bool {
+		return src == superDNS
+	}))
+	return a, clock
+}
+
+func lookupA(t *testing.T, a *Authority, src netip.Addr, name string) *dnswire.Message {
+	t.Helper()
+	q := dnswire.NewQuery(1, name, dnswire.TypeA)
+	wire, err := q.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := a.HandleQuery(src, wire)
+	if resp == nil {
+		t.Fatalf("query for %s dropped", name)
+	}
+	return resp
+}
+
+func TestD1AlwaysAnswers(t *testing.T) {
+	a, _ := testAuthority(t)
+	for _, src := range []netip.Addr{superDNS, ispDNSIP, nodeIP} {
+		resp := lookupA(t, a, src, "d1.probe.tft-example.net")
+		if resp.RCode != dnswire.RCodeSuccess || len(resp.Answers) != 1 || resp.Answers[0].A != webIP {
+			t.Fatalf("d1 from %v: %+v", src, resp)
+		}
+	}
+}
+
+func TestD2ConditionalGate(t *testing.T) {
+	a, _ := testAuthority(t)
+	// The super proxy's resolver gets an answer (so the proxy forwards the
+	// request)...
+	resp := lookupA(t, a, superDNS, "d2.probe.tft-example.net")
+	if resp.RCode != dnswire.RCodeSuccess {
+		t.Fatalf("super proxy egress got %v", resp.RCode)
+	}
+	// ...every other resolver gets NXDOMAIN with an SOA.
+	resp = lookupA(t, a, ispDNSIP, "d2.probe.tft-example.net")
+	if resp.RCode != dnswire.RCodeNXDomain {
+		t.Fatalf("ISP resolver got %v", resp.RCode)
+	}
+	if len(resp.Authorities) != 1 || resp.Authorities[0].Type != dnswire.TypeSOA {
+		t.Fatalf("NXDOMAIN without SOA: %+v", resp.Authorities)
+	}
+}
+
+func TestUnknownNameNXDomain(t *testing.T) {
+	a, _ := testAuthority(t)
+	resp := lookupA(t, a, nodeIP, "never-configured.probe.tft-example.net")
+	if resp.RCode != dnswire.RCodeNXDomain {
+		t.Fatalf("RCode = %v", resp.RCode)
+	}
+}
+
+func TestOutOfZoneRefused(t *testing.T) {
+	a, _ := testAuthority(t)
+	resp := lookupA(t, a, nodeIP, "www.google.com")
+	if resp.RCode != dnswire.RCodeRefused {
+		t.Fatalf("RCode = %v", resp.RCode)
+	}
+}
+
+func TestQueryLogRecordsSourceAndTime(t *testing.T) {
+	a, clock := testAuthority(t)
+	lookupA(t, a, ispDNSIP, "d2.probe.tft-example.net")
+	clock.Advance(30 * time.Second)
+	lookupA(t, a, superDNS, "d2.probe.tft-example.net")
+	qs := a.QueriesFor("d2.probe.tft-example.net")
+	if len(qs) != 2 {
+		t.Fatalf("logged %d queries", len(qs))
+	}
+	if qs[0].Src != ispDNSIP || qs[1].Src != superDNS {
+		t.Fatalf("sources = %v %v", qs[0].Src, qs[1].Src)
+	}
+	if !qs[1].Time.Equal(t0.Add(30 * time.Second)) {
+		t.Fatalf("second query time = %v", qs[1].Time)
+	}
+	if a.QueryCount() != 2 {
+		t.Fatalf("QueryCount = %d", a.QueryCount())
+	}
+}
+
+func TestMalformedQueryDropped(t *testing.T) {
+	a, _ := testAuthority(t)
+	if resp := a.HandleQuery(nodeIP, []byte("garbage")); resp != nil {
+		t.Fatal("garbage produced a response")
+	}
+	// A response message must not be answered either.
+	r := dnswire.NewQuery(1, "d1.probe.tft-example.net", dnswire.TypeA).Reply()
+	wire, _ := r.Marshal()
+	if resp := a.HandleQuery(nodeIP, wire); resp != nil {
+		t.Fatal("response message was answered")
+	}
+}
+
+func TestDeleteRule(t *testing.T) {
+	a, _ := testAuthority(t)
+	a.DeleteRule("d1.probe.tft-example.net")
+	resp := lookupA(t, a, nodeIP, "d1.probe.tft-example.net")
+	if resp.RCode != dnswire.RCodeNXDomain {
+		t.Fatalf("RCode after delete = %v", resp.RCode)
+	}
+}
+
+// fabricWorld wires an authority and resolvers onto a fabric.
+func fabricWorld(t *testing.T) (*simnet.Fabric, *Authority) {
+	t.Helper()
+	f := simnet.NewFabric()
+	a, _ := testAuthority(t)
+	f.HandleDNS(authIP, a.Handler())
+	return f, a
+}
+
+func upstreamAll(name string) (netip.Addr, bool) { return authIP, true }
+
+func TestHonestResolverPassesNXDomain(t *testing.T) {
+	f, _ := fabricWorld(t)
+	r := NewResolver(ispDNSIP, f, upstreamAll)
+	resp, err := r.Lookup(nodeIP, "d2.probe.tft-example.net", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != dnswire.RCodeNXDomain {
+		t.Fatalf("RCode = %v", resp.RCode)
+	}
+}
+
+func TestHonestResolverEgressIsItsAddr(t *testing.T) {
+	f, a := fabricWorld(t)
+	r := NewResolver(ispDNSIP, f, upstreamAll)
+	if _, err := r.Lookup(nodeIP, "d1.probe.tft-example.net", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	qs := a.QueriesFor("d1.probe.tft-example.net")
+	if len(qs) != 1 || qs[0].Src != ispDNSIP {
+		t.Fatalf("authority saw %+v", qs)
+	}
+}
+
+func TestHijackingResolverRewritesNXDomain(t *testing.T) {
+	f, _ := fabricWorld(t)
+	r := NewResolver(ispDNSIP, f, upstreamAll)
+	r.Hijack = StaticNX{Name: "tmnet", Landing: landingIP}
+	resp, err := r.Lookup(nodeIP, "d2.probe.tft-example.net", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != dnswire.RCodeSuccess {
+		t.Fatalf("hijacked RCode = %v", resp.RCode)
+	}
+	if len(resp.Answers) != 1 || resp.Answers[0].A != landingIP {
+		t.Fatalf("answers = %+v", resp.Answers)
+	}
+}
+
+func TestHijackingResolverLeavesSuccessAlone(t *testing.T) {
+	f, _ := fabricWorld(t)
+	r := NewResolver(ispDNSIP, f, upstreamAll)
+	r.Hijack = StaticNX{Name: "tmnet", Landing: landingIP}
+	resp, err := r.Lookup(nodeIP, "d1.probe.tft-example.net", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != 1 || resp.Answers[0].A != webIP {
+		t.Fatalf("valid answer modified: %+v", resp.Answers)
+	}
+}
+
+func TestGoogleResolverEgressVariesByClient(t *testing.T) {
+	f, a := fabricWorld(t)
+	g := NewGoogleResolver(f, upstreamAll)
+	clients := []netip.Addr{
+		netip.MustParseAddr("91.5.4.3"),
+		netip.MustParseAddr("14.102.9.77"),
+		netip.MustParseAddr("200.45.3.2"),
+		netip.MustParseAddr("41.86.1.9"),
+	}
+	for _, c := range clients {
+		if _, err := g.Lookup(c, "d1.probe.tft-example.net", dnswire.TypeA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qs := a.QueriesFor("d1.probe.tft-example.net")
+	egress := make(map[netip.Addr]bool)
+	for _, q := range qs {
+		if !geo.IsGoogleEgress(q.Src) {
+			t.Fatalf("Google query egressed from %v", q.Src)
+		}
+		egress[q.Src] = true
+	}
+	if len(egress) < 2 {
+		t.Fatalf("all clients shared one egress instance: %v", egress)
+	}
+}
+
+func TestResolverNoUpstreamServFail(t *testing.T) {
+	f, _ := fabricWorld(t)
+	r := NewResolver(ispDNSIP, f, func(string) (netip.Addr, bool) { return netip.Addr{}, false })
+	resp, err := r.Lookup(nodeIP, "anything.example", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != dnswire.RCodeServFail {
+		t.Fatalf("RCode = %v", resp.RCode)
+	}
+}
+
+func TestResolverUnreachableAuthorityServFail(t *testing.T) {
+	f := simnet.NewFabric()
+	r := NewResolver(ispDNSIP, f, upstreamAll) // authIP not registered
+	resp, err := r.Lookup(nodeIP, "d1.probe.tft-example.net", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != dnswire.RCodeServFail {
+		t.Fatalf("RCode = %v", resp.RCode)
+	}
+}
+
+func TestServeUDPEndToEnd(t *testing.T) {
+	a, _ := testAuthority(t)
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ServeUDP(pc, a.Handler())
+	}()
+	q := dnswire.NewQuery(77, "d1.probe.tft-example.net", dnswire.TypeA)
+	wire, _ := q.Marshal()
+	respWire, err := QueryUDP(pc.LocalAddr().String(), wire, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := dnswire.Unmarshal(respWire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 77 || len(resp.Answers) != 1 || resp.Answers[0].A != webIP {
+		t.Fatalf("UDP response = %+v", resp)
+	}
+	pc.Close()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("ServeUDP did not exit on close")
+	}
+}

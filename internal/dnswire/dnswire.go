@@ -1,0 +1,506 @@
+// Package dnswire implements the subset of the DNS wire format (RFC 1035)
+// that the paper's methodology exercises: queries and responses carrying A,
+// NS, CNAME, TXT, and SOA records, response codes including NXDOMAIN, and
+// name compression on both encode and decode.
+//
+// The NXDOMAIN-hijacking experiment (§4) hinges on three wire-level
+// behaviours this package provides faithfully: source-conditional answers
+// (the server inspects who asked before deciding between an A record and
+// RCODE NXDOMAIN), NXDOMAIN itself, and answer substitution by on-path
+// interceptors, which rewrite a response message in place.
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Type is a DNS RR type.
+type Type uint16
+
+// Record types used by the experiments.
+const (
+	TypeA     Type = 1
+	TypeNS    Type = 2
+	TypeCNAME Type = 5
+	TypeSOA   Type = 6
+	TypeTXT   Type = 16
+)
+
+// String returns the conventional mnemonic.
+func (t Type) String() string {
+	switch t {
+	case TypeA:
+		return "A"
+	case TypeNS:
+		return "NS"
+	case TypeCNAME:
+		return "CNAME"
+	case TypeSOA:
+		return "SOA"
+	case TypeTXT:
+		return "TXT"
+	}
+	return fmt.Sprintf("TYPE%d", uint16(t))
+}
+
+// Class is a DNS class; only IN is used.
+type Class uint16
+
+// ClassIN is the Internet class.
+const ClassIN Class = 1
+
+// RCode is a DNS response code.
+type RCode uint8
+
+// Response codes.
+const (
+	RCodeSuccess  RCode = 0 // NOERROR
+	RCodeFormat   RCode = 1 // FORMERR
+	RCodeServFail RCode = 2 // SERVFAIL
+	RCodeNXDomain RCode = 3 // NXDOMAIN — the code the paper's hijackers suppress
+	RCodeRefused  RCode = 5 // REFUSED
+)
+
+// String returns the conventional mnemonic.
+func (rc RCode) String() string {
+	switch rc {
+	case RCodeSuccess:
+		return "NOERROR"
+	case RCodeFormat:
+		return "FORMERR"
+	case RCodeServFail:
+		return "SERVFAIL"
+	case RCodeNXDomain:
+		return "NXDOMAIN"
+	case RCodeRefused:
+		return "REFUSED"
+	}
+	return fmt.Sprintf("RCODE%d", uint8(rc))
+}
+
+// Question is the query section entry.
+type Question struct {
+	Name  string
+	Type  Type
+	Class Class
+}
+
+// Record is one resource record. Exactly one of the payload fields is
+// meaningful, selected by Type.
+type Record struct {
+	Name  string
+	Type  Type
+	Class Class
+	TTL   uint32
+	// A holds the address for TypeA.
+	A netip.Addr
+	// Target holds the name for TypeNS and TypeCNAME.
+	Target string
+	// Text holds the strings for TypeTXT.
+	Text []string
+	// SOA holds the start-of-authority payload for TypeSOA.
+	SOA *SOAData
+}
+
+// SOAData is the RDATA of an SOA record.
+type SOAData struct {
+	MName, RName                           string
+	Serial, Refresh, Retry, Expire, MinTTL uint32
+}
+
+// Message is a DNS message.
+type Message struct {
+	ID                 uint16
+	Response           bool
+	Opcode             uint8
+	Authoritative      bool
+	Truncated          bool
+	RecursionDesired   bool
+	RecursionAvailable bool
+	RCode              RCode
+	Questions          []Question
+	Answers            []Record
+	Authorities        []Record
+	Additionals        []Record
+}
+
+// NewQuery builds a standard recursive query for (name, type).
+func NewQuery(id uint16, name string, t Type) *Message {
+	return &Message{
+		ID:               id,
+		RecursionDesired: true,
+		Questions:        []Question{{Name: name, Type: t, Class: ClassIN}},
+	}
+}
+
+// Reply builds a response skeleton echoing the query's ID and question.
+func (m *Message) Reply() *Message {
+	r := &Message{
+		ID:                 m.ID,
+		Response:           true,
+		Opcode:             m.Opcode,
+		RecursionDesired:   m.RecursionDesired,
+		RecursionAvailable: true,
+		Questions:          append([]Question(nil), m.Questions...),
+	}
+	return r
+}
+
+// Errors returned by the codec.
+var (
+	ErrShortMessage   = errors.New("dnswire: truncated message")
+	ErrBadName        = errors.New("dnswire: malformed domain name")
+	ErrPointerLoop    = errors.New("dnswire: compression pointer loop")
+	ErrBadRecord      = errors.New("dnswire: malformed resource record")
+	ErrNameTooLong    = errors.New("dnswire: domain name exceeds 255 octets")
+	ErrLabelTooLong   = errors.New("dnswire: label exceeds 63 octets")
+	ErrTooManyRecords = errors.New("dnswire: section count exceeds message")
+)
+
+const (
+	flagQR = 1 << 15
+	flagAA = 1 << 10
+	flagTC = 1 << 9
+	flagRD = 1 << 8
+	flagRA = 1 << 7
+)
+
+// Marshal encodes the message with name compression.
+func (m *Message) Marshal() ([]byte, error) {
+	buf := make([]byte, 12, 512)
+	binary.BigEndian.PutUint16(buf[0:2], m.ID)
+	var flags uint16
+	if m.Response {
+		flags |= flagQR
+	}
+	flags |= uint16(m.Opcode&0xF) << 11
+	if m.Authoritative {
+		flags |= flagAA
+	}
+	if m.Truncated {
+		flags |= flagTC
+	}
+	if m.RecursionDesired {
+		flags |= flagRD
+	}
+	if m.RecursionAvailable {
+		flags |= flagRA
+	}
+	flags |= uint16(m.RCode & 0xF)
+	binary.BigEndian.PutUint16(buf[2:4], flags)
+	binary.BigEndian.PutUint16(buf[4:6], uint16(len(m.Questions)))
+	binary.BigEndian.PutUint16(buf[6:8], uint16(len(m.Answers)))
+	binary.BigEndian.PutUint16(buf[8:10], uint16(len(m.Authorities)))
+	binary.BigEndian.PutUint16(buf[10:12], uint16(len(m.Additionals)))
+
+	comp := map[string]int{}
+	var err error
+	for _, q := range m.Questions {
+		buf, err = appendName(buf, q.Name, comp)
+		if err != nil {
+			return nil, err
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Type))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Class))
+	}
+	for _, sec := range [][]Record{m.Answers, m.Authorities, m.Additionals} {
+		for i := range sec {
+			buf, err = appendRecord(buf, &sec[i], comp)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return buf, nil
+}
+
+func appendRecord(buf []byte, r *Record, comp map[string]int) ([]byte, error) {
+	var err error
+	buf, err = appendName(buf, r.Name, comp)
+	if err != nil {
+		return nil, err
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(r.Type))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(r.Class))
+	buf = binary.BigEndian.AppendUint32(buf, r.TTL)
+	lenAt := len(buf)
+	buf = append(buf, 0, 0) // RDLENGTH placeholder
+	switch r.Type {
+	case TypeA:
+		if !r.A.Is4() {
+			return nil, fmt.Errorf("%w: A record with non-IPv4 address %v", ErrBadRecord, r.A)
+		}
+		a4 := r.A.As4()
+		buf = append(buf, a4[:]...)
+	case TypeNS, TypeCNAME:
+		buf, err = appendName(buf, r.Target, comp)
+		if err != nil {
+			return nil, err
+		}
+	case TypeTXT:
+		for _, s := range r.Text {
+			if len(s) > 255 {
+				return nil, fmt.Errorf("%w: TXT string too long", ErrBadRecord)
+			}
+			buf = append(buf, byte(len(s)))
+			buf = append(buf, s...)
+		}
+	case TypeSOA:
+		if r.SOA == nil {
+			return nil, fmt.Errorf("%w: SOA record without payload", ErrBadRecord)
+		}
+		buf, err = appendName(buf, r.SOA.MName, comp)
+		if err != nil {
+			return nil, err
+		}
+		buf, err = appendName(buf, r.SOA.RName, comp)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range []uint32{r.SOA.Serial, r.SOA.Refresh, r.SOA.Retry, r.SOA.Expire, r.SOA.MinTTL} {
+			buf = binary.BigEndian.AppendUint32(buf, v)
+		}
+	default:
+		return nil, fmt.Errorf("%w: unsupported type %v", ErrBadRecord, r.Type)
+	}
+	binary.BigEndian.PutUint16(buf[lenAt:lenAt+2], uint16(len(buf)-lenAt-2))
+	return buf, nil
+}
+
+// appendName encodes a domain name, emitting a compression pointer when a
+// suffix has been written before.
+func appendName(buf []byte, name string, comp map[string]int) ([]byte, error) {
+	name = CanonicalName(name)
+	if name == "." || name == "" {
+		return append(buf, 0), nil
+	}
+	if len(name) > 254 {
+		return nil, ErrNameTooLong
+	}
+	labels := strings.Split(strings.TrimSuffix(name, "."), ".")
+	for i := range labels {
+		suffix := strings.Join(labels[i:], ".")
+		if off, ok := comp[suffix]; ok && off < 0x3FFF {
+			return binary.BigEndian.AppendUint16(buf, uint16(0xC000|off)), nil
+		}
+		if len(buf) < 0x3FFF {
+			comp[suffix] = len(buf)
+		}
+		l := labels[i]
+		if l == "" {
+			return nil, ErrBadName
+		}
+		if len(l) > 63 {
+			return nil, ErrLabelTooLong
+		}
+		buf = append(buf, byte(len(l)))
+		buf = append(buf, l...)
+	}
+	return append(buf, 0), nil
+}
+
+// Unmarshal decodes a wire-format message.
+func Unmarshal(data []byte) (*Message, error) {
+	if len(data) < 12 {
+		return nil, ErrShortMessage
+	}
+	m := &Message{ID: binary.BigEndian.Uint16(data[0:2])}
+	flags := binary.BigEndian.Uint16(data[2:4])
+	m.Response = flags&flagQR != 0
+	m.Opcode = uint8(flags >> 11 & 0xF)
+	m.Authoritative = flags&flagAA != 0
+	m.Truncated = flags&flagTC != 0
+	m.RecursionDesired = flags&flagRD != 0
+	m.RecursionAvailable = flags&flagRA != 0
+	m.RCode = RCode(flags & 0xF)
+	qd := int(binary.BigEndian.Uint16(data[4:6]))
+	an := int(binary.BigEndian.Uint16(data[6:8]))
+	ns := int(binary.BigEndian.Uint16(data[8:10]))
+	ar := int(binary.BigEndian.Uint16(data[10:12]))
+	if qd+an+ns+ar > len(data) {
+		return nil, ErrTooManyRecords
+	}
+
+	off := 12
+	var err error
+	for i := 0; i < qd; i++ {
+		var q Question
+		q.Name, off, err = readName(data, off)
+		if err != nil {
+			return nil, err
+		}
+		if off+4 > len(data) {
+			return nil, ErrShortMessage
+		}
+		q.Type = Type(binary.BigEndian.Uint16(data[off:]))
+		q.Class = Class(binary.BigEndian.Uint16(data[off+2:]))
+		off += 4
+		m.Questions = append(m.Questions, q)
+	}
+	for _, sec := range []*[]Record{&m.Answers, &m.Authorities, &m.Additionals} {
+		var n int
+		switch sec {
+		case &m.Answers:
+			n = an
+		case &m.Authorities:
+			n = ns
+		default:
+			n = ar
+		}
+		for i := 0; i < n; i++ {
+			var r Record
+			r, off, err = readRecord(data, off)
+			if err != nil {
+				return nil, err
+			}
+			*sec = append(*sec, r)
+		}
+	}
+	return m, nil
+}
+
+func readRecord(data []byte, off int) (Record, int, error) {
+	var r Record
+	var err error
+	r.Name, off, err = readName(data, off)
+	if err != nil {
+		return r, off, err
+	}
+	if off+10 > len(data) {
+		return r, off, ErrShortMessage
+	}
+	r.Type = Type(binary.BigEndian.Uint16(data[off:]))
+	r.Class = Class(binary.BigEndian.Uint16(data[off+2:]))
+	r.TTL = binary.BigEndian.Uint32(data[off+4:])
+	rdlen := int(binary.BigEndian.Uint16(data[off+8:]))
+	off += 10
+	if off+rdlen > len(data) {
+		return r, off, ErrShortMessage
+	}
+	rdata := data[off : off+rdlen]
+	switch r.Type {
+	case TypeA:
+		if rdlen != 4 {
+			return r, off, fmt.Errorf("%w: A RDATA length %d", ErrBadRecord, rdlen)
+		}
+		r.A = netip.AddrFrom4([4]byte(rdata))
+	case TypeNS, TypeCNAME:
+		// Names in RDATA may use compression pointers into the full message.
+		r.Target, _, err = readName(data, off)
+		if err != nil {
+			return r, off, err
+		}
+	case TypeTXT:
+		for p := 0; p < rdlen; {
+			l := int(rdata[p])
+			p++
+			if p+l > rdlen {
+				return r, off, fmt.Errorf("%w: TXT string overruns RDATA", ErrBadRecord)
+			}
+			r.Text = append(r.Text, string(rdata[p:p+l]))
+			p += l
+		}
+	case TypeSOA:
+		soa := &SOAData{}
+		p := off
+		soa.MName, p, err = readName(data, p)
+		if err != nil {
+			return r, off, err
+		}
+		soa.RName, p, err = readName(data, p)
+		if err != nil {
+			return r, off, err
+		}
+		if p+20 > len(data) || p+20 > off+rdlen {
+			return r, off, ErrShortMessage
+		}
+		soa.Serial = binary.BigEndian.Uint32(data[p:])
+		soa.Refresh = binary.BigEndian.Uint32(data[p+4:])
+		soa.Retry = binary.BigEndian.Uint32(data[p+8:])
+		soa.Expire = binary.BigEndian.Uint32(data[p+12:])
+		soa.MinTTL = binary.BigEndian.Uint32(data[p+16:])
+		r.SOA = soa
+	default:
+		return r, off, fmt.Errorf("%w: unsupported type %v", ErrBadRecord, r.Type)
+	}
+	return r, off + rdlen, nil
+}
+
+// readName decodes a possibly-compressed name starting at off, returning the
+// canonical dotted name and the offset just past the name's in-place bytes.
+func readName(data []byte, off int) (string, int, error) {
+	var sb strings.Builder
+	jumped := false
+	end := off
+	hops := 0
+	for {
+		if off >= len(data) {
+			return "", end, ErrShortMessage
+		}
+		b := data[off]
+		switch {
+		case b == 0:
+			if !jumped {
+				end = off + 1
+			}
+			name := sb.String()
+			if name == "" {
+				name = "."
+			}
+			if len(name) > 255 {
+				return "", end, ErrNameTooLong
+			}
+			return name, end, nil
+		case b&0xC0 == 0xC0:
+			if off+1 >= len(data) {
+				return "", end, ErrShortMessage
+			}
+			ptr := int(binary.BigEndian.Uint16(data[off:]) & 0x3FFF)
+			if !jumped {
+				end = off + 2
+				jumped = true
+			}
+			hops++
+			if hops > 64 || ptr >= off {
+				return "", end, ErrPointerLoop
+			}
+			off = ptr
+		case b&0xC0 != 0:
+			return "", end, ErrBadName
+		default:
+			l := int(b)
+			if off+1+l > len(data) {
+				return "", end, ErrShortMessage
+			}
+			sb.Write(data[off+1 : off+1+l])
+			sb.WriteByte('.')
+			off += 1 + l
+		}
+	}
+}
+
+// CanonicalName lowercases a domain name and ensures a trailing dot, the
+// form used as map keys throughout the repository.
+func CanonicalName(name string) string {
+	name = strings.ToLower(strings.TrimSpace(name))
+	if name == "" {
+		return "."
+	}
+	if !strings.HasSuffix(name, ".") {
+		name += "."
+	}
+	return name
+}
+
+// IsSubdomain reports whether child equals or falls under parent.
+func IsSubdomain(child, parent string) bool {
+	c, p := CanonicalName(child), CanonicalName(parent)
+	if p == "." {
+		return true
+	}
+	return c == p || strings.HasSuffix(c, "."+p)
+}

@@ -1,0 +1,44 @@
+package dnswire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal hammers the wire decoder: it must never panic, and
+// anything it accepts must re-encode and re-decode to an equivalent
+// message (decode/encode/decode stability).
+func FuzzUnmarshal(f *testing.F) {
+	seed := func(m *Message) {
+		if wire, err := m.Marshal(); err == nil {
+			f.Add(wire)
+		}
+	}
+	seed(NewQuery(1, "d1.probe.tft-example.net", TypeA))
+	r := NewQuery(2, "d2.probe.tft-example.net", TypeA).Reply()
+	r.RCode = RCodeNXDomain
+	seed(r)
+	f.Add([]byte{0xC0, 0x0C})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		wire, err := m.Marshal()
+		if err != nil {
+			// Some decodable messages (e.g. with exotic names) may not be
+			// re-encodable; that is fine as long as nothing panics.
+			return
+		}
+		m2, err := Unmarshal(wire)
+		if err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v", err)
+		}
+		if m2.ID != m.ID || m2.RCode != m.RCode ||
+			len(m2.Questions) != len(m.Questions) || len(m2.Answers) != len(m.Answers) {
+			t.Fatalf("unstable round trip: %+v vs %+v", m, m2)
+		}
+	})
+}

@@ -1,0 +1,68 @@
+package geo
+
+import "net/netip"
+
+// Well-known actors the methodology special-cases, pinned to their
+// real-world identifiers so the detection heuristics read like the paper.
+const (
+	// GoogleASN is Google's AS, operator of the 8.8.8.8 public resolver. The
+	// Luminati super proxy resolves through it (§2.3), and §4.3.3 keys the
+	// "hijacked despite Google DNS" analysis on queries arriving from
+	// Google's published netblocks.
+	GoogleASN ASN = 15169
+	// GoogleOrg is the organization ID for Google.
+	GoogleOrg OrgID = "google"
+)
+
+var (
+	// GoogleDNSAddr is the public anycast resolver address nodes configure.
+	GoogleDNSAddr = netip.MustParseAddr("8.8.8.8")
+	// GoogleEgressPrefix is where Google's recursive egress queries come
+	// from (the paper empirically pinned the super proxy's resolver inside
+	// 74.125.0.0/16).
+	GoogleEgressPrefix = netip.MustParsePrefix("74.125.0.0/16")
+	// GoogleServicePrefix covers the anycast service address itself.
+	GoogleServicePrefix = netip.MustParsePrefix("8.8.8.0/24")
+	// SuperProxyResolverEgress is the specific Google egress address serving
+	// the super proxy. Exit nodes whose Google anycast instance shares this
+	// egress are indistinguishable from the super proxy's own resolution and
+	// must be filtered (§4.1 footnote 8).
+	SuperProxyResolverEgress = netip.MustParseAddr("74.125.45.53")
+)
+
+// InstallGoogle registers Google's organization, AS, and address space in a
+// registry. Worlds call this before any other allocation.
+func InstallGoogle(r *Registry) error {
+	if _, err := r.AddOrg(GoogleOrg, "Google", "US"); err != nil {
+		return err
+	}
+	if _, err := r.AddAS(GoogleASN, GoogleOrg, false); err != nil {
+		return err
+	}
+	if err := r.Announce(GoogleASN, GoogleServicePrefix); err != nil {
+		return err
+	}
+	return r.Announce(GoogleASN, GoogleEgressPrefix)
+}
+
+// GoogleEgressFor deterministically maps an anycast client to one of
+// Google's egress addresses, modelling which physical resolver instance a
+// given exit node's queries surface from. A small share of clients land on
+// the super proxy's instance and become unmeasurable, as in the paper.
+func GoogleEgressFor(client netip.Addr) netip.Addr {
+	b := client.As4()
+	h := uint32(b[0])*16777619 ^ uint32(b[1])*2166136261 ^ uint32(b[2])*709607 ^ uint32(b[3])*31
+	// 64 distinct egress instances; instance 0 is the super proxy's.
+	inst := h % 64
+	if inst == 0 {
+		return SuperProxyResolverEgress
+	}
+	base := GoogleEgressPrefix.Addr().As4()
+	return netip.AddrFrom4([4]byte{base[0], base[1], byte(40 + inst/8), byte(10 + inst%8*13)})
+}
+
+// IsGoogleEgress reports whether ip lies in Google's published egress
+// netblocks — the §4.3.3 test for "this node uses Google DNS".
+func IsGoogleEgress(ip netip.Addr) bool {
+	return GoogleEgressPrefix.Contains(ip) || GoogleServicePrefix.Contains(ip)
+}

@@ -1,0 +1,338 @@
+// Package httpwire is a small, transport-agnostic HTTP/1.1 implementation
+// covering exactly what the proxy service and the measurement methodology
+// need: origin-form requests to web servers, absolute-form requests to the
+// super proxy (GET http://host/path — §2.3), the CONNECT method for port-443
+// tunnels, Content-Length bodies, and free-form headers (Luminati's
+// X-Hola-* debug headers ride here).
+//
+// It reads from a bufio.Reader and writes to any io.Writer, so the same
+// code serves the in-memory simnet fabric and real TCP sockets.
+package httpwire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Limits protecting servers from malformed or hostile peers.
+const (
+	MaxHeaderBytes = 64 << 10
+	MaxBodyBytes   = 8 << 20
+	maxHeaderLines = 128
+)
+
+// Protocol errors.
+var (
+	ErrMalformed    = errors.New("httpwire: malformed message")
+	ErrHeaderTooBig = errors.New("httpwire: header block too large")
+	ErrBodyTooBig   = errors.New("httpwire: body exceeds limit")
+)
+
+// Header is an ordered-insensitive header map with canonicalized keys.
+type Header map[string]string
+
+// CanonicalKey normalizes a header name (content-length → Content-Length).
+func CanonicalKey(k string) string {
+	b := []byte(k)
+	upper := true
+	for i, c := range b {
+		switch {
+		case upper && 'a' <= c && c <= 'z':
+			b[i] = c - 'a' + 'A'
+		case !upper && 'A' <= c && c <= 'Z':
+			b[i] = c - 'A' + 'a'
+		}
+		upper = c == '-'
+	}
+	return string(b)
+}
+
+// Set stores a header value.
+func (h Header) Set(k, v string) { h[CanonicalKey(k)] = v }
+
+// Get retrieves a header value ("" when absent).
+func (h Header) Get(k string) string { return h[CanonicalKey(k)] }
+
+// Del removes a header.
+func (h Header) Del(k string) { delete(h, CanonicalKey(k)) }
+
+// Clone deep-copies the header map.
+func (h Header) Clone() Header {
+	out := make(Header, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+// write emits headers sorted by key for deterministic wire bytes.
+func (h Header) write(w *bufio.Writer) {
+	keys := make([]string, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		w.WriteString(k)
+		w.WriteString(": ")
+		w.WriteString(h[k])
+		w.WriteString("\r\n")
+	}
+}
+
+// Request is an HTTP request in any of the three target forms the proxy
+// stack uses: origin-form ("/object.html"), absolute-form
+// ("http://d1.example.org/"), or authority-form for CONNECT
+// ("192.0.2.1:443").
+type Request struct {
+	Method string
+	Target string
+	Proto  string
+	Header Header
+	Body   []byte
+}
+
+// NewRequest builds a request with an empty header map.
+func NewRequest(method, target string) *Request {
+	return &Request{Method: method, Target: target, Proto: "HTTP/1.1", Header: Header{}}
+}
+
+// Response is an HTTP response.
+type Response struct {
+	StatusCode int
+	Reason     string
+	Proto      string
+	Header     Header
+	Body       []byte
+}
+
+// NewResponse builds a response with standard reason text and body.
+func NewResponse(code int, body []byte) *Response {
+	return &Response{StatusCode: code, Reason: ReasonPhrase(code), Proto: "HTTP/1.1", Header: Header{}, Body: body}
+}
+
+// ReasonPhrase returns the standard reason for common status codes.
+func ReasonPhrase(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 400:
+		return "Bad Request"
+	case 403:
+		return "Forbidden"
+	case 404:
+		return "Not Found"
+	case 407:
+		return "Proxy Authentication Required"
+	case 502:
+		return "Bad Gateway"
+	case 504:
+		return "Gateway Timeout"
+	}
+	return "Status " + strconv.Itoa(code)
+}
+
+// Write serializes the request. Content-Length is set from Body.
+func (r *Request) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s %s %s\r\n", r.Method, r.Target, protoOr(r.Proto))
+	h := r.Header
+	if h == nil {
+		h = Header{}
+	}
+	if len(r.Body) > 0 || r.Method == "POST" || r.Method == "PUT" {
+		h = h.Clone()
+		h.Set("Content-Length", strconv.Itoa(len(r.Body)))
+	}
+	h.write(bw)
+	bw.WriteString("\r\n")
+	bw.Write(r.Body)
+	return bw.Flush()
+}
+
+// Write serializes the response. Content-Length is always set.
+func (r *Response) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	reason := r.Reason
+	if reason == "" {
+		reason = ReasonPhrase(r.StatusCode)
+	}
+	fmt.Fprintf(bw, "%s %d %s\r\n", protoOr(r.Proto), r.StatusCode, reason)
+	h := r.Header
+	if h == nil {
+		h = Header{}
+	}
+	h = h.Clone()
+	h.Set("Content-Length", strconv.Itoa(len(r.Body)))
+	h.write(bw)
+	bw.WriteString("\r\n")
+	bw.Write(r.Body)
+	return bw.Flush()
+}
+
+func protoOr(p string) string {
+	if p == "" {
+		return "HTTP/1.1"
+	}
+	return p
+}
+
+// ReadRequest parses one request from br.
+func ReadRequest(br *bufio.Reader) (*Request, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	method, rest, ok := strings.Cut(line, " ")
+	if !ok {
+		return nil, fmt.Errorf("%w: request line %q", ErrMalformed, line)
+	}
+	target, proto, ok := strings.Cut(rest, " ")
+	if !ok || !strings.HasPrefix(proto, "HTTP/") || method == "" || target == "" {
+		return nil, fmt.Errorf("%w: request line %q", ErrMalformed, line)
+	}
+	h, err := readHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	body, err := readBody(br, h)
+	if err != nil {
+		return nil, err
+	}
+	return &Request{Method: method, Target: target, Proto: proto, Header: h, Body: body}, nil
+}
+
+// ReadResponse parses one response from br.
+func ReadResponse(br *bufio.Reader) (*Response, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	proto, rest, ok := strings.Cut(line, " ")
+	if !ok || !strings.HasPrefix(proto, "HTTP/") {
+		return nil, fmt.Errorf("%w: status line %q", ErrMalformed, line)
+	}
+	codeStr, reason, _ := strings.Cut(rest, " ")
+	code, err := strconv.Atoi(codeStr)
+	if err != nil || code < 100 || code > 599 {
+		return nil, fmt.Errorf("%w: status %q", ErrMalformed, codeStr)
+	}
+	h, err := readHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	body, err := readBody(br, h)
+	if err != nil {
+		return nil, err
+	}
+	return &Response{StatusCode: code, Reason: reason, Proto: proto, Header: h, Body: body}, nil
+}
+
+func readLine(br *bufio.Reader) (string, error) {
+	var sb strings.Builder
+	for {
+		chunk, isPrefix, err := br.ReadLine()
+		if err != nil {
+			return "", err
+		}
+		sb.Write(chunk)
+		if sb.Len() > MaxHeaderBytes {
+			return "", ErrHeaderTooBig
+		}
+		if !isPrefix {
+			return sb.String(), nil
+		}
+	}
+}
+
+func readHeader(br *bufio.Reader) (Header, error) {
+	h := Header{}
+	total := 0
+	for i := 0; ; i++ {
+		if i > maxHeaderLines {
+			return nil, ErrHeaderTooBig
+		}
+		line, err := readLine(br)
+		if err != nil {
+			return nil, err
+		}
+		if line == "" {
+			return h, nil
+		}
+		total += len(line)
+		if total > MaxHeaderBytes {
+			return nil, ErrHeaderTooBig
+		}
+		k, v, ok := strings.Cut(line, ":")
+		if !ok || k == "" || strings.ContainsAny(k, " \t") {
+			return nil, fmt.Errorf("%w: header line %q", ErrMalformed, line)
+		}
+		h.Set(k, strings.TrimSpace(v))
+	}
+}
+
+func readBody(br *bufio.Reader, h Header) ([]byte, error) {
+	cl := h.Get("Content-Length")
+	if cl == "" {
+		return nil, nil
+	}
+	n, err := strconv.Atoi(cl)
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("%w: Content-Length %q", ErrMalformed, cl)
+	}
+	if n > MaxBodyBytes {
+		return nil, ErrBodyTooBig
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// RoundTrip writes req on conn and reads the response. The caller owns the
+// connection; br must wrap conn's read side.
+func RoundTrip(conn io.Writer, br *bufio.Reader, req *Request) (*Response, error) {
+	if err := req.Write(conn); err != nil {
+		return nil, err
+	}
+	return ReadResponse(br)
+}
+
+// SplitHostPort separates "host:port" with a default port when none is
+// present. Unlike net.SplitHostPort it never errors on a bare host.
+func SplitHostPort(target string, defaultPort uint16) (host string, port uint16) {
+	host = target
+	port = defaultPort
+	if i := strings.LastIndexByte(target, ':'); i >= 0 && !strings.Contains(target[i+1:], "]") {
+		if p, err := strconv.Atoi(target[i+1:]); err == nil && p > 0 && p < 65536 {
+			host = target[:i]
+			port = uint16(p)
+		}
+	}
+	return host, port
+}
+
+// ParseAbsoluteURL splits an absolute-form http URL into host, port, and
+// path. The super proxy receives these on every proxied GET.
+func ParseAbsoluteURL(u string) (host string, port uint16, path string, err error) {
+	rest, ok := strings.CutPrefix(u, "http://")
+	if !ok {
+		return "", 0, "", fmt.Errorf("%w: not an absolute http URL: %q", ErrMalformed, u)
+	}
+	hostport := rest
+	path = "/"
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		hostport, path = rest[:i], rest[i:]
+	}
+	if hostport == "" {
+		return "", 0, "", fmt.Errorf("%w: empty host in %q", ErrMalformed, u)
+	}
+	host, port = SplitHostPort(hostport, 80)
+	return strings.ToLower(host), port, path, nil
+}

@@ -1,0 +1,256 @@
+package httpwire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func parseReq(t *testing.T, raw string) (*Request, error) {
+	t.Helper()
+	return ReadRequest(bufio.NewReader(strings.NewReader(raw)))
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	req := NewRequest("GET", "http://d1.example.org/object.html")
+	req.Header.Set("Proxy-Authorization", "Basic abc")
+	req.Header.Set("x-hola-debug", "on")
+	var buf bytes.Buffer
+	if err := req.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRequest(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Method != "GET" || got.Target != "http://d1.example.org/object.html" {
+		t.Fatalf("request = %+v", got)
+	}
+	if got.Header.Get("X-Hola-Debug") != "on" {
+		t.Fatalf("header canonicalization lost value: %v", got.Header)
+	}
+	if got.Header.Get("proxy-authorization") != "Basic abc" {
+		t.Fatal("case-insensitive get failed")
+	}
+}
+
+func TestResponseRoundTripWithBody(t *testing.T) {
+	body := bytes.Repeat([]byte("x"), 9*1024)
+	resp := NewResponse(200, body)
+	resp.Header.Set("Content-Type", "text/html")
+	resp.Header.Set("X-Hola-Timeline-Debug", "zid 12345 sid 429")
+	var buf bytes.Buffer
+	if err := resp.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResponse(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.StatusCode != 200 || got.Reason != "OK" {
+		t.Fatalf("status = %d %q", got.StatusCode, got.Reason)
+	}
+	if !bytes.Equal(got.Body, body) {
+		t.Fatalf("body length = %d, want %d", len(got.Body), len(body))
+	}
+	if got.Header.Get("X-Hola-Timeline-Debug") != "zid 12345 sid 429" {
+		t.Fatal("debug header lost")
+	}
+}
+
+func TestConnectForm(t *testing.T) {
+	req, err := parseReq(t, "CONNECT 192.0.2.10:443 HTTP/1.1\r\nHost: 192.0.2.10:443\r\n\r\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Method != "CONNECT" || req.Target != "192.0.2.10:443" {
+		t.Fatalf("req = %+v", req)
+	}
+	host, port := SplitHostPort(req.Target, 443)
+	if host != "192.0.2.10" || port != 443 {
+		t.Fatalf("split = %q %d", host, port)
+	}
+}
+
+func TestEmptyBodyNoContentLength(t *testing.T) {
+	req, err := parseReq(t, "GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Body != nil {
+		t.Fatalf("body = %q", req.Body)
+	}
+}
+
+func TestMalformedRequestLine(t *testing.T) {
+	for _, raw := range []string{
+		"GET\r\n\r\n",
+		"GET /\r\n\r\n",
+		"GET / NOTHTTP\r\n\r\n",
+		" / HTTP/1.1\r\n\r\n",
+	} {
+		if _, err := parseReq(t, raw); err == nil {
+			t.Errorf("accepted %q", raw)
+		}
+	}
+}
+
+func TestMalformedHeader(t *testing.T) {
+	if _, err := parseReq(t, "GET / HTTP/1.1\r\nBad Header Line\r\n\r\n"); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBadContentLength(t *testing.T) {
+	if _, err := parseReq(t, "GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := parseReq(t, "GET / HTTP/1.1\r\nContent-Length: -5\r\n\r\n"); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBodyTooBig(t *testing.T) {
+	raw := "GET / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n"
+	if _, err := parseReq(t, raw); !errors.Is(err, ErrBodyTooBig) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTooManyHeaderLines(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("GET / HTTP/1.1\r\n")
+	for i := 0; i < 200; i++ {
+		sb.WriteString("X-Filler: v\r\n")
+	}
+	sb.WriteString("\r\n")
+	if _, err := parseReq(t, sb.String()); !errors.Is(err, ErrHeaderTooBig) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTruncatedBody(t *testing.T) {
+	if _, err := parseReq(t, "GET / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}
+
+func TestReadResponseMalformed(t *testing.T) {
+	for _, raw := range []string{
+		"NOTHTTP 200 OK\r\n\r\n",
+		"HTTP/1.1 abc OK\r\n\r\n",
+		"HTTP/1.1 99 Low\r\n\r\n",
+	} {
+		if _, err := ReadResponse(bufio.NewReader(strings.NewReader(raw))); err == nil {
+			t.Errorf("accepted %q", raw)
+		}
+	}
+}
+
+func TestCanonicalKey(t *testing.T) {
+	cases := map[string]string{
+		"content-length":        "Content-Length",
+		"X-HOLA-TIMELINE-DEBUG": "X-Hola-Timeline-Debug",
+		"host":                  "Host",
+	}
+	for in, want := range cases {
+		if got := CanonicalKey(in); got != want {
+			t.Errorf("CanonicalKey(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseAbsoluteURL(t *testing.T) {
+	host, port, path, err := ParseAbsoluteURL("http://D1.Example.org/object.html")
+	if err != nil || host != "d1.example.org" || port != 80 || path != "/object.html" {
+		t.Fatalf("got %q %d %q err=%v", host, port, path, err)
+	}
+	host, port, path, err = ParseAbsoluteURL("http://example.org:8080")
+	if err != nil || host != "example.org" || port != 8080 || path != "/" {
+		t.Fatalf("got %q %d %q err=%v", host, port, path, err)
+	}
+	if _, _, _, err := ParseAbsoluteURL("https://example.org/"); err == nil {
+		t.Fatal("https absolute-form accepted (proxy only speaks plaintext GET)")
+	}
+	if _, _, _, err := ParseAbsoluteURL("http:///nohost"); err == nil {
+		t.Fatal("empty host accepted")
+	}
+}
+
+func TestRoundTripHelper(t *testing.T) {
+	var wire bytes.Buffer
+	resp := NewResponse(200, []byte("payload"))
+	var respBytes bytes.Buffer
+	resp.Write(&respBytes)
+	got, err := RoundTrip(&wire, bufio.NewReader(&respBytes), NewRequest("GET", "/x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Body) != "payload" {
+		t.Fatalf("body = %q", got.Body)
+	}
+	if !strings.HasPrefix(wire.String(), "GET /x HTTP/1.1\r\n") {
+		t.Fatalf("wire = %q", wire.String())
+	}
+}
+
+func TestReadRequestGarbageNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		buf := make([]byte, rng.Intn(100))
+		rng.Read(buf)
+		ReadRequest(bufio.NewReader(bytes.NewReader(buf)))
+		ReadResponse(bufio.NewReader(bytes.NewReader(buf)))
+	}
+}
+
+// Property: responses round-trip for arbitrary bodies and status codes.
+func TestPropertyResponseRoundTrip(t *testing.T) {
+	f := func(code uint16, body []byte) bool {
+		c := 100 + int(code)%500
+		resp := NewResponse(c, body)
+		var buf bytes.Buffer
+		if err := resp.Write(&buf); err != nil {
+			return false
+		}
+		got, err := ReadResponse(bufio.NewReader(&buf))
+		if err != nil {
+			return false
+		}
+		return got.StatusCode == c && bytes.Equal(got.Body, body)
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: header Set/Get is case-insensitive for arbitrary ASCII keys.
+func TestPropertyHeaderCaseInsensitive(t *testing.T) {
+	f := func(raw string, v string) bool {
+		k := sanitizeKey(raw)
+		if k == "" {
+			return true
+		}
+		h := Header{}
+		h.Set(k, v)
+		return h.Get(strings.ToUpper(k)) == v && h.Get(strings.ToLower(k)) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sanitizeKey(s string) string {
+	var sb strings.Builder
+	for _, c := range s {
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '-' {
+			sb.WriteRune(c)
+		}
+	}
+	return strings.Trim(sb.String(), "-")
+}

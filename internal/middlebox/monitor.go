@@ -1,0 +1,86 @@
+package middlebox
+
+import (
+	"math"
+	"math/rand/v2"
+	"net/netip"
+	"time"
+)
+
+// DelaySpec is a sampling distribution for monitor refetch delays. Figure 5
+// of the paper is the CDF of these delays per monitoring entity, so the
+// world encodes each entity's observed distribution here.
+type DelaySpec struct {
+	Min, Max time.Duration
+	// LogUniform samples uniformly in log space (straight lines on the
+	// paper's log-x CDF); otherwise sampling is uniform.
+	LogUniform bool
+}
+
+// Sample draws one delay.
+func (d DelaySpec) Sample(rng *rand.Rand) time.Duration {
+	if d.Max <= d.Min {
+		return d.Min
+	}
+	if d.LogUniform {
+		lo, hi := math.Log(float64(d.Min)), math.Log(float64(d.Max))
+		return time.Duration(math.Exp(lo + rng.Float64()*(hi-lo)))
+	}
+	return d.Min + time.Duration(rng.Int64N(int64(d.Max-d.Min)))
+}
+
+// RefetchSpec describes one unexpected request a monitor issues per
+// observed fetch.
+type RefetchSpec struct {
+	// Delay distributes the time between the node's request and this one.
+	Delay DelaySpec
+	// Sources are the candidate origin addresses of the request (the
+	// monitoring entity's servers); one is picked per fetch.
+	Sources []netip.Addr
+	// PreFetchProb is the probability this request instead races *ahead* of
+	// the node's (Bluecoat fetches before letting the user's request
+	// proceed 83% of the time, §7.2.1); when it fires, the delay is the
+	// negated Lead sample.
+	PreFetchProb float64
+	// Lead distributes how far ahead the pre-fetch lands.
+	Lead DelaySpec
+}
+
+// Watcher is a content-monitoring party on a node's path: anti-virus
+// reputation services, ISP monitoring, or a VPN's "malware protection". It
+// duplicates the node's HTTP requests toward the monitoring entity's own
+// servers (§7).
+type Watcher struct {
+	// Product is the ground-truth label ("TrendMicro", "TalkTalk", ...).
+	Product string
+	// Requests lists the unexpected requests issued per observed fetch.
+	Requests []RefetchSpec
+	// SampleProb monitors only this fraction of fetches (1 = all). §7.2.2
+	// raises non-deterministic monitoring as a possibility; the ablation
+	// bench uses it.
+	SampleProb float64
+}
+
+// Label implements Monitor.
+func (w *Watcher) Label() string { return w.Product }
+
+// Observe implements Monitor.
+func (w *Watcher) Observe(env *Env, host, path string, proceed func()) {
+	proceed()
+	if w.SampleProb > 0 && w.SampleProb < 1 && !decide(env.Rand, w.SampleProb) {
+		return
+	}
+	for _, spec := range w.Requests {
+		if len(spec.Sources) == 0 {
+			continue
+		}
+		src := spec.Sources[env.Rand.IntN(len(spec.Sources))]
+		var delay time.Duration
+		if spec.PreFetchProb > 0 && decide(env.Rand, spec.PreFetchProb) {
+			delay = -spec.Lead.Sample(env.Rand)
+		} else {
+			delay = spec.Delay.Sample(env.Rand)
+		}
+		env.Refetch(src, host, path, delay)
+	}
+}

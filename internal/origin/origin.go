@@ -1,0 +1,159 @@
+// Package origin implements the measurement team's server-side
+// infrastructure: the web server that serves the probe objects and logs
+// every arriving request (the paper's detection signal for both the exit
+// node's identity, §4.1 step 2, and content monitoring, §7), plus helpers
+// for hijacker landing pages and TLS sites.
+package origin
+
+import (
+	"bufio"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"github.com/tftproject/tft/internal/content"
+	"github.com/tftproject/tft/internal/httpwire"
+	"github.com/tftproject/tft/internal/simnet"
+	"github.com/tftproject/tft/internal/tlssim"
+)
+
+// SkewHeader is a simulation affordance: monitors that race ahead of a held
+// user request (Bluecoat, §7.2.1) cannot literally preempt it under a
+// single-threaded virtual clock, so their fetch carries this header and the
+// server logs the request backdated by the given duration (e.g. "-1.2s").
+// Real daemons (cmd/originweb) ignore it unless explicitly enabled.
+const SkewHeader = "X-Tft-Clock-Skew"
+
+// Request is one logged arrival at the measurement web server.
+type Request struct {
+	Time time.Time
+	// Src is the TCP peer — the exit node's IP (or its VPN egress, or a
+	// monitoring entity's server).
+	Src netip.Addr
+	// Host is the Host header: the unique measurement domain.
+	Host string
+	Path string
+	// UserAgent is the requester's User-Agent header — §7.2 mines it for
+	// clues about the monitoring entity.
+	UserAgent string
+}
+
+// Server is the measurement web server. It serves the four §5.1 objects on
+// their canonical paths, a small index page elsewhere, and records every
+// request. Safe for concurrent use.
+type Server struct {
+	clock simnet.Clock
+	// AllowSkew honours SkewHeader; the simulated world enables it.
+	AllowSkew bool
+
+	mu     sync.Mutex
+	log    []Request
+	byHost map[string][]int
+}
+
+// NewServer creates a measurement web server on the given clock.
+func NewServer(clock simnet.Clock) *Server {
+	return &Server{clock: clock, byHost: make(map[string][]int)}
+}
+
+// Handle processes one parsed request from src and returns the response.
+func (s *Server) Handle(src netip.Addr, req *httpwire.Request) *httpwire.Response {
+	at := s.clock.Now()
+	if s.AllowSkew {
+		if skew := req.Header.Get(SkewHeader); skew != "" {
+			if d, err := time.ParseDuration(skew); err == nil {
+				at = at.Add(d)
+			}
+		}
+	}
+	host, _ := httpwire.SplitHostPort(req.Header.Get("Host"), 80)
+	s.record(Request{Time: at, Src: src, Host: host, Path: req.Target,
+		UserAgent: req.Header.Get("User-Agent")})
+
+	if req.Method != "GET" {
+		return httpwire.NewResponse(400, []byte("unsupported method"))
+	}
+	for _, k := range content.Kinds {
+		if req.Target == k.Path() {
+			resp := httpwire.NewResponse(200, content.Object(k))
+			resp.Header.Set("Content-Type", k.ContentType())
+			return resp
+		}
+	}
+	resp := httpwire.NewResponse(200, IndexBody())
+	resp.Header.Set("Content-Type", "text/html; charset=utf-8")
+	return resp
+}
+
+// IndexBody is the small page served for non-object paths. At well under
+// 1 KB it doubles as the probe for the §5.1 object-size observation:
+// injectors leave tiny objects alone.
+func IndexBody() []byte {
+	return []byte("<html><head><title>tft probe</title></head><body>ok</body></html>")
+}
+
+func (s *Server) record(r Request) {
+	s.mu.Lock()
+	s.log = append(s.log, r)
+	s.byHost[r.Host] = append(s.byHost[r.Host], len(s.log)-1)
+	s.mu.Unlock()
+}
+
+// RequestsFor returns the logged requests whose Host is host, ordered by
+// log arrival (callers sort by Time when they need backdated entries
+// in timestamp order).
+func (s *Server) RequestsFor(host string) []Request {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := s.byHost[host]
+	out := make([]Request, len(idx))
+	for i, j := range idx {
+		out[i] = s.log[j]
+	}
+	return out
+}
+
+// RequestCount returns the total number of logged requests.
+func (s *Server) RequestCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.log)
+}
+
+// ConnHandler serves one connection: a single request/response exchange,
+// as the experiments use Connection: close semantics.
+func (s *Server) ConnHandler() simnet.ConnHandler {
+	return func(conn net.Conn) {
+		defer conn.Close()
+		src, _ := simnet.RemoteIP(conn)
+		req, err := httpwire.ReadRequest(bufio.NewReader(conn))
+		if err != nil {
+			return
+		}
+		s.Handle(src, req).Write(conn)
+	}
+}
+
+// StaticPage returns a handler serving fixed bytes for every request —
+// hijacker landing pages, injected-ad hosts, and other third-party content.
+func StaticPage(body []byte, contentType string) simnet.ConnHandler {
+	return func(conn net.Conn) {
+		defer conn.Close()
+		if _, err := httpwire.ReadRequest(bufio.NewReader(conn)); err != nil {
+			return
+		}
+		resp := httpwire.NewResponse(200, body)
+		resp.Header.Set("Content-Type", contentType)
+		resp.Write(conn)
+	}
+}
+
+// TLSSite returns a handler that answers tlssim handshakes with the chain
+// for the requested SNI.
+func TLSSite(chains tlssim.ChainSource) simnet.ConnHandler {
+	return func(conn net.Conn) {
+		defer conn.Close()
+		tlssim.ServeOnce(conn, chains)
+	}
+}

@@ -1,0 +1,425 @@
+package population
+
+import (
+	"time"
+
+	"github.com/tftproject/tft/internal/geo"
+	"github.com/tftproject/tft/internal/middlebox"
+)
+
+// This file encodes the paper's published tables as the calibration ground
+// truth. Counts are full-scale (scale = 1.0); the builders scale them.
+
+// Paper dataset totals (Table 2).
+const (
+	DNSTotalNodes     = 753_111
+	DNSTotalCountries = 167
+	HTTPTotalNodes    = 49_545
+	HTTPTotalASes     = 12_658
+	TLSTotalNodes     = 807_910
+	TLSTotalCountries = 115
+	MonTotalNodes     = 747_449
+)
+
+// CountryDNS is one row of Table 3: a country's DNS-experiment population
+// and how much of it is hijacked.
+type CountryDNS struct {
+	Country  geo.CountryCode
+	Total    int
+	Hijacked int
+}
+
+// Table3 is the paper's top-10 hijacked countries.
+var Table3 = []CountryDNS{
+	{"MY", 6_983, 3_652},
+	{"ID", 8_568, 3_178},
+	{"CN", 671, 237},
+	{"GB", 37_156, 9_553},
+	{"DE", 19_076, 4_703},
+	{"US", 33_398, 6_108},
+	{"IN", 6_868, 1_127},
+	{"BR", 24_298, 3_190},
+	{"BJ", 716, 90},
+	{"JO", 1_117, 76},
+}
+
+// ISPResolverGroup is one row of Table 4: an ISP whose resolvers hijack
+// NXDOMAIN for (nearly) all their users.
+type ISPResolverGroup struct {
+	ISP     string
+	OrgID   geo.OrgID
+	Country geo.CountryCode
+	// Servers and Nodes are the Table 4 columns.
+	Servers int
+	Nodes   int
+	// LandingDomain is where hijacked users are redirected (Table 5 for the
+	// ISPs that appear there).
+	LandingDomain string
+	// SharedAppliance marks the five ISPs whose landing pages share the
+	// identical redirect JavaScript (§4.3.1).
+	SharedAppliance bool
+	// Tagline is extra landing-page text (TMnet's monetization partner).
+	Tagline string
+	// PathNodes is the ISP's row in Table 5: how many of its *Google-DNS*
+	// users get hijacked on-path by the same ISP (0 = not in Table 5).
+	PathNodes int
+	// PathASNs is the number of ASes those path hijacks span (Table 5).
+	PathASNs int
+}
+
+// Table4 lists the 19 hijacking ISPs.
+var Table4 = []ISPResolverGroup{
+	{ISP: "Telefonica de Argentina", OrgID: "telefonica-ar", Country: "AR", Servers: 14, Nodes: 276,
+		LandingDomain: "ayudaenlabusqueda.telefonica.com.ar", PathNodes: 16, PathASNs: 1},
+	{ISP: "Dodo Australia", OrgID: "dodo-au", Country: "AU", Servers: 21, Nodes: 1_404,
+		LandingDomain: "google.dodo.com.au", PathNodes: 13, PathASNs: 1},
+	{ISP: "Oi Fixo", OrgID: "oi-br", Country: "BR", Servers: 21, Nodes: 2_558,
+		LandingDomain: "dnserros.oi.com.br", SharedAppliance: true, PathNodes: 40, PathASNs: 2},
+	{ISP: "CTBC", OrgID: "ctbc-br", Country: "BR", Servers: 4, Nodes: 290,
+		LandingDomain: "nodomain.ctbc.com.br", PathNodes: 7, PathASNs: 1},
+	{ISP: "Deutsche Telekom AG", OrgID: "dtag-de", Country: "DE", Servers: 8, Nodes: 1_385,
+		LandingDomain: "navigationshilfe.t-online.de", PathNodes: 80, PathASNs: 1},
+	{ISP: "Airtel Broadband", OrgID: "airtel-in", Country: "IN", Servers: 9, Nodes: 735,
+		LandingDomain: "airtelforum.com", PathNodes: 14, PathASNs: 1},
+	{ISP: "BSNL", OrgID: "bsnl-in", Country: "IN", Servers: 2, Nodes: 71,
+		LandingDomain: "searchguide.bsnl.in"},
+	{ISP: "Ntl. Int. Backbone", OrgID: "nib-in", Country: "IN", Servers: 8, Nodes: 245,
+		LandingDomain: "search.nib.in"},
+	{ISP: "TMnet", OrgID: "tmnet-my", Country: "MY", Servers: 8, Nodes: 1_676,
+		LandingDomain: "midascdn.nervesis.com",
+		Tagline:       "We turn users' typing errors into your advertising advantage",
+		PathNodes:     68, PathASNs: 1},
+	{ISP: "ONO", OrgID: "ono-es", Country: "ES", Servers: 2, Nodes: 71,
+		LandingDomain: "buscador.ono.es"},
+	{ISP: "BT Internet", OrgID: "bt-gb", Country: "GB", Servers: 6, Nodes: 479,
+		LandingDomain: "www.webaddresshelp.bt.com", SharedAppliance: true, PathNodes: 73, PathASNs: 1},
+	{ISP: "Talk Talk", OrgID: "talktalk-gb", Country: "GB", Servers: 46, Nodes: 3_738,
+		LandingDomain: "error.talktalk.co.uk", SharedAppliance: true, PathNodes: 46, PathASNs: 3},
+	{ISP: "AT&T", OrgID: "att-us", Country: "US", Servers: 37, Nodes: 561,
+		LandingDomain: "dnserrorassist.att.net", PathNodes: 32, PathASNs: 1},
+	{ISP: "Cable One", OrgID: "cableone-us", Country: "US", Servers: 4, Nodes: 108,
+		LandingDomain: "search.cableone.net"},
+	{ISP: "Cox Communications", OrgID: "cox-us", Country: "US", Servers: 63, Nodes: 1_789,
+		LandingDomain: "finder.cox.net", SharedAppliance: true, PathNodes: 17, PathASNs: 1},
+	{ISP: "Mediacom Cable", OrgID: "mediacom-us", Country: "US", Servers: 6, Nodes: 219,
+		LandingDomain: "search.mediacomcable.com", PathNodes: 7, PathASNs: 1},
+	{ISP: "Suddenlink", OrgID: "suddenlink-us", Country: "US", Servers: 9, Nodes: 98,
+		LandingDomain: "search.suddenlink.net"},
+	{ISP: "Verizon", OrgID: "verizon-us", Country: "US", Servers: 98, Nodes: 2_102,
+		LandingDomain: "searchassist.verizon.com", SharedAppliance: true, PathNodes: 30, PathASNs: 1},
+	{ISP: "WideOpenWest", OrgID: "wow-us", Country: "US", Servers: 1, Nodes: 39,
+		LandingDomain: "search.wideopenwest.com"},
+}
+
+// PublicResolverGroup is a public DNS operator (§4.3.2).
+type PublicResolverGroup struct {
+	Org     string
+	OrgID   geo.OrgID
+	Country geo.CountryCode
+	// Servers hijack; Nodes use them.
+	Servers int
+	Nodes   int
+	// LandingDomain for hijacked answers; "" for operators whose identity
+	// the paper could not establish.
+	LandingDomain string
+	// Malware marks LookSafe-style resolver-changing malware.
+	Malware bool
+}
+
+// PublicHijackers are the 21 hijacking public resolvers, grouped by
+// operator (Comodo 9, UltraDNS 4, LookSafe 2, Level 3, plus 3 unidentified)
+// covering 1,512 exit nodes.
+var PublicHijackers = []PublicResolverGroup{
+	{Org: "Comodo DNS", OrgID: "comodo", Country: "US", Servers: 9, Nodes: 648, LandingDomain: "securedns.comodo.com"},
+	{Org: "UltraDNS", OrgID: "ultradns", Country: "US", Servers: 4, Nodes: 288, LandingDomain: "redirect.ultradns.net"},
+	{Org: "LookSafe", OrgID: "looksafe", Country: "US", Servers: 2, Nodes: 144, LandingDomain: "search.looksafe.example", Malware: true},
+	{Org: "Level 3", OrgID: "level3", Country: "US", Servers: 3, Nodes: 216, LandingDomain: "search.level3.example"},
+	{Org: "(unidentified)", OrgID: "pub-unknown", Country: "US", Servers: 3, Nodes: 216, LandingDomain: "ads.nxredirect.example"},
+}
+
+// HonestPublicResolvers is how many non-hijacking public resolvers exist
+// (1,110 public servers observed, 21 hijacking).
+const HonestPublicResolvers = 1_089
+
+// PathOnlyISP is an ISP appearing in Table 5 (on-path hijacking of
+// Google-DNS users) without a Table 4 row (its resolvers were not observed
+// hijacking).
+type PathOnlyISP struct {
+	ISP           string
+	OrgID         geo.OrgID
+	Country       geo.CountryCode
+	LandingDomain string
+	Nodes         int
+}
+
+// PathOnlyISPs holds Table 5's v3.mercusuar.uzone.id row (Telkom
+// Indonesia's uzone portal, 53 nodes in one AS).
+var PathOnlyISPs = []PathOnlyISP{
+	{ISP: "Telkom Indonesia", OrgID: "telkom-id", Country: "ID",
+		LandingDomain: "v3.mercusuar.uzone.id", Nodes: 53},
+}
+
+// SoftwareHijackGroup is end-host software that hijacks NXDOMAIN regardless
+// of resolver (Table 5's shaded rows).
+type SoftwareHijackGroup struct {
+	Product       string
+	LandingDomain string
+	Nodes         int
+	Countries     int
+}
+
+// SoftwareHijackers are the Norton/Comodo rows of Table 5.
+var SoftwareHijackers = []SoftwareHijackGroup{
+	{Product: "Norton ConnectSafe", LandingDomain: "nortonsafe.search.ask.com", Nodes: 25, Countries: 18},
+	{Product: "Comodo SecureDNS client", LandingDomain: "securedns.comodo.com", Nodes: 9, Countries: 9},
+}
+
+// MiscPathHijackNodes is the remainder of the 927 Google-DNS hijack cases
+// not in any named Table 5 row (misc landing domains, <5 nodes each).
+const MiscPathHijackNodes = 397 - 25 - 9 // table rows below 5 nodes
+
+// GoogleDNSShare is the fraction of background nodes configured with
+// 8.8.8.8 (§4.3.2 footnote 9 reports whole ASes pointed at Google).
+const GoogleDNSShare = 0.08
+
+// DNSHijackTotal is the paper's headline count: 35,800 nodes (4.8%).
+const DNSHijackTotal = 35_800
+
+// ExtraCountryTotals pins populations for countries that host Table 4 ISPs
+// but do not appear in Table 3 — their totals must be large enough that
+// their hijack ratios fall below Jordan's 7.7% (rank 10), or they would
+// have made the paper's table.
+var ExtraCountryTotals = map[geo.CountryCode]int{
+	"AU": 25_000, // Dodo's 1,404 hijacked nodes => ratio ~5.7%
+	"AR": 6_000,  // Telefonica de Argentina's ~292 => ~4.9%
+	"ES": 4_000,  // ONO's 71 => ~1.8%
+}
+
+// BeninGoogleAS reproduces footnote 9: AS 28683 (OPT Benin) with 225 of
+// 227 nodes on Google DNS.
+var BeninGoogleAS = struct {
+	ASN         geo.ASN
+	Org         geo.OrgID
+	Total       int
+	GoogleNodes int
+}{28683, "opt-benin", 227, 225}
+
+// --- HTTP experiment (§5) ---------------------------------------------------
+
+// InjectorGroup is one row of Table 6: an injected-JS signature.
+type InjectorGroup struct {
+	Product string
+	// Signature is the URL or keyword appearing in the injected code.
+	Signature string
+	IsURL     bool
+	Nodes     int
+	Countries int
+	ASes      int
+	// ExtraBytes of ad payload accompanying the injection.
+	ExtraBytes int
+	// FilterISP marks the Internet Rimon/NetSpark row: ISP-level filtering
+	// where every node in the AS is affected.
+	FilterISP bool
+}
+
+// Table6 lists the injected-JS signatures.
+var Table6 = []InjectorGroup{
+	{Product: "NetSpark web filter", Signature: "NetSparkQuiltingResult", Nodes: 21, Countries: 1, ASes: 1, FilterISP: true},
+	{Product: "cloudfront ad malware", Signature: "d36mw5gp02ykm5.cloudfront.net", IsURL: true, Nodes: 201, Countries: 44, ASes: 99},
+	{Product: "msmdzbsyrw adware", Signature: "msmdzbsyrw.org", IsURL: true, Nodes: 97, Countries: 4, ASes: 76},
+	{Product: "pgjs adware", Signature: "pgjs.me", IsURL: true, Nodes: 16, Countries: 1, ASes: 12},
+	{Product: "jswrite adware", Signature: "jswrite.com/script1.js", IsURL: true, Nodes: 15, Countries: 9, ASes: 10},
+	{Product: "oiasudoj malware", Signature: "var oiasudoj;", Nodes: 11, Countries: 1, ASes: 11, ExtraBytes: 23 * 1024},
+	{Product: "AdTaily widget", Signature: "AdTaily_Widget_Container", Nodes: 11, Countries: 8, ASes: 9, ExtraBytes: 335 * 1024},
+}
+
+// HTTP experiment remainder groups (§5.2 text).
+const (
+	// MiscInjectedNodes: identified signatures below Table 6's cutoff
+	// (21 signatures covered 416 of 440 injected nodes).
+	MiscInjectedNodes = 416 - (21 + 201 + 97 + 16 + 15 + 11 + 11)
+	// UnidentifiedInjectedNodes: injected content with no extractable
+	// signature (440 - 416).
+	UnidentifiedInjectedNodes = 24
+	// BlockPageNodes: "bandwidth exceeded"/"blocked" responses filtered out
+	// of the HTML analysis.
+	BlockPageNodes = 32
+	// JSReplacedNodes and CSSReplacedNodes received error pages or empty
+	// responses in place of scripts/stylesheets.
+	JSReplacedNodes  = 45
+	CSSReplacedNodes = 11
+	// RimonASN is Internet Rimon's AS (§5.2).
+	RimonASN geo.ASN = 42925
+)
+
+// MobileASGroup is one row of Table 7: a mobile AS compressing images.
+type MobileASGroup struct {
+	ASN     geo.ASN
+	ISP     string
+	OrgID   geo.OrgID
+	Country geo.CountryCode
+	// Modified and Total are the Table 7 exit-node columns.
+	Modified int
+	Total    int
+	// Ratios: the observed compression ratios ("M" rows have two).
+	Ratios []float64
+}
+
+// Table7 lists the compressing mobile ASes.
+var Table7 = []MobileASGroup{
+	{15617, "Wind Hellas", "wind-gr", "GR", 10, 10, []float64{0.53}},
+	{29180, "Telefonica UK", "telefonica-gb", "GB", 17, 17, []float64{0.47}},
+	{29975, "Vodacom", "vodacom-za", "ZA", 83, 88, []float64{0.35, 0.60}},
+	{25135, "Vodafone UK", "vodafone-gb", "GB", 15, 18, []float64{0.54}},
+	{36935, "Vodafone Egypt", "vodafone-eg", "EG", 62, 81, []float64{0.40, 0.62}},
+	{36925, "Meditelecom", "meditel-ma", "MA", 87, 128, []float64{0.34}},
+	{16135, "Turkcell", "turkcell-tr", "TR", 44, 65, []float64{0.54}},
+	{15897, "Vodafone Turkey", "vodafone-tr", "TR", 14, 25, []float64{0.53}},
+	{12361, "Vodafone Greece", "vodafone-gr", "GR", 11, 23, []float64{0.52}},
+	{37492, "Orange Tunisia", "orange-tn", "TN", 97, 331, []float64{0.34}},
+	{132199, "Globe Telecom", "globe-ph", "PH", 197, 1_374, []float64{0.51}},
+	{12844, "Bouygues Telecom", "bouygues-fr", "FR", 34, 615, []float64{0.53}},
+}
+
+// SmallCompressingNodes is the image-modified remainder in ASes with fewer
+// than 10 measured nodes (694 total - 671 in Table 7).
+const SmallCompressingNodes = 23
+
+// --- HTTPS experiment (§6) ---------------------------------------------------
+
+// TLSProductGroup is one row of Table 8.
+type TLSProductGroup struct {
+	Spec  middlebox.ProductSpec
+	Nodes int
+}
+
+// Table8 lists the certificate-replacing products. Behaviour flags follow
+// §6.2: every product but Avast reuses one key per node; Cyberoam, ESET,
+// Kaspersky, McAfee, and Fortigate launder invalid certificates; Avast,
+// BitDefender, and Dr. Web use a distinct issuer for them; OpenDNS skips
+// them and only MITMs its block list; Cloudguard copies fields.
+var Table8 = []TLSProductGroup{
+	{Spec: middlebox.ProductSpec{Product: "Avast", IssuerCN: "Avast Web/Mail Shield Root",
+		Kind: "Anti-Virus/Security", ReuseKey: false, Invalid: middlebox.InvalidDistinctIssuer}, Nodes: 3_283},
+	{Spec: middlebox.ProductSpec{Product: "AVG Technology", IssuerCN: "AVG Technologies Root",
+		Kind: "Anti-Virus/Security", ReuseKey: true, Invalid: middlebox.InvalidSkip}, Nodes: 247},
+	{Spec: middlebox.ProductSpec{Product: "BitDefender", IssuerCN: "BitDefender Personal CA",
+		Kind: "Anti-Virus/Security", ReuseKey: true, Invalid: middlebox.InvalidDistinctIssuer}, Nodes: 241},
+	{Spec: middlebox.ProductSpec{Product: "Eset SSL Filter", IssuerCN: "ESET SSL Filter CA",
+		Kind: "Anti-Virus/Security", ReuseKey: true, Invalid: middlebox.InvalidLaunder}, Nodes: 217},
+	{Spec: middlebox.ProductSpec{Product: "Kaspersky", IssuerCN: "Kaspersky Anti-Virus Personal Root",
+		Kind: "Anti-Virus/Security", ReuseKey: true, Invalid: middlebox.InvalidLaunder}, Nodes: 68},
+	{Spec: middlebox.ProductSpec{Product: "OpenDNS", IssuerCN: "OpenDNS Root Certificate Authority",
+		Kind: "Content filter", ReuseKey: true, Invalid: middlebox.InvalidSkip}, Nodes: 64},
+	{Spec: middlebox.ProductSpec{Product: "Cyberoam SSL", IssuerCN: "Cyberoam SSL CA",
+		Kind: "Anti-Virus/Security", ReuseKey: true, Invalid: middlebox.InvalidLaunder}, Nodes: 35},
+	{Spec: middlebox.ProductSpec{Product: "Sample CA 2", IssuerCN: "Sample CA 2",
+		Kind: "N/A", ReuseKey: true, Invalid: middlebox.InvalidSkip}, Nodes: 29},
+	{Spec: middlebox.ProductSpec{Product: "Fortigate", IssuerCN: "Fortigate CA",
+		Kind: "Anti-Virus/Security", ReuseKey: true, Invalid: middlebox.InvalidLaunder}, Nodes: 17},
+	{Spec: middlebox.ProductSpec{Product: "Empty", IssuerCN: "",
+		Kind: "N/A", ReuseKey: true, Invalid: middlebox.InvalidSkip}, Nodes: 14},
+	{Spec: middlebox.ProductSpec{Product: "Cloudguard.me", IssuerCN: "Cloudguard.me",
+		Kind: "Malware", ReuseKey: true, Invalid: middlebox.InvalidLaunder, CopyFields: true}, Nodes: 14},
+	{Spec: middlebox.ProductSpec{Product: "Dr. Web", IssuerCN: "Dr.Web SpIDer Gate Root",
+		Kind: "Anti-Virus/Security", ReuseKey: true, Invalid: middlebox.InvalidDistinctIssuer}, Nodes: 13},
+	{Spec: middlebox.ProductSpec{Product: "McAfee", IssuerCN: "McAfee Web Gateway",
+		Kind: "Anti-Virus/Security", ReuseKey: true, Invalid: middlebox.InvalidLaunder}, Nodes: 6},
+}
+
+// MiscTLSProducts / MiscTLSNodes cover the long tail: 320 unique issuers in
+// total, with the unnamed remainder holding 292 nodes.
+const (
+	MiscTLSProducts = 60
+	MiscTLSNodes    = 292
+)
+
+// TLSAffectedTotal is the paper's headline: 4,540 nodes with at least one
+// replaced certificate.
+const TLSAffectedTotal = 4_540
+
+// --- Monitoring experiment (§7) ----------------------------------------------
+
+// MonitorGroup is one row of Table 9 plus its Figure 5 delay behaviour.
+type MonitorGroup struct {
+	Name string
+	// IPs is the entity's server-address count; Nodes/ASes/Countries are
+	// the Table 9 coverage columns.
+	IPs       int
+	Nodes     int
+	ASes      int
+	Countries int
+	// HomeISP pins monitored nodes to one ISP (TalkTalk, Tiscali).
+	HomeISP geo.OrgID
+	// HomeISPName labels it.
+	HomeISPName string
+	// HomeCountry of the ISP.
+	HomeCountry geo.CountryCode
+	// CoverageFrac is the share of that ISP's nodes being monitored
+	// (TalkTalk 45.2%, Tiscali 11.4%).
+	CoverageFrac float64
+	// Requests describe the unexpected fetches (delay distributions from
+	// Figure 5); built into middlebox.RefetchSpec by the builder.
+	Requests []MonitorReqSpec
+	// VPN marks AnchorFree: the node's own traffic egresses via the
+	// entity's network.
+	VPN bool
+	// SecondFixedSource: AnchorFree's second request always comes from one
+	// address (Menlo Park).
+	SecondFixedSource bool
+}
+
+// MonitorReqSpec is the delay behaviour of one unexpected request.
+type MonitorReqSpec struct {
+	Min, Max     time.Duration
+	LogUniform   bool
+	PreFetchProb float64
+	LeadMin      time.Duration
+	LeadMax      time.Duration
+}
+
+// Table9 lists the six monitoring entities.
+var Table9 = []MonitorGroup{
+	{Name: "Trend Micro", IPs: 55, Nodes: 6_571, ASes: 734, Countries: 13,
+		Requests: []MonitorReqSpec{
+			{Min: 12 * time.Second, Max: 120 * time.Second, LogUniform: true},
+			{Min: 200 * time.Second, Max: 12_500 * time.Second, LogUniform: true},
+		}},
+	{Name: "TalkTalk", IPs: 6, Nodes: 2_233, ASes: 5, Countries: 1,
+		HomeISP: "talktalk-gb", HomeISPName: "Talk Talk", HomeCountry: "GB", CoverageFrac: 0.452,
+		Requests: []MonitorReqSpec{
+			{Min: 29 * time.Second, Max: 31 * time.Second},
+			{Min: 60 * time.Second, Max: 3_600 * time.Second, LogUniform: true},
+		}},
+	{Name: "Commtouch", IPs: 20, Nodes: 1_154, ASes: 371, Countries: 79,
+		Requests: []MonitorReqSpec{
+			{Min: 60 * time.Second, Max: 600 * time.Second, LogUniform: true},
+		}},
+	// AnchorFree: the node's own browsing egresses through the VPN (one of
+	// many VPN addresses grouped in ten locations); the single unexpected
+	// request always comes from one Menlo Park address, under a second
+	// later (§7.2.1).
+	{Name: "AnchorFree", IPs: 223, Nodes: 461, ASes: 225, Countries: 98, VPN: true, SecondFixedSource: true,
+		Requests: []MonitorReqSpec{
+			{Min: 300 * time.Millisecond, Max: 900 * time.Millisecond},
+		}},
+	{Name: "Bluecoat", IPs: 12, Nodes: 453, ASes: 162, Countries: 64,
+		Requests: []MonitorReqSpec{
+			{Min: time.Second, Max: 30 * time.Second, LogUniform: true,
+				PreFetchProb: 0.83, LeadMin: 100 * time.Millisecond, LeadMax: 2 * time.Second},
+			{Min: 30 * time.Second, Max: 1_800 * time.Second, LogUniform: true},
+		}},
+	{Name: "Tiscali U.K.", IPs: 2, Nodes: 363, ASes: 6, Countries: 1,
+		HomeISP: "tiscali-gb", HomeISPName: "Tiscali U.K.", HomeCountry: "GB", CoverageFrac: 0.114,
+		Requests: []MonitorReqSpec{
+			{Min: 30 * time.Second, Max: 30 * time.Second},
+		}},
+}
+
+// MiscMonitorGroups / MiscMonitorNodes / MiscMonitorIPs cover the long
+// tail: 54 AS groups and 424 IPs in total.
+const (
+	MiscMonitorGroups = 48
+	MiscMonitorNodes  = 400
+	MiscMonitorIPs    = 106
+)

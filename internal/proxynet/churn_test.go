@@ -1,0 +1,88 @@
+package proxynet
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/tftproject/tft/internal/dnsserver"
+	"github.com/tftproject/tft/internal/simnet"
+)
+
+func TestChurnerFlipsAvailability(t *testing.T) {
+	w := newTestWorld(t, 0)
+	ch := &Churner{
+		Pool: w.pool, Clock: w.clock, Rand: simnet.NewRand(31),
+		Interval: time.Second, DownProb: 0.5, UpProb: 0.3,
+	}
+	ch.Start()
+	defer ch.Stop()
+	sawDown := false
+	for i := 0; i < 30; i++ {
+		w.clock.Advance(time.Second)
+		if ch.OnlineCount() < w.pool.Len() {
+			sawDown = true
+		}
+	}
+	if !sawDown {
+		t.Fatal("churner never took a node offline")
+	}
+	// With UpProb > 0 the pool must recover eventually.
+	ch.Stop()
+	for _, n := range w.pool.Nodes() {
+		n.SetOnline(true)
+	}
+	if ch.OnlineCount() != w.pool.Len() {
+		t.Fatal("recovery failed")
+	}
+}
+
+func TestChurnerStop(t *testing.T) {
+	w := newTestWorld(t, 0)
+	ch := &Churner{Pool: w.pool, Clock: w.clock, Rand: simnet.NewRand(32),
+		Interval: time.Second, DownProb: 1.0, UpProb: 0}
+	ch.Start()
+	w.clock.Advance(time.Second) // everyone goes down
+	ch.Stop()
+	for _, n := range w.pool.Nodes() {
+		n.SetOnline(true)
+	}
+	w.clock.Advance(10 * time.Second) // no further ticks may fire
+	if ch.OnlineCount() != w.pool.Len() {
+		t.Fatal("churner ticked after Stop")
+	}
+}
+
+func TestSessionsSurviveChurnViaRetry(t *testing.T) {
+	// Under heavy churn, pinned sessions keep working: the proxy repins and
+	// reports the dead node in the retry chain — the §2.3 behaviour the
+	// methodology depends on to discard split measurements.
+	w := newTestWorld(t, 0)
+	w.setRule("d1", dnsserver.Always(webIP))
+	ch := &Churner{Pool: w.pool, Clock: w.clock, Rand: simnet.NewRand(33),
+		Interval: 5 * time.Second, DownProb: 0.6, UpProb: 0.6}
+	ch.Start()
+	defer ch.Stop()
+
+	opts := Options{Session: "churny"}
+	repins, ok := 0, 0
+	for i := 0; i < 40; i++ {
+		w.clock.Advance(5 * time.Second)
+		resp, dbg, err := w.client.Get(context.Background(), opts, "http://d1."+zone+"/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == 200 {
+			ok++
+			if len(dbg.Attempts) > 0 {
+				repins++
+			}
+		}
+	}
+	if ok < 35 {
+		t.Fatalf("only %d/40 requests succeeded under churn", ok)
+	}
+	if repins == 0 {
+		t.Fatal("no visible repinning despite heavy churn")
+	}
+}

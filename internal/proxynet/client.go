@@ -1,0 +1,125 @@
+package proxynet
+
+import (
+	"bufio"
+	"context"
+	"encoding/base64"
+	"fmt"
+	"net"
+	"net/netip"
+	"strings"
+
+	"github.com/tftproject/tft/internal/geo"
+	"github.com/tftproject/tft/internal/httpwire"
+)
+
+// Options are the per-request selection controls a measurement client uses.
+type Options struct {
+	// Country pins exit-node selection to a country (-country-XX).
+	Country geo.CountryCode
+	// Session pins subsequent requests to the same exit node (-session-N).
+	Session string
+	// RemoteDNS makes the exit node perform DNS resolution (-dns-remote) —
+	// required to observe the node's resolver at all (§2.3, §4.1).
+	RemoteDNS bool
+}
+
+// Client is the measurement team's proxy client: it speaks the HTTP proxy
+// protocol to the super proxy, authenticating with a parameterized
+// username.
+type Client struct {
+	// Net dials the super proxy.
+	Net Dialer
+	// Src is the client machine's address.
+	Src netip.Addr
+	// Proxy is the super proxy's address.
+	Proxy netip.Addr
+	// User and Password are the zone credentials.
+	User, Password string
+}
+
+// proxyAuth renders the Proxy-Authorization header value.
+func (c *Client) proxyAuth(o Options) string {
+	p := Params{User: c.User, Country: o.Country, Session: o.Session, RemoteDNS: o.RemoteDNS}
+	cred := p.Username() + ":" + c.Password
+	return "Basic " + base64.StdEncoding.EncodeToString([]byte(cred))
+}
+
+// parseProxyAuth decodes a Proxy-Authorization header into Params.
+func parseProxyAuth(v string) (Params, bool) {
+	enc, ok := strings.CutPrefix(v, "Basic ")
+	if !ok {
+		return Params{}, false
+	}
+	raw, err := base64.StdEncoding.DecodeString(enc)
+	if err != nil {
+		return Params{}, false
+	}
+	cred := string(raw)
+	user, _, ok := strings.Cut(cred, ":")
+	if !ok || user == "" {
+		return Params{}, false
+	}
+	return ParseUsername(user), true
+}
+
+// Get fetches url (absolute http:// form) through the proxy and returns the
+// response plus the parsed debug headers. Proxy-level failures (NXDOMAIN at
+// the peer, no peers, fetch errors) are reported in Debug.Err with a
+// non-nil response, mirroring how Luminati surfaces them; the error return
+// covers transport problems only.
+func (c *Client) Get(ctx context.Context, o Options, url string) (*httpwire.Response, *Debug, error) {
+	conn, err := c.Net.Dial(ctx, c.Src, c.Proxy, ProxyPort)
+	if err != nil {
+		return nil, nil, fmt.Errorf("proxynet: dialing super proxy: %w", err)
+	}
+	defer conn.Close()
+	req := httpwire.NewRequest("GET", url)
+	req.Header.Set("Proxy-Authorization", c.proxyAuth(o))
+	host, _, _, err := httpwire.ParseAbsoluteURL(url)
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Host", host)
+	resp, err := httpwire.RoundTrip(conn, bufio.NewReader(conn), req)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, ParseDebug(resp.Header), nil
+}
+
+// Connect opens a CONNECT tunnel to target ("ip:443") through the proxy.
+// On success the returned connection is the raw tunnel; the caller drives
+// the TLS handshake (§2.3) and must close it.
+func (c *Client) Connect(ctx context.Context, o Options, target string) (net.Conn, *Debug, error) {
+	conn, err := c.Net.Dial(ctx, c.Src, c.Proxy, ProxyPort)
+	if err != nil {
+		return nil, nil, fmt.Errorf("proxynet: dialing super proxy: %w", err)
+	}
+	req := httpwire.NewRequest("CONNECT", target)
+	req.Header.Set("Proxy-Authorization", c.proxyAuth(o))
+	br := bufio.NewReader(conn)
+	resp, err := httpwire.RoundTrip(conn, br, req)
+	if err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	dbg := ParseDebug(resp.Header)
+	if resp.StatusCode != 200 {
+		conn.Close()
+		if dbg.Err == "" {
+			dbg.Err = resp.Reason
+		}
+		return nil, dbg, fmt.Errorf("proxynet: CONNECT failed: %d %s", resp.StatusCode, dbg.Err)
+	}
+	return &bufferedConn{Conn: conn, br: br}, dbg, nil
+}
+
+// bufferedConn drains any bytes the response reader buffered before handing
+// reads to the underlying connection.
+type bufferedConn struct {
+	net.Conn
+	br *bufio.Reader
+}
+
+func (b *bufferedConn) Read(p []byte) (int, error) { return b.br.Read(p) }

@@ -1,0 +1,206 @@
+// Package proxynet implements the P2P proxy service the measurements ride
+// on — the stand-in for Luminati/Hola (§2.2–2.3): a super proxy speaking
+// the HTTP proxy protocol (absolute-form GET on port 80, CONNECT restricted
+// to port 443), exit nodes that perform the actual fetches from inside edge
+// networks, persistent zIDs, country- and session-based exit-node selection
+// with a 60-second session TTL, automatic retry across up to five exit
+// nodes, and X-Hola-* debug headers reporting what happened.
+package proxynet
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"sync/atomic"
+
+	"github.com/tftproject/tft/internal/cert"
+	"github.com/tftproject/tft/internal/dnsserver"
+	"github.com/tftproject/tft/internal/dnswire"
+	"github.com/tftproject/tft/internal/geo"
+	"github.com/tftproject/tft/internal/httpwire"
+	"github.com/tftproject/tft/internal/middlebox"
+	"github.com/tftproject/tft/internal/tlssim"
+)
+
+// Dialer opens streams between simulated (or real) hosts. *simnet.Fabric
+// implements it; the real-TCP mode wraps net.Dialer.
+type Dialer interface {
+	Dial(ctx context.Context, src, dst netip.Addr, port uint16) (net.Conn, error)
+}
+
+// ExitNode is one Hola peer: an end-user machine whose connectivity — DNS
+// resolver, on-path middleboxes, locally installed software — is exactly
+// what the experiments measure.
+type ExitNode struct {
+	// ZID is the persistent identifier Luminati exposes in debug headers;
+	// it survives IP changes (§2.3).
+	ZID string
+	// Addr is the node's current IP address.
+	Addr netip.Addr
+	// ASN and Country locate the node (ground truth; the measurement
+	// pipeline re-derives them from Addr via the geo registry).
+	ASN     geo.ASN
+	Country geo.CountryCode
+	// Resolver is the DNS service the node is configured with.
+	Resolver *dnsserver.Resolver
+	// Path is the node's interceptor stack.
+	Path *middlebox.Path
+	// Env supplies the clock/rand/refetch plumbing monitors need.
+	Env *middlebox.Env
+	// Net carries the node's traffic.
+	Net Dialer
+
+	offline atomic.Bool
+}
+
+// SetOnline flips the node's availability; offline nodes make Luminati
+// retry with another peer.
+func (n *ExitNode) SetOnline(up bool) { n.offline.Store(!up) }
+
+// Online reports availability.
+func (n *ExitNode) Online() bool { return !n.offline.Load() }
+
+// ResolveA resolves name through the node's resolver and path interceptors,
+// returning the answer address (when any) and the response code the node
+// observed — NXDOMAIN here is the honest outcome of the d2 probe.
+func (n *ExitNode) ResolveA(name string) (netip.Addr, dnswire.RCode, error) {
+	resp, err := n.Resolver.Lookup(n.Addr, name, dnswire.TypeA)
+	if err != nil {
+		return netip.Addr{}, dnswire.RCodeServFail, err
+	}
+	if n.Path != nil {
+		resp = n.Path.ApplyDNS(name, resp)
+	}
+	for _, a := range resp.Answers {
+		if a.Type == dnswire.TypeA {
+			return a.A, resp.RCode, nil
+		}
+	}
+	return netip.Addr{}, resp.RCode, nil
+}
+
+// FetchHTTP performs the node's part of a proxied GET: connect to ip:port,
+// request path with the given Host header, and return the response after
+// the node's interceptor stack has had its way with it. Monitors on the
+// path observe the fetch.
+func (n *ExitNode) FetchHTTP(ctx context.Context, host string, port uint16, path string, ip netip.Addr) (*httpwire.Response, error) {
+	src := n.Addr
+	if n.Path != nil && n.Path.VPNEgress.IsValid() {
+		src = n.Path.VPNEgress
+	}
+	var resp *httpwire.Response
+	var err error
+	fetch := func() {
+		var conn net.Conn
+		conn, err = n.Net.Dial(ctx, src, ip, port)
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		req := httpwire.NewRequest("GET", path)
+		req.Header.Set("Host", host)
+		resp, err = httpwire.RoundTrip(conn, bufio.NewReader(conn), req)
+	}
+	if n.Path != nil && n.Env != nil {
+		n.Path.ObserveFetch(n.Env, host, path, fetch)
+	} else {
+		fetch()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if n.Path != nil {
+		resp = n.Path.ApplyHTTP(host, path, resp)
+	}
+	return resp, nil
+}
+
+// Tunnel bridges client to ip:port — the CONNECT data phase. With TLS
+// interceptors on the node's path, the relay parses the handshake and lets
+// them replace the certificate chain; otherwise bytes pass transparently.
+func (n *ExitNode) Tunnel(ctx context.Context, client net.Conn, ip netip.Addr, port uint16) error {
+	if n.Path.PortBlocked(port) {
+		return fmt.Errorf("proxynet: outbound port %d blocked by the node's ISP", port)
+	}
+	server, err := n.Net.Dial(ctx, n.Addr, ip, port)
+	if err != nil {
+		return err
+	}
+	defer server.Close()
+
+	if stream := n.Path.StreamFor(port); len(stream) > 0 {
+		return rewriteRelay(client, server, stream)
+	}
+	// TLS-intercepting products engage on TLS-bearing tunnels; mail ports
+	// belong to the stream interceptors above.
+	if n.Path != nil && len(n.Path.TLS) > 0 && port != 25 && port != 587 {
+		return tlssim.Relay(client, server, func(sni string, chain []*cert.Certificate) []*cert.Certificate {
+			for _, ic := range n.Path.TLS {
+				if replaced := ic.InterceptChain(sni, chain); replaced != nil {
+					return replaced
+				}
+			}
+			return nil
+		})
+	}
+	return rawRelay(client, server)
+}
+
+// rewriteRelay copies bytes both ways, passing server→client chunks
+// through the stream interceptors (STARTTLS strippers and kin).
+func rewriteRelay(client, server net.Conn, stream []middlebox.StreamInterceptor) error {
+	done := make(chan error, 2)
+	go func() { _, err := io.Copy(server, client); done <- err }()
+	go func() {
+		buf := make([]byte, 32<<10)
+		for {
+			nr, err := server.Read(buf)
+			if nr > 0 {
+				chunk := buf[:nr]
+				for _, ic := range stream {
+					chunk = ic.RewriteS2C(chunk)
+				}
+				if _, werr := client.Write(chunk); werr != nil {
+					done <- werr
+					return
+				}
+			}
+			if err != nil {
+				done <- err
+				return
+			}
+		}
+	}()
+	err := <-done
+	client.Close()
+	server.Close()
+	<-done
+	if err != nil && !errors.Is(err, io.ErrClosedPipe) && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	return nil
+}
+
+// rawRelay copies bytes both ways until either side closes.
+func rawRelay(a, b net.Conn) error {
+	done := make(chan error, 2)
+	go func() { _, err := io.Copy(b, a); done <- err }()
+	go func() { _, err := io.Copy(a, b); done <- err }()
+	err := <-done
+	a.Close()
+	b.Close()
+	<-done
+	if err != nil && !errors.Is(err, io.ErrClosedPipe) && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	return nil
+}
+
+// String identifies the node in logs.
+func (n *ExitNode) String() string {
+	return fmt.Sprintf("%s (%s, AS%d, %s)", n.ZID, n.Addr, n.ASN, n.Country)
+}

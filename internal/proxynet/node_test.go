@@ -1,0 +1,164 @@
+package proxynet
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"github.com/tftproject/tft/internal/dnsserver"
+	"github.com/tftproject/tft/internal/httpwire"
+	"github.com/tftproject/tft/internal/middlebox"
+	"github.com/tftproject/tft/internal/simnet"
+	"github.com/tftproject/tft/internal/smtpwire"
+)
+
+var mailIP = netip.MustParseAddr("198.51.100.25")
+
+// smtpFabric wires a mail server and one exit node on a fabric.
+func smtpFabric(t *testing.T, path *middlebox.Path) (*simnet.Fabric, *ExitNode) {
+	t.Helper()
+	f := simnet.NewFabric()
+	mail := smtpwire.NewServer("mail.tft-example.net")
+	f.HandleTCP(mailIP, 25, func(conn net.Conn) {
+		defer conn.Close()
+		mail.ServeOnce(conn)
+	})
+	node := &ExitNode{
+		ZID: "zsmtp0001", Addr: netip.MustParseAddr("91.9.9.9"), Country: "DE",
+		Resolver: dnsserver.NewResolver(netip.MustParseAddr("91.9.0.53"), f,
+			func(string) (netip.Addr, bool) { return netip.Addr{}, false }),
+		Path: path, Net: f,
+	}
+	return f, node
+}
+
+// tunnelProbe runs an SMTP probe through node.Tunnel.
+func tunnelProbe(t *testing.T, node *ExitNode) (*smtpwire.Session, error) {
+	t.Helper()
+	client, nodeSide := net.Pipe()
+	defer client.Close()
+	go func() {
+		defer nodeSide.Close()
+		node.Tunnel(context.Background(), nodeSide, mailIP, 25)
+	}()
+	return smtpwire.Probe(client, "probe.tft-example.net")
+}
+
+func TestTunnelSMTPTransparent(t *testing.T) {
+	_, node := smtpFabric(t, nil)
+	sess, err := tunnelProbe(t, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sess.StartTLS {
+		t.Fatalf("STARTTLS lost through a clean tunnel: %v", sess.Capabilities)
+	}
+	if !strings.Contains(sess.Banner, "mail.tft-example.net") {
+		t.Fatalf("banner = %q", sess.Banner)
+	}
+}
+
+func TestTunnelSMTPStripper(t *testing.T) {
+	path := &middlebox.Path{Stream: []middlebox.StreamInterceptor{
+		middlebox.STARTTLSStripper{Product: "mailguard"},
+	}}
+	_, node := smtpFabric(t, path)
+	sess, err := tunnelProbe(t, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.StartTLS {
+		t.Fatalf("STARTTLS survived the stripper: %v", sess.Capabilities)
+	}
+	if len(sess.Capabilities) != 2 {
+		t.Fatalf("other capabilities damaged: %v", sess.Capabilities)
+	}
+}
+
+func TestTunnelBlockedPort(t *testing.T) {
+	path := &middlebox.Path{BlockedPorts: []uint16{25}}
+	_, node := smtpFabric(t, path)
+	client, nodeSide := net.Pipe()
+	defer client.Close()
+	errCh := make(chan error, 1)
+	go func() {
+		defer nodeSide.Close()
+		errCh <- node.Tunnel(context.Background(), nodeSide, mailIP, 25)
+	}()
+	if err := <-errCh; err == nil {
+		t.Fatal("tunnel to a blocked port succeeded")
+	}
+}
+
+func TestTunnelStripperDoesNotTouchOtherPorts(t *testing.T) {
+	// The stripper applies to mail ports only; an echo service on another
+	// port must pass bytes through unmodified even with the stripper on
+	// the path.
+	path := &middlebox.Path{Stream: []middlebox.StreamInterceptor{
+		middlebox.STARTTLSStripper{Product: "mailguard"},
+	}}
+	f, node := smtpFabric(t, path)
+	echoIP := netip.MustParseAddr("198.51.100.77")
+	f.HandleTCP(echoIP, 7777, func(conn net.Conn) {
+		defer conn.Close()
+		buf := make([]byte, 256)
+		n, _ := conn.Read(buf)
+		conn.Write(buf[:n])
+	})
+	client, nodeSide := net.Pipe()
+	defer client.Close()
+	go func() {
+		defer nodeSide.Close()
+		node.Tunnel(context.Background(), nodeSide, echoIP, 7777)
+	}()
+	payload := "250-STARTTLS would be stripped if this were port 25\r\n"
+	if _, err := client.Write([]byte(payload)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(payload))
+	n, err := client.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != payload {
+		t.Fatalf("echo altered: %q", buf[:n])
+	}
+}
+
+func TestFetchHTTPVPNEgress(t *testing.T) {
+	f, node := smtpFabric(t, nil)
+	vpn := netip.MustParseAddr("203.0.113.200")
+	node.Path = &middlebox.Path{VPNEgress: vpn}
+	seen := make(chan netip.Addr, 1)
+	webIP2 := netip.MustParseAddr("198.51.100.80")
+	f.HandleTCP(webIP2, 80, func(conn net.Conn) {
+		defer conn.Close()
+		src, _ := simnet.RemoteIP(conn)
+		seen <- src
+		// net.Pipe is synchronous: drain the request before replying.
+		if _, err := httpwire.ReadRequest(bufio.NewReader(conn)); err != nil {
+			return
+		}
+		httpwire.NewResponse(200, nil).Write(conn)
+	})
+	if _, err := node.FetchHTTP(context.Background(), "x.example", 80, "/", webIP2); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-seen; got != vpn {
+		t.Fatalf("origin saw %v, want VPN egress %v", got, vpn)
+	}
+}
+
+func TestResolveAWithServFailUpstream(t *testing.T) {
+	_, node := smtpFabric(t, nil)
+	_, rcode, err := node.ResolveA("whatever.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcode.String() != "SERVFAIL" {
+		t.Fatalf("rcode = %v", rcode)
+	}
+}

@@ -1,0 +1,42 @@
+package proxynet
+
+import (
+	"context"
+	"net"
+	"net/netip"
+
+	"github.com/tftproject/tft/internal/dnswire"
+	"github.com/tftproject/tft/internal/geo"
+	"github.com/tftproject/tft/internal/httpwire"
+)
+
+// Peer is an exit node as the super proxy sees it. Two implementations
+// exist: *ExitNode (in-process, used by the simulated worlds) and
+// *remotePeer (backed by a persistent agent connection from a separate
+// process, the analogue of hola_svc.exe's connection to the Hola servers,
+// §2.2).
+type Peer interface {
+	// PeerID is the persistent zID.
+	PeerID() string
+	// PeerIP is the node's current address as known to the service.
+	PeerIP() netip.Addr
+	// PeerCountry is the node's advertised country.
+	PeerCountry() geo.CountryCode
+	// Online reports whether the peer can take requests right now.
+	Online() bool
+	// ResolveA performs DNS resolution on the node (-dns-remote).
+	ResolveA(name string) (netip.Addr, dnswire.RCode, error)
+	// FetchHTTP performs the node-side fetch of a proxied GET.
+	FetchHTTP(ctx context.Context, host string, port uint16, path string, ip netip.Addr) (*httpwire.Response, error)
+	// Tunnel bridges client to ip:port (normally 443) through the node.
+	Tunnel(ctx context.Context, client net.Conn, ip netip.Addr, port uint16) error
+}
+
+// PeerID implements Peer.
+func (n *ExitNode) PeerID() string { return n.ZID }
+
+// PeerIP implements Peer.
+func (n *ExitNode) PeerIP() netip.Addr { return n.Addr }
+
+// PeerCountry implements Peer.
+func (n *ExitNode) PeerCountry() geo.CountryCode { return n.Country }

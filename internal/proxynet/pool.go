@@ -1,0 +1,144 @@
+package proxynet
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+
+	"github.com/tftproject/tft/internal/geo"
+)
+
+// Pool is the population of exit nodes the super proxy selects from. The
+// network is "very dynamic" (§3.2 footnote): a churn probability makes
+// selected nodes transiently unavailable, exercising Luminati's retry
+// behaviour.
+type Pool struct {
+	mu        sync.Mutex
+	rng       *rand.Rand
+	peers     []Peer
+	byZID     map[string]Peer
+	byCountry map[geo.CountryCode][]Peer
+	// churn is the probability a selected node turns out unavailable for
+	// this attempt.
+	churn float64
+}
+
+// NewPool creates an empty pool drawing selection randomness from rng.
+func NewPool(rng *rand.Rand, churn float64) *Pool {
+	return &Pool{
+		rng:       rng,
+		byZID:     make(map[string]Peer),
+		byCountry: make(map[geo.CountryCode][]Peer),
+		churn:     churn,
+	}
+}
+
+// Add registers a peer. Duplicate zIDs are an error: zIDs are persistent
+// unique identifiers.
+func (p *Pool) Add(n Peer) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.byZID[n.PeerID()]; ok {
+		return fmt.Errorf("proxynet: duplicate zID %q", n.PeerID())
+	}
+	p.peers = append(p.peers, n)
+	p.byZID[n.PeerID()] = n
+	p.byCountry[n.PeerCountry()] = append(p.byCountry[n.PeerCountry()], n)
+	return nil
+}
+
+// Get returns the peer with the given zID.
+func (p *Pool) Get(zid string) (Peer, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n, ok := p.byZID[zid]
+	return n, ok
+}
+
+// Len returns the pool size.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.peers)
+}
+
+// Pick selects a random available node, optionally restricted to a country,
+// excluding zIDs the current request already tried. It models the churn
+// roll: a node that fails the roll is skipped (and should be recorded as a
+// failed attempt by the caller). Returns nil when nothing matches.
+func (p *Pool) Pick(country geo.CountryCode, exclude map[string]bool) (Peer, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	candidates := p.peers
+	if country != "" {
+		candidates = p.byCountry[country]
+	}
+	if len(candidates) == 0 {
+		return nil, false
+	}
+	// Bounded random probing keeps selection O(1) on the fast path.
+	for i := 0; i < 32; i++ {
+		n := candidates[p.rng.IntN(len(candidates))]
+		if exclude[n.PeerID()] || !n.Online() {
+			continue
+		}
+		if p.churn > 0 && p.rng.Float64() < p.churn {
+			// Transient failure: report the pick so the proxy logs a retry.
+			return n, false
+		}
+		return n, true
+	}
+	// Dense exclusion: fall back to a scan.
+	for _, n := range candidates {
+		if !exclude[n.PeerID()] && n.Online() {
+			return n, true
+		}
+	}
+	return nil, false
+}
+
+// CountryCounts reports how many nodes the service advertises per country —
+// what §3.2's crawler proportions its sampling by.
+func (p *Pool) CountryCounts() map[geo.CountryCode]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[geo.CountryCode]int, len(p.byCountry))
+	for cc, ns := range p.byCountry {
+		out[cc] = len(ns)
+	}
+	return out
+}
+
+// Countries lists countries with at least one node, sorted for determinism.
+func (p *Pool) Countries() []geo.CountryCode {
+	counts := p.CountryCounts()
+	out := make([]geo.CountryCode, 0, len(counts))
+	for cc := range counts {
+		out = append(out, cc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Peers returns the underlying peer slice (not a copy; treat as
+// read-only).
+func (p *Pool) Peers() []Peer {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.peers
+}
+
+// Nodes returns the in-process exit nodes in the pool. The simulated worlds
+// only ever contain these; remote peers are skipped.
+func (p *Pool) Nodes() []*ExitNode {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*ExitNode, 0, len(p.peers))
+	for _, peer := range p.peers {
+		if n, ok := peer.(*ExitNode); ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package proxynet
+
+import (
+	"sync"
+	"time"
+
+	"github.com/tftproject/tft/internal/simnet"
+)
+
+// SessionTTL is how long Luminati keeps a session number pinned to the same
+// exit node (§2.3: "within 60 seconds").
+const SessionTTL = 60 * time.Second
+
+// sessionTable maps client session numbers to exit-node zIDs with a TTL.
+type sessionTable struct {
+	clock simnet.Clock
+	ttl   time.Duration
+
+	mu      sync.Mutex
+	entries map[string]sessionEntry
+}
+
+type sessionEntry struct {
+	zid     string
+	expires time.Time
+}
+
+func newSessionTable(clock simnet.Clock) *sessionTable {
+	return &sessionTable{clock: clock, ttl: SessionTTL, entries: make(map[string]sessionEntry)}
+}
+
+// get returns the pinned zID for key when the pin is still fresh.
+func (st *sessionTable) get(key string) (string, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.entries[key]
+	if !ok {
+		return "", false
+	}
+	if st.clock.Now().After(e.expires) {
+		delete(st.entries, key)
+		return "", false
+	}
+	return e.zid, true
+}
+
+// put pins key to zid, refreshing the TTL.
+func (st *sessionTable) put(key, zid string) {
+	st.mu.Lock()
+	st.entries[key] = sessionEntry{zid: zid, expires: st.clock.Now().Add(st.ttl)}
+	st.mu.Unlock()
+}
+
+// purge drops expired entries; called opportunistically.
+func (st *sessionTable) purge() {
+	now := st.clock.Now()
+	st.mu.Lock()
+	for k, e := range st.entries {
+		if now.After(e.expires) {
+			delete(st.entries, k)
+		}
+	}
+	st.mu.Unlock()
+}
+
+// len reports live entries.
+func (st *sessionTable) len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.entries)
+}

@@ -1,0 +1,289 @@
+package proxynet
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"net/netip"
+	"strings"
+
+	"github.com/tftproject/tft/internal/dnsserver"
+	"github.com/tftproject/tft/internal/dnswire"
+	"github.com/tftproject/tft/internal/geo"
+	"github.com/tftproject/tft/internal/httpwire"
+	"github.com/tftproject/tft/internal/simnet"
+)
+
+// ProxyPort is the super proxy's service port (Luminati's
+// zproxy.luminati.org:22225).
+const ProxyPort = 22225
+
+// MaxRetries is how many exit nodes Luminati tries per request (§2.3).
+const MaxRetries = 5
+
+// Params are the client's selection controls, encoded in the proxy
+// username (§2.3): zone user, -country-XX, -session-N, -dns-remote.
+type Params struct {
+	User      string
+	Country   geo.CountryCode
+	Session   string
+	RemoteDNS bool
+}
+
+// Username renders the parameter-laden proxy username.
+func (p Params) Username() string {
+	var sb strings.Builder
+	sb.WriteString(p.User)
+	if p.Country != "" {
+		sb.WriteString("-country-")
+		sb.WriteString(strings.ToLower(string(p.Country)))
+	}
+	if p.Session != "" {
+		sb.WriteString("-session-")
+		sb.WriteString(p.Session)
+	}
+	if p.RemoteDNS {
+		sb.WriteString("-dns-remote")
+	}
+	return sb.String()
+}
+
+// ParseUsername decodes a parameter-laden username.
+func ParseUsername(u string) Params {
+	var p Params
+	toks := strings.Split(u, "-")
+	var user []string
+	for i := 0; i < len(toks); i++ {
+		switch toks[i] {
+		case "country":
+			if i+1 < len(toks) {
+				p.Country = geo.CountryCode(strings.ToUpper(toks[i+1]))
+				i++
+			}
+		case "session":
+			if i+1 < len(toks) {
+				p.Session = toks[i+1]
+				i++
+			}
+		case "dns":
+			if i+1 < len(toks) && toks[i+1] == "remote" {
+				p.RemoteDNS = true
+				i++
+			}
+		default:
+			user = append(user, toks[i])
+		}
+	}
+	p.User = strings.Join(user, "-")
+	return p
+}
+
+// SuperProxy is the service front end: it authenticates clients, selects
+// exit nodes, performs (or delegates) DNS resolution, forwards GETs, and
+// bridges CONNECT tunnels.
+type SuperProxy struct {
+	// Addr is the proxy's own address.
+	Addr netip.Addr
+	// Pool supplies exit nodes.
+	Pool *Pool
+	// Resolver performs the super proxy's DNS resolution (Google's service;
+	// its egress is pinned so the d2 gate can whitelist it).
+	Resolver *dnsserver.Resolver
+	// Clock drives session TTLs.
+	Clock simnet.Clock
+	// HTTPPort and ConnectPort override the service's allowed target ports
+	// (80 and 443). Real-network demos run origins on unprivileged ports.
+	HTTPPort    uint16
+	ConnectPort uint16
+	// AnyPortConnect lifts the CONNECT port restriction entirely — the
+	// hypothetical arbitrary-traffic VPN of §3.4 that the SMTP extension
+	// measures through. Luminati itself never allowed this.
+	AnyPortConnect bool
+
+	sessions *sessionTable
+}
+
+func (sp *SuperProxy) httpPort() uint16 {
+	if sp.HTTPPort != 0 {
+		return sp.HTTPPort
+	}
+	return 80
+}
+
+func (sp *SuperProxy) connectPort() uint16 {
+	if sp.ConnectPort != 0 {
+		return sp.ConnectPort
+	}
+	return 443
+}
+
+// NewSuperProxy assembles a super proxy.
+func NewSuperProxy(addr netip.Addr, pool *Pool, resolver *dnsserver.Resolver, clock simnet.Clock) *SuperProxy {
+	return &SuperProxy{Addr: addr, Pool: pool, Resolver: resolver, Clock: clock, sessions: newSessionTable(clock)}
+}
+
+// ConnHandler serves one proxied request per connection.
+func (sp *SuperProxy) ConnHandler() simnet.ConnHandler {
+	return func(conn net.Conn) {
+		defer conn.Close()
+		sp.ServeConn(conn)
+	}
+}
+
+// ServeConn handles a single client connection.
+func (sp *SuperProxy) ServeConn(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	req, err := httpwire.ReadRequest(br)
+	if err != nil {
+		return
+	}
+	params, ok := parseProxyAuth(req.Header.Get("Proxy-Authorization"))
+	if !ok {
+		httpwire.NewResponse(407, []byte("proxy authentication required")).Write(conn)
+		return
+	}
+	ctx := context.Background()
+	if req.Method == "CONNECT" {
+		sp.handleConnect(ctx, conn, req, params)
+		return
+	}
+	sp.handleGet(ctx, conn, req, params)
+}
+
+// fail writes an error response carrying the debug headers.
+func fail(conn net.Conn, status int, errStr, zid string, ip netip.Addr, attempts []Attempt) {
+	resp := httpwire.NewResponse(status, []byte(errStr))
+	attachDebug(resp, zid, ip, attempts, errStr)
+	resp.Write(conn)
+}
+
+// resolveSuper resolves host at the super proxy. The client address passed
+// to the resolver is the super proxy itself, so the Google anycast egress is
+// the pinned instance.
+func (sp *SuperProxy) resolveSuper(host string) (netip.Addr, dnswire.RCode) {
+	resp, err := sp.Resolver.Lookup(sp.Addr, host, dnswire.TypeA)
+	if err != nil {
+		return netip.Addr{}, dnswire.RCodeServFail
+	}
+	for _, a := range resp.Answers {
+		if a.Type == dnswire.TypeA {
+			return a.A, resp.RCode
+		}
+	}
+	return netip.Addr{}, resp.RCode
+}
+
+// selectNode picks an exit node per the client's parameters, honouring
+// session pins and recording failed attempts.
+func (sp *SuperProxy) selectNode(params Params) (Peer, []Attempt) {
+	var attempts []Attempt
+	exclude := make(map[string]bool)
+	sessKey := ""
+	if params.Session != "" {
+		sessKey = params.User + "/" + params.Session
+		if zid, ok := sp.sessions.get(sessKey); ok {
+			if n, ok := sp.Pool.Get(zid); ok && n.Online() {
+				sp.sessions.put(sessKey, zid)
+				return n, attempts
+			}
+			attempts = append(attempts, Attempt{ZID: zid, Err: "peer_disconnected"})
+			exclude[zid] = true
+		}
+	}
+	for len(attempts) < MaxRetries {
+		n, up := sp.Pool.Pick(params.Country, exclude)
+		if n == nil {
+			break
+		}
+		if !up {
+			attempts = append(attempts, Attempt{ZID: n.PeerID(), Err: "peer_connect_timeout"})
+			exclude[n.PeerID()] = true
+			continue
+		}
+		if sessKey != "" {
+			sp.sessions.put(sessKey, n.PeerID())
+		}
+		return n, attempts
+	}
+	return nil, attempts
+}
+
+// handleGet proxies an absolute-form GET through an exit node.
+func (sp *SuperProxy) handleGet(ctx context.Context, conn net.Conn, req *httpwire.Request, params Params) {
+	host, port, path, err := httpwire.ParseAbsoluteURL(req.Target)
+	if err != nil {
+		fail(conn, 400, "malformed proxy target", "", netip.Addr{}, nil)
+		return
+	}
+	if port != sp.httpPort() {
+		fail(conn, 403, "port not allowed", "", netip.Addr{}, nil)
+		return
+	}
+
+	// Luminati checks the domain exists at the super proxy before
+	// forwarding (§4.1) — the reason the d2 gate answers its resolver.
+	ip, rcode := sp.resolveSuper(host)
+	if rcode != dnswire.RCodeSuccess || !ip.IsValid() {
+		fail(conn, 502, ErrDNSSuper, "", netip.Addr{}, nil)
+		return
+	}
+
+	node, attempts := sp.selectNode(params)
+	if node == nil {
+		fail(conn, 502, ErrNoPeers, "", netip.Addr{}, attempts)
+		return
+	}
+
+	if params.RemoteDNS {
+		nip, rc, err := node.ResolveA(host)
+		if err != nil || rc == dnswire.RCodeServFail {
+			fail(conn, 502, ErrPeerFetch, node.PeerID(), node.PeerIP(), attempts)
+			return
+		}
+		if rc == dnswire.RCodeNXDomain || !nip.IsValid() {
+			fail(conn, 502, ErrDNSPeer, node.PeerID(), node.PeerIP(), attempts)
+			return
+		}
+		ip = nip
+	}
+
+	resp, err := node.FetchHTTP(ctx, host, port, path, ip)
+	if err != nil {
+		fail(conn, 502, ErrPeerFetch, node.PeerID(), node.PeerIP(), attempts)
+		return
+	}
+	attachDebug(resp, node.PeerID(), node.PeerIP(), attempts, "")
+	resp.Write(conn)
+}
+
+// handleConnect establishes a TCP tunnel via an exit node; only port 443 is
+// allowed (§2.3).
+func (sp *SuperProxy) handleConnect(ctx context.Context, conn net.Conn, req *httpwire.Request, params Params) {
+	hostStr, port := httpwire.SplitHostPort(req.Target, 0)
+	if !sp.AnyPortConnect && port != sp.connectPort() {
+		fail(conn, 403, "CONNECT allowed to port 443 only", "", netip.Addr{}, nil)
+		return
+	}
+	ip, err := netip.ParseAddr(hostStr)
+	if err != nil {
+		// Clients normally CONNECT to IP literals; resolve as a courtesy.
+		var rcode dnswire.RCode
+		ip, rcode = sp.resolveSuper(hostStr)
+		if rcode != dnswire.RCodeSuccess || !ip.IsValid() {
+			fail(conn, 502, ErrDNSSuper, "", netip.Addr{}, nil)
+			return
+		}
+	}
+	node, attempts := sp.selectNode(params)
+	if node == nil {
+		fail(conn, 502, ErrNoPeers, "", netip.Addr{}, attempts)
+		return
+	}
+	ok := httpwire.NewResponse(200, nil)
+	ok.Reason = "Connection established"
+	attachDebug(ok, node.PeerID(), node.PeerIP(), attempts, "")
+	if err := ok.Write(conn); err != nil {
+		return
+	}
+	node.Tunnel(ctx, conn, ip, port)
+}

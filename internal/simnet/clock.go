@@ -1,0 +1,225 @@
+// Package simnet provides the simulation substrate shared by every other
+// package in this repository: a pluggable clock (real or virtual), an
+// in-memory network fabric with addressable hosts, and deterministic
+// random-number plumbing.
+//
+// The measurement methodology in the paper depends on time only through
+// event ordering and recorded delays (session TTLs, monitor refetch delays,
+// the 24-hour monitoring window). Running those against a virtual clock lets
+// the full experiment complete in milliseconds while preserving every
+// observable delay, which is what the analysis consumes.
+package simnet
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for everything in this repository. Two
+// implementations exist: Real (the wall clock, used by the cmd/ daemons) and
+// Virtual (a discrete-event clock, used by tests, benches, and full-scale
+// simulated runs).
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// AfterFunc schedules f to run once the clock has advanced d past Now.
+	// f runs on the clock's goroutine for Virtual clocks; callers must not
+	// block inside f.
+	AfterFunc(d time.Duration, f func()) Timer
+}
+
+// Timer is a handle to a pending AfterFunc callback.
+type Timer interface {
+	// Stop cancels the callback if it has not fired yet, reporting whether
+	// it was cancelled.
+	Stop() bool
+}
+
+// Real is a Clock backed by the wall clock.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// AfterFunc implements Clock.
+func (Real) AfterFunc(d time.Duration, f func()) Timer { return realTimer{time.AfterFunc(d, f)} }
+
+type realTimer struct{ t *time.Timer }
+
+func (r realTimer) Stop() bool { return r.t.Stop() }
+
+// Virtual is a discrete-event clock. Time never advances on its own: callers
+// advance it explicitly with Advance or Run, and any AfterFunc callbacks due
+// in the traversed window fire in timestamp order.
+//
+// The zero value is not usable; construct with NewVirtual.
+type Virtual struct {
+	mu     sync.Mutex
+	now    time.Time
+	events eventHeap
+	seq    uint64
+}
+
+// NewVirtual returns a Virtual clock whose current time is start.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// AfterFunc implements Clock. Callbacks scheduled with a non-positive delay
+// fire at the current virtual time on the next Advance or Run call.
+func (v *Virtual) AfterFunc(d time.Duration, f func()) Timer {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	ev := &event{at: v.now.Add(d), seq: v.seq, fn: f, clock: v}
+	v.seq++
+	heap.Push(&v.events, ev)
+	return ev
+}
+
+// Advance moves the clock forward by d, firing every due callback in
+// timestamp order. Callbacks may schedule further callbacks; those fire too
+// if they fall within the window.
+func (v *Virtual) Advance(d time.Duration) {
+	v.mu.Lock()
+	v.advanceTo(v.now.Add(d))
+	v.mu.Unlock()
+}
+
+// AdvanceTo moves the clock forward to t (no-op if t is not after Now),
+// firing every due callback in timestamp order.
+func (v *Virtual) AdvanceTo(t time.Time) {
+	v.mu.Lock()
+	v.advanceTo(t)
+	v.mu.Unlock()
+}
+
+// Run fires every pending callback, jumping the clock to each event's
+// timestamp, until no events remain. Callbacks scheduled during Run also
+// fire. It returns the number of callbacks fired.
+func (v *Virtual) Run() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n := 0
+	for len(v.events) > 0 {
+		ev := heap.Pop(&v.events).(*event)
+		if ev.stopped {
+			continue
+		}
+		if ev.at.After(v.now) {
+			v.now = ev.at
+		}
+		v.runEvent(ev)
+		n++
+	}
+	return n
+}
+
+// Pending reports the number of callbacks that have been scheduled but have
+// not yet fired or been stopped.
+func (v *Virtual) Pending() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n := 0
+	for _, ev := range v.events {
+		if !ev.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+// advanceTo fires due events and sets now to t. Caller holds v.mu.
+func (v *Virtual) advanceTo(t time.Time) {
+	for len(v.events) > 0 {
+		ev := v.events[0]
+		if ev.stopped {
+			heap.Pop(&v.events)
+			continue
+		}
+		if ev.at.After(t) {
+			break
+		}
+		heap.Pop(&v.events)
+		if ev.at.After(v.now) {
+			v.now = ev.at
+		}
+		v.runEvent(ev)
+	}
+	if t.After(v.now) {
+		v.now = t
+	}
+}
+
+// runEvent invokes an event callback without holding the lock so the
+// callback may call back into the clock.
+func (v *Virtual) runEvent(ev *event) {
+	v.mu.Unlock()
+	ev.fn()
+	v.mu.Lock()
+}
+
+type event struct {
+	at      time.Time
+	seq     uint64
+	fn      func()
+	clock   *Virtual
+	stopped bool
+	index   int
+}
+
+// Stop implements Timer.
+func (e *event) Stop() bool {
+	e.clock.mu.Lock()
+	defer e.clock.mu.Unlock()
+	if e.stopped || e.index < 0 {
+		return false
+	}
+	e.stopped = true
+	return true
+}
+
+// eventHeap orders events by (time, sequence) so same-instant callbacks fire
+// in scheduling order.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,170 @@
+package simnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2016, 4, 13, 0, 0, 0, 0, time.UTC)
+
+func TestVirtualNow(t *testing.T) {
+	c := NewVirtual(t0)
+	if !c.Now().Equal(t0) {
+		t.Fatalf("Now() = %v, want %v", c.Now(), t0)
+	}
+	c.Advance(5 * time.Second)
+	if got := c.Now(); !got.Equal(t0.Add(5 * time.Second)) {
+		t.Fatalf("Now() after Advance = %v", got)
+	}
+}
+
+func TestVirtualAfterFuncFiresInOrder(t *testing.T) {
+	c := NewVirtual(t0)
+	var order []int
+	c.AfterFunc(3*time.Second, func() { order = append(order, 3) })
+	c.AfterFunc(1*time.Second, func() { order = append(order, 1) })
+	c.AfterFunc(2*time.Second, func() { order = append(order, 2) })
+	c.Advance(10 * time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fire order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestVirtualAfterFuncSameInstantFIFO(t *testing.T) {
+	c := NewVirtual(t0)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		c.AfterFunc(time.Second, func() { order = append(order, i) })
+	}
+	c.Advance(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestVirtualAdvancePartial(t *testing.T) {
+	c := NewVirtual(t0)
+	fired := 0
+	c.AfterFunc(time.Second, func() { fired++ })
+	c.AfterFunc(time.Hour, func() { fired++ })
+	c.Advance(time.Minute)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if c.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", c.Pending())
+	}
+}
+
+func TestVirtualCallbackSeesEventTime(t *testing.T) {
+	c := NewVirtual(t0)
+	var at time.Time
+	c.AfterFunc(7*time.Second, func() { at = c.Now() })
+	c.Advance(time.Minute)
+	if !at.Equal(t0.Add(7 * time.Second)) {
+		t.Fatalf("callback saw %v, want %v", at, t0.Add(7*time.Second))
+	}
+}
+
+func TestVirtualNestedSchedule(t *testing.T) {
+	c := NewVirtual(t0)
+	var hits []time.Time
+	c.AfterFunc(time.Second, func() {
+		hits = append(hits, c.Now())
+		c.AfterFunc(time.Second, func() { hits = append(hits, c.Now()) })
+	})
+	c.Advance(time.Minute)
+	if len(hits) != 2 {
+		t.Fatalf("hits = %d, want 2 (nested event inside window must fire)", len(hits))
+	}
+	if !hits[1].Equal(t0.Add(2 * time.Second)) {
+		t.Fatalf("nested fired at %v, want %v", hits[1], t0.Add(2*time.Second))
+	}
+}
+
+func TestVirtualStop(t *testing.T) {
+	c := NewVirtual(t0)
+	fired := false
+	tm := c.AfterFunc(time.Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop() = false on pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop() = true, want false")
+	}
+	c.Advance(time.Hour)
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestVirtualRunDrainsAll(t *testing.T) {
+	c := NewVirtual(t0)
+	count := 0
+	c.AfterFunc(time.Hour, func() {
+		count++
+		c.AfterFunc(24*time.Hour, func() { count++ })
+	})
+	n := c.Run()
+	if n != 2 || count != 2 {
+		t.Fatalf("Run fired %d (count %d), want 2", n, count)
+	}
+	if got := c.Now(); !got.Equal(t0.Add(25 * time.Hour)) {
+		t.Fatalf("Now after Run = %v, want %v", got, t0.Add(25*time.Hour))
+	}
+}
+
+func TestVirtualNegativeDelayClamped(t *testing.T) {
+	c := NewVirtual(t0)
+	fired := false
+	c.AfterFunc(-time.Hour, func() { fired = true })
+	c.Advance(0)
+	if !fired {
+		t.Fatal("negative-delay callback did not fire at current time")
+	}
+	if !c.Now().Equal(t0) {
+		t.Fatal("clock moved backwards")
+	}
+}
+
+func TestVirtualConcurrentSchedule(t *testing.T) {
+	c := NewVirtual(t0)
+	var mu sync.Mutex
+	fired := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.AfterFunc(time.Duration(i)*time.Millisecond, func() {
+				mu.Lock()
+				fired++
+				mu.Unlock()
+			})
+		}(i)
+	}
+	wg.Wait()
+	c.Advance(time.Second)
+	if fired != 50 {
+		t.Fatalf("fired = %d, want 50", fired)
+	}
+}
+
+func TestRealClockBasics(t *testing.T) {
+	var c Clock = Real{}
+	before := time.Now()
+	if c.Now().Before(before) {
+		t.Fatal("Real.Now went backwards")
+	}
+	done := make(chan struct{})
+	c.AfterFunc(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Real.AfterFunc never fired")
+	}
+}

@@ -1,0 +1,176 @@
+package simnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// Errors returned by the fabric.
+var (
+	ErrHostUnreachable = errors.New("simnet: host unreachable")
+	ErrConnRefused     = errors.New("simnet: connection refused")
+	ErrNoDNSService    = errors.New("simnet: host runs no DNS service")
+)
+
+// ConnHandler serves one accepted in-memory connection. The handler owns the
+// connection and must close it when done.
+type ConnHandler func(conn net.Conn)
+
+// DNSHandler answers a single DNS query datagram. src is the querying host's
+// address (what the paper's authoritative server logs to learn which
+// resolver asked). The returned slice is the response datagram; a nil return
+// simulates a dropped query.
+type DNSHandler func(src netip.Addr, query []byte) []byte
+
+// Fabric is an in-memory network: a registry of hosts addressable by IP,
+// offering TCP-like stream dialing and DNS-like datagram exchange. It is the
+// simulation analogue of the real net package and is safe for concurrent
+// use.
+type Fabric struct {
+	mu    sync.RWMutex
+	hosts map[netip.Addr]*host
+}
+
+type host struct {
+	mu  sync.RWMutex
+	tcp map[uint16]ConnHandler
+	dns DNSHandler
+}
+
+// NewFabric returns an empty network fabric.
+func NewFabric() *Fabric {
+	return &Fabric{hosts: make(map[netip.Addr]*host)}
+}
+
+// HandleTCP registers h as the listener for (addr, port). Registering a nil
+// handler removes the listener.
+func (f *Fabric) HandleTCP(addr netip.Addr, port uint16, h ConnHandler) {
+	hst := f.hostFor(addr)
+	hst.mu.Lock()
+	defer hst.mu.Unlock()
+	if h == nil {
+		delete(hst.tcp, port)
+		return
+	}
+	hst.tcp[port] = h
+}
+
+// HandleDNS registers h as the DNS service on addr.
+func (f *Fabric) HandleDNS(addr netip.Addr, h DNSHandler) {
+	hst := f.hostFor(addr)
+	hst.mu.Lock()
+	hst.dns = h
+	hst.mu.Unlock()
+}
+
+// hostFor returns (creating if needed) the host record for addr.
+func (f *Fabric) hostFor(addr netip.Addr) *host {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	hst, ok := f.hosts[addr]
+	if !ok {
+		hst = &host{tcp: make(map[uint16]ConnHandler)}
+		f.hosts[addr] = hst
+	}
+	return hst
+}
+
+// lookup returns the host record for addr, or nil.
+func (f *Fabric) lookup(addr netip.Addr) *host {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.hosts[addr]
+}
+
+// Dial opens an in-memory stream from src to (dst, port). The remote
+// handler runs on its own goroutine, exactly as a real accepted connection
+// would. The returned connection reports src and dst through LocalAddr and
+// RemoteAddr.
+func (f *Fabric) Dial(ctx context.Context, src, dst netip.Addr, port uint16) (net.Conn, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	hst := f.lookup(dst)
+	if hst == nil {
+		return nil, fmt.Errorf("%w: %s", ErrHostUnreachable, dst)
+	}
+	hst.mu.RLock()
+	h := hst.tcp[port]
+	hst.mu.RUnlock()
+	if h == nil {
+		return nil, fmt.Errorf("%w: %s:%d", ErrConnRefused, dst, port)
+	}
+	local, remote := net.Pipe()
+	lc := &addrConn{Conn: local, local: tcpAddr(src, 0), remote: tcpAddr(dst, port)}
+	rc := &addrConn{Conn: remote, local: tcpAddr(dst, port), remote: tcpAddr(src, 0)}
+	go h(rc)
+	return lc, nil
+}
+
+// ExchangeDNS delivers one DNS query datagram from src to the service at
+// dst and returns its response. It is synchronous; the virtual network has
+// no propagation delay.
+func (f *Fabric) ExchangeDNS(src, dst netip.Addr, query []byte) ([]byte, error) {
+	hst := f.lookup(dst)
+	if hst == nil {
+		return nil, fmt.Errorf("%w: %s", ErrHostUnreachable, dst)
+	}
+	hst.mu.RLock()
+	h := hst.dns
+	hst.mu.RUnlock()
+	if h == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoDNSService, dst)
+	}
+	resp := h(src, query)
+	if resp == nil {
+		return nil, fmt.Errorf("simnet: query to %s dropped", dst)
+	}
+	return resp, nil
+}
+
+// HasHost reports whether addr is registered on the fabric.
+func (f *Fabric) HasHost(addr netip.Addr) bool { return f.lookup(addr) != nil }
+
+// NumHosts returns the number of registered hosts.
+func (f *Fabric) NumHosts() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.hosts)
+}
+
+// tcpAddr builds a *net.TCPAddr for an address/port pair.
+func tcpAddr(a netip.Addr, port uint16) net.Addr {
+	return &net.TCPAddr{IP: a.AsSlice(), Port: int(port)}
+}
+
+// addrConn decorates a net.Pipe end with meaningful endpoint addresses so
+// servers can log the peer's IP the way a real accept loop would.
+type addrConn struct {
+	net.Conn
+	local, remote net.Addr
+}
+
+func (c *addrConn) LocalAddr() net.Addr  { return c.local }
+func (c *addrConn) RemoteAddr() net.Addr { return c.remote }
+
+// SetDeadline passes through to the pipe; net.Pipe supports deadlines.
+func (c *addrConn) SetDeadline(t time.Time) error { return c.Conn.SetDeadline(t) }
+
+// RemoteIP extracts the peer netip.Addr from a connection served by the
+// fabric (or from a real *net.TCPAddr).
+func RemoteIP(conn net.Conn) (netip.Addr, bool) {
+	ta, ok := conn.RemoteAddr().(*net.TCPAddr)
+	if !ok {
+		return netip.Addr{}, false
+	}
+	a, ok := netip.AddrFromSlice(ta.IP)
+	if !ok {
+		return netip.Addr{}, false
+	}
+	return a.Unmap(), true
+}

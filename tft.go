@@ -1,0 +1,402 @@
+// Package tft reproduces "Tunneling for Transparency: A Large-Scale
+// Analysis of End-to-End Violations in the Internet" (IMC 2016): it builds
+// a calibrated synthetic Internet with a Luminati-style P2P proxy service
+// on top, runs the paper's four measurement experiments through it, and
+// regenerates every table and figure of the evaluation.
+//
+// Quick start:
+//
+//	run, err := tft.RunDNS(context.Background(), tft.Options{Seed: 1, Scale: 0.05})
+//	fmt.Println(run.Analysis.Table3(10))
+//
+// Scale 1.0 reproduces full paper scale (1.27M nodes across the four
+// experiments); the default 0.05 runs in seconds on a laptop with the same
+// table shapes.
+package tft
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/tftproject/tft/internal/analysis"
+	"github.com/tftproject/tft/internal/core"
+	"github.com/tftproject/tft/internal/dataset"
+	"github.com/tftproject/tft/internal/population"
+)
+
+// Options selects a world and crawl configuration.
+type Options struct {
+	// Seed drives every stochastic choice; a (Seed, Scale) pair reproduces
+	// a run exactly.
+	Seed uint64
+	// Scale multiplies the paper's population sizes (0 < Scale <= 1;
+	// default 0.05).
+	Scale float64
+	// Workers is the measurement concurrency (default 8).
+	Workers int
+	// Crawl overrides the stop-rule parameters when non-zero.
+	Crawl core.CrawlConfig
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale == 0 {
+		o.Scale = 0.05
+	}
+	if o.Seed == 0 {
+		o.Seed = 20160413
+	}
+	if o.Workers > 0 {
+		o.Crawl.Workers = o.Workers
+	}
+	return o
+}
+
+func (o Options) cfg() analysis.Config { return analysis.Config{Scale: o.Scale} }
+
+// DNSRun bundles the §4 experiment's world, dataset, and analysis.
+type DNSRun struct {
+	Opts     Options
+	World    *population.World
+	Dataset  *core.DNSDataset
+	Analysis *analysis.DNSAnalysis
+}
+
+// RunDNS builds a DNS world and runs the NXDOMAIN-hijack experiment.
+func RunDNS(ctx context.Context, opts Options) (*DNSRun, error) {
+	opts = opts.withDefaults()
+	w, err := population.BuildDNSWorld(opts.Seed, opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	exp := &core.DNSExperiment{
+		Client: w.Client, Auth: w.Auth, Web: w.Web, Geo: w.Geo,
+		Zone: population.Zone, Weights: w.Pool.CountryCounts(),
+		Seed: opts.Seed, Crawl: opts.Crawl,
+	}
+	exp.InstallRules(population.WebIP)
+	ds, err := exp.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &DNSRun{Opts: opts, World: w, Dataset: ds,
+		Analysis: analysis.AnalyzeDNS(opts.cfg(), w.Geo, ds)}, nil
+}
+
+// Tables renders the run's paper artifacts.
+func (r *DNSRun) Tables() []*analysis.Table {
+	_, t5 := r.Analysis.Table5()
+	return []*analysis.Table{r.Analysis.Table3(10), r.Analysis.Table4(), t5}
+}
+
+// HTTPRun bundles the §5 experiment.
+type HTTPRun struct {
+	Opts     Options
+	World    *population.World
+	Dataset  *core.HTTPDataset
+	Analysis *analysis.HTTPAnalysis
+}
+
+// RunHTTP builds an HTTP world and runs the content-modification
+// experiment.
+func RunHTTP(ctx context.Context, opts Options) (*HTTPRun, error) {
+	opts = opts.withDefaults()
+	w, err := population.BuildHTTPWorld(opts.Seed, opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	exp := &core.HTTPExperiment{
+		Client: w.Client, Auth: w.Auth, Geo: w.Geo,
+		Zone: population.Zone, Weights: w.Pool.CountryCounts(),
+		Seed: opts.Seed, Crawl: opts.Crawl,
+	}
+	exp.InstallRules(population.WebIP)
+	ds, err := exp.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &HTTPRun{Opts: opts, World: w, Dataset: ds,
+		Analysis: analysis.AnalyzeHTTP(opts.cfg(), w.Geo, ds)}, nil
+}
+
+// Tables renders the run's paper artifacts.
+func (r *HTTPRun) Tables() []*analysis.Table {
+	_, t6 := r.Analysis.Table6()
+	_, t7 := r.Analysis.Table7()
+	return []*analysis.Table{t6, t7}
+}
+
+// TLSRun bundles the §6 experiment.
+type TLSRun struct {
+	Opts     Options
+	World    *population.World
+	Dataset  *core.TLSDataset
+	Analysis *analysis.TLSAnalysis
+}
+
+// RunTLS builds a TLS world and runs the certificate-replacement
+// experiment.
+func RunTLS(ctx context.Context, opts Options) (*TLSRun, error) {
+	opts = opts.withDefaults()
+	w, err := population.BuildTLSWorld(opts.Seed, opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	exp := &core.TLSExperiment{
+		Client: w.Client, Geo: w.Geo, Trust: w.Trust,
+		Targets: core.TargetsFromRegistry(w.Sites),
+		Weights: w.Pool.CountryCounts(),
+		Seed:    opts.Seed, Crawl: opts.Crawl,
+		Now: w.Clock.Now,
+	}
+	ds, err := exp.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &TLSRun{Opts: opts, World: w, Dataset: ds,
+		Analysis: analysis.AnalyzeTLS(opts.cfg(), w.Geo, ds)}, nil
+}
+
+// Tables renders the run's paper artifacts.
+func (r *TLSRun) Tables() []*analysis.Table {
+	_, t8 := r.Analysis.Table8()
+	return []*analysis.Table{t8}
+}
+
+// MonitorRun bundles the §7 experiment.
+type MonitorRun struct {
+	Opts     Options
+	World    *population.World
+	Dataset  *core.MonDataset
+	Analysis *analysis.MonAnalysis
+}
+
+// RunMonitor builds a monitoring world and runs the content-monitoring
+// experiment (24 virtual hours of server-log watching).
+func RunMonitor(ctx context.Context, opts Options) (*MonitorRun, error) {
+	opts = opts.withDefaults()
+	w, err := population.BuildMonitorWorld(opts.Seed, opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	exp := &core.MonitorExperiment{
+		Client: w.Client, Auth: w.Auth, Web: w.Web, Geo: w.Geo, Clock: w.Clock,
+		Zone: population.Zone, Weights: w.Pool.CountryCounts(),
+		Seed: opts.Seed, Crawl: opts.Crawl,
+		Watch: 24 * time.Hour,
+	}
+	exp.InstallRules(population.WebIP)
+	ds, err := exp.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &MonitorRun{Opts: opts, World: w, Dataset: ds,
+		Analysis: analysis.AnalyzeMonitor(opts.cfg(), w.Geo, ds)}, nil
+}
+
+// Tables renders the run's paper artifacts.
+func (r *MonitorRun) Tables() []*analysis.Table {
+	_, t9 := r.Analysis.Table9(6)
+	return []*analysis.Table{t9, r.Analysis.Figure5Table(6)}
+}
+
+// Results is the output of a full four-experiment campaign.
+type Results struct {
+	DNS     *DNSRun
+	HTTP    *HTTPRun
+	TLS     *TLSRun
+	Monitor *MonitorRun
+}
+
+// RunAll executes all four experiments.
+func RunAll(ctx context.Context, opts Options) (*Results, error) {
+	dns, err := RunDNS(ctx, opts)
+	if err != nil {
+		return nil, fmt.Errorf("dns experiment: %w", err)
+	}
+	http, err := RunHTTP(ctx, opts)
+	if err != nil {
+		return nil, fmt.Errorf("http experiment: %w", err)
+	}
+	tls, err := RunTLS(ctx, opts)
+	if err != nil {
+		return nil, fmt.Errorf("tls experiment: %w", err)
+	}
+	mon, err := RunMonitor(ctx, opts)
+	if err != nil {
+		return nil, fmt.Errorf("monitoring experiment: %w", err)
+	}
+	return &Results{DNS: dns, HTTP: http, TLS: tls, Monitor: mon}, nil
+}
+
+// Overview builds Table 2 from the four runs.
+func (r *Results) Overview() *analysis.Table {
+	d := r.DNS.Analysis.Summary()
+	h := r.HTTP.Analysis.Summary()
+	t := r.TLS.Analysis.Summary()
+	m := r.Monitor.Analysis.Summary()
+	monCountries, monASes := monCoverage(r.Monitor)
+	return analysis.Table2([]analysis.DatasetOverview{
+		{Name: "DNS", Nodes: d.MeasuredNodes + d.FilteredAnycast, ASes: d.ASes, Countries: d.Countries},
+		{Name: "HTTP", Nodes: h.MeasuredNodes, ASes: h.ASes, Countries: h.Countries},
+		{Name: "HTTPS", Nodes: t.MeasuredNodes, ASes: t.ASes, Countries: t.Countries},
+		{Name: "Monitoring", Nodes: m.MeasuredNodes, ASes: monASes, Countries: monCountries},
+	})
+}
+
+func monCoverage(r *MonitorRun) (countries, ases int) {
+	cset := map[string]bool{}
+	aset := map[uint32]bool{}
+	for _, o := range r.Dataset.Observations {
+		cset[string(o.Country)] = true
+		aset[uint32(o.ASN)] = true
+	}
+	return len(cset), len(aset)
+}
+
+// SMTPRun bundles the §3.4 extension experiment: SMTP probing through an
+// arbitrary-port tunnel service, implementing the paper's stated future
+// work.
+type SMTPRun struct {
+	Opts     Options
+	World    *population.World
+	Dataset  *core.SMTPDataset
+	Analysis *analysis.SMTPAnalysis
+}
+
+// RunSMTP builds the extension world (a VPN allowing any CONNECT port) and
+// probes the measurement mail server through every node, detecting port-25
+// blocking and STARTTLS stripping.
+func RunSMTP(ctx context.Context, opts Options) (*SMTPRun, error) {
+	opts = opts.withDefaults()
+	w, err := population.BuildSMTPWorld(opts.Seed, opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	exp := &core.SMTPExperiment{
+		Client: w.Client, Geo: w.Geo, Weights: w.Pool.CountryCounts(),
+		Seed: opts.Seed, Crawl: opts.Crawl,
+		MailIP: population.MailIP, MailHost: population.MailHost,
+	}
+	ds, err := exp.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &SMTPRun{Opts: opts, World: w, Dataset: ds,
+		Analysis: analysis.AnalyzeSMTP(opts.cfg(), w.Geo, ds)}, nil
+}
+
+// Tables renders the extension's findings.
+func (r *SMTPRun) Tables() []*analysis.Table {
+	_, t := r.Analysis.TableSMTP()
+	return []*analysis.Table{t}
+}
+
+// Dump writes the campaign's datasets plus the geo snapshot into dir — the
+// code-and-data release of the paper's fourth contribution. cmd/analyze
+// regenerates every table from these files alone.
+func (r *Results) Dump(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, fn func(w io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return fn(f)
+	}
+	opts := r.Opts()
+	// The DNS world's registry covers the richest attribution structure;
+	// each dataset carries its own world's mappings.
+	if err := write("geo.jsonl", func(w io.Writer) error {
+		return dataset.WriteGeo(w, opts.Seed, opts.Scale, r.DNS.World.Geo)
+	}); err != nil {
+		return err
+	}
+	if err := write("geo-http.jsonl", func(w io.Writer) error {
+		return dataset.WriteGeo(w, opts.Seed, opts.Scale, r.HTTP.World.Geo)
+	}); err != nil {
+		return err
+	}
+	if err := write("geo-tls.jsonl", func(w io.Writer) error {
+		return dataset.WriteGeo(w, opts.Seed, opts.Scale, r.TLS.World.Geo)
+	}); err != nil {
+		return err
+	}
+	if err := write("geo-monitor.jsonl", func(w io.Writer) error {
+		return dataset.WriteGeo(w, opts.Seed, opts.Scale, r.Monitor.World.Geo)
+	}); err != nil {
+		return err
+	}
+	if err := write("dns.jsonl", func(w io.Writer) error {
+		return dataset.WriteDNS(w, opts.Seed, opts.Scale, r.DNS.Dataset)
+	}); err != nil {
+		return err
+	}
+	if err := write("http.jsonl", func(w io.Writer) error {
+		return dataset.WriteHTTP(w, opts.Seed, opts.Scale, r.HTTP.Dataset)
+	}); err != nil {
+		return err
+	}
+	if err := write("tls.jsonl", func(w io.Writer) error {
+		return dataset.WriteTLS(w, opts.Seed, opts.Scale, r.TLS.Dataset)
+	}); err != nil {
+		return err
+	}
+	return write("monitor.jsonl", func(w io.Writer) error {
+		return dataset.WriteMonitor(w, opts.Seed, opts.Scale, r.Monitor.Dataset)
+	})
+}
+
+// LongitudinalRun bundles a §9-style continuous measurement: repeated DNS
+// crawls over virtual weeks while the violator population evolves.
+type LongitudinalRun struct {
+	Opts  Options
+	World *population.World
+	Waves []core.Wave
+}
+
+// RunLongitudinal executes a multi-wave DNS campaign against one world,
+// applying population.StandardEvolution between waves (large ISPs
+// progressively retiring their hijacking appliances).
+func RunLongitudinal(ctx context.Context, opts Options, waves int) (*LongitudinalRun, error) {
+	opts = opts.withDefaults()
+	w, err := population.BuildDNSWorld(opts.Seed, opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	exp := &core.DNSExperiment{
+		Client: w.Client, Auth: w.Auth, Web: w.Web, Geo: w.Geo,
+		Zone: population.Zone, Weights: w.Pool.CountryCounts(),
+		Seed: opts.Seed, Crawl: opts.Crawl,
+	}
+	exp.InstallRules(population.WebIP)
+	long := &core.LongitudinalDNS{
+		Experiment:   exp,
+		Clock:        w.Clock,
+		Waves:        waves,
+		BetweenWaves: population.StandardEvolution(w),
+	}
+	ws, err := long.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &LongitudinalRun{Opts: opts, World: w, Waves: ws}, nil
+}
+
+// Table renders the wave time series.
+func (r *LongitudinalRun) Table() *analysis.Table {
+	rows := make([]analysis.WaveRow, 0, len(r.Waves))
+	for _, w := range r.Waves {
+		rows = append(rows, analysis.WaveRow{
+			Wave: w.Index, Measured: w.Measured, Hijacked: w.Hijacked,
+			HijackPct: 100 * w.HijackRate(),
+		})
+	}
+	return analysis.TableLongitudinal(rows)
+}
