@@ -1,0 +1,25 @@
+# Developer entry points. `make check` is the full pre-merge gate; the
+# individual targets mirror its stages.
+
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build race bench
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every crawl benchmark: a smoke test that the default-
+# scale worlds still build and crawl, not a performance measurement.
+bench:
+	$(GO) test -run=NONE -bench=Crawl -benchtime=1x ./...

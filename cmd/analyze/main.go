@@ -18,6 +18,15 @@ import (
 	"github.com/tftproject/tft/internal/geo"
 )
 
+// experiment describes one dataset file and how to analyze it. The load
+// function reads the file, runs the analysis against the experiment's own
+// geo snapshot, prints a headline, and returns the tables to render.
+type experiment struct {
+	file string
+	geo  []string // snapshot candidates, most specific first
+	load func(f *os.File, cfg analysis.Config, reg *geo.Registry) ([]*analysis.Table, error)
+}
+
 func main() {
 	dir := flag.String("dir", ".", "directory containing tft dataset files")
 	flag.Parse()
@@ -45,74 +54,87 @@ func main() {
 	fmt.Printf("loaded geo snapshot: %d ASes, %d orgs (seed %d, scale %.3f)\n\n",
 		reg.NumASes(), reg.NumOrgs(), gh.Seed, gh.Scale)
 
-	open := func(name string) *os.File {
-		f, err := os.Open(filepath.Join(*dir, name))
-		if err != nil {
-			return nil
-		}
-		return f
+	experiments := []experiment{
+		{file: "dns.jsonl", geo: []string{"geo.jsonl"},
+			load: func(f *os.File, cfg analysis.Config, reg *geo.Registry) ([]*analysis.Table, error) {
+				h, ds, err := dataset.ReadDNS(f)
+				if err != nil {
+					return nil, err
+				}
+				a := analysis.AnalyzeDNS(cfg, reg, ds)
+				s := a.Summary()
+				fmt.Printf("== DNS: %d records; %d measured, hijacked %.1f%%, attribution %v\n\n",
+					h.Records, s.MeasuredNodes, s.HijackPct, s.Attribution)
+				_, t5 := a.Table5()
+				return []*analysis.Table{a.Table3(10), a.Table4(), t5}, nil
+			}},
+		{file: "http.jsonl", geo: []string{"geo-http.jsonl", "geo.jsonl"},
+			load: func(f *os.File, cfg analysis.Config, reg *geo.Registry) ([]*analysis.Table, error) {
+				h, ds, err := dataset.ReadHTTP(f)
+				if err != nil {
+					return nil, err
+				}
+				a := analysis.AnalyzeHTTP(cfg, reg, ds)
+				s := a.Summary()
+				fmt.Printf("== HTTP: %d records; HTML modified %d, images %d, JS %d, CSS %d\n\n",
+					h.Records, s.HTMLModified, s.ImageModified, s.JSReplaced, s.CSSReplaced)
+				_, t6 := a.Table6()
+				_, t7 := a.Table7()
+				return []*analysis.Table{t6, t7}, nil
+			}},
+		{file: "tls.jsonl", geo: []string{"geo-tls.jsonl", "geo.jsonl"},
+			load: func(f *os.File, cfg analysis.Config, reg *geo.Registry) ([]*analysis.Table, error) {
+				h, ds, err := dataset.ReadTLS(f)
+				if err != nil {
+					return nil, err
+				}
+				a := analysis.AnalyzeTLS(cfg, reg, ds)
+				s := a.Summary()
+				fmt.Printf("== HTTPS: %d records; affected %d (%.2f%%)\n\n", h.Records, s.Affected, s.AffectedPct)
+				_, t8 := a.Table8()
+				return []*analysis.Table{t8}, nil
+			}},
+		{file: "monitor.jsonl", geo: []string{"geo-monitor.jsonl", "geo.jsonl"},
+			load: func(f *os.File, cfg analysis.Config, reg *geo.Registry) ([]*analysis.Table, error) {
+				h, ds, err := dataset.ReadMonitor(f)
+				if err != nil {
+					return nil, err
+				}
+				a := analysis.AnalyzeMonitor(cfg, reg, ds)
+				s := a.Summary()
+				fmt.Printf("== Monitoring: %d records; monitored %d (%.2f%%)\n\n", h.Records, s.Monitored, s.MonitoredPct)
+				fmt.Println(analysis.PlotCDFs(a.Figure5(6), 90, 18))
+				_, t9 := a.Table9(6)
+				return []*analysis.Table{t9, a.Figure5Table(6)}, nil
+			}},
+		{file: "smtp.jsonl", geo: []string{"geo-smtp.jsonl", "geo.jsonl"},
+			load: func(f *os.File, cfg analysis.Config, reg *geo.Registry) ([]*analysis.Table, error) {
+				h, ds, err := dataset.ReadSMTP(f)
+				if err != nil {
+					return nil, err
+				}
+				a := analysis.AnalyzeSMTP(cfg, reg, ds)
+				s := a.Summary()
+				fmt.Printf("== SMTP: %d records; blocked %d (%.1f%%), stripped %d (%.2f%%)\n\n",
+					h.Records, s.Blocked, s.BlockedPct, s.Stripped, s.StrippedPct)
+				_, t := a.TableSMTP()
+				return []*analysis.Table{t}, nil
+			}},
 	}
 
-	if f := open("dns.jsonl"); f != nil {
-		h, ds, err := dataset.ReadDNS(f)
+	for _, exp := range experiments {
+		f, err := os.Open(filepath.Join(*dir, exp.file))
+		if err != nil {
+			continue // file absent: the dump did not include this experiment
+		}
+		_, ereg := loadGeo(exp.geo...)
+		tables, err := exp.load(f, cfg, ereg)
 		f.Close()
 		if err != nil {
-			log.Fatalf("dns.jsonl: %v", err)
+			log.Fatalf("%s: %v", exp.file, err)
 		}
-		a := analysis.AnalyzeDNS(cfg, reg, ds)
-		s := a.Summary()
-		fmt.Printf("== DNS: %d records; %d measured, hijacked %.1f%%, attribution %v\n\n",
-			h.Records, s.MeasuredNodes, s.HijackPct, s.Attribution)
-		fmt.Println(a.Table3(10))
-		fmt.Println(a.Table4())
-		_, t5 := a.Table5()
-		fmt.Println(t5)
-	}
-
-	if f := open("http.jsonl"); f != nil {
-		h, ds, err := dataset.ReadHTTP(f)
-		f.Close()
-		if err != nil {
-			log.Fatalf("http.jsonl: %v", err)
+		for _, t := range tables {
+			fmt.Println(t)
 		}
-		_, hreg := loadGeo("geo-http.jsonl", "geo.jsonl")
-		a := analysis.AnalyzeHTTP(cfg, hreg, ds)
-		s := a.Summary()
-		fmt.Printf("== HTTP: %d records; HTML modified %d, images %d, JS %d, CSS %d\n\n",
-			h.Records, s.HTMLModified, s.ImageModified, s.JSReplaced, s.CSSReplaced)
-		_, t6 := a.Table6()
-		fmt.Println(t6)
-		_, t7 := a.Table7()
-		fmt.Println(t7)
-	}
-
-	if f := open("tls.jsonl"); f != nil {
-		h, ds, err := dataset.ReadTLS(f)
-		f.Close()
-		if err != nil {
-			log.Fatalf("tls.jsonl: %v", err)
-		}
-		_, treg := loadGeo("geo-tls.jsonl", "geo.jsonl")
-		a := analysis.AnalyzeTLS(cfg, treg, ds)
-		s := a.Summary()
-		fmt.Printf("== HTTPS: %d records; affected %d (%.2f%%)\n\n", h.Records, s.Affected, s.AffectedPct)
-		_, t8 := a.Table8()
-		fmt.Println(t8)
-	}
-
-	if f := open("monitor.jsonl"); f != nil {
-		h, ds, err := dataset.ReadMonitor(f)
-		f.Close()
-		if err != nil {
-			log.Fatalf("monitor.jsonl: %v", err)
-		}
-		_, mreg := loadGeo("geo-monitor.jsonl", "geo.jsonl")
-		a := analysis.AnalyzeMonitor(cfg, mreg, ds)
-		s := a.Summary()
-		fmt.Printf("== Monitoring: %d records; monitored %d (%.2f%%)\n\n", h.Records, s.Monitored, s.MonitoredPct)
-		_, t9 := a.Table9(6)
-		fmt.Println(t9)
-		fmt.Println(a.Figure5Table(6))
-		fmt.Println(analysis.PlotCDFs(a.Figure5(6), 90, 18))
 	}
 }

@@ -5,23 +5,29 @@
 //
 //	superproxy -listen 127.0.0.1:22225 -agents 127.0.0.1:22226 \
 //	           -dns 127.0.0.1:5353 [-dns-bind 127.0.0.2] \
-//	           [-http-port 8080] [-connect-port 8443]
+//	           [-http-port 8080] [-connect-port 8443] [-metrics 127.0.0.1:22227]
 //
 // -dns points at the authoritative server (cmd/authdns). -dns-bind pins the
 // super proxy's resolver egress address; on loopback, distinct 127.x.y.z
 // addresses let the authoritative server's d2 gate recognize the super
 // proxy, exactly as the paper's methodology requires (§4.1).
+//
+// -metrics serves the service-side telemetry (GET/CONNECT split, session
+// pins, per-exit-node request counts) as an expvar-style JSON document at
+// GET /metrics.
 package main
 
 import (
 	"flag"
 	"log"
 	"net"
+	"net/http"
 	"net/netip"
 	"time"
 
 	"github.com/tftproject/tft/internal/dnsserver"
 	"github.com/tftproject/tft/internal/geo"
+	"github.com/tftproject/tft/internal/metrics"
 	"github.com/tftproject/tft/internal/proxynet"
 	"github.com/tftproject/tft/internal/simnet"
 )
@@ -35,6 +41,7 @@ func main() {
 		httpPort    = flag.Uint("http-port", 80, "destination port allowed for proxied GETs")
 		connectPort = flag.Uint("connect-port", 443, "destination port allowed for CONNECT")
 		churn       = flag.Float64("churn", 0, "probability a selected peer transiently fails (retry demo)")
+		metricsAddr = flag.String("metrics", "", "serve the metrics snapshot as JSON on this address (GET /metrics)")
 	)
 	flag.Parse()
 
@@ -62,6 +69,24 @@ func main() {
 	sp := proxynet.NewSuperProxy(selfIP, pool, resolver, simnet.Real{})
 	sp.HTTPPort = uint16(*httpPort)
 	sp.ConnectPort = uint16(*connectPort)
+	reg := metrics.NewRegistry()
+	sp.Metrics = reg
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := reg.WriteJSON(w); err != nil {
+				log.Printf("metrics dump: %v", err)
+			}
+		})
+		go func() {
+			log.Printf("metrics on http://%s/metrics", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				log.Fatalf("metrics listener: %v", err)
+			}
+		}()
+	}
 
 	gw := proxynet.NewGateway(pool)
 	al, err := net.Listen("tcp", *agents)

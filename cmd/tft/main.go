@@ -4,11 +4,16 @@
 // Usage:
 //
 //	tft [-experiment dns|http|https|monitor|all] [-scale 0.05] [-seed N]
-//	    [-workers 8] [-report]
+//	    [-workers 8] [-report] [-metrics] [-metrics-json]
 //
 // -scale 1.0 reproduces full paper scale (1.27M nodes across experiments);
 // expect minutes of runtime and several GB of memory. The default 5% runs
 // in seconds with the same table shapes.
+//
+// Every experiment implements the tft.Run interface, so the single-
+// experiment and all-experiment paths share one printing loop. -metrics
+// appends the crawl-engine metrics table per run; -metrics-json dumps the
+// raw snapshots as expvar-style JSON to stdout.
 package main
 
 import (
@@ -24,12 +29,14 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "dns, http, https, monitor, smtp, longitudinal (extensions), or all")
-		scale      = flag.Float64("scale", 0.05, "fraction of the paper's population sizes (0 < s <= 1)")
-		seed       = flag.Uint64("seed", 20160413, "world/crawl seed; a (seed, scale) pair reproduces a run")
-		workers    = flag.Int("workers", 8, "concurrent measurement sessions")
-		report     = flag.Bool("report", true, "print the paper-vs-measured report (all experiments only)")
-		dump       = flag.String("dump", "", "directory to write the dataset release into (all experiments only)")
+		experiment  = flag.String("experiment", "all", "dns, http, https, monitor, smtp, longitudinal (extensions), or all")
+		scale       = flag.Float64("scale", 0.05, "fraction of the paper's population sizes (0 < s <= 1)")
+		seed        = flag.Uint64("seed", 20160413, "world/crawl seed; a (seed, scale) pair reproduces a run")
+		workers     = flag.Int("workers", 8, "concurrent measurement sessions")
+		report      = flag.Bool("report", true, "print the paper-vs-measured report (all experiments only)")
+		dump        = flag.String("dump", "", "directory to write the dataset release into (all experiments only)")
+		showMetrics = flag.Bool("metrics", false, "print each run's crawl-engine metrics table")
+		metricsJSON = flag.Bool("metrics-json", false, "dump each run's metrics snapshot as JSON to stdout")
 	)
 	flag.Parse()
 
@@ -37,53 +44,68 @@ func main() {
 	ctx := context.Background()
 	start := time.Now()
 
+	printRun := func(run tft.Run) {
+		fmt.Println(run.Headline())
+		for _, t := range run.Tables() {
+			fmt.Println(t)
+		}
+		if m, ok := run.(*tft.MonitorRun); ok {
+			fmt.Println(analysis.PlotCDFs(m.Analysis.Figure5(6), 90, 18))
+		}
+		if *showMetrics {
+			fmt.Println(tft.MetricsTable(run.Name(), run.Metrics()))
+		}
+		if *metricsJSON {
+			if err := run.Metrics().WriteJSON(os.Stdout); err != nil {
+				exitOn(err)
+			}
+			fmt.Println()
+		}
+	}
+
 	switch *experiment {
 	case "dns":
 		run, err := tft.RunDNS(ctx, opts)
 		exitOn(err)
-		printSummaryDNS(run)
-		printTables(run.Tables())
+		printRun(run)
 	case "http":
 		run, err := tft.RunHTTP(ctx, opts)
 		exitOn(err)
-		printSummaryHTTP(run)
-		printTables(run.Tables())
+		printRun(run)
 	case "https", "tls":
 		run, err := tft.RunTLS(ctx, opts)
 		exitOn(err)
-		printSummaryTLS(run)
-		printTables(run.Tables())
+		printRun(run)
 	case "monitor", "monitoring":
 		run, err := tft.RunMonitor(ctx, opts)
 		exitOn(err)
-		printSummaryMon(run)
-		printTables(run.Tables())
-		fmt.Println(analysis.PlotCDFs(run.Analysis.Figure5(6), 90, 18))
+		printRun(run)
 	case "smtp":
 		run, err := tft.RunSMTP(ctx, opts)
 		exitOn(err)
-		printSummarySMTP(run)
-		printTables(run.Tables())
+		printRun(run)
 	case "longitudinal":
 		run, err := tft.RunLongitudinal(ctx, opts, 4)
 		exitOn(err)
 		fmt.Println("== Longitudinal (§9): repeated weekly crawls while large hijackers retire their appliances")
 		fmt.Println()
 		fmt.Println(run.Table())
+		if *showMetrics {
+			for _, w := range run.Waves {
+				fmt.Printf("wave %d: sessions=%d unique=%d duplicates=%d\n",
+					w.Index, w.Metrics.Counter("crawl_sessions_total"),
+					w.Metrics.Counter("crawl_nodes_total"),
+					w.Metrics.Counter("crawl_duplicates_total"))
+			}
+		}
 	case "all":
 		res, err := tft.RunAll(ctx, opts)
 		exitOn(err)
 		fmt.Println(analysis.Table1())
 		fmt.Println(res.Overview())
-		printSummaryDNS(res.DNS)
-		printTables(res.DNS.Tables())
-		printSummaryHTTP(res.HTTP)
-		printTables(res.HTTP.Tables())
-		printSummaryTLS(res.TLS)
-		printTables(res.TLS.Tables())
-		printSummaryMon(res.Monitor)
-		printTables(res.Monitor.Tables())
-		fmt.Println(analysis.PlotCDFs(res.Monitor.Analysis.Figure5(6), 90, 18))
+		for _, run := range res.Runs() {
+			printRun(run)
+		}
 		if *report {
 			fmt.Println(res.Report())
 		}
@@ -105,49 +127,4 @@ func exitOn(err error) {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
-}
-
-func printTables(tables []*analysis.Table) {
-	for _, t := range tables {
-		fmt.Println(t)
-	}
-}
-
-func printSummaryDNS(run *tft.DNSRun) {
-	s := run.Analysis.Summary()
-	rs := run.Analysis.ResolverStats()
-	fmt.Printf("== DNS (§4): %d nodes measured (%d filtered shared-anycast), %d resolvers, %d countries, %d ASes\n",
-		s.MeasuredNodes, s.FilteredAnycast, s.UniqueResolvers, s.Countries, s.ASes)
-	fmt.Printf("   servers: %d total, %d above threshold; ISP-provided %d (%d above threshold, %d hijacking)\n",
-		rs.TotalServers, rs.AboveThreshold, rs.ISPServers, rs.ISPAboveThreshold, rs.HijackingISP)
-	fmt.Printf("   hijacked: %d (%.1f%%); attribution: %v\n\n", s.Hijacked, s.HijackPct, s.Attribution)
-}
-
-func printSummaryHTTP(run *tft.HTTPRun) {
-	s := run.Analysis.Summary()
-	fmt.Printf("== HTTP (§5): %d nodes, %d ASes, %d countries; crawl skipped %d by AS quota\n",
-		s.MeasuredNodes, s.ASes, s.Countries, run.Dataset.SkippedQuota)
-	fmt.Printf("   HTML modified %d (injected %d, block pages %d), images %d, JS %d, CSS %d\n\n",
-		s.HTMLModified, s.HTMLInjected, s.HTMLBlockPage, s.ImageModified, s.JSReplaced, s.CSSReplaced)
-}
-
-func printSummaryTLS(run *tft.TLSRun) {
-	s := run.Analysis.Summary()
-	fmt.Printf("== HTTPS (§6): %d nodes, %d ASes, %d countries; %d CONNECT tunnels\n",
-		s.MeasuredNodes, s.ASes, s.Countries, run.Dataset.Probes)
-	fmt.Printf("   replaced certificates on %d nodes (%.2f%%); selective on %d; ASes >10%% affected: %.1f%%\n\n",
-		s.Affected, s.AffectedPct, s.SelectiveNodes, s.HighASShare)
-}
-
-func printSummarySMTP(run *tft.SMTPRun) {
-	s := run.Analysis.Summary()
-	fmt.Printf("== SMTP extension (§3.4 future work): %d nodes probed through an any-port tunnel\n", s.MeasuredNodes)
-	fmt.Printf("   port 25 blocked: %d (%.1f%%); STARTTLS stripped: %d (%.2f%%) in %d ASes\n\n",
-		s.Blocked, s.BlockedPct, s.Stripped, s.StrippedPct, s.StripperASes)
-}
-
-func printSummaryMon(run *tft.MonitorRun) {
-	s := run.Analysis.Summary()
-	fmt.Printf("== Monitoring (§7): %d nodes; monitored %d (%.2f%%) by %d IPs in %d AS groups\n\n",
-		s.MeasuredNodes, s.Monitored, s.MonitoredPct, s.UniqueIPs, s.ASGroups)
 }

@@ -20,11 +20,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
+	"slices"
 	"sync"
 
 	"github.com/tftproject/tft/internal/geo"
+	"github.com/tftproject/tft/internal/metrics"
 )
 
 // Budget enforces the paper's per-node courtesy cap (§3.4): never more than
@@ -32,6 +35,9 @@ import (
 type Budget struct {
 	// MaxBytes per zID; zero means the paper's 1 MB.
 	MaxBytes int64
+	// Metrics, when non-nil, receives the charged-byte counter and a
+	// budget-exhausted event the first time each node crosses the cap.
+	Metrics *metrics.Registry
 
 	mu   sync.Mutex
 	used map[string]int64
@@ -53,9 +59,17 @@ func NewBudget(maxBytes int64) *Budget {
 // false.
 func (b *Budget) Charge(zid string, n int) bool {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	before := b.used[zid]
 	b.used[zid] += int64(n)
-	return b.used[zid] <= b.MaxBytes
+	after := b.used[zid]
+	b.mu.Unlock()
+	b.Metrics.Counter("budget_charged_bytes").Add(int64(n))
+	if before <= b.MaxBytes && after > b.MaxBytes {
+		b.Metrics.Counter("budget_exhausted_total").Inc()
+		b.Metrics.Record(metrics.Event{Kind: metrics.EventBudgetExhausted,
+			ZID: zid, Value: float64(after)})
+	}
+	return after <= b.MaxBytes
 }
 
 // Used reports the bytes charged to zid.
@@ -79,6 +93,11 @@ type CrawlConfig struct {
 	// MaxSessions bounds the crawl regardless (0 = derived from the
 	// country weights).
 	MaxSessions int
+	// Metrics, when non-nil, receives the crawl's live telemetry: session
+	// and novelty counters, per-country session counts, the stop-rule
+	// window trajectory, and the typed event trace. A nil registry
+	// disables instrumentation at the cost of a nil check.
+	Metrics *metrics.Registry
 }
 
 // withDefaults fills unset fields.
@@ -106,15 +125,25 @@ type crawler struct {
 	cum       []int // cumulative weights
 	totalW    int
 
-	mu       sync.Mutex
-	rng      *rand.Rand
-	seen     map[string]bool
-	recent   []bool
-	recentAt int
-	filled   int
-	newInWin int
-	sessions int
-	stopped  bool
+	mu            sync.Mutex
+	rng           *rand.Rand
+	seen          map[string]bool
+	recent        []bool
+	recentAt      int
+	filled        int
+	newInWin      int
+	sessions      int
+	stopped       bool
+	stopEventDone bool
+
+	// Cached instrument handles; all nil-safe no-ops when cfg.Metrics is
+	// nil, so the hot path never branches on telemetry being enabled.
+	mSessions   *metrics.Counter
+	mNodes      *metrics.Counter
+	mDuplicates *metrics.Counter
+	mByCountry  *metrics.LabeledCounter
+	mWindowNew  *metrics.Gauge
+	mWindowRate *metrics.Histogram
 }
 
 // newCrawler builds a crawler over the service-reported country weights.
@@ -132,28 +161,46 @@ func newCrawler(cfg CrawlConfig, weights map[geo.CountryCode]int, rng *rand.Rand
 		cum[i] = total
 	}
 	cfg = cfg.withDefaults(total)
+	m := cfg.Metrics
 	return &crawler{
 		cfg: cfg, countries: countries, cum: cum, totalW: total,
 		rng:    rng,
 		seen:   make(map[string]bool),
 		recent: make([]bool, cfg.Window),
+
+		mSessions:   m.Counter("crawl_sessions_total"),
+		mNodes:      m.Counter("crawl_nodes_total"),
+		mDuplicates: m.Counter("crawl_duplicates_total"),
+		mByCountry:  m.Labeled("crawl_sessions_by_country"),
+		mWindowNew:  m.Gauge("crawl_window_new"),
+		mWindowRate: m.Histogram("crawl_window_new_rate", windowRateBounds),
 	}
 }
 
+// windowRateBounds bucket the stop-rule window's new-node rate; the 0.05
+// boundary is the default StopNewRate, so the lowest buckets show how the
+// crawl approached its stopping condition.
+var windowRateBounds = []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8}
+
 func sortCountries(cs []geo.CountryCode) {
-	for i := 1; i < len(cs); i++ {
-		for j := i; j > 0 && cs[j] < cs[j-1]; j-- {
-			cs[j], cs[j-1] = cs[j-1], cs[j]
-		}
-	}
+	slices.Sort(cs)
 }
 
 // next picks a country (weight-proportional) and a fresh session ID, or
-// reports that the crawl should stop.
-func (c *crawler) next() (geo.CountryCode, string, bool) {
+// reports that the crawl should stop. A cancelled ctx stops the crawl as
+// if the session cap had been reached.
+func (c *crawler) next(ctx context.Context) (geo.CountryCode, string, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.stopped || c.sessions >= c.cfg.MaxSessions || c.totalW == 0 {
+	if ctx.Err() != nil {
+		c.recordStop("context_cancelled")
+		return "", "", false
+	}
+	if c.stopped || c.totalW == 0 {
+		return "", "", false
+	}
+	if c.sessions >= c.cfg.MaxSessions {
+		c.recordStop("session_cap")
 		return "", "", false
 	}
 	c.sessions++
@@ -163,7 +210,22 @@ func (c *crawler) next() (geo.CountryCode, string, bool) {
 	for idx < len(c.cum) && c.cum[idx] <= w {
 		idx++
 	}
-	return c.countries[idx], id, true
+	cc := c.countries[idx]
+	c.mSessions.Inc()
+	c.mByCountry.Inc(string(cc))
+	c.cfg.Metrics.Record(metrics.Event{Kind: metrics.EventSessionStarted,
+		Session: id, Country: string(cc)})
+	return cc, id, true
+}
+
+// recordStop emits the crawl-stopped event once. Callers hold c.mu.
+func (c *crawler) recordStop(reason string) {
+	if c.stopEventDone {
+		return
+	}
+	c.stopEventDone = true
+	c.cfg.Metrics.Record(metrics.Event{Kind: metrics.EventCrawlStopped,
+		Detail: reason, Value: float64(c.sessions)})
 }
 
 // observe records a measured zID, returning false when this node was
@@ -174,6 +236,11 @@ func (c *crawler) observe(zid string) bool {
 	isNew := !c.seen[zid]
 	if isNew {
 		c.seen[zid] = true
+		c.mNodes.Inc()
+		c.cfg.Metrics.Record(metrics.Event{Kind: metrics.EventNodeDiscovered, ZID: zid})
+	} else {
+		c.mDuplicates.Inc()
+		c.cfg.Metrics.Record(metrics.Event{Kind: metrics.EventDuplicateNode, ZID: zid})
 	}
 	// Ring buffer of recent novelty outcomes.
 	if c.filled == len(c.recent) {
@@ -188,9 +255,18 @@ func (c *crawler) observe(zid string) bool {
 		c.newInWin++
 	}
 	c.recentAt = (c.recentAt + 1) % len(c.recent)
+	c.mWindowNew.Set(int64(c.newInWin))
+	if c.filled == len(c.recent) && c.recentAt == 0 {
+		// One trajectory sample per full window turn: how fast is the
+		// crawl still finding new nodes?
+		rate := float64(c.newInWin) / float64(len(c.recent))
+		c.mWindowRate.Observe(rate)
+		c.cfg.Metrics.Record(metrics.Event{Kind: metrics.EventStopWindow, Value: rate})
+	}
 	if c.filled == len(c.recent) &&
 		float64(c.newInWin) < c.cfg.StopNewRate*float64(len(c.recent)) {
 		c.stopped = true
+		c.recordStop("stop_rule")
 	}
 	return isNew
 }
@@ -213,16 +289,17 @@ func (c *crawler) stats() Stats {
 }
 
 // runWorkers drives measure() from cfg.Workers goroutines until the crawl
-// stops. measure is called with a country and session ID and must do its
-// own recording.
-func (c *crawler) runWorkers(measure func(cc geo.CountryCode, session string)) {
+// stops or ctx is cancelled. measure is called with a country and session
+// ID and must do its own recording. Cancellation is checked before every
+// session hand-out, so each worker finishes at most the session it is in.
+func (c *crawler) runWorkers(ctx context.Context, measure func(cc geo.CountryCode, session string)) {
 	var wg sync.WaitGroup
 	for w := 0; w < c.cfg.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				cc, sess, ok := c.next()
+				cc, sess, ok := c.next(ctx)
 				if !ok {
 					return
 				}

@@ -66,7 +66,7 @@ func TestCrawlerStopRule(t *testing.T) {
 	// Simulate a world with 30 nodes: novelty dries up, crawl must stop
 	// well before MaxSessions.
 	for {
-		cc, _, ok := cr.next()
+		cc, _, ok := cr.next(context.Background())
 		if !ok {
 			break
 		}
@@ -91,7 +91,7 @@ func TestCrawlerCountryProportional(t *testing.T) {
 	cr := newCrawler(CrawlConfig{MaxSessions: 8000, Window: 10000}, weights, testRand())
 	counts := map[geo.CountryCode]int{}
 	for {
-		cc, _, ok := cr.next()
+		cc, _, ok := cr.next(context.Background())
 		if !ok {
 			break
 		}

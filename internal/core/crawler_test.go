@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -54,7 +55,7 @@ func TestCrawlerWorkersConcurrencySafe(t *testing.T) {
 		weights, simnet.NewRand(3))
 	var mu sync.Mutex
 	perCountry := map[geo.CountryCode]int{}
-	cr.runWorkers(func(cc geo.CountryCode, sess string) {
+	cr.runWorkers(context.Background(), func(cc geo.CountryCode, sess string) {
 		// Simulate a 40-node world.
 		zid := fmt.Sprintf("z%02d", len(sess)%5*8+int(sess[len(sess)-1])%8)
 		cr.observe(zid)
@@ -80,7 +81,7 @@ func TestCrawlerWorkersConcurrencySafe(t *testing.T) {
 
 func TestCrawlerEmptyWeights(t *testing.T) {
 	cr := newCrawler(CrawlConfig{}, nil, simnet.NewRand(4))
-	if _, _, ok := cr.next(); ok {
+	if _, _, ok := cr.next(context.Background()); ok {
 		t.Fatal("crawl with no countries handed out a session")
 	}
 }
@@ -90,7 +91,7 @@ func TestCrawlerMaxSessionsCap(t *testing.T) {
 		map[geo.CountryCode]int{"DE": 1}, simnet.NewRand(5))
 	n := 0
 	for {
-		_, _, ok := cr.next()
+		_, _, ok := cr.next(context.Background())
 		if !ok {
 			break
 		}

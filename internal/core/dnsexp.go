@@ -10,6 +10,7 @@ import (
 	"github.com/tftproject/tft/internal/content"
 	"github.com/tftproject/tft/internal/dnsserver"
 	"github.com/tftproject/tft/internal/geo"
+	"github.com/tftproject/tft/internal/metrics"
 	"github.com/tftproject/tft/internal/origin"
 	"github.com/tftproject/tft/internal/proxynet"
 	"github.com/tftproject/tft/internal/simnet"
@@ -98,23 +99,38 @@ func (e *DNSExperiment) Run(ctx context.Context) (*DNSDataset, error) {
 	if e.Budget == nil {
 		e.Budget = NewBudget(0)
 	}
+	m := e.Crawl.Metrics
+	if e.Budget.Metrics == nil {
+		e.Budget.Metrics = m
+	}
 	cr := newCrawler(e.Crawl, e.Weights, simnet.SubRand(e.Seed, "crawl/dns"))
 	ds := &DNSDataset{}
 	var mu sync.Mutex
 
-	cr.runWorkers(func(cc geo.CountryCode, sess string) {
+	cr.runWorkers(ctx, func(cc geo.CountryCode, sess string) {
 		obs, outcome := e.measure(ctx, cr, cc, sess)
 		mu.Lock()
 		defer mu.Unlock()
 		switch outcome {
 		case outcomeOK:
 			ds.Observations = append(ds.Observations, obs)
+			if obs.SharedAnycast {
+				m.Counter("dns_shared_anycast_total").Inc()
+			}
+			if obs.Hijacked {
+				m.Counter("dns_hijacked_total").Inc()
+				m.Record(metrics.Event{Kind: metrics.EventViolation,
+					Session: sess, ZID: obs.ZID, Country: string(obs.Country),
+					Detail: "dns_hijack"})
+			}
 		case outcomeFailed:
 			ds.Failures++
+			m.Counter("crawl_failures_total").Inc()
 		case outcomeDuplicate:
 			ds.Duplicates++
 		case outcomeDiscarded:
 			ds.Discarded++
+			m.Counter("crawl_discarded_total").Inc()
 		}
 	})
 	ds.Crawl = cr.stats()

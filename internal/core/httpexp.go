@@ -11,6 +11,7 @@ import (
 	"github.com/tftproject/tft/internal/content"
 	"github.com/tftproject/tft/internal/dnsserver"
 	"github.com/tftproject/tft/internal/geo"
+	"github.com/tftproject/tft/internal/metrics"
 	"github.com/tftproject/tft/internal/proxynet"
 	"github.com/tftproject/tft/internal/simnet"
 )
@@ -132,13 +133,17 @@ func (e *HTTPExperiment) Run(ctx context.Context) (*HTTPDataset, error) {
 	if kinds == nil {
 		kinds = content.Kinds
 	}
+	m := e.Crawl.Metrics
+	if e.Budget.Metrics == nil {
+		e.Budget.Metrics = m
+	}
 	cr := newCrawler(e.Crawl, e.Weights, simnet.SubRand(e.Seed, "crawl/http"))
 	ds := &HTTPDataset{}
 	var mu sync.Mutex
 	asCount := make(map[geo.ASN]int)
 	asFlagged := make(map[geo.ASN]bool)
 
-	cr.runWorkers(func(cc geo.CountryCode, sess string) {
+	cr.runWorkers(ctx, func(cc geo.CountryCode, sess string) {
 		obs, oc := e.measure(ctx, cr, cc, sess, kinds, &mu, asCount, asFlagged)
 		mu.Lock()
 		defer mu.Unlock()
@@ -146,15 +151,24 @@ func (e *HTTPExperiment) Run(ctx context.Context) (*HTTPDataset, error) {
 		case outcomeOK:
 			ds.Observations = append(ds.Observations, obs)
 			asCount[obs.ASN]++
+			for _, res := range obs.Objects {
+				m.Labeled("http_object_outcomes").Inc(res.Outcome.String())
+			}
 			if obs.AnyModified() {
 				asFlagged[obs.ASN] = true
+				m.Counter("http_modified_total").Inc()
+				m.Record(metrics.Event{Kind: metrics.EventViolation,
+					Session: sess, ZID: obs.ZID, Country: string(obs.Country),
+					Detail: "http_modified"})
 			}
 		case outcomeFailed:
 			ds.Failures++
+			m.Counter("crawl_failures_total").Inc()
 		case outcomeDuplicate:
 			ds.Duplicates++
 		case outcomeDiscarded:
 			ds.SkippedQuota++
+			m.Counter("http_quota_skipped_total").Inc()
 		}
 	})
 	ds.Crawl = cr.stats()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/tftproject/tft/internal/metrics"
 	"github.com/tftproject/tft/internal/simnet"
 )
 
@@ -26,6 +27,10 @@ type Wave struct {
 	// nodes excluded from Measured).
 	Measured int
 	Hijacked int
+	// Metrics is the wave's own telemetry snapshot: each wave crawls
+	// against a fresh registry, so per-wave session counts, stop-rule
+	// trajectories, and violation events stay comparable across waves.
+	Metrics *metrics.Snapshot
 }
 
 // HijackRate is the wave's hijacked fraction.
@@ -73,11 +78,11 @@ func (l *LongitudinalDNS) Run(ctx context.Context) ([]Wave, error) {
 		}
 		// A fresh seed namespace per wave: new sessions, new d1/d2 names.
 		l.Experiment.Seed = baseSeed + uint64(i)*1_000_003
-		ds, err := l.runWave(ctx, i)
+		ds, reg, err := l.runWave(ctx, i)
 		if err != nil {
 			return waves, err
 		}
-		w := Wave{Index: i, Start: l.Clock.Now(), Dataset: ds}
+		w := Wave{Index: i, Start: l.Clock.Now(), Dataset: ds, Metrics: reg.Snapshot()}
 		for _, o := range ds.Observations {
 			if o.SharedAnycast {
 				continue
@@ -92,13 +97,17 @@ func (l *LongitudinalDNS) Run(ctx context.Context) ([]Wave, error) {
 	return waves, nil
 }
 
-// runWave executes one crawl with wave-scoped probe names.
-func (l *LongitudinalDNS) runWave(ctx context.Context, wave int) (*DNSDataset, error) {
+// runWave executes one crawl with wave-scoped probe names and its own
+// metrics registry.
+func (l *LongitudinalDNS) runWave(ctx context.Context, wave int) (*DNSDataset, *metrics.Registry, error) {
 	// Namespacing happens through the session IDs (sNNN) already being
 	// fresh per crawler; d1/d2 names embed them, so waves never collide —
 	// but the crawler counts sessions from 1 each run, so prefix the zone
 	// temporarily via the experiment's Zone field.
 	exp := *l.Experiment
 	exp.Zone = fmt.Sprintf("w%d.%s", wave, l.Experiment.Zone)
-	return exp.Run(ctx)
+	reg := metrics.NewRegistry()
+	exp.Crawl.Metrics = reg
+	ds, err := exp.Run(ctx)
+	return ds, reg, err
 }

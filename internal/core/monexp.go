@@ -10,6 +10,7 @@ import (
 
 	"github.com/tftproject/tft/internal/dnsserver"
 	"github.com/tftproject/tft/internal/geo"
+	"github.com/tftproject/tft/internal/metrics"
 	"github.com/tftproject/tft/internal/origin"
 	"github.com/tftproject/tft/internal/proxynet"
 	"github.com/tftproject/tft/internal/simnet"
@@ -97,11 +98,15 @@ func (e *MonitorExperiment) Run(ctx context.Context) (*MonDataset, error) {
 	if e.Watch <= 0 {
 		e.Watch = 24 * time.Hour
 	}
+	m := e.Crawl.Metrics
+	if e.Budget.Metrics == nil {
+		e.Budget.Metrics = m
+	}
 	cr := newCrawler(e.Crawl, e.Weights, simnet.SubRand(e.Seed, "crawl/mon"))
 	ds := &MonDataset{}
 	var mu sync.Mutex
 
-	cr.runWorkers(func(cc geo.CountryCode, sess string) {
+	cr.runWorkers(ctx, func(cc geo.CountryCode, sess string) {
 		obs, oc := e.fetch(ctx, cr, cc, sess)
 		mu.Lock()
 		defer mu.Unlock()
@@ -110,6 +115,7 @@ func (e *MonitorExperiment) Run(ctx context.Context) (*MonDataset, error) {
 			ds.Observations = append(ds.Observations, obs)
 		case outcomeFailed:
 			ds.Failures++
+			m.Counter("crawl_failures_total").Inc()
 		case outcomeDuplicate:
 			ds.Duplicates++
 		}
@@ -122,6 +128,13 @@ func (e *MonitorExperiment) Run(ctx context.Context) (*MonDataset, error) {
 
 	for _, obs := range ds.Observations {
 		e.collect(obs)
+		if obs.Monitored() {
+			m.Counter("monitor_monitored_total").Inc()
+			m.Counter("monitor_unexpected_requests_total").Add(int64(len(obs.Unexpected)))
+			m.Record(metrics.Event{Kind: metrics.EventViolation,
+				ZID: obs.ZID, Country: string(obs.Country), Detail: "monitored",
+				Value: float64(len(obs.Unexpected))})
+		}
 	}
 	return ds, ctx.Err()
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"github.com/tftproject/tft/internal/geo"
+	"github.com/tftproject/tft/internal/metrics"
 	"github.com/tftproject/tft/internal/proxynet"
 	"github.com/tftproject/tft/internal/simnet"
 	"github.com/tftproject/tft/internal/smtpwire"
@@ -57,18 +58,28 @@ type SMTPExperiment struct {
 
 // Run executes the crawl.
 func (e *SMTPExperiment) Run(ctx context.Context) (*SMTPDataset, error) {
+	m := e.Crawl.Metrics
 	cr := newCrawler(e.Crawl, e.Weights, simnet.SubRand(e.Seed, "crawl/smtp"))
 	ds := &SMTPDataset{}
 	var mu sync.Mutex
-	cr.runWorkers(func(cc geo.CountryCode, sess string) {
+	cr.runWorkers(ctx, func(cc geo.CountryCode, sess string) {
 		obs, oc := e.measure(ctx, cr, cc, sess)
 		mu.Lock()
 		defer mu.Unlock()
 		switch oc {
 		case outcomeOK:
 			ds.Observations = append(ds.Observations, obs)
+			if obs.Blocked {
+				m.Counter("smtp_blocked_total").Inc()
+			} else if !obs.StartTLS {
+				m.Counter("smtp_stripped_total").Inc()
+				m.Record(metrics.Event{Kind: metrics.EventViolation,
+					Session: sess, ZID: obs.ZID, Country: string(obs.Country),
+					Detail: "smtp_starttls_stripped"})
+			}
 		case outcomeFailed:
 			ds.Failures++
+			m.Counter("crawl_failures_total").Inc()
 		case outcomeDuplicate:
 			ds.Duplicates++
 		}

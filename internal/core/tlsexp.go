@@ -10,6 +10,7 @@ import (
 
 	"github.com/tftproject/tft/internal/cert"
 	"github.com/tftproject/tft/internal/geo"
+	"github.com/tftproject/tft/internal/metrics"
 	"github.com/tftproject/tft/internal/proxynet"
 	"github.com/tftproject/tft/internal/simnet"
 	"github.com/tftproject/tft/internal/tlssim"
@@ -129,26 +130,42 @@ func (e *TLSExperiment) Run(ctx context.Context) (*TLSDataset, error) {
 	if e.Budget == nil {
 		e.Budget = NewBudget(0)
 	}
+	m := e.Crawl.Metrics
+	if e.Budget.Metrics == nil {
+		e.Budget.Metrics = m
+	}
 	cr := newCrawler(e.Crawl, e.Weights, simnet.SubRand(e.Seed, "crawl/tls"))
 	ds := &TLSDataset{}
 	e.probes = &ds.Probes
 	var mu sync.Mutex
 
-	cr.runWorkers(func(cc geo.CountryCode, sess string) {
+	cr.runWorkers(ctx, func(cc geo.CountryCode, sess string) {
 		obs, oc := e.measure(ctx, cr, cc, sess)
 		mu.Lock()
 		defer mu.Unlock()
 		switch oc {
 		case outcomeOK:
 			ds.Observations = append(ds.Observations, obs)
+			if obs.Phase2 {
+				m.Counter("tls_phase2_total").Inc()
+			}
+			if obs.AnyReplaced() {
+				m.Counter("tls_replaced_total").Inc()
+				m.Record(metrics.Event{Kind: metrics.EventViolation,
+					Session: sess, ZID: obs.ZID, Country: string(obs.Country),
+					Detail: "tls_cert_replaced"})
+			}
 		case outcomeFailed:
 			ds.Failures++
+			m.Counter("crawl_failures_total").Inc()
 		case outcomeDuplicate:
 			ds.Duplicates++
 		case outcomeDiscarded:
 			ds.Discarded++
+			m.Counter("crawl_discarded_total").Inc()
 		}
 	})
+	m.Counter("tls_probes_total").Add(ds.Probes)
 	ds.Crawl = cr.stats()
 	return ds, ctx.Err()
 }

@@ -310,6 +310,57 @@ func ReadMonitor(r io.Reader) (*Header, *core.MonDataset, error) {
 	return h, ds, nil
 }
 
+// smtpRecord is the JSON shape of an SMTP observation.
+type smtpRecord struct {
+	ZID      string `json:"zid"`
+	NodeIP   string `json:"node_ip"`
+	ASN      uint32 `json:"asn"`
+	Country  string `json:"country"`
+	Blocked  bool   `json:"blocked,omitempty"`
+	StartTLS bool   `json:"starttls,omitempty"`
+	Banner   string `json:"banner,omitempty"`
+}
+
+// WriteSMTP streams an SMTP-extension dataset.
+func WriteSMTP(w io.Writer, seed uint64, scale float64, ds *core.SMTPDataset) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(Header{Format: FormatName, Version: Version, Experiment: "smtp",
+		Seed: seed, Scale: scale, Records: len(ds.Observations)}); err != nil {
+		return err
+	}
+	for _, o := range ds.Observations {
+		rec := smtpRecord{ZID: o.ZID, NodeIP: addrString(o.NodeIP),
+			ASN: uint32(o.ASN), Country: string(o.Country),
+			Blocked: o.Blocked, StartTLS: o.StartTLS, Banner: o.Banner}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSMTP loads an SMTP-extension dataset.
+func ReadSMTP(r io.Reader) (*Header, *core.SMTPDataset, error) {
+	h, dec, err := readHeader(r, "smtp")
+	if err != nil {
+		return nil, nil, err
+	}
+	ds := &core.SMTPDataset{}
+	for i := 0; i < h.Records; i++ {
+		var rec smtpRecord
+		if err := dec.Decode(&rec); err != nil {
+			return nil, nil, fmt.Errorf("dataset: record %d: %w", i, err)
+		}
+		ds.Observations = append(ds.Observations, &core.SMTPObservation{
+			ZID: rec.ZID, NodeIP: parseAddr(rec.NodeIP),
+			ASN: geo.ASN(rec.ASN), Country: geo.CountryCode(rec.Country),
+			Blocked: rec.Blocked, StartTLS: rec.StartTLS, Banner: rec.Banner,
+		})
+	}
+	return h, ds, nil
+}
+
 // readHeader decodes and validates the header line.
 func readHeader(r io.Reader, wantExperiment string) (*Header, *json.Decoder, error) {
 	dec := json.NewDecoder(bufio.NewReader(r))

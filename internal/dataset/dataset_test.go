@@ -230,3 +230,28 @@ func TestParseKeyIDRoundTrip(t *testing.T) {
 		t.Fatal("empty string not zero key")
 	}
 }
+
+func TestSMTPRoundTrip(t *testing.T) {
+	ds := &core.SMTPDataset{Observations: []*core.SMTPObservation{
+		{ZID: "z1", NodeIP: netip.MustParseAddr("91.1.2.3"), ASN: 64500, Country: "US",
+			StartTLS: true, Banner: "220 mail.tft-project.net ESMTP"},
+		{ZID: "z2", NodeIP: netip.MustParseAddr("91.1.2.4"), ASN: 64501, Country: "IN",
+			Blocked: true},
+		{ZID: "z3", NodeIP: netip.MustParseAddr("91.1.2.5"), ASN: 64502, Country: "TN",
+			StartTLS: false, Banner: "220 mail.tft-project.net ESMTP"},
+	}}
+	var buf bytes.Buffer
+	if err := WriteSMTP(&buf, 7, 0.01, ds); err != nil {
+		t.Fatal(err)
+	}
+	h, got, err := ReadSMTP(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Seed != 7 || h.Scale != 0.01 || h.Records != 3 || h.Experiment != "smtp" {
+		t.Fatalf("header = %+v", h)
+	}
+	if !reflect.DeepEqual(got.Observations, ds.Observations) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got.Observations[0], ds.Observations[0])
+	}
+}

@@ -1,0 +1,14 @@
+package metrics
+
+import (
+	"math"
+	"unsafe"
+)
+
+// Thin aliases that keep the unsafe/math plumbing out of the hot-path
+// code in metrics.go.
+
+func unsafePointer(p *byte) unsafe.Pointer { return unsafe.Pointer(p) }
+
+func float64bits(f float64) uint64     { return math.Float64bits(f) }
+func float64frombits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,330 @@
+// Package metrics is the crawl engine's observability substrate: a small,
+// dependency-free registry of counters, gauges, fixed-bucket histograms,
+// and labeled counters, plus a typed crawl-event trace (trace.go).
+//
+// Two properties shape the design:
+//
+//   - Nil-safety: every method works on a nil receiver as a no-op, so
+//     instrumented code paths (the crawler, the budget, the super proxy)
+//     never branch on "is telemetry enabled" — an un-threaded registry
+//     simply costs a nil check.
+//   - Lock sharding: counters stripe their hot adds across padded atomic
+//     cells and labeled counters shard their maps by label hash, so the
+//     worker pool's concurrent sessions do not serialize on telemetry.
+package metrics
+
+import (
+	"hash/maphash"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// numShards stripes hot-path writes; a power of two so masking replaces
+// modulo.
+const numShards = 16
+
+// cell is a padded atomic counter; the padding keeps adjacent shards on
+// separate cache lines.
+type cell struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// shardIndex distributes calls across shards. A goroutine's stack address
+// is stable within the goroutine and well spread between goroutines, which
+// is exactly the distribution striping wants.
+func shardIndex(p *byte) int {
+	// The pointer itself (not its contents) is the entropy source; shift
+	// past allocator alignment.
+	return int((uintptr(unsafePointer(p)) >> 6) & (numShards - 1))
+}
+
+// Counter is a lock-free striped counter.
+type Counter struct {
+	shards [numShards]cell
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	var probe byte
+	c.shards[shardIndex(&probe)].n.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value sums the shards.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	var total int64
+	for i := range c.shards {
+		total += c.shards[i].n.Load()
+	}
+	return total
+}
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed bucket boundaries. Bucket i
+// counts observations v <= Bounds[i]; the final implicit bucket counts the
+// rest.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // math.Float64bits-encoded running sum
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := float64frombits(old) + v
+		if h.sum.CompareAndSwap(old, float64bits(next)) {
+			return
+		}
+	}
+}
+
+// Count reports how many observations were recorded.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the total of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return float64frombits(h.sum.Load())
+}
+
+// labeledShard is one lock-guarded slice of a LabeledCounter's key space.
+type labeledShard struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// LabeledCounter is a counter keyed by a label (country code, AS number,
+// zID). The key space shards across independently locked maps so
+// concurrent sessions touching different labels rarely contend.
+type LabeledCounter struct {
+	seed   maphash.Seed
+	shards [numShards]labeledShard
+}
+
+func newLabeledCounter() *LabeledCounter {
+	lc := &LabeledCounter{seed: maphash.MakeSeed()}
+	for i := range lc.shards {
+		lc.shards[i].m = make(map[string]int64)
+	}
+	return lc
+}
+
+func (lc *LabeledCounter) shard(label string) *labeledShard {
+	return &lc.shards[maphash.String(lc.seed, label)&(numShards-1)]
+}
+
+// Add increments label's count by n.
+func (lc *LabeledCounter) Add(label string, n int64) {
+	if lc == nil {
+		return
+	}
+	s := lc.shard(label)
+	s.mu.Lock()
+	s.m[label] += n
+	s.mu.Unlock()
+}
+
+// Inc increments label's count by one.
+func (lc *LabeledCounter) Inc(label string) { lc.Add(label, 1) }
+
+// Value reads label's count.
+func (lc *LabeledCounter) Value(label string) int64 {
+	if lc == nil {
+		return 0
+	}
+	s := lc.shard(label)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[label]
+}
+
+// Values copies the full label->count map.
+func (lc *LabeledCounter) Values() map[string]int64 {
+	if lc == nil {
+		return nil
+	}
+	out := make(map[string]int64)
+	for i := range lc.shards {
+		s := &lc.shards[i]
+		s.mu.Lock()
+		for k, v := range s.m {
+			out[k] = v
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// Registry names and owns a process's metrics. The zero value is not
+// usable; construct with NewRegistry. A nil *Registry is a valid no-op
+// sink: every accessor returns a nil instrument whose methods do nothing.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	labeled    map[string]*LabeledCounter
+	trace      *Trace
+}
+
+// NewRegistry creates an empty registry with a default-capacity event
+// trace.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		labeled:    make(map[string]*LabeledCounter),
+		trace:      newTrace(defaultTraceCap),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with bounds on first
+// use. Later calls ignore bounds and return the existing histogram.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		h = newHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Labeled returns the named labeled counter, creating it on first use.
+func (r *Registry) Labeled(name string) *LabeledCounter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	lc := r.labeled[name]
+	r.mu.RUnlock()
+	if lc != nil {
+		return lc
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if lc = r.labeled[name]; lc == nil {
+		lc = newLabeledCounter()
+		r.labeled[name] = lc
+	}
+	return lc
+}
+
+// Record appends an event to the registry's trace.
+func (r *Registry) Record(e Event) {
+	if r == nil {
+		return
+	}
+	r.trace.record(e)
+}

@@ -1,0 +1,151 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// HistogramSnapshot is a histogram's frozen state. Counts[i] counts
+// observations <= Bounds[i]; the final element of Counts holds the
+// overflow bucket.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Mean is the average observed value.
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Snapshot is a registry's frozen state: the cross-experiment currency of
+// the Run API (tft.Run.Metrics) and the JSON body the daemons serve.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Labeled    map[string]map[string]int64  `json:"labeled,omitempty"`
+	// Events is the trace's retained window; EventsTotal counts every
+	// event ever recorded (EventsTotal - len(Events) were overwritten).
+	Events      []Event `json:"events,omitempty"`
+	EventsTotal int64   `json:"events_total"`
+}
+
+// Snapshot freezes the registry. Safe to call concurrently with writers;
+// individual instruments are read atomically but the snapshot as a whole
+// is not a consistent cut. A nil registry yields an empty snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for name, h := range r.histograms {
+			hs := HistogramSnapshot{
+				Bounds: append([]float64(nil), h.bounds...),
+				Counts: make([]int64, len(h.counts)),
+				Count:  h.Count(),
+				Sum:    h.Sum(),
+			}
+			for i := range h.counts {
+				hs.Counts[i] = h.counts[i].Load()
+			}
+			s.Histograms[name] = hs
+		}
+	}
+	if len(r.labeled) > 0 {
+		s.Labeled = make(map[string]map[string]int64, len(r.labeled))
+		for name, lc := range r.labeled {
+			s.Labeled[name] = lc.Values()
+		}
+	}
+	s.Events = r.trace.Events()
+	s.EventsTotal = r.trace.Total()
+	return s
+}
+
+// Counter reads a counter from the snapshot (0 when absent or nil).
+func (s *Snapshot) Counter(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	return s.Counters[name]
+}
+
+// EventsOfKind filters the retained events.
+func (s *Snapshot) EventsOfKind(k EventKind) []Event {
+	if s == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range s.Events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TopLabels returns the named labeled counter's labels sorted by
+// descending count (ties broken by label), truncated to n (n <= 0 means
+// all).
+func (s *Snapshot) TopLabels(name string, n int) []LabelCount {
+	if s == nil {
+		return nil
+	}
+	m := s.Labeled[name]
+	out := make([]LabelCount, 0, len(m))
+	for label, count := range m {
+		out = append(out, LabelCount{Label: label, Count: count})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Label < out[j].Label
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// LabelCount is one labeled-counter entry.
+type LabelCount struct {
+	Label string `json:"label"`
+	Count int64  `json:"count"`
+}
+
+// WriteJSON writes the snapshot as indented JSON — the expvar-style dump
+// the daemons expose.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteJSON snapshots the registry and writes it as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	return r.Snapshot().WriteJSON(w)
+}

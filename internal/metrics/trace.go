@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+)
+
+// EventKind classifies a crawl trace event.
+type EventKind uint8
+
+// The crawl engine's event vocabulary.
+const (
+	// EventSessionStarted: the crawler handed a worker a fresh session.
+	EventSessionStarted EventKind = iota
+	// EventNodeDiscovered: a session reached a zID never measured before.
+	EventNodeDiscovered
+	// EventDuplicateNode: a session landed on an already-measured zID.
+	EventDuplicateNode
+	// EventBudgetExhausted: a node crossed its per-node byte budget (§3.4).
+	EventBudgetExhausted
+	// EventStopWindow: the stop rule's sliding window wrapped; Value is the
+	// window's new-node rate.
+	EventStopWindow
+	// EventViolation: an experiment detected an end-to-end violation
+	// (hijack, modified object, replaced certificate, monitored request,
+	// stripped STARTTLS).
+	EventViolation
+	// EventCrawlStopped: the crawl ended; Detail says whether the stop rule
+	// or the session cap ended it.
+	EventCrawlStopped
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventSessionStarted:
+		return "session_started"
+	case EventNodeDiscovered:
+		return "node_discovered"
+	case EventDuplicateNode:
+		return "duplicate_node"
+	case EventBudgetExhausted:
+		return "budget_exhausted"
+	case EventStopWindow:
+		return "stop_window"
+	case EventViolation:
+		return "violation"
+	case EventCrawlStopped:
+		return "crawl_stopped"
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// MarshalJSON renders the kind as its name.
+func (k EventKind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// Event is one typed crawl occurrence.
+type Event struct {
+	// Seq is the event's position in the full (possibly partially
+	// overwritten) stream, starting at 0.
+	Seq int64 `json:"seq"`
+	// Kind classifies the event.
+	Kind EventKind `json:"kind"`
+	// Session and ZID locate the event when applicable.
+	Session string `json:"session,omitempty"`
+	ZID     string `json:"zid,omitempty"`
+	// Country is the session's requested exit country.
+	Country string `json:"country,omitempty"`
+	// Detail is a free-form qualifier (violation type, stop reason).
+	Detail string `json:"detail,omitempty"`
+	// Value carries the event's numeric payload (window rate, bytes).
+	Value float64 `json:"value,omitempty"`
+}
+
+// defaultTraceCap bounds a registry's event memory: large enough to hold a
+// default-scale crawl's window updates and violations, small enough to cap
+// a production daemon's footprint.
+const defaultTraceCap = 4096
+
+// Trace is a fixed-capacity ring buffer of events. Old events are
+// overwritten once the buffer wraps; Seq numbers stay monotonic so readers
+// can tell how much history was dropped.
+type Trace struct {
+	mu    sync.Mutex
+	buf   []Event
+	total int64
+}
+
+func newTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = defaultTraceCap
+	}
+	return &Trace{buf: make([]Event, 0, capacity)}
+}
+
+func (t *Trace) record(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	e.Seq = t.total
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, e)
+	} else {
+		t.buf[t.total%int64(cap(t.buf))] = e
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Events returns the retained events in chronological order.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.buf))
+	if t.total > int64(len(t.buf)) {
+		// Wrapped: the oldest retained event sits at the write cursor.
+		at := t.total % int64(cap(t.buf))
+		out = append(out, t.buf[at:]...)
+		out = append(out, t.buf[:at]...)
+	} else {
+		out = append(out, t.buf...)
+	}
+	return out
+}
+
+// Total reports how many events were ever recorded, including overwritten
+// ones.
+func (t *Trace) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}

@@ -11,6 +11,7 @@ import (
 	"github.com/tftproject/tft/internal/dnswire"
 	"github.com/tftproject/tft/internal/geo"
 	"github.com/tftproject/tft/internal/httpwire"
+	"github.com/tftproject/tft/internal/metrics"
 	"github.com/tftproject/tft/internal/simnet"
 )
 
@@ -99,6 +100,10 @@ type SuperProxy struct {
 	// hypothetical arbitrary-traffic VPN of §3.4 that the SMTP extension
 	// measures through. Luminati itself never allowed this.
 	AnyPortConnect bool
+	// Metrics, when non-nil, receives the service-side telemetry: the
+	// GET/CONNECT split, per-exit-node request counts, session pin
+	// hits/misses, and failure counters.
+	Metrics *metrics.Registry
 
 	sessions *sessionTable
 }
@@ -184,6 +189,7 @@ func (sp *SuperProxy) selectNode(params Params) (Peer, []Attempt) {
 		if zid, ok := sp.sessions.get(sessKey); ok {
 			if n, ok := sp.Pool.Get(zid); ok && n.Online() {
 				sp.sessions.put(sessKey, zid)
+				sp.Metrics.Counter("proxy_session_hits_total").Inc()
 				return n, attempts
 			}
 			attempts = append(attempts, Attempt{ZID: zid, Err: "peer_disconnected"})
@@ -198,18 +204,23 @@ func (sp *SuperProxy) selectNode(params Params) (Peer, []Attempt) {
 		if !up {
 			attempts = append(attempts, Attempt{ZID: n.PeerID(), Err: "peer_connect_timeout"})
 			exclude[n.PeerID()] = true
+			sp.Metrics.Counter("proxy_retry_attempts_total").Inc()
 			continue
 		}
 		if sessKey != "" {
 			sp.sessions.put(sessKey, n.PeerID())
+			sp.Metrics.Counter("proxy_session_pins_total").Inc()
+			sp.Metrics.Gauge("proxy_sessions_pinned").Set(int64(sp.sessions.len()))
 		}
 		return n, attempts
 	}
+	sp.Metrics.Counter("proxy_no_peers_total").Inc()
 	return nil, attempts
 }
 
 // handleGet proxies an absolute-form GET through an exit node.
 func (sp *SuperProxy) handleGet(ctx context.Context, conn net.Conn, req *httpwire.Request, params Params) {
+	sp.Metrics.Counter("proxy_get_total").Inc()
 	host, port, path, err := httpwire.ParseAbsoluteURL(req.Target)
 	if err != nil {
 		fail(conn, 400, "malformed proxy target", "", netip.Addr{}, nil)
@@ -224,6 +235,7 @@ func (sp *SuperProxy) handleGet(ctx context.Context, conn net.Conn, req *httpwir
 	// forwarding (§4.1) — the reason the d2 gate answers its resolver.
 	ip, rcode := sp.resolveSuper(host)
 	if rcode != dnswire.RCodeSuccess || !ip.IsValid() {
+		sp.Metrics.Counter("proxy_dns_super_fail_total").Inc()
 		fail(conn, 502, ErrDNSSuper, "", netip.Addr{}, nil)
 		return
 	}
@@ -247,8 +259,10 @@ func (sp *SuperProxy) handleGet(ctx context.Context, conn net.Conn, req *httpwir
 		ip = nip
 	}
 
+	sp.Metrics.Labeled("proxy_requests_by_node").Inc(node.PeerID())
 	resp, err := node.FetchHTTP(ctx, host, port, path, ip)
 	if err != nil {
+		sp.Metrics.Counter("proxy_peer_fetch_fail_total").Inc()
 		fail(conn, 502, ErrPeerFetch, node.PeerID(), node.PeerIP(), attempts)
 		return
 	}
@@ -259,6 +273,7 @@ func (sp *SuperProxy) handleGet(ctx context.Context, conn net.Conn, req *httpwir
 // handleConnect establishes a TCP tunnel via an exit node; only port 443 is
 // allowed (§2.3).
 func (sp *SuperProxy) handleConnect(ctx context.Context, conn net.Conn, req *httpwire.Request, params Params) {
+	sp.Metrics.Counter("proxy_connect_total").Inc()
 	hostStr, port := httpwire.SplitHostPort(req.Target, 0)
 	if !sp.AnyPortConnect && port != sp.connectPort() {
 		fail(conn, 403, "CONNECT allowed to port 443 only", "", netip.Addr{}, nil)
@@ -279,6 +294,7 @@ func (sp *SuperProxy) handleConnect(ctx context.Context, conn net.Conn, req *htt
 		fail(conn, 502, ErrNoPeers, "", netip.Addr{}, attempts)
 		return
 	}
+	sp.Metrics.Labeled("proxy_requests_by_node").Inc(node.PeerID())
 	ok := httpwire.NewResponse(200, nil)
 	ok.Reason = "Connection established"
 	attachDebug(ok, node.PeerID(), node.PeerIP(), attempts, "")

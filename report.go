@@ -2,10 +2,12 @@ package tft
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
 	"github.com/tftproject/tft/internal/analysis"
+	"github.com/tftproject/tft/internal/metrics"
 )
 
 // Comparison is one paper-vs-measured row for EXPERIMENTS.md and the CLI
@@ -187,6 +189,69 @@ func topMonitor(rows []analysis.MonitorRow) string {
 		return "(none)"
 	}
 	return fmt.Sprintf("%s (%d nodes)", rows[0].Name, rows[0].Nodes)
+}
+
+// MetricsTable renders a crawl-engine snapshot as a text table: counters
+// and gauges first (sorted by name), then histogram summaries, the
+// top labeled-counter entries, and an event-kind tally. name labels the
+// run the snapshot came from.
+func MetricsTable(name string, s *metrics.Snapshot) *analysis.Table {
+	t := &analysis.Table{ID: "Metrics", Title: "Crawl engine metrics: " + name,
+		Headers: []string{"Metric", "Value"}}
+	if s == nil {
+		return t
+	}
+	add := func(metric, value string) {
+		t.Rows = append(t.Rows, []string{metric, value})
+	}
+	for _, k := range sortedKeys(s.Counters) {
+		add(k, fmt.Sprintf("%d", s.Counters[k]))
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		add(k+" (gauge)", fmt.Sprintf("%d", s.Gauges[k]))
+	}
+	for _, k := range sortedKeys(s.Histograms) {
+		h := s.Histograms[k]
+		add(k+" (histogram)", fmt.Sprintf("n=%d mean=%.3f", h.Count, h.Mean()))
+	}
+	for _, k := range sortedKeys(s.Labeled) {
+		var parts []string
+		for _, lc := range s.TopLabels(k, 5) {
+			parts = append(parts, fmt.Sprintf("%s=%d", lc.Label, lc.Count))
+		}
+		add(k+" (top)", strings.Join(parts, " "))
+	}
+	if s.EventsTotal > 0 {
+		kinds := map[string]int{}
+		for _, e := range s.Events {
+			kinds[e.Kind.String()]++
+		}
+		var parts []string
+		for _, k := range sortedKeys(kinds) {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, kinds[k]))
+		}
+		add("events (retained)", strings.Join(parts, " "))
+		add("events (total)", fmt.Sprintf("%d", s.EventsTotal))
+	}
+	return t
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// MetricsReport renders one metrics table per run in the campaign.
+func (r *Results) MetricsReport() []*analysis.Table {
+	var out []*analysis.Table
+	for _, run := range r.Runs() {
+		out = append(out, MetricsTable(run.Name(), run.Metrics()))
+	}
+	return out
 }
 
 // Markdown renders the comparison as a GitHub-flavored markdown table —

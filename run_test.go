@@ -1,0 +1,138 @@
+package tft
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/tftproject/tft/internal/core"
+	"github.com/tftproject/tft/internal/metrics"
+)
+
+// Every experiment must satisfy the unified Run interface.
+var (
+	_ Run = (*DNSRun)(nil)
+	_ Run = (*HTTPRun)(nil)
+	_ Run = (*TLSRun)(nil)
+	_ Run = (*MonitorRun)(nil)
+	_ Run = (*SMTPRun)(nil)
+)
+
+// The acceptance bar for the instrumented engine: a default-scale DNS run
+// exposes a non-empty metrics snapshot — sessions, unique nodes,
+// duplicates, the stop-rule window trajectory, and per-country session
+// counts — and report.go renders it as a table.
+func TestRunDNSDefaultScaleMetrics(t *testing.T) {
+	run, err := RunDNS(context.Background(), Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := run.Metrics()
+	st := run.Stats()
+	if got := s.Counter("crawl_sessions_total"); got == 0 || got != int64(st.Sessions) {
+		t.Fatalf("sessions counter = %d, stats = %d", got, st.Sessions)
+	}
+	if got := s.Counter("crawl_nodes_total"); got == 0 || got != int64(st.UniqueNodes) {
+		t.Fatalf("nodes counter = %d, stats = %d", got, st.UniqueNodes)
+	}
+	if s.Counter("crawl_duplicates_total") == 0 {
+		t.Fatal("a rule-stopped crawl must have revisited nodes")
+	}
+	if s.Histograms["crawl_window_new_rate"].Count == 0 {
+		t.Fatal("no stop-rule window trajectory")
+	}
+	if len(s.EventsOfKind(metrics.EventStopWindow)) == 0 {
+		t.Fatal("no stop-window events in the trace")
+	}
+	byCountry := s.Labeled["crawl_sessions_by_country"]
+	if len(byCountry) < 10 {
+		t.Fatalf("per-country sessions cover %d countries", len(byCountry))
+	}
+	if len(s.EventsOfKind(metrics.EventSessionStarted)) == 0 {
+		t.Fatal("no session events retained")
+	}
+
+	tbl := MetricsTable(run.Name(), s)
+	if len(tbl.Rows) == 0 {
+		t.Fatal("metrics table rendered no rows")
+	}
+	out := tbl.String()
+	for _, want := range []string{"crawl_sessions_total", "crawl_window_new_rate", "crawl_sessions_by_country"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics table missing %s:\n%s", want, out)
+		}
+	}
+}
+
+// Workers precedence: an explicit Crawl.Workers wins over the convenience
+// Options.Workers knob; the knob still applies when Crawl is untouched.
+func TestWorkersPrecedence(t *testing.T) {
+	o := Options{Workers: 3}.withDefaults()
+	if o.Crawl.Workers != 3 {
+		t.Fatalf("Options.Workers not applied: %+v", o.Crawl)
+	}
+	o = Options{Workers: 3, Crawl: core.CrawlConfig{Workers: 5}}.withDefaults()
+	if o.Crawl.Workers != 5 {
+		t.Fatalf("Crawl.Workers overridden: %+v", o.Crawl)
+	}
+}
+
+// A cancelled context aborts the campaign promptly with the cancellation
+// error instead of running the crawl to completion.
+func TestRunAllCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunAll(ctx, Options{Seed: 13, Scale: 0.005})
+	if err == nil {
+		t.Fatal("cancelled RunAll returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled RunAll returned partial results")
+	}
+}
+
+// Each longitudinal wave carries its own snapshot, so per-wave crawl cost
+// stays comparable across waves.
+func TestLongitudinalWaveMetrics(t *testing.T) {
+	run, err := RunLongitudinal(context.Background(), Options{Seed: 17, Scale: 0.005}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Waves) != 2 {
+		t.Fatalf("waves = %d", len(run.Waves))
+	}
+	for _, w := range run.Waves {
+		if w.Metrics == nil {
+			t.Fatalf("wave %d has no metrics", w.Index)
+		}
+		if w.Metrics.Counter("crawl_sessions_total") == 0 {
+			t.Fatalf("wave %d recorded no sessions", w.Index)
+		}
+	}
+}
+
+// Runs() drives the iterating consumers; nil-snapshot rendering must be
+// safe for partially-constructed results.
+func TestResultsRunsAndNilMetricsTable(t *testing.T) {
+	tbl := MetricsTable("empty", nil)
+	if len(tbl.Rows) != 0 {
+		t.Fatalf("nil snapshot rendered rows: %v", tbl.Rows)
+	}
+	_ = tbl.String()
+
+	res := &Results{DNS: &DNSRun{}, HTTP: &HTTPRun{}, TLS: &TLSRun{}, Monitor: &MonitorRun{}}
+	runs := res.Runs()
+	wantNames := []string{"dns", "http", "tls", "monitor"}
+	for i, run := range runs {
+		if run.Name() != wantNames[i] {
+			t.Fatalf("run %d = %q, want %q", i, run.Name(), wantNames[i])
+		}
+		if run.Metrics() == nil {
+			t.Fatalf("run %q: nil-registry Metrics() must return an empty snapshot", run.Name())
+		}
+	}
+}

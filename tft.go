@@ -12,6 +12,11 @@
 // Scale 1.0 reproduces full paper scale (1.27M nodes across the four
 // experiments); the default 0.05 runs in seconds on a laptop with the same
 // table shapes.
+//
+// Every experiment satisfies the Run interface: uniform access to the
+// rendered tables, the crawl statistics, and a metrics snapshot of the
+// instrumented crawl engine (sessions, novelty, stop-rule trajectory,
+// per-country coverage, violations).
 package tft
 
 import (
@@ -25,6 +30,7 @@ import (
 	"github.com/tftproject/tft/internal/analysis"
 	"github.com/tftproject/tft/internal/core"
 	"github.com/tftproject/tft/internal/dataset"
+	"github.com/tftproject/tft/internal/metrics"
 	"github.com/tftproject/tft/internal/population"
 )
 
@@ -36,9 +42,14 @@ type Options struct {
 	// Scale multiplies the paper's population sizes (0 < Scale <= 1;
 	// default 0.05).
 	Scale float64
-	// Workers is the measurement concurrency (default 8).
+	// Workers is the measurement concurrency (default 8). Precedence: a
+	// non-zero Crawl.Workers wins over this field; Workers only applies
+	// when Crawl.Workers is unset.
 	Workers int
-	// Crawl overrides the stop-rule parameters when non-zero.
+	// Crawl overrides the stop-rule parameters when non-zero. A non-zero
+	// Crawl.Workers takes precedence over Options.Workers. When
+	// Crawl.Metrics is nil, each Run* call installs a fresh registry so
+	// every run exposes a Metrics() snapshot.
 	Crawl core.CrawlConfig
 }
 
@@ -49,13 +60,53 @@ func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = 20160413
 	}
-	if o.Workers > 0 {
+	// An explicitly-set Crawl.Workers wins; Options.Workers is the
+	// convenience knob for callers who leave Crawl untouched.
+	if o.Workers > 0 && o.Crawl.Workers == 0 {
 		o.Crawl.Workers = o.Workers
 	}
 	return o
 }
 
+// instrument ensures the run has a metrics registry and threads it into
+// the world's service side (the super proxy).
+func (o *Options) instrument(w *population.World) *metrics.Registry {
+	if o.Crawl.Metrics == nil {
+		o.Crawl.Metrics = metrics.NewRegistry()
+	}
+	if w != nil && w.Super != nil && w.Super.Metrics == nil {
+		w.Super.Metrics = o.Crawl.Metrics
+	}
+	return o.Crawl.Metrics
+}
+
 func (o Options) cfg() analysis.Config { return analysis.Config{Scale: o.Scale} }
+
+// Run is the uniform view over one experiment's results: every experiment
+// (DNS, HTTP, TLS, monitoring, SMTP) exposes its rendered paper tables,
+// its crawl statistics, and the instrumented crawl engine's metrics
+// snapshot through the same three calls. Consumers (Results.Overview,
+// Results.Dump, cmd/tft, cmd/analyze) iterate over Runs instead of
+// repeating per-experiment code.
+type Run interface {
+	// Name is the run's release identifier ("dns", "http", "tls",
+	// "monitor", "smtp") — also the dataset file stem in a Dump.
+	Name() string
+	// Tables renders the run's paper artifacts.
+	Tables() []*analysis.Table
+	// Stats summarises the crawl that produced the run.
+	Stats() core.Stats
+	// Metrics snapshots the run's crawl-engine telemetry.
+	Metrics() *metrics.Snapshot
+	// Headline is the one-line summary the CLI prints above the tables.
+	Headline() string
+	// Overview is the run's Table-2 coverage row.
+	Overview() analysis.DatasetOverview
+
+	// writeDataset and writeGeo serialize the run for the release dump.
+	writeDataset(w io.Writer) error
+	writeGeo(w io.Writer) error
+}
 
 // DNSRun bundles the §4 experiment's world, dataset, and analysis.
 type DNSRun struct {
@@ -63,6 +114,8 @@ type DNSRun struct {
 	World    *population.World
 	Dataset  *core.DNSDataset
 	Analysis *analysis.DNSAnalysis
+
+	reg *metrics.Registry
 }
 
 // RunDNS builds a DNS world and runs the NXDOMAIN-hijack experiment.
@@ -72,6 +125,7 @@ func RunDNS(ctx context.Context, opts Options) (*DNSRun, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := opts.instrument(w)
 	exp := &core.DNSExperiment{
 		Client: w.Client, Auth: w.Auth, Web: w.Web, Geo: w.Geo,
 		Zone: population.Zone, Weights: w.Pool.CountryCounts(),
@@ -83,13 +137,49 @@ func RunDNS(ctx context.Context, opts Options) (*DNSRun, error) {
 		return nil, err
 	}
 	return &DNSRun{Opts: opts, World: w, Dataset: ds,
-		Analysis: analysis.AnalyzeDNS(opts.cfg(), w.Geo, ds)}, nil
+		Analysis: analysis.AnalyzeDNS(opts.cfg(), w.Geo, ds), reg: reg}, nil
 }
+
+// Name implements Run.
+func (r *DNSRun) Name() string { return "dns" }
 
 // Tables renders the run's paper artifacts.
 func (r *DNSRun) Tables() []*analysis.Table {
 	_, t5 := r.Analysis.Table5()
 	return []*analysis.Table{r.Analysis.Table3(10), r.Analysis.Table4(), t5}
+}
+
+// Stats summarises the crawl.
+func (r *DNSRun) Stats() core.Stats { return r.Dataset.Crawl }
+
+// Metrics snapshots the run's crawl telemetry.
+func (r *DNSRun) Metrics() *metrics.Snapshot { return r.reg.Snapshot() }
+
+// Headline is the CLI summary.
+func (r *DNSRun) Headline() string {
+	s := r.Analysis.Summary()
+	rs := r.Analysis.ResolverStats()
+	return fmt.Sprintf("== DNS (§4): %d nodes measured (%d filtered shared-anycast), %d resolvers, %d countries, %d ASes\n"+
+		"   servers: %d total, %d above threshold; ISP-provided %d (%d above threshold, %d hijacking)\n"+
+		"   hijacked: %d (%.1f%%); attribution: %v\n",
+		s.MeasuredNodes, s.FilteredAnycast, s.UniqueResolvers, s.Countries, s.ASes,
+		rs.TotalServers, rs.AboveThreshold, rs.ISPServers, rs.ISPAboveThreshold, rs.HijackingISP,
+		s.Hijacked, s.HijackPct, s.Attribution)
+}
+
+// Overview is the Table-2 row.
+func (r *DNSRun) Overview() analysis.DatasetOverview {
+	s := r.Analysis.Summary()
+	return analysis.DatasetOverview{Name: "DNS",
+		Nodes: s.MeasuredNodes + s.FilteredAnycast, ASes: s.ASes, Countries: s.Countries}
+}
+
+func (r *DNSRun) writeDataset(w io.Writer) error {
+	return dataset.WriteDNS(w, r.Opts.Seed, r.Opts.Scale, r.Dataset)
+}
+
+func (r *DNSRun) writeGeo(w io.Writer) error {
+	return dataset.WriteGeo(w, r.Opts.Seed, r.Opts.Scale, r.World.Geo)
 }
 
 // HTTPRun bundles the §5 experiment.
@@ -98,6 +188,8 @@ type HTTPRun struct {
 	World    *population.World
 	Dataset  *core.HTTPDataset
 	Analysis *analysis.HTTPAnalysis
+
+	reg *metrics.Registry
 }
 
 // RunHTTP builds an HTTP world and runs the content-modification
@@ -108,6 +200,7 @@ func RunHTTP(ctx context.Context, opts Options) (*HTTPRun, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := opts.instrument(w)
 	exp := &core.HTTPExperiment{
 		Client: w.Client, Auth: w.Auth, Geo: w.Geo,
 		Zone: population.Zone, Weights: w.Pool.CountryCounts(),
@@ -119,8 +212,11 @@ func RunHTTP(ctx context.Context, opts Options) (*HTTPRun, error) {
 		return nil, err
 	}
 	return &HTTPRun{Opts: opts, World: w, Dataset: ds,
-		Analysis: analysis.AnalyzeHTTP(opts.cfg(), w.Geo, ds)}, nil
+		Analysis: analysis.AnalyzeHTTP(opts.cfg(), w.Geo, ds), reg: reg}, nil
 }
+
+// Name implements Run.
+func (r *HTTPRun) Name() string { return "http" }
 
 // Tables renders the run's paper artifacts.
 func (r *HTTPRun) Tables() []*analysis.Table {
@@ -129,12 +225,44 @@ func (r *HTTPRun) Tables() []*analysis.Table {
 	return []*analysis.Table{t6, t7}
 }
 
+// Stats summarises the crawl.
+func (r *HTTPRun) Stats() core.Stats { return r.Dataset.Crawl }
+
+// Metrics snapshots the run's crawl telemetry.
+func (r *HTTPRun) Metrics() *metrics.Snapshot { return r.reg.Snapshot() }
+
+// Headline is the CLI summary.
+func (r *HTTPRun) Headline() string {
+	s := r.Analysis.Summary()
+	return fmt.Sprintf("== HTTP (§5): %d nodes, %d ASes, %d countries; crawl skipped %d by AS quota\n"+
+		"   HTML modified %d (injected %d, block pages %d), images %d, JS %d, CSS %d\n",
+		s.MeasuredNodes, s.ASes, s.Countries, r.Dataset.SkippedQuota,
+		s.HTMLModified, s.HTMLInjected, s.HTMLBlockPage, s.ImageModified, s.JSReplaced, s.CSSReplaced)
+}
+
+// Overview is the Table-2 row.
+func (r *HTTPRun) Overview() analysis.DatasetOverview {
+	s := r.Analysis.Summary()
+	return analysis.DatasetOverview{Name: "HTTP",
+		Nodes: s.MeasuredNodes, ASes: s.ASes, Countries: s.Countries}
+}
+
+func (r *HTTPRun) writeDataset(w io.Writer) error {
+	return dataset.WriteHTTP(w, r.Opts.Seed, r.Opts.Scale, r.Dataset)
+}
+
+func (r *HTTPRun) writeGeo(w io.Writer) error {
+	return dataset.WriteGeo(w, r.Opts.Seed, r.Opts.Scale, r.World.Geo)
+}
+
 // TLSRun bundles the §6 experiment.
 type TLSRun struct {
 	Opts     Options
 	World    *population.World
 	Dataset  *core.TLSDataset
 	Analysis *analysis.TLSAnalysis
+
+	reg *metrics.Registry
 }
 
 // RunTLS builds a TLS world and runs the certificate-replacement
@@ -145,6 +273,7 @@ func RunTLS(ctx context.Context, opts Options) (*TLSRun, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := opts.instrument(w)
 	exp := &core.TLSExperiment{
 		Client: w.Client, Geo: w.Geo, Trust: w.Trust,
 		Targets: core.TargetsFromRegistry(w.Sites),
@@ -157,13 +286,46 @@ func RunTLS(ctx context.Context, opts Options) (*TLSRun, error) {
 		return nil, err
 	}
 	return &TLSRun{Opts: opts, World: w, Dataset: ds,
-		Analysis: analysis.AnalyzeTLS(opts.cfg(), w.Geo, ds)}, nil
+		Analysis: analysis.AnalyzeTLS(opts.cfg(), w.Geo, ds), reg: reg}, nil
 }
+
+// Name implements Run.
+func (r *TLSRun) Name() string { return "tls" }
 
 // Tables renders the run's paper artifacts.
 func (r *TLSRun) Tables() []*analysis.Table {
 	_, t8 := r.Analysis.Table8()
 	return []*analysis.Table{t8}
+}
+
+// Stats summarises the crawl.
+func (r *TLSRun) Stats() core.Stats { return r.Dataset.Crawl }
+
+// Metrics snapshots the run's crawl telemetry.
+func (r *TLSRun) Metrics() *metrics.Snapshot { return r.reg.Snapshot() }
+
+// Headline is the CLI summary.
+func (r *TLSRun) Headline() string {
+	s := r.Analysis.Summary()
+	return fmt.Sprintf("== HTTPS (§6): %d nodes, %d ASes, %d countries; %d CONNECT tunnels\n"+
+		"   replaced certificates on %d nodes (%.2f%%); selective on %d; ASes >10%% affected: %.1f%%\n",
+		s.MeasuredNodes, s.ASes, s.Countries, r.Dataset.Probes,
+		s.Affected, s.AffectedPct, s.SelectiveNodes, s.HighASShare)
+}
+
+// Overview is the Table-2 row.
+func (r *TLSRun) Overview() analysis.DatasetOverview {
+	s := r.Analysis.Summary()
+	return analysis.DatasetOverview{Name: "HTTPS",
+		Nodes: s.MeasuredNodes, ASes: s.ASes, Countries: s.Countries}
+}
+
+func (r *TLSRun) writeDataset(w io.Writer) error {
+	return dataset.WriteTLS(w, r.Opts.Seed, r.Opts.Scale, r.Dataset)
+}
+
+func (r *TLSRun) writeGeo(w io.Writer) error {
+	return dataset.WriteGeo(w, r.Opts.Seed, r.Opts.Scale, r.World.Geo)
 }
 
 // MonitorRun bundles the §7 experiment.
@@ -172,6 +334,8 @@ type MonitorRun struct {
 	World    *population.World
 	Dataset  *core.MonDataset
 	Analysis *analysis.MonAnalysis
+
+	reg *metrics.Registry
 }
 
 // RunMonitor builds a monitoring world and runs the content-monitoring
@@ -182,6 +346,7 @@ func RunMonitor(ctx context.Context, opts Options) (*MonitorRun, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := opts.instrument(w)
 	exp := &core.MonitorExperiment{
 		Client: w.Client, Auth: w.Auth, Web: w.Web, Geo: w.Geo, Clock: w.Clock,
 		Zone: population.Zone, Weights: w.Pool.CountryCounts(),
@@ -194,8 +359,11 @@ func RunMonitor(ctx context.Context, opts Options) (*MonitorRun, error) {
 		return nil, err
 	}
 	return &MonitorRun{Opts: opts, World: w, Dataset: ds,
-		Analysis: analysis.AnalyzeMonitor(opts.cfg(), w.Geo, ds)}, nil
+		Analysis: analysis.AnalyzeMonitor(opts.cfg(), w.Geo, ds), reg: reg}, nil
 }
+
+// Name implements Run.
+func (r *MonitorRun) Name() string { return "monitor" }
 
 // Tables renders the run's paper artifacts.
 func (r *MonitorRun) Tables() []*analysis.Table {
@@ -203,48 +371,33 @@ func (r *MonitorRun) Tables() []*analysis.Table {
 	return []*analysis.Table{t9, r.Analysis.Figure5Table(6)}
 }
 
-// Results is the output of a full four-experiment campaign.
-type Results struct {
-	DNS     *DNSRun
-	HTTP    *HTTPRun
-	TLS     *TLSRun
-	Monitor *MonitorRun
+// Stats summarises the crawl.
+func (r *MonitorRun) Stats() core.Stats { return r.Dataset.Crawl }
+
+// Metrics snapshots the run's crawl telemetry.
+func (r *MonitorRun) Metrics() *metrics.Snapshot { return r.reg.Snapshot() }
+
+// Headline is the CLI summary.
+func (r *MonitorRun) Headline() string {
+	s := r.Analysis.Summary()
+	return fmt.Sprintf("== Monitoring (§7): %d nodes; monitored %d (%.2f%%) by %d IPs in %d AS groups\n",
+		s.MeasuredNodes, s.Monitored, s.MonitoredPct, s.UniqueIPs, s.ASGroups)
 }
 
-// RunAll executes all four experiments.
-func RunAll(ctx context.Context, opts Options) (*Results, error) {
-	dns, err := RunDNS(ctx, opts)
-	if err != nil {
-		return nil, fmt.Errorf("dns experiment: %w", err)
-	}
-	http, err := RunHTTP(ctx, opts)
-	if err != nil {
-		return nil, fmt.Errorf("http experiment: %w", err)
-	}
-	tls, err := RunTLS(ctx, opts)
-	if err != nil {
-		return nil, fmt.Errorf("tls experiment: %w", err)
-	}
-	mon, err := RunMonitor(ctx, opts)
-	if err != nil {
-		return nil, fmt.Errorf("monitoring experiment: %w", err)
-	}
-	return &Results{DNS: dns, HTTP: http, TLS: tls, Monitor: mon}, nil
+// Overview is the Table-2 row.
+func (r *MonitorRun) Overview() analysis.DatasetOverview {
+	s := r.Analysis.Summary()
+	countries, ases := monCoverage(r)
+	return analysis.DatasetOverview{Name: "Monitoring",
+		Nodes: s.MeasuredNodes, ASes: ases, Countries: countries}
 }
 
-// Overview builds Table 2 from the four runs.
-func (r *Results) Overview() *analysis.Table {
-	d := r.DNS.Analysis.Summary()
-	h := r.HTTP.Analysis.Summary()
-	t := r.TLS.Analysis.Summary()
-	m := r.Monitor.Analysis.Summary()
-	monCountries, monASes := monCoverage(r.Monitor)
-	return analysis.Table2([]analysis.DatasetOverview{
-		{Name: "DNS", Nodes: d.MeasuredNodes + d.FilteredAnycast, ASes: d.ASes, Countries: d.Countries},
-		{Name: "HTTP", Nodes: h.MeasuredNodes, ASes: h.ASes, Countries: h.Countries},
-		{Name: "HTTPS", Nodes: t.MeasuredNodes, ASes: t.ASes, Countries: t.Countries},
-		{Name: "Monitoring", Nodes: m.MeasuredNodes, ASes: monASes, Countries: monCountries},
-	})
+func (r *MonitorRun) writeDataset(w io.Writer) error {
+	return dataset.WriteMonitor(w, r.Opts.Seed, r.Opts.Scale, r.Dataset)
+}
+
+func (r *MonitorRun) writeGeo(w io.Writer) error {
+	return dataset.WriteGeo(w, r.Opts.Seed, r.Opts.Scale, r.World.Geo)
 }
 
 func monCoverage(r *MonitorRun) (countries, ases int) {
@@ -265,6 +418,8 @@ type SMTPRun struct {
 	World    *population.World
 	Dataset  *core.SMTPDataset
 	Analysis *analysis.SMTPAnalysis
+
+	reg *metrics.Registry
 }
 
 // RunSMTP builds the extension world (a VPN allowing any CONNECT port) and
@@ -276,6 +431,7 @@ func RunSMTP(ctx context.Context, opts Options) (*SMTPRun, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := opts.instrument(w)
 	exp := &core.SMTPExperiment{
 		Client: w.Client, Geo: w.Geo, Weights: w.Pool.CountryCounts(),
 		Seed: opts.Seed, Crawl: opts.Crawl,
@@ -286,8 +442,11 @@ func RunSMTP(ctx context.Context, opts Options) (*SMTPRun, error) {
 		return nil, err
 	}
 	return &SMTPRun{Opts: opts, World: w, Dataset: ds,
-		Analysis: analysis.AnalyzeSMTP(opts.cfg(), w.Geo, ds)}, nil
+		Analysis: analysis.AnalyzeSMTP(opts.cfg(), w.Geo, ds), reg: reg}, nil
 }
+
+// Name implements Run.
+func (r *SMTPRun) Name() string { return "smtp" }
 
 // Tables renders the extension's findings.
 func (r *SMTPRun) Tables() []*analysis.Table {
@@ -295,9 +454,92 @@ func (r *SMTPRun) Tables() []*analysis.Table {
 	return []*analysis.Table{t}
 }
 
-// Dump writes the campaign's datasets plus the geo snapshot into dir — the
-// code-and-data release of the paper's fourth contribution. cmd/analyze
-// regenerates every table from these files alone.
+// Stats summarises the crawl.
+func (r *SMTPRun) Stats() core.Stats { return r.Dataset.Crawl }
+
+// Metrics snapshots the run's crawl telemetry.
+func (r *SMTPRun) Metrics() *metrics.Snapshot { return r.reg.Snapshot() }
+
+// Headline is the CLI summary.
+func (r *SMTPRun) Headline() string {
+	s := r.Analysis.Summary()
+	return fmt.Sprintf("== SMTP extension (§3.4 future work): %d nodes probed through an any-port tunnel\n"+
+		"   port 25 blocked: %d (%.1f%%); STARTTLS stripped: %d (%.2f%%) in %d ASes\n",
+		s.MeasuredNodes, s.Blocked, s.BlockedPct, s.Stripped, s.StrippedPct, s.StripperASes)
+}
+
+// Overview is the Table-2 row.
+func (r *SMTPRun) Overview() analysis.DatasetOverview {
+	s := r.Analysis.Summary()
+	cset := map[string]bool{}
+	aset := map[uint32]bool{}
+	for _, o := range r.Dataset.Observations {
+		cset[string(o.Country)] = true
+		aset[uint32(o.ASN)] = true
+	}
+	return analysis.DatasetOverview{Name: "SMTP",
+		Nodes: s.MeasuredNodes, ASes: len(aset), Countries: len(cset)}
+}
+
+func (r *SMTPRun) writeDataset(w io.Writer) error {
+	return dataset.WriteSMTP(w, r.Opts.Seed, r.Opts.Scale, r.Dataset)
+}
+
+func (r *SMTPRun) writeGeo(w io.Writer) error {
+	return dataset.WriteGeo(w, r.Opts.Seed, r.Opts.Scale, r.World.Geo)
+}
+
+// Results is the output of a full four-experiment campaign.
+type Results struct {
+	DNS     *DNSRun
+	HTTP    *HTTPRun
+	TLS     *TLSRun
+	Monitor *MonitorRun
+}
+
+// Runs returns the campaign's experiments in paper order. Consumers
+// iterate over this slice instead of naming each field.
+func (r *Results) Runs() []Run {
+	return []Run{r.DNS, r.HTTP, r.TLS, r.Monitor}
+}
+
+// RunAll executes all four experiments. Each run gets its own metrics
+// registry (unless opts.Crawl.Metrics pre-installs a shared one).
+func RunAll(ctx context.Context, opts Options) (*Results, error) {
+	dns, err := RunDNS(ctx, opts)
+	if err != nil {
+		return nil, fmt.Errorf("dns experiment: %w", err)
+	}
+	http, err := RunHTTP(ctx, opts)
+	if err != nil {
+		return nil, fmt.Errorf("http experiment: %w", err)
+	}
+	tls, err := RunTLS(ctx, opts)
+	if err != nil {
+		return nil, fmt.Errorf("tls experiment: %w", err)
+	}
+	mon, err := RunMonitor(ctx, opts)
+	if err != nil {
+		return nil, fmt.Errorf("monitoring experiment: %w", err)
+	}
+	return &Results{DNS: dns, HTTP: http, TLS: tls, Monitor: mon}, nil
+}
+
+// Overview builds Table 2 from the campaign's runs.
+func (r *Results) Overview() *analysis.Table {
+	rows := make([]analysis.DatasetOverview, 0, 4)
+	for _, run := range r.Runs() {
+		rows = append(rows, run.Overview())
+	}
+	return analysis.Table2(rows)
+}
+
+// Dump writes the campaign's datasets plus the geo snapshots into dir —
+// the code-and-data release of the paper's fourth contribution.
+// cmd/analyze regenerates every table from these files alone. The DNS
+// world's geo snapshot is written as geo.jsonl (the fallback with the
+// richest attribution structure); every other run writes
+// geo-<name>.jsonl.
 func (r *Results) Dump(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -310,47 +552,19 @@ func (r *Results) Dump(dir string) error {
 		defer f.Close()
 		return fn(f)
 	}
-	opts := r.Opts()
-	// The DNS world's registry covers the richest attribution structure;
-	// each dataset carries its own world's mappings.
-	if err := write("geo.jsonl", func(w io.Writer) error {
-		return dataset.WriteGeo(w, opts.Seed, opts.Scale, r.DNS.World.Geo)
-	}); err != nil {
-		return err
+	for _, run := range r.Runs() {
+		geoName := "geo-" + run.Name() + ".jsonl"
+		if run.Name() == "dns" {
+			geoName = "geo.jsonl"
+		}
+		if err := write(geoName, run.writeGeo); err != nil {
+			return err
+		}
+		if err := write(run.Name()+".jsonl", run.writeDataset); err != nil {
+			return err
+		}
 	}
-	if err := write("geo-http.jsonl", func(w io.Writer) error {
-		return dataset.WriteGeo(w, opts.Seed, opts.Scale, r.HTTP.World.Geo)
-	}); err != nil {
-		return err
-	}
-	if err := write("geo-tls.jsonl", func(w io.Writer) error {
-		return dataset.WriteGeo(w, opts.Seed, opts.Scale, r.TLS.World.Geo)
-	}); err != nil {
-		return err
-	}
-	if err := write("geo-monitor.jsonl", func(w io.Writer) error {
-		return dataset.WriteGeo(w, opts.Seed, opts.Scale, r.Monitor.World.Geo)
-	}); err != nil {
-		return err
-	}
-	if err := write("dns.jsonl", func(w io.Writer) error {
-		return dataset.WriteDNS(w, opts.Seed, opts.Scale, r.DNS.Dataset)
-	}); err != nil {
-		return err
-	}
-	if err := write("http.jsonl", func(w io.Writer) error {
-		return dataset.WriteHTTP(w, opts.Seed, opts.Scale, r.HTTP.Dataset)
-	}); err != nil {
-		return err
-	}
-	if err := write("tls.jsonl", func(w io.Writer) error {
-		return dataset.WriteTLS(w, opts.Seed, opts.Scale, r.TLS.Dataset)
-	}); err != nil {
-		return err
-	}
-	return write("monitor.jsonl", func(w io.Writer) error {
-		return dataset.WriteMonitor(w, opts.Seed, opts.Scale, r.Monitor.Dataset)
-	})
+	return nil
 }
 
 // LongitudinalRun bundles a §9-style continuous measurement: repeated DNS
@@ -363,13 +577,15 @@ type LongitudinalRun struct {
 
 // RunLongitudinal executes a multi-wave DNS campaign against one world,
 // applying population.StandardEvolution between waves (large ISPs
-// progressively retiring their hijacking appliances).
+// progressively retiring their hijacking appliances). Each wave carries
+// its own metrics snapshot in Wave.Metrics.
 func RunLongitudinal(ctx context.Context, opts Options, waves int) (*LongitudinalRun, error) {
 	opts = opts.withDefaults()
 	w, err := population.BuildDNSWorld(opts.Seed, opts.Scale)
 	if err != nil {
 		return nil, err
 	}
+	opts.instrument(w)
 	exp := &core.DNSExperiment{
 		Client: w.Client, Auth: w.Auth, Web: w.Web, Geo: w.Geo,
 		Zone: population.Zone, Weights: w.Pool.CountryCounts(),
@@ -389,7 +605,8 @@ func RunLongitudinal(ctx context.Context, opts Options, waves int) (*Longitudina
 	return &LongitudinalRun{Opts: opts, World: w, Waves: ws}, nil
 }
 
-// Table renders the wave time series.
+// Table renders the wave time series, including each wave's crawl cost
+// (sessions spent) from the per-wave metrics.
 func (r *LongitudinalRun) Table() *analysis.Table {
 	rows := make([]analysis.WaveRow, 0, len(r.Waves))
 	for _, w := range r.Waves {
