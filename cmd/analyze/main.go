@@ -9,7 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 
@@ -31,6 +31,12 @@ func main() {
 	dir := flag.String("dir", ".", "directory containing tft dataset files")
 	flag.Parse()
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	// Each experiment ran against its own world, so each carries its own
 	// geo snapshot; geo.jsonl is the DNS world's (and the fallback).
 	loadGeo := func(names ...string) (*dataset.Header, *geo.Registry) {
@@ -42,11 +48,12 @@ func main() {
 			h, reg, err := dataset.ReadGeo(f)
 			f.Close()
 			if err != nil {
-				log.Fatalf("%s: %v", name, err)
+				fatal("reading geo snapshot", "file", name, "err", err)
 			}
 			return h, reg
 		}
-		log.Fatalf("no geo snapshot found in %s (need geo.jsonl); attribution requires the AS/org mapping", *dir)
+		fatal("no geo snapshot found; attribution requires the AS/org mapping",
+			"dir", *dir, "need", "geo.jsonl")
 		return nil, nil
 	}
 	gh, reg := loadGeo("geo.jsonl")
@@ -131,7 +138,7 @@ func main() {
 		tables, err := exp.load(f, cfg, ereg)
 		f.Close()
 		if err != nil {
-			log.Fatalf("%s: %v", exp.file, err)
+			fatal("analyzing dataset", "file", exp.file, "err", err)
 		}
 		for _, t := range tables {
 			fmt.Println(t)

@@ -13,13 +13,15 @@ package main
 
 import (
 	"flag"
-	"log"
+	"log/slog"
 	"net"
 	"net/netip"
+	"os"
 	"strings"
 
 	"github.com/tftproject/tft/internal/dnsserver"
 	"github.com/tftproject/tft/internal/simnet"
+	"github.com/tftproject/tft/internal/trace"
 )
 
 func main() {
@@ -32,15 +34,21 @@ func main() {
 	)
 	flag.Parse()
 
+	logger := slog.New(trace.NewLogHandler(slog.NewTextHandler(os.Stderr, nil)))
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	webIP, err := netip.ParseAddr(*web)
 	if err != nil {
-		log.Fatalf("bad -web: %v", err)
+		fatal("bad -web", "err", err)
 	}
 	var superIP netip.Addr
 	if *superSrc != "" {
 		superIP, err = netip.ParseAddr(*superSrc)
 		if err != nil {
-			log.Fatalf("bad -super-src: %v", err)
+			fatal("bad -super-src", "err", err)
 		}
 	}
 
@@ -64,19 +72,21 @@ func main() {
 
 	pc, err := net.ListenPacket("udp", *listen)
 	if err != nil {
-		log.Fatal(err)
+		fatal("udp listener", "err", err)
 	}
-	log.Printf("authoritative for %s on %s (web %s, super gate %s)", *zone, *listen, *web, *superSrc)
+	logger.Info("authoritative server up", "zone", *zone, "listen", *listen,
+		"web", *web, "super_gate", *superSrc)
 	handler := auth.Handler()
 	wrapped := handler
 	if *logQs {
 		wrapped = func(src netip.Addr, query []byte) []byte {
 			resp := handler(src, query)
-			log.Printf("query from %s (%d bytes) -> %d bytes", src, len(query), len(resp))
+			logger.Info("query", "src", src.String(), "query_bytes", len(query),
+				"resp_bytes", len(resp))
 			return resp
 		}
 	}
 	if err := dnsserver.ServeUDP(pc, wrapped); err != nil {
-		log.Fatal(err)
+		fatal("dns server stopped", "err", err)
 	}
 }

@@ -18,8 +18,9 @@ package main
 import (
 	"context"
 	"flag"
-	"log"
+	"log/slog"
 	"net/netip"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -29,6 +30,7 @@ import (
 	"github.com/tftproject/tft/internal/geo"
 	"github.com/tftproject/tft/internal/middlebox"
 	"github.com/tftproject/tft/internal/proxynet"
+	"github.com/tftproject/tft/internal/trace"
 )
 
 func main() {
@@ -46,13 +48,20 @@ func main() {
 	)
 	flag.Parse()
 
+	logger := slog.New(trace.NewLogHandler(slog.NewTextHandler(os.Stderr, nil))).
+		With("zid", *zid)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	dnsAP, err := netip.ParseAddrPort(*dns)
 	if err != nil {
-		log.Fatalf("bad -dns: %v", err)
+		fatal("bad -dns", "err", err)
 	}
 	addr, err := netip.ParseAddr(*nodeIP)
 	if err != nil {
-		log.Fatalf("bad -ip: %v", err)
+		fatal("bad -ip", "err", err)
 	}
 
 	resolver := &dnsserver.Resolver{
@@ -64,17 +73,17 @@ func main() {
 	if *dnsBind != "" {
 		bind, err := netip.ParseAddr(*dnsBind)
 		if err != nil {
-			log.Fatalf("bad -dns-bind: %v", err)
+			fatal("bad -dns-bind", "err", err)
 		}
 		resolver.EgressFor = func(netip.Addr) netip.Addr { return bind }
 	}
 	if *hijackLand != "" {
 		landing, err := netip.ParseAddr(*hijackLand)
 		if err != nil {
-			log.Fatalf("bad -hijack-landing: %v", err)
+			fatal("bad -hijack-landing", "err", err)
 		}
 		resolver.Hijack = dnsserver.StaticNX{Name: "exitnode-flag", Landing: landing}
-		log.Printf("NXDOMAIN hijacking enabled -> %s", landing)
+		logger.Info("NXDOMAIN hijacking enabled", "landing", landing.String())
 	}
 
 	path := &middlebox.Path{}
@@ -82,14 +91,14 @@ func main() {
 		path.HTTP = append(path.HTTP, middlebox.HTMLInjector{
 			Product: "flag adware", Signature: *injectSig, SignatureIsURL: true,
 		})
-		log.Printf("HTML injection enabled (signature %s)", *injectSig)
+		logger.Info("HTML injection enabled", "signature", *injectSig)
 	}
 	if *mitmIssuer != "" {
 		store, _ := cert.NewOSRootStore(time.Now())
 		spec := middlebox.ProductSpec{Product: *mitmIssuer, IssuerCN: *mitmIssuer,
 			Kind: "Anti-Virus/Security", ReuseKey: true, Invalid: middlebox.InvalidLaunder}
 		path.TLS = append(path.TLS, spec.Build(time.Now(), store).Instance(*zid, time.Now))
-		log.Printf("TLS interception enabled (issuer %q)", *mitmIssuer)
+		logger.Info("TLS interception enabled", "issuer", *mitmIssuer)
 	}
 
 	node := &proxynet.ExitNode{
@@ -99,13 +108,14 @@ func main() {
 		Resolver: resolver,
 		Path:     path,
 		Net:      &proxynet.TCPDialer{Timeout: 5 * time.Second},
+		Tracer:   trace.New(time.Now, 0),
 	}
 	agent := &proxynet.Agent{Node: node, Gateway: *gateway, Conns: *conns}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	log.Printf("exit node %s (%s) connecting to %s", *zid, *country, *gateway)
+	logger.Info("exit node connecting", "country", *country, "gateway", *gateway)
 	if err := agent.Run(ctx); err != nil && ctx.Err() == nil {
-		log.Fatal(err)
+		fatal("agent stopped", "err", err)
 	}
 }

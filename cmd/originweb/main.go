@@ -8,13 +8,15 @@ package main
 
 import (
 	"flag"
-	"log"
+	"log/slog"
 	"net"
+	"os"
 	"time"
 
 	"github.com/tftproject/tft/internal/origin"
 	"github.com/tftproject/tft/internal/proxynet"
 	"github.com/tftproject/tft/internal/simnet"
+	"github.com/tftproject/tft/internal/trace"
 )
 
 func main() {
@@ -25,20 +27,24 @@ func main() {
 	)
 	flag.Parse()
 
+	logger := slog.New(trace.NewLogHandler(slog.NewTextHandler(os.Stderr, nil)))
+
 	srv := origin.NewServer(simnet.Real{})
 	srv.AllowSkew = *allowSkew
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("tcp listener", "err", err)
+		os.Exit(1)
 	}
-	log.Printf("measurement web server on %s", *listen)
+	logger.Info("measurement web server up", "listen", *listen)
 	go func() {
 		for range time.Tick(*report) {
-			log.Printf("served %d requests", srv.RequestCount())
+			logger.Info("request report", "served", srv.RequestCount())
 		}
 	}()
 	if err := proxynet.ServeListener(l, srv.ConnHandler()); err != nil {
-		log.Fatal(err)
+		logger.Error("web server stopped", "err", err)
+		os.Exit(1)
 	}
 }

@@ -5,24 +5,28 @@
 //
 //	superproxy -listen 127.0.0.1:22225 -agents 127.0.0.1:22226 \
 //	           -dns 127.0.0.1:5353 [-dns-bind 127.0.0.2] \
-//	           [-http-port 8080] [-connect-port 8443] [-metrics 127.0.0.1:22227]
+//	           [-http-port 8080] [-connect-port 8443] \
+//	           [-metrics-addr 127.0.0.1:22227] [-pprof]
 //
 // -dns points at the authoritative server (cmd/authdns). -dns-bind pins the
 // super proxy's resolver egress address; on loopback, distinct 127.x.y.z
 // addresses let the authoritative server's d2 gate recognize the super
 // proxy, exactly as the paper's methodology requires (§4.1).
 //
-// -metrics serves the service-side telemetry (GET/CONNECT split, session
-// pins, per-exit-node request counts) as an expvar-style JSON document at
-// GET /metrics.
+// -metrics-addr mounts the statusz introspection surface: /statusz,
+// /metrics (Prometheus text exposition; ?format=json for the snapshot),
+// /traces (recent request spans, ?kind=/?zid= filters), /events (the crawl
+// event ring), and — with -pprof — net/http/pprof. Logging is structured
+// (log/slog); records emitted while serving a traced request carry its
+// trace and span IDs.
 package main
 
 import (
 	"flag"
-	"log"
+	"log/slog"
 	"net"
-	"net/http"
 	"net/netip"
+	"os"
 	"time"
 
 	"github.com/tftproject/tft/internal/dnsserver"
@@ -30,6 +34,8 @@ import (
 	"github.com/tftproject/tft/internal/metrics"
 	"github.com/tftproject/tft/internal/proxynet"
 	"github.com/tftproject/tft/internal/simnet"
+	"github.com/tftproject/tft/internal/statusz"
+	"github.com/tftproject/tft/internal/trace"
 )
 
 func main() {
@@ -41,19 +47,26 @@ func main() {
 		httpPort    = flag.Uint("http-port", 80, "destination port allowed for proxied GETs")
 		connectPort = flag.Uint("connect-port", 443, "destination port allowed for CONNECT")
 		churn       = flag.Float64("churn", 0, "probability a selected peer transiently fails (retry demo)")
-		metricsAddr = flag.String("metrics", "", "serve the metrics snapshot as JSON on this address (GET /metrics)")
+		metricsAddr = flag.String("metrics-addr", "", "serve the statusz introspection endpoints on this address")
+		pprofFlag   = flag.Bool("pprof", false, "mount net/http/pprof on the -metrics-addr listener")
 	)
 	flag.Parse()
 
+	logger := slog.New(trace.NewLogHandler(slog.NewTextHandler(os.Stderr, nil)))
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	dnsAP, err := netip.ParseAddrPort(*dns)
 	if err != nil {
-		log.Fatalf("bad -dns: %v", err)
+		fatal("bad -dns", "err", err)
 	}
 	egress := geo.SuperProxyResolverEgress
 	if *dnsBind != "" {
 		egress, err = netip.ParseAddr(*dnsBind)
 		if err != nil {
-			log.Fatalf("bad -dns-bind: %v", err)
+			fatal("bad -dns-bind", "err", err)
 		}
 	}
 	resolver := &dnsserver.Resolver{
@@ -71,45 +84,41 @@ func main() {
 	sp.ConnectPort = uint16(*connectPort)
 	reg := metrics.NewRegistry()
 	sp.Metrics = reg
+	tracer := trace.New(time.Now, 0)
+	sp.Tracer = tracer
+	sp.Log = logger
 
 	if *metricsAddr != "" {
-		mux := http.NewServeMux()
-		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Content-Type", "application/json")
-			if err := reg.WriteJSON(w); err != nil {
-				log.Printf("metrics dump: %v", err)
-			}
-		})
-		go func() {
-			log.Printf("metrics on http://%s/metrics", *metricsAddr)
-			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
-				log.Fatalf("metrics listener: %v", err)
-			}
-		}()
+		sz := &statusz.Server{Metrics: reg, Tracer: tracer, Pprof: *pprofFlag, Log: logger}
+		addr, err := sz.Start(*metricsAddr)
+		if err != nil {
+			fatal("statusz listener", "err", err)
+		}
+		logger.Info("statusz listening", "addr", addr.String(), "pprof", *pprofFlag)
 	}
 
 	gw := proxynet.NewGateway(pool)
 	al, err := net.Listen("tcp", *agents)
 	if err != nil {
-		log.Fatalf("agent listener: %v", err)
+		fatal("agent listener", "err", err)
 	}
 	go func() {
 		if err := gw.Serve(al); err != nil {
-			log.Fatalf("agent gateway: %v", err)
+			fatal("agent gateway", "err", err)
 		}
 	}()
 
 	cl, err := net.Listen("tcp", *listen)
 	if err != nil {
-		log.Fatalf("client listener: %v", err)
+		fatal("client listener", "err", err)
 	}
-	log.Printf("super proxy on %s (agents on %s, DNS via %s)", *listen, *agents, *dns)
+	logger.Info("super proxy up", "listen", *listen, "agents", *agents, "dns", *dns)
 	go func() {
 		for range time.Tick(10 * time.Second) {
-			log.Printf("pool: %d peers registered", pool.Len())
+			logger.Info("pool status", "peers", pool.Len())
 		}
 	}()
 	if err := sp.Serve(cl); err != nil {
-		log.Fatal(err)
+		fatal("proxy listener", "err", err)
 	}
 }

@@ -3,8 +3,10 @@
 //
 // Usage:
 //
-//	tft [-experiment dns|http|https|monitor|all] [-scale 0.05] [-seed N]
-//	    [-workers 8] [-report] [-metrics] [-metrics-json]
+//	tft [-experiment dns|http|https|monitor|smtp|longitudinal|all]
+//	    [-scale 0.05] [-seed N] [-workers 8] [-report]
+//	    [-metrics] [-metrics-json] [-events-json] [-events-kind violation]
+//	    [-trace out.json] [-trace-jsonl out.jsonl]
 //
 // -scale 1.0 reproduces full paper scale (1.27M nodes across experiments);
 // expect minutes of runtime and several GB of memory. The default 5% runs
@@ -13,23 +15,55 @@
 // Every experiment implements the tft.Run interface, so the single-
 // experiment and all-experiment paths share one printing loop. -metrics
 // appends the crawl-engine metrics table per run; -metrics-json dumps the
-// raw snapshots as expvar-style JSON to stdout.
+// raw snapshots as expvar-style JSON to stdout; -events-json dumps each
+// run's event ring as JSONL (filter with -events-kind).
+//
+// -trace writes every run's spans as Chrome trace_event JSON — open it at
+// ui.perfetto.dev or chrome://tracing to see each probe's client → super
+// proxy → exit node span tree. -trace-jsonl writes the same spans one JSON
+// object per line for grep/jq pipelines.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	tft "github.com/tftproject/tft"
 	"github.com/tftproject/tft/internal/analysis"
+	"github.com/tftproject/tft/internal/metrics"
+	"github.com/tftproject/tft/internal/trace"
 )
+
+// experiments maps each valid -experiment value to its one-line summary;
+// aliases share a canonical entry. The unknown-experiment usage message is
+// generated from this table, so it cannot drift from the switch below.
+var experiments = []struct{ name, desc string }{
+	{"dns", "§4 DNS proxying and hijacking (d1/d2 gate)"},
+	{"http", "§5 HTTP object manipulation"},
+	{"https", "§6 TLS certificate replacement (alias: tls)"},
+	{"monitor", "§7 traffic monitoring (alias: monitoring)"},
+	{"smtp", "§8 STARTTLS stripping"},
+	{"longitudinal", "§9 repeated weekly crawls"},
+	{"all", "every experiment plus the paper-vs-measured report"},
+}
+
+func usageUnknown(name string) {
+	fmt.Fprintf(os.Stderr, "tft: unknown experiment %q\n\nvalid -experiment values:\n", name)
+	for _, e := range experiments {
+		fmt.Fprintf(os.Stderr, "  %-13s %s\n", e.name, e.desc)
+	}
+	os.Exit(2)
+}
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "dns, http, https, monitor, smtp, longitudinal (extensions), or all")
+		experiment  = flag.String("experiment", "all", "dns, http, https, monitor, smtp, longitudinal, or all")
 		scale       = flag.Float64("scale", 0.05, "fraction of the paper's population sizes (0 < s <= 1)")
 		seed        = flag.Uint64("seed", 20160413, "world/crawl seed; a (seed, scale) pair reproduces a run")
 		workers     = flag.Int("workers", 8, "concurrent measurement sessions")
@@ -37,13 +71,34 @@ func main() {
 		dump        = flag.String("dump", "", "directory to write the dataset release into (all experiments only)")
 		showMetrics = flag.Bool("metrics", false, "print each run's crawl-engine metrics table")
 		metricsJSON = flag.Bool("metrics-json", false, "dump each run's metrics snapshot as JSON to stdout")
+		eventsJSON  = flag.Bool("events-json", false, "dump each run's event ring as JSONL to stdout")
+		eventsKind  = flag.String("events-kind", "", "filter -events-json to one event kind (e.g. violation)")
+		traceOut    = flag.String("trace", "", "write all runs' spans as Chrome trace_event JSON to this file")
+		traceJSONL  = flag.String("trace-jsonl", "", "write all runs' spans as JSONL to this file")
 	)
 	flag.Parse()
+
+	var eventKinds []metrics.EventKind
+	if *eventsKind != "" {
+		k, ok := metrics.ParseEventKind(*eventsKind)
+		if !ok {
+			var names []string
+			for kk := metrics.EventSessionStarted; kk <= metrics.EventCrawlStopped; kk++ {
+				names = append(names, kk.String())
+			}
+			sort.Strings(names)
+			fmt.Fprintf(os.Stderr, "tft: unknown event kind %q (valid: %s)\n",
+				*eventsKind, strings.Join(names, ", "))
+			os.Exit(2)
+		}
+		eventKinds = append(eventKinds, k)
+	}
 
 	opts := tft.Options{Seed: *seed, Scale: *scale, Workers: *workers}
 	ctx := context.Background()
 	start := time.Now()
 
+	var allSpans []trace.SpanData
 	printRun := func(run tft.Run) {
 		fmt.Println(run.Headline())
 		for _, t := range run.Tables() {
@@ -61,6 +116,12 @@ func main() {
 			}
 			fmt.Println()
 		}
+		if *eventsJSON {
+			if err := run.Metrics().WriteEventsJSONL(os.Stdout, eventKinds...); err != nil {
+				exitOn(err)
+			}
+		}
+		allSpans = append(allSpans, run.Spans()...)
 	}
 
 	switch *experiment {
@@ -116,10 +177,36 @@ func main() {
 			fmt.Printf("dataset release written to %s\n", *dump)
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
-		os.Exit(2)
+		usageUnknown(*experiment)
+	}
+
+	if *traceOut != "" {
+		exitOn(writeFile(*traceOut, allSpans, trace.WriteChromeTrace))
+		fmt.Printf("chrome trace (%d spans) written to %s — open at ui.perfetto.dev\n",
+			len(allSpans), *traceOut)
+	}
+	if *traceJSONL != "" {
+		exitOn(writeFile(*traceJSONL, allSpans, trace.WriteJSONL))
+		fmt.Printf("span log (%d spans) written to %s\n", len(allSpans), *traceJSONL)
 	}
 	fmt.Printf("completed in %v (scale %.3f, seed %d)\n", time.Since(start).Round(time.Millisecond), *scale, *seed)
+}
+
+// writeFile renders spans with the given exporter into path ("-" means
+// stdout).
+func writeFile(path string, spans []trace.SpanData, export func(w io.Writer, spans []trace.SpanData) error) error {
+	if path == "-" {
+		return export(os.Stdout, spans)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := export(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func exitOn(err error) {

@@ -28,6 +28,7 @@ import (
 
 	"github.com/tftproject/tft/internal/geo"
 	"github.com/tftproject/tft/internal/metrics"
+	"github.com/tftproject/tft/internal/trace"
 )
 
 // Budget enforces the paper's per-node courtesy cap (§3.4): never more than
@@ -98,6 +99,10 @@ type CrawlConfig struct {
 	// window trajectory, and the typed event trace. A nil registry
 	// disables instrumentation at the cost of a nil check.
 	Metrics *metrics.Registry
+	// Tracer, when non-nil, wraps every measurement session in a client
+	// root span whose context the proxy chain's spans parent under,
+	// yielding a complete per-request trace tree. Nil disables tracing.
+	Tracer *trace.Tracer
 }
 
 // withDefaults fills unset fields.
@@ -286,6 +291,25 @@ func (c *crawler) stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{Sessions: c.sessions, UniqueNodes: len(c.seen), StoppedByRule: c.stopped}
+}
+
+// traceProbe opens the client-side root span for one measurement session.
+// The returned context parents everything the proxy chain does for the
+// probe; done stamps the measured zID and outcome, then closes the span.
+// With a nil CrawlConfig.Tracer both are cheap no-ops.
+func (c *crawler) traceProbe(ctx context.Context, name string, cc geo.CountryCode, sess string) (context.Context, func(zid string, oc outcome)) {
+	span := c.cfg.Tracer.StartRoot(name, trace.KindClient,
+		trace.Str("session", sess), trace.Str("country", string(cc)))
+	return trace.NewContext(ctx, span.Context()), func(zid string, oc outcome) {
+		if zid != "" {
+			span.SetAttrs(trace.Str("zid", zid))
+		}
+		span.SetAttrs(trace.Str("outcome", oc.String()))
+		if oc == outcomeFailed {
+			span.SetError("probe_failed")
+		}
+		span.End()
+	}
 }
 
 // runWorkers drives measure() from cfg.Workers goroutines until the crawl

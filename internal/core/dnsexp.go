@@ -108,7 +108,13 @@ func (e *DNSExperiment) Run(ctx context.Context) (*DNSDataset, error) {
 	var mu sync.Mutex
 
 	cr.runWorkers(ctx, func(cc geo.CountryCode, sess string) {
-		obs, outcome := e.measure(ctx, cr, cc, sess)
+		pctx, done := cr.traceProbe(ctx, "probe.dns", cc, sess)
+		obs, outcome := e.measure(pctx, cr, cc, sess)
+		zid := ""
+		if obs != nil {
+			zid = obs.ZID
+		}
+		done(zid, outcome)
 		mu.Lock()
 		defer mu.Unlock()
 		switch outcome {
@@ -145,6 +151,21 @@ const (
 	outcomeDuplicate
 	outcomeDiscarded
 )
+
+// String names the outcome for span attributes and event filters.
+func (o outcome) String() string {
+	switch o {
+	case outcomeOK:
+		return "ok"
+	case outcomeFailed:
+		return "failed"
+	case outcomeDuplicate:
+		return "duplicate"
+	case outcomeDiscarded:
+		return "discarded"
+	}
+	return "unknown"
+}
 
 // measure runs the three-step §4.1 probe through one session.
 func (e *DNSExperiment) measure(ctx context.Context, cr *crawler, cc geo.CountryCode, sess string) (*DNSObservation, outcome) {

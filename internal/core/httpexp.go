@@ -144,7 +144,13 @@ func (e *HTTPExperiment) Run(ctx context.Context) (*HTTPDataset, error) {
 	asFlagged := make(map[geo.ASN]bool)
 
 	cr.runWorkers(ctx, func(cc geo.CountryCode, sess string) {
-		obs, oc := e.measure(ctx, cr, cc, sess, kinds, &mu, asCount, asFlagged)
+		pctx, done := cr.traceProbe(ctx, "probe.http", cc, sess)
+		obs, oc := e.measure(pctx, cr, cc, sess, kinds, &mu, asCount, asFlagged)
+		zid := ""
+		if obs != nil {
+			zid = obs.ZID
+		}
+		done(zid, oc)
 		mu.Lock()
 		defer mu.Unlock()
 		switch oc {

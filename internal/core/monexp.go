@@ -107,7 +107,13 @@ func (e *MonitorExperiment) Run(ctx context.Context) (*MonDataset, error) {
 	var mu sync.Mutex
 
 	cr.runWorkers(ctx, func(cc geo.CountryCode, sess string) {
-		obs, oc := e.fetch(ctx, cr, cc, sess)
+		pctx, done := cr.traceProbe(ctx, "probe.monitor", cc, sess)
+		obs, oc := e.fetch(pctx, cr, cc, sess)
+		zid := ""
+		if obs != nil {
+			zid = obs.ZID
+		}
+		done(zid, oc)
 		mu.Lock()
 		defer mu.Unlock()
 		switch oc {

@@ -63,7 +63,13 @@ func (e *SMTPExperiment) Run(ctx context.Context) (*SMTPDataset, error) {
 	ds := &SMTPDataset{}
 	var mu sync.Mutex
 	cr.runWorkers(ctx, func(cc geo.CountryCode, sess string) {
-		obs, oc := e.measure(ctx, cr, cc, sess)
+		pctx, done := cr.traceProbe(ctx, "probe.smtp", cc, sess)
+		obs, oc := e.measure(pctx, cr, cc, sess)
+		zid := ""
+		if obs != nil {
+			zid = obs.ZID
+		}
+		done(zid, oc)
 		mu.Lock()
 		defer mu.Unlock()
 		switch oc {

@@ -1,0 +1,203 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Quantile interpolates linearly within fixed buckets and clamps ranks in
+// the overflow bucket to the last bound.
+func TestHistogramQuantile(t *testing.T) {
+	// 100 observations spread uniformly through (0, 10]: bucket (0,10] has
+	// all of them, so quantiles interpolate across that bucket.
+	h := HistogramSnapshot{Bounds: []float64{10, 20}, Counts: []int64{100, 0, 0}, Count: 100}
+	if got := h.Quantile(0.5); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("p50 = %v, want 5", got)
+	}
+	if got := h.Quantile(1); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("p100 = %v, want 10", got)
+	}
+
+	// Across buckets: 50 in (0,10], 50 in (10,20] — p75 is midway through
+	// the second bucket.
+	h = HistogramSnapshot{Bounds: []float64{10, 20}, Counts: []int64{50, 50, 0}, Count: 100}
+	if got := h.Quantile(0.75); math.Abs(got-15) > 1e-9 {
+		t.Fatalf("p75 = %v, want 15", got)
+	}
+	if got := h.Quantile(0.25); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("p25 = %v, want 5", got)
+	}
+
+	// Overflow ranks clamp to the last bound.
+	h = HistogramSnapshot{Bounds: []float64{1}, Counts: []int64{1, 9}, Count: 10}
+	if got := h.Quantile(0.99); got != 1 {
+		t.Fatalf("overflow quantile = %v, want clamp to 1", got)
+	}
+
+	// Degenerate cases stay zero.
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v", got)
+	}
+}
+
+var (
+	promComment = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$`)
+	promSample  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9.eE+-]+(Inf|NaN)?$`)
+)
+
+// The exposition must be structurally valid line-by-line and carry the
+// cumulative histogram encoding.
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("crawl_sessions_total").Add(7)
+	r.Gauge("crawl_window_new").Set(3)
+	h := r.Histogram("probe_latency", []float64{0.1, 0.5, 1})
+	for _, v := range []float64{0.05, 0.3, 0.4, 0.9, 5} {
+		h.Observe(v)
+	}
+	r.Labeled("crawl_sessions_by_country").Inc(`DE"e\x` + "\n")
+	r.Record(Event{Kind: EventViolation, ZID: "z1"})
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	samples := 0
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if !promComment.MatchString(line) {
+				t.Errorf("malformed comment line %q", line)
+			}
+			continue
+		}
+		if !promSample.MatchString(line) {
+			t.Errorf("malformed sample line %q", line)
+		}
+		samples++
+	}
+	if samples == 0 {
+		t.Fatal("no sample lines")
+	}
+	for _, want := range []string{
+		"tft_crawl_sessions_total 7",
+		"tft_events_total 1",
+		"tft_crawl_window_new 3",
+		`tft_probe_latency_bucket{le="0.1"} 1`,
+		`tft_probe_latency_bucket{le="0.5"} 3`,
+		`tft_probe_latency_bucket{le="1"} 4`,
+		`tft_probe_latency_bucket{le="+Inf"} 5`,
+		"tft_probe_latency_sum 6.65",
+		"tft_probe_latency_count 5",
+		`tft_crawl_sessions_by_country{key="DE\"e\\x\n"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// A nil registry still produces the minimal valid exposition.
+	buf.Reset()
+	var nilReg *Registry
+	if err := nilReg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "tft_events_total 0") {
+		t.Fatalf("nil registry exposition = %q", buf.String())
+	}
+}
+
+// ParseEventKind inverts String for every kind and rejects unknowns.
+func TestParseEventKind(t *testing.T) {
+	for k := EventSessionStarted; k <= EventCrawlStopped; k++ {
+		got, ok := ParseEventKind(k.String())
+		if !ok || got != k {
+			t.Fatalf("ParseEventKind(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := ParseEventKind("no_such_kind"); ok {
+		t.Fatal("unknown kind parsed")
+	}
+}
+
+// WriteEventsJSONL emits one decodable object per line and honours the
+// kind filter.
+func TestWriteEventsJSONL(t *testing.T) {
+	r := NewRegistry()
+	r.Record(Event{Kind: EventSessionStarted, Session: "s1"})
+	r.Record(Event{Kind: EventViolation, ZID: "z1", Detail: "dns_hijack"})
+	r.Record(Event{Kind: EventSessionStarted, Session: "s2"})
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteEventsJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3", len(lines))
+	}
+	var e struct {
+		Seq  int64  `json:"seq"`
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != "violation" || e.Seq != 1 {
+		t.Fatalf("line 1 = %+v", e)
+	}
+
+	buf.Reset()
+	if err := r.Snapshot().WriteEventsJSONL(&buf, EventViolation); err != nil {
+		t.Fatal(err)
+	}
+	lines = strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 || !strings.Contains(lines[0], "dns_hijack") {
+		t.Fatalf("filtered lines = %v", lines)
+	}
+}
+
+// After the ring wraps under concurrent writers, Events() must return a
+// contiguous, Seq-ordered window ending at the newest event — no holes, no
+// stale entries, no reordering (run with -race).
+func TestTraceEventsOrderAfterWrapConcurrent(t *testing.T) {
+	const (
+		capacity = 64
+		workers  = 8
+		perW     = 200
+	)
+	tr := newTrace(capacity)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				tr.record(Event{Kind: EventNodeDiscovered})
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := int64(workers * perW)
+	if got := tr.Total(); got != total {
+		t.Fatalf("total = %d, want %d", got, total)
+	}
+	events := tr.Events()
+	if len(events) != capacity {
+		t.Fatalf("retained = %d, want %d", len(events), capacity)
+	}
+	if last := events[len(events)-1].Seq; last != total-1 {
+		t.Fatalf("last seq = %d, want %d", last, total-1)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq != events[i-1].Seq+1 {
+			t.Fatalf("seq hole at %d: %d then %d", i, events[i-1].Seq, events[i].Seq)
+		}
+	}
+}

@@ -24,6 +24,43 @@ func (h HistogramSnapshot) Mean() float64 {
 	return h.Sum / float64(h.Count)
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
+// within the fixed buckets: the rank is located in its bucket, then placed
+// proportionally between the bucket's bounds. The first bucket
+// interpolates up from zero (all registry histograms observe non-negative
+// values); ranks landing in the overflow bucket clamp to the last bound,
+// the usual conservative convention for open-ended buckets.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	cum := int64(0)
+	for i, c := range h.Counts {
+		prev := cum
+		cum += c
+		if c == 0 || float64(cum) < rank {
+			continue
+		}
+		if i >= len(h.Bounds) {
+			break // overflow bucket
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		hi := h.Bounds[i]
+		return lo + (hi-lo)*(rank-float64(prev))/float64(c)
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
 // Snapshot is a registry's frozen state: the cross-experiment currency of
 // the Run API (tft.Run.Metrics) and the JSON body the daemons serve.
 type Snapshot struct {
@@ -135,6 +172,36 @@ func (s *Snapshot) TopLabels(name string, n int) []LabelCount {
 type LabelCount struct {
 	Label string `json:"label"`
 	Count int64  `json:"count"`
+}
+
+// WriteEventsJSONL writes the retained events one JSON object per line,
+// filtered to the given kinds (no kinds = everything). The flat form for
+// grep/jq pipelines and the -events-json CLI dump.
+func (s *Snapshot) WriteEventsJSONL(w io.Writer, kinds ...EventKind) error {
+	if s == nil {
+		return nil
+	}
+	keep := func(e Event) bool {
+		if len(kinds) == 0 {
+			return true
+		}
+		for _, k := range kinds {
+			if e.Kind == k {
+				return true
+			}
+		}
+		return false
+	}
+	enc := json.NewEncoder(w)
+	for _, e := range s.Events {
+		if !keep(e) {
+			continue
+		}
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // WriteJSON writes the snapshot as indented JSON — the expvar-style dump

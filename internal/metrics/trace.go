@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"sync"
 )
@@ -54,6 +55,31 @@ func (k EventKind) String() string {
 // MarshalJSON renders the kind as its name.
 func (k EventKind) MarshalJSON() ([]byte, error) {
 	return []byte(`"` + k.String() + `"`), nil
+}
+
+// UnmarshalJSON inverts MarshalJSON so snapshots round-trip.
+func (k *EventKind) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	parsed, ok := ParseEventKind(name)
+	if !ok {
+		return fmt.Errorf("unknown event kind %q", name)
+	}
+	*k = parsed
+	return nil
+}
+
+// ParseEventKind resolves a kind name (as rendered by String) back to its
+// value — the -events-kind CLI filter and the /events query parameter.
+func ParseEventKind(name string) (EventKind, bool) {
+	for k := EventSessionStarted; k <= EventCrawlStopped; k++ {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
 }
 
 // Event is one typed crawl occurrence.

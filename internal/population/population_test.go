@@ -105,7 +105,7 @@ func TestDNSWorldGroundTruthBehaviour(t *testing.T) {
 			continue
 		}
 		checked[kind]++
-		ip, rcode, err := n.ResolveA("gone." + Zone)
+		ip, rcode, err := n.ResolveA(context.Background(), "gone."+Zone)
 		if err != nil {
 			t.Fatalf("%s: %v", n.ZID, err)
 		}

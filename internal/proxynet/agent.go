@@ -14,6 +14,7 @@ import (
 	"github.com/tftproject/tft/internal/dnswire"
 	"github.com/tftproject/tft/internal/geo"
 	"github.com/tftproject/tft/internal/httpwire"
+	"github.com/tftproject/tft/internal/trace"
 )
 
 // Agent-protocol methods and headers. The protocol rides on httpwire
@@ -130,8 +131,10 @@ func (p *remotePeer) rpc(req *httpwire.Request) (*httpwire.Response, error) {
 }
 
 // ResolveA implements Peer by delegating resolution to the agent.
-func (p *remotePeer) ResolveA(name string) (netip.Addr, dnswire.RCode, error) {
-	resp, err := p.rpc(httpwire.NewRequest(methodResolve, name))
+func (p *remotePeer) ResolveA(ctx context.Context, name string) (netip.Addr, dnswire.RCode, error) {
+	req := httpwire.NewRequest(methodResolve, name)
+	stampTrace(ctx, req)
+	resp, err := p.rpc(req)
 	if err != nil {
 		return netip.Addr{}, dnswire.RCodeServFail, err
 	}
@@ -152,6 +155,7 @@ func (p *remotePeer) FetchHTTP(ctx context.Context, host string, port uint16, pa
 	req.Header.Set("Host", host)
 	req.Header.Set(hdrIP, ip.String())
 	req.Header.Set(hdrPort, strconv.Itoa(int(port)))
+	stampTrace(ctx, req)
 	resp, err := p.rpc(req)
 	if err != nil {
 		return nil, err
@@ -169,6 +173,7 @@ func (p *remotePeer) Tunnel(ctx context.Context, client net.Conn, ip netip.Addr,
 		return err
 	}
 	req := httpwire.NewRequest("CONNECT", fmt.Sprintf("%s:%d", ip, port))
+	stampTrace(ctx, req)
 	br := bufio.NewReader(conn)
 	resp, err := httpwire.RoundTrip(conn, br, req)
 	if err != nil || resp.StatusCode != 200 {
@@ -332,9 +337,12 @@ func (a *Agent) serveOne(ctx context.Context) error {
 		if err != nil {
 			return err
 		}
+		// The gateway's trace header re-parents the node's spans under the
+		// super proxy's attempt span across the process boundary.
+		rctx := trace.NewContext(ctx, trace.ParseHeader(req.Header.Get(trace.HeaderName)))
 		switch req.Method {
 		case methodResolve:
-			ip, rcode, _ := a.Node.ResolveA(req.Target)
+			ip, rcode, _ := a.Node.ResolveA(rctx, req.Target)
 			out := httpwire.NewResponse(200, nil)
 			out.Header.Set(hdrRCode, strconv.Itoa(int(rcode)))
 			if ip.IsValid() {
@@ -347,7 +355,7 @@ func (a *Agent) serveOne(ctx context.Context) error {
 			ip, _ := netip.ParseAddr(req.Header.Get(hdrIP))
 			port64, _ := strconv.Atoi(req.Header.Get(hdrPort))
 			host, _ := httpwire.SplitHostPort(req.Header.Get("Host"), 80)
-			resp, err := a.Node.FetchHTTP(ctx, host, uint16(port64), req.Target, ip)
+			resp, err := a.Node.FetchHTTP(rctx, host, uint16(port64), req.Target, ip)
 			if err != nil {
 				resp = httpwire.NewResponse(502, []byte(err.Error()))
 			}
@@ -366,7 +374,7 @@ func (a *Agent) serveOne(ctx context.Context) error {
 			}
 			// The connection becomes the tunnel and is consumed; the node
 			// relays (and its TLS interceptors, if any, do their work).
-			a.Node.Tunnel(ctx, &bufferedConn{Conn: conn, br: br}, ip, port)
+			a.Node.Tunnel(rctx, &bufferedConn{Conn: conn, br: br}, ip, port)
 			return nil
 		default:
 			httpwire.NewResponse(400, []byte("unknown agent op")).Write(conn)

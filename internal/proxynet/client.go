@@ -11,6 +11,7 @@ import (
 
 	"github.com/tftproject/tft/internal/geo"
 	"github.com/tftproject/tft/internal/httpwire"
+	"github.com/tftproject/tft/internal/trace"
 )
 
 // Options are the per-request selection controls a measurement client uses.
@@ -45,6 +46,14 @@ func (c *Client) proxyAuth(o Options) string {
 	return "Basic " + base64.StdEncoding.EncodeToString([]byte(cred))
 }
 
+// stampTrace attaches the context's trace header so the super proxy (and
+// the exit node behind it) parent their spans under the client's probe.
+func stampTrace(ctx context.Context, req *httpwire.Request) {
+	if h := trace.FormatHeader(trace.FromContext(ctx)); h != "" {
+		req.Header.Set(trace.HeaderName, h)
+	}
+}
+
 // parseProxyAuth decodes a Proxy-Authorization header into Params.
 func parseProxyAuth(v string) (Params, bool) {
 	enc, ok := strings.CutPrefix(v, "Basic ")
@@ -76,6 +85,7 @@ func (c *Client) Get(ctx context.Context, o Options, url string) (*httpwire.Resp
 	defer conn.Close()
 	req := httpwire.NewRequest("GET", url)
 	req.Header.Set("Proxy-Authorization", c.proxyAuth(o))
+	stampTrace(ctx, req)
 	host, _, _, err := httpwire.ParseAbsoluteURL(url)
 	if err != nil {
 		return nil, nil, err
@@ -98,6 +108,7 @@ func (c *Client) Connect(ctx context.Context, o Options, target string) (net.Con
 	}
 	req := httpwire.NewRequest("CONNECT", target)
 	req.Header.Set("Proxy-Authorization", c.proxyAuth(o))
+	stampTrace(ctx, req)
 	br := bufio.NewReader(conn)
 	resp, err := httpwire.RoundTrip(conn, br, req)
 	if err != nil {

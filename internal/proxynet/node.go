@@ -24,6 +24,7 @@ import (
 	"github.com/tftproject/tft/internal/httpwire"
 	"github.com/tftproject/tft/internal/middlebox"
 	"github.com/tftproject/tft/internal/tlssim"
+	"github.com/tftproject/tft/internal/trace"
 )
 
 // Dialer opens streams between simulated (or real) hosts. *simnet.Fabric
@@ -53,6 +54,10 @@ type ExitNode struct {
 	Env *middlebox.Env
 	// Net carries the node's traffic.
 	Net Dialer
+	// Tracer, when non-nil, records a span per node-side operation (DNS
+	// resolution, origin fetch, tunnel relay), parented under the span
+	// context carried by the request's context.
+	Tracer *trace.Tracer
 
 	offline atomic.Bool
 }
@@ -67,14 +72,19 @@ func (n *ExitNode) Online() bool { return !n.offline.Load() }
 // ResolveA resolves name through the node's resolver and path interceptors,
 // returning the answer address (when any) and the response code the node
 // observed — NXDOMAIN here is the honest outcome of the d2 probe.
-func (n *ExitNode) ResolveA(name string) (netip.Addr, dnswire.RCode, error) {
+func (n *ExitNode) ResolveA(ctx context.Context, name string) (netip.Addr, dnswire.RCode, error) {
+	span := n.Tracer.StartChild(trace.FromContext(ctx), "node.resolve", trace.KindDNS,
+		trace.Str("zid", n.ZID), trace.Str("name", name))
+	defer span.End()
 	resp, err := n.Resolver.Lookup(n.Addr, name, dnswire.TypeA)
 	if err != nil {
+		span.SetError(err.Error())
 		return netip.Addr{}, dnswire.RCodeServFail, err
 	}
 	if n.Path != nil {
 		resp = n.Path.ApplyDNS(name, resp)
 	}
+	span.SetAttrs(trace.Int("rcode", int64(resp.RCode)))
 	for _, a := range resp.Answers {
 		if a.Type == dnswire.TypeA {
 			return a.A, resp.RCode, nil
@@ -88,6 +98,9 @@ func (n *ExitNode) ResolveA(name string) (netip.Addr, dnswire.RCode, error) {
 // the node's interceptor stack has had its way with it. Monitors on the
 // path observe the fetch.
 func (n *ExitNode) FetchHTTP(ctx context.Context, host string, port uint16, path string, ip netip.Addr) (*httpwire.Response, error) {
+	span := n.Tracer.StartChild(trace.FromContext(ctx), "node.fetch", trace.KindFetch,
+		trace.Str("zid", n.ZID), trace.Str("host", host), trace.Str("path", path))
+	defer span.End()
 	src := n.Addr
 	if n.Path != nil && n.Path.VPNEgress.IsValid() {
 		src = n.Path.VPNEgress
@@ -111,11 +124,13 @@ func (n *ExitNode) FetchHTTP(ctx context.Context, host string, port uint16, path
 		fetch()
 	}
 	if err != nil {
+		span.SetError(err.Error())
 		return nil, err
 	}
 	if n.Path != nil {
 		resp = n.Path.ApplyHTTP(host, path, resp)
 	}
+	span.SetAttrs(trace.Int("status", int64(resp.StatusCode)))
 	return resp, nil
 }
 
@@ -123,11 +138,17 @@ func (n *ExitNode) FetchHTTP(ctx context.Context, host string, port uint16, path
 // interceptors on the node's path, the relay parses the handshake and lets
 // them replace the certificate chain; otherwise bytes pass transparently.
 func (n *ExitNode) Tunnel(ctx context.Context, client net.Conn, ip netip.Addr, port uint16) error {
+	span := n.Tracer.StartChild(trace.FromContext(ctx), "node.tunnel", trace.KindTunnel,
+		trace.Str("zid", n.ZID), trace.Int("port", int64(port)))
+	defer span.End()
 	if n.Path.PortBlocked(port) {
-		return fmt.Errorf("proxynet: outbound port %d blocked by the node's ISP", port)
+		err := fmt.Errorf("proxynet: outbound port %d blocked by the node's ISP", port)
+		span.SetError(err.Error())
+		return err
 	}
 	server, err := n.Net.Dial(ctx, n.Addr, ip, port)
 	if err != nil {
+		span.SetError(err.Error())
 		return err
 	}
 	defer server.Close()

@@ -154,7 +154,7 @@ func TestFetchHTTPVPNEgress(t *testing.T) {
 
 func TestResolveAWithServFailUpstream(t *testing.T) {
 	_, node := smtpFabric(t, nil)
-	_, rcode, err := node.ResolveA("whatever.example")
+	_, rcode, err := node.ResolveA(context.Background(), "whatever.example")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,8 +24,9 @@ type Peer interface {
 	PeerCountry() geo.CountryCode
 	// Online reports whether the peer can take requests right now.
 	Online() bool
-	// ResolveA performs DNS resolution on the node (-dns-remote).
-	ResolveA(name string) (netip.Addr, dnswire.RCode, error)
+	// ResolveA performs DNS resolution on the node (-dns-remote). The
+	// context carries trace propagation alongside cancellation.
+	ResolveA(ctx context.Context, name string) (netip.Addr, dnswire.RCode, error)
 	// FetchHTTP performs the node-side fetch of a proxied GET.
 	FetchHTTP(ctx context.Context, host string, port uint16, path string, ip netip.Addr) (*httpwire.Response, error)
 	// Tunnel bridges client to ip:port (normally 443) through the node.

@@ -3,6 +3,7 @@ package proxynet
 import (
 	"bufio"
 	"context"
+	"log/slog"
 	"net"
 	"net/netip"
 	"strings"
@@ -13,6 +14,7 @@ import (
 	"github.com/tftproject/tft/internal/httpwire"
 	"github.com/tftproject/tft/internal/metrics"
 	"github.com/tftproject/tft/internal/simnet"
+	"github.com/tftproject/tft/internal/trace"
 )
 
 // ProxyPort is the super proxy's service port (Luminati's
@@ -104,6 +106,13 @@ type SuperProxy struct {
 	// GET/CONNECT split, per-exit-node request counts, session pin
 	// hits/misses, and failure counters.
 	Metrics *metrics.Registry
+	// Tracer, when non-nil, records a server-side span per proxied request
+	// plus one child span per exit-node attempt, parented under the
+	// client's trace header when one was stamped.
+	Tracer *trace.Tracer
+	// Log, when non-nil, receives a structured record per proxied request.
+	// Wrap the handler with trace.NewLogHandler so records carry trace IDs.
+	Log *slog.Logger
 
 	sessions *sessionTable
 }
@@ -147,7 +156,9 @@ func (sp *SuperProxy) ServeConn(conn net.Conn) {
 		httpwire.NewResponse(407, []byte("proxy authentication required")).Write(conn)
 		return
 	}
-	ctx := context.Background()
+	// The client's trace header (when stamped) parents everything the
+	// service does for this request.
+	ctx := trace.NewContext(context.Background(), trace.ParseHeader(req.Header.Get(trace.HeaderName)))
 	if req.Method == "CONNECT" {
 		sp.handleConnect(ctx, conn, req, params)
 		return
@@ -178,21 +189,37 @@ func (sp *SuperProxy) resolveSuper(host string) (netip.Addr, dnswire.RCode) {
 	return netip.Addr{}, resp.RCode
 }
 
+// failAttempt records one failed exit-node try both ways the service
+// reports it: as a timeline entry (the X-Hola-Timeline-Debug chain) and as
+// a closed error span under the request's server span.
+func (sp *SuperProxy) failAttempt(parent trace.SpanContext, attempts []Attempt, zid, errStr string) []Attempt {
+	aspan := sp.Tracer.StartChild(parent, "proxy.attempt", trace.KindAttempt, trace.Str("zid", zid))
+	aspan.SetError(errStr)
+	aspan.End()
+	return append(attempts, Attempt{ZID: zid, Err: errStr})
+}
+
 // selectNode picks an exit node per the client's parameters, honouring
-// session pins and recording failed attempts.
-func (sp *SuperProxy) selectNode(params Params) (Peer, []Attempt) {
+// session pins and recording failed attempts — each as a closed error span
+// under parent. The winning attempt's span is returned open; the caller
+// parents the node-side work under it and Ends it when the request
+// completes.
+func (sp *SuperProxy) selectNode(params Params, parent trace.SpanContext) (Peer, []Attempt, *trace.Span) {
 	var attempts []Attempt
 	exclude := make(map[string]bool)
 	sessKey := ""
+	win := func(zid string) *trace.Span {
+		return sp.Tracer.StartChild(parent, "proxy.attempt", trace.KindAttempt, trace.Str("zid", zid))
+	}
 	if params.Session != "" {
 		sessKey = params.User + "/" + params.Session
 		if zid, ok := sp.sessions.get(sessKey); ok {
 			if n, ok := sp.Pool.Get(zid); ok && n.Online() {
 				sp.sessions.put(sessKey, zid)
 				sp.Metrics.Counter("proxy_session_hits_total").Inc()
-				return n, attempts
+				return n, attempts, win(zid)
 			}
-			attempts = append(attempts, Attempt{ZID: zid, Err: "peer_disconnected"})
+			attempts = sp.failAttempt(parent, attempts, zid, "peer_disconnected")
 			exclude[zid] = true
 		}
 	}
@@ -202,7 +229,7 @@ func (sp *SuperProxy) selectNode(params Params) (Peer, []Attempt) {
 			break
 		}
 		if !up {
-			attempts = append(attempts, Attempt{ZID: n.PeerID(), Err: "peer_connect_timeout"})
+			attempts = sp.failAttempt(parent, attempts, n.PeerID(), "peer_connect_timeout")
 			exclude[n.PeerID()] = true
 			sp.Metrics.Counter("proxy_retry_attempts_total").Inc()
 			continue
@@ -212,48 +239,86 @@ func (sp *SuperProxy) selectNode(params Params) (Peer, []Attempt) {
 			sp.Metrics.Counter("proxy_session_pins_total").Inc()
 			sp.Metrics.Gauge("proxy_sessions_pinned").Set(int64(sp.sessions.len()))
 		}
-		return n, attempts
+		return n, attempts, win(n.PeerID())
 	}
 	sp.Metrics.Counter("proxy_no_peers_total").Inc()
-	return nil, attempts
+	return nil, attempts, nil
+}
+
+// logRequest emits the one structured record per proxied request. The
+// context carries the request's span, so a trace-aware handler stamps
+// trace_id/span_id on every record.
+func (sp *SuperProxy) logRequest(ctx context.Context, method, target, zid, errStr string, attempts int) {
+	if sp.Log == nil {
+		return
+	}
+	if errStr != "" {
+		sp.Log.WarnContext(ctx, "request failed", "method", method, "target", target,
+			"zid", zid, "attempts", attempts, "err", errStr)
+		return
+	}
+	sp.Log.InfoContext(ctx, "request served", "method", method, "target", target,
+		"zid", zid, "attempts", attempts)
 }
 
 // handleGet proxies an absolute-form GET through an exit node.
 func (sp *SuperProxy) handleGet(ctx context.Context, conn net.Conn, req *httpwire.Request, params Params) {
 	sp.Metrics.Counter("proxy_get_total").Inc()
+	span := sp.Tracer.StartChild(trace.FromContext(ctx), "proxy.get", trace.KindProxy,
+		trace.Str("target", req.Target))
+	defer span.End()
+	ctx = trace.NewContext(ctx, span.Context())
+	failGet := func(status int, errStr, zid string, ip netip.Addr, attempts []Attempt) {
+		span.SetError(errStr)
+		sp.logRequest(ctx, "GET", req.Target, zid, errStr, len(attempts))
+		fail(conn, status, errStr, zid, ip, attempts)
+	}
 	host, port, path, err := httpwire.ParseAbsoluteURL(req.Target)
 	if err != nil {
-		fail(conn, 400, "malformed proxy target", "", netip.Addr{}, nil)
+		failGet(400, "malformed proxy target", "", netip.Addr{}, nil)
 		return
 	}
 	if port != sp.httpPort() {
-		fail(conn, 403, "port not allowed", "", netip.Addr{}, nil)
+		failGet(403, "port not allowed", "", netip.Addr{}, nil)
 		return
 	}
 
 	// Luminati checks the domain exists at the super proxy before
 	// forwarding (§4.1) — the reason the d2 gate answers its resolver.
+	dspan := sp.Tracer.StartChild(span.Context(), "proxy.resolve", trace.KindDNS,
+		trace.Str("host", host))
 	ip, rcode := sp.resolveSuper(host)
+	dspan.SetAttrs(trace.Int("rcode", int64(rcode)))
 	if rcode != dnswire.RCodeSuccess || !ip.IsValid() {
+		dspan.SetError(ErrDNSSuper)
+		dspan.End()
 		sp.Metrics.Counter("proxy_dns_super_fail_total").Inc()
-		fail(conn, 502, ErrDNSSuper, "", netip.Addr{}, nil)
+		failGet(502, ErrDNSSuper, "", netip.Addr{}, nil)
 		return
 	}
+	dspan.End()
 
-	node, attempts := sp.selectNode(params)
+	node, attempts, aspan := sp.selectNode(params, span.Context())
 	if node == nil {
-		fail(conn, 502, ErrNoPeers, "", netip.Addr{}, attempts)
+		failGet(502, ErrNoPeers, "", netip.Addr{}, attempts)
 		return
+	}
+	// Node-side work parents under the winning attempt's span.
+	ctx = trace.NewContext(ctx, aspan.Context())
+	failNode := func(errStr string) {
+		aspan.SetError(errStr)
+		aspan.End()
+		failGet(502, errStr, node.PeerID(), node.PeerIP(), attempts)
 	}
 
 	if params.RemoteDNS {
-		nip, rc, err := node.ResolveA(host)
+		nip, rc, err := node.ResolveA(ctx, host)
 		if err != nil || rc == dnswire.RCodeServFail {
-			fail(conn, 502, ErrPeerFetch, node.PeerID(), node.PeerIP(), attempts)
+			failNode(ErrPeerFetch)
 			return
 		}
 		if rc == dnswire.RCodeNXDomain || !nip.IsValid() {
-			fail(conn, 502, ErrDNSPeer, node.PeerID(), node.PeerIP(), attempts)
+			failNode(ErrDNSPeer)
 			return
 		}
 		ip = nip
@@ -263,9 +328,11 @@ func (sp *SuperProxy) handleGet(ctx context.Context, conn net.Conn, req *httpwir
 	resp, err := node.FetchHTTP(ctx, host, port, path, ip)
 	if err != nil {
 		sp.Metrics.Counter("proxy_peer_fetch_fail_total").Inc()
-		fail(conn, 502, ErrPeerFetch, node.PeerID(), node.PeerIP(), attempts)
+		failNode(ErrPeerFetch)
 		return
 	}
+	aspan.End()
+	sp.logRequest(ctx, "GET", req.Target, node.PeerID(), "", len(attempts))
 	attachDebug(resp, node.PeerID(), node.PeerIP(), attempts, "")
 	resp.Write(conn)
 }
@@ -274,32 +341,54 @@ func (sp *SuperProxy) handleGet(ctx context.Context, conn net.Conn, req *httpwir
 // allowed (§2.3).
 func (sp *SuperProxy) handleConnect(ctx context.Context, conn net.Conn, req *httpwire.Request, params Params) {
 	sp.Metrics.Counter("proxy_connect_total").Inc()
+	span := sp.Tracer.StartChild(trace.FromContext(ctx), "proxy.connect", trace.KindProxy,
+		trace.Str("target", req.Target))
+	defer span.End()
+	ctx = trace.NewContext(ctx, span.Context())
+	failConnect := func(status int, errStr, zid string, ip netip.Addr, attempts []Attempt) {
+		span.SetError(errStr)
+		sp.logRequest(ctx, "CONNECT", req.Target, zid, errStr, len(attempts))
+		fail(conn, status, errStr, zid, ip, attempts)
+	}
 	hostStr, port := httpwire.SplitHostPort(req.Target, 0)
 	if !sp.AnyPortConnect && port != sp.connectPort() {
-		fail(conn, 403, "CONNECT allowed to port 443 only", "", netip.Addr{}, nil)
+		failConnect(403, "CONNECT allowed to port 443 only", "", netip.Addr{}, nil)
 		return
 	}
 	ip, err := netip.ParseAddr(hostStr)
 	if err != nil {
 		// Clients normally CONNECT to IP literals; resolve as a courtesy.
+		dspan := sp.Tracer.StartChild(span.Context(), "proxy.resolve", trace.KindDNS,
+			trace.Str("host", hostStr))
 		var rcode dnswire.RCode
 		ip, rcode = sp.resolveSuper(hostStr)
+		dspan.SetAttrs(trace.Int("rcode", int64(rcode)))
 		if rcode != dnswire.RCodeSuccess || !ip.IsValid() {
-			fail(conn, 502, ErrDNSSuper, "", netip.Addr{}, nil)
+			dspan.SetError(ErrDNSSuper)
+			dspan.End()
+			failConnect(502, ErrDNSSuper, "", netip.Addr{}, nil)
 			return
 		}
+		dspan.End()
 	}
-	node, attempts := sp.selectNode(params)
+	node, attempts, aspan := sp.selectNode(params, span.Context())
 	if node == nil {
-		fail(conn, 502, ErrNoPeers, "", netip.Addr{}, attempts)
+		failConnect(502, ErrNoPeers, "", netip.Addr{}, attempts)
 		return
 	}
+	ctx = trace.NewContext(ctx, aspan.Context())
 	sp.Metrics.Labeled("proxy_requests_by_node").Inc(node.PeerID())
 	ok := httpwire.NewResponse(200, nil)
 	ok.Reason = "Connection established"
 	attachDebug(ok, node.PeerID(), node.PeerIP(), attempts, "")
 	if err := ok.Write(conn); err != nil {
+		aspan.SetError(err.Error())
+		aspan.End()
 		return
 	}
-	node.Tunnel(ctx, conn, ip, port)
+	sp.logRequest(ctx, "CONNECT", req.Target, node.PeerID(), "", len(attempts))
+	if err := node.Tunnel(ctx, conn, ip, port); err != nil {
+		aspan.SetError(err.Error())
+	}
+	aspan.End()
 }

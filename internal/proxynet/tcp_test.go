@@ -273,7 +273,7 @@ func TestTCPHijackingAgentResolver(t *testing.T) {
 	if !ok {
 		t.Fatal("peer missing")
 	}
-	ip, rcode, err := peer.ResolveA("d9." + zone)
+	ip, rcode, err := peer.ResolveA(context.Background(), "d9."+zone)
 	if err != nil {
 		t.Fatal(err)
 	}

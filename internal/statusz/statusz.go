@@ -1,0 +1,170 @@
+// Package statusz is the daemons' live-introspection surface: one HTTP
+// handler exposing the metrics registry (Prometheus text exposition and
+// the expvar-style JSON snapshot), the span collector, the crawl event
+// ring, and — behind a flag — net/http/pprof. It is the debug listener
+// the super proxy mounts on -metrics-addr, playing the role Luminati's
+// own debug headers played for the paper: letting an operator ask "what
+// happened to request N" while the service is running.
+package statusz
+
+import (
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"github.com/tftproject/tft/internal/metrics"
+	"github.com/tftproject/tft/internal/trace"
+)
+
+// Server wires the introspection endpoints over the process's telemetry.
+// Every field is optional: nil sources serve empty-but-valid documents,
+// so daemons can mount the surface before deciding which telemetry to
+// enable.
+type Server struct {
+	// Metrics backs /metrics (Prometheus by default, ?format=json for the
+	// snapshot) and /events.
+	Metrics *metrics.Registry
+	// Tracer backs /traces.
+	Tracer *trace.Tracer
+	// Pprof additionally mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+	// Log receives one record per request when set.
+	Log *slog.Logger
+}
+
+// Handler builds the introspection mux:
+//
+//	/statusz        text overview with endpoint index and telemetry counts
+//	/metrics        Prometheus text exposition; ?format=json for the snapshot
+//	/traces         recent spans as JSON; ?kind=, ?zid=, ?limit= filters
+//	/events         crawl event ring as JSONL; ?kind= filter
+//	/debug/pprof/   (only when Pprof is set)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/statusz", s.handleStatusz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/traces", s.handleTraces)
+	mux.HandleFunc("/events", s.handleEvents)
+	if s.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s.logged(mux)
+}
+
+func (s *Server) logged(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.Log != nil {
+			s.Log.InfoContext(r.Context(), "statusz request",
+				"path", r.URL.Path, "remote", r.RemoteAddr)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Start listens on addr and serves the handler in a background goroutine,
+// returning the bound address (useful with ":0" in tests and scripts).
+func (s *Server) Start(addr string) (net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		srv := &http.Server{Handler: s.Handler()}
+		if err := srv.Serve(l); err != nil && s.Log != nil {
+			s.Log.Error("statusz listener stopped", "err", err)
+		}
+	}()
+	return l.Addr(), nil
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	snap := s.Metrics.Snapshot()
+	fmt.Fprintln(w, "tft statusz")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "counters:    %d\n", len(snap.Counters))
+	fmt.Fprintf(w, "gauges:      %d\n", len(snap.Gauges))
+	fmt.Fprintf(w, "histograms:  %d\n", len(snap.Histograms))
+	fmt.Fprintf(w, "events:      %d retained / %d total\n", len(snap.Events), snap.EventsTotal)
+	fmt.Fprintf(w, "spans:       %d retained / %d total\n", len(s.Tracer.Spans()), s.Tracer.Total())
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "endpoints:")
+	fmt.Fprintln(w, "  /metrics             Prometheus text exposition")
+	fmt.Fprintln(w, "  /metrics?format=json expvar-style snapshot")
+	fmt.Fprintln(w, "  /traces              recent spans (?kind=, ?zid=, ?limit=)")
+	fmt.Fprintln(w, "  /events              crawl event ring as JSONL (?kind=)")
+	if s.Pprof {
+		fmt.Fprintln(w, "  /debug/pprof/        runtime profiles")
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.Metrics.WriteJSON(w); err != nil && s.Log != nil {
+			s.Log.Error("metrics json dump", "err", err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.Metrics.WritePrometheus(w); err != nil && s.Log != nil {
+		s.Log.Error("metrics exposition", "err", err)
+	}
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	kind := trace.Kind(q.Get("kind"))
+	zid := q.Get("zid")
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	spans := s.Tracer.Spans()
+	out := spans[:0:0]
+	for _, d := range spans {
+		if kind != "" && d.Kind != kind {
+			continue
+		}
+		if zid != "" && d.Str("zid") != zid {
+			continue
+		}
+		out = append(out, d)
+	}
+	// Newest last; the limit keeps the most recent spans.
+	if limit > 0 && len(out) > limit {
+		out = out[len(out)-limit:]
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if err := trace.WriteJSONL(w, out); err != nil && s.Log != nil {
+		s.Log.Error("traces dump", "err", err)
+	}
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	var kinds []metrics.EventKind
+	if v := r.URL.Query().Get("kind"); v != "" {
+		k, ok := metrics.ParseEventKind(v)
+		if !ok {
+			http.Error(w, "unknown event kind", http.StatusBadRequest)
+			return
+		}
+		kinds = append(kinds, k)
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if err := s.Metrics.Snapshot().WriteEventsJSONL(w, kinds...); err != nil && s.Log != nil {
+		s.Log.Error("events dump", "err", err)
+	}
+}

@@ -1,0 +1,163 @@
+package statusz
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/tftproject/tft/internal/metrics"
+	"github.com/tftproject/tft/internal/trace"
+)
+
+func testServer(t *testing.T, pprof bool) (*Server, *httptest.Server) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	reg.Counter("crawl_sessions_total").Add(3)
+	reg.Record(metrics.Event{Kind: metrics.EventViolation, ZID: "z1", Detail: "dns_hijack"})
+	reg.Record(metrics.Event{Kind: metrics.EventSessionStarted, Session: "s1"})
+
+	clock := time.Unix(1460505600, 0)
+	tr := trace.New(func() time.Time { clock = clock.Add(time.Millisecond); return clock }, 0)
+	root := tr.StartRoot("probe.dns", trace.KindClient)
+	child := tr.StartChild(root.Context(), "node.fetch", trace.KindFetch, trace.Str("zid", "z1"))
+	child.End()
+	root.End()
+	other := tr.StartRoot("probe.http", trace.KindClient, trace.Str("zid", "z2"))
+	other.End()
+
+	s := &Server{Metrics: reg, Tracer: tr, Pprof: pprof}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestEndpoints(t *testing.T) {
+	_, ts := testServer(t, false)
+
+	code, body := get(t, ts.URL+"/statusz")
+	if code != http.StatusOK || !strings.Contains(body, "tft statusz") {
+		t.Fatalf("/statusz = %d %q", code, body)
+	}
+	if !strings.Contains(body, "3 retained / 3 total") {
+		t.Errorf("/statusz missing span counts:\n%s", body)
+	}
+
+	code, body = get(t, ts.URL+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "tft_crawl_sessions_total 3") {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	if !strings.Contains(body, "# TYPE tft_events_total counter") {
+		t.Errorf("/metrics missing exposition type line:\n%s", body)
+	}
+
+	code, body = get(t, ts.URL+"/metrics?format=json")
+	var snap metrics.Snapshot
+	if code != http.StatusOK || json.Unmarshal([]byte(body), &snap) != nil {
+		t.Fatalf("/metrics?format=json = %d %q", code, body)
+	}
+	if snap.Counter("crawl_sessions_total") != 3 {
+		t.Errorf("json snapshot counter = %d", snap.Counter("crawl_sessions_total"))
+	}
+}
+
+func TestTracesFiltering(t *testing.T) {
+	_, ts := testServer(t, false)
+
+	lines := func(body string) []string {
+		body = strings.TrimSpace(body)
+		if body == "" {
+			return nil
+		}
+		return strings.Split(body, "\n")
+	}
+
+	_, body := get(t, ts.URL+"/traces")
+	if n := len(lines(body)); n != 3 {
+		t.Fatalf("/traces lines = %d, want 3:\n%s", n, body)
+	}
+	_, body = get(t, ts.URL+"/traces?kind=fetch")
+	got := lines(body)
+	if len(got) != 1 || !strings.Contains(got[0], "node.fetch") {
+		t.Fatalf("/traces?kind=fetch = %v", got)
+	}
+	_, body = get(t, ts.URL+"/traces?zid=z2")
+	got = lines(body)
+	if len(got) != 1 || !strings.Contains(got[0], "probe.http") {
+		t.Fatalf("/traces?zid=z2 = %v", got)
+	}
+	_, body = get(t, ts.URL+"/traces?limit=1")
+	got = lines(body)
+	if len(got) != 1 || !strings.Contains(got[0], "probe.http") {
+		t.Fatalf("/traces?limit=1 should keep the newest span, got %v", got)
+	}
+	code, _ := get(t, ts.URL+"/traces?limit=bogus")
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad limit = %d, want 400", code)
+	}
+}
+
+func TestEventsFiltering(t *testing.T) {
+	_, ts := testServer(t, false)
+
+	_, body := get(t, ts.URL+"/events")
+	if n := len(strings.Split(strings.TrimSpace(body), "\n")); n != 2 {
+		t.Fatalf("/events lines = %d, want 2:\n%s", n, body)
+	}
+	_, body = get(t, ts.URL+"/events?kind=violation")
+	got := strings.Split(strings.TrimSpace(body), "\n")
+	if len(got) != 1 || !strings.Contains(got[0], "dns_hijack") {
+		t.Fatalf("/events?kind=violation = %v", got)
+	}
+	code, _ := get(t, ts.URL+"/events?kind=bogus")
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown kind = %d, want 400", code)
+	}
+}
+
+func TestPprofGating(t *testing.T) {
+	_, ts := testServer(t, false)
+	code, _ := get(t, ts.URL+"/debug/pprof/cmdline")
+	if code != http.StatusNotFound {
+		t.Fatalf("pprof off: /debug/pprof/cmdline = %d, want 404", code)
+	}
+
+	_, ts2 := testServer(t, true)
+	code, _ = get(t, ts2.URL+"/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Fatalf("pprof on: /debug/pprof/cmdline = %d, want 200", code)
+	}
+}
+
+// Nil telemetry sources still serve valid (empty) documents.
+func TestNilSources(t *testing.T) {
+	ts := httptest.NewServer((&Server{}).Handler())
+	defer ts.Close()
+	for _, path := range []string{"/statusz", "/metrics", "/metrics?format=json", "/traces", "/events"} {
+		code, _ := get(t, ts.URL+path)
+		if code != http.StatusOK {
+			t.Fatalf("%s = %d with nil sources", path, code)
+		}
+	}
+	_, body := get(t, ts.URL+"/metrics")
+	if !strings.Contains(body, "tft_events_total 0") {
+		t.Fatalf("nil /metrics = %q", body)
+	}
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"strconv"
+	"strings"
+)
+
+// HeaderName carries trace context across process hops (client → super
+// proxy → agent), playing the role X-Hola-Timeline-Debug plays for
+// Luminati's own per-request attribution.
+const HeaderName = "X-Tft-Trace"
+
+// FormatHeader renders a span context in the wire form
+// "v1;t=<16-hex>;s=<16-hex>" ("" for an invalid context, meaning: do not
+// stamp a header at all).
+func FormatHeader(sc SpanContext) string {
+	if !sc.Valid() {
+		return ""
+	}
+	return fmt.Sprintf("v1;t=%s;s=%s", sc.Trace, sc.Span)
+}
+
+// ParseHeader parses the wire form. Malformed or empty input yields an
+// invalid (zero) context — propagation is best-effort, never an error.
+func ParseHeader(s string) SpanContext {
+	var sc SpanContext
+	parts := strings.Split(s, ";")
+	if len(parts) != 3 || parts[0] != "v1" {
+		return SpanContext{}
+	}
+	for _, p := range parts[1:] {
+		switch {
+		case strings.HasPrefix(p, "t="):
+			v, err := strconv.ParseUint(p[2:], 16, 64)
+			if err != nil {
+				return SpanContext{}
+			}
+			sc.Trace = TraceID(v)
+		case strings.HasPrefix(p, "s="):
+			v, err := strconv.ParseUint(p[2:], 16, 64)
+			if err != nil {
+				return SpanContext{}
+			}
+			sc.Span = SpanID(v)
+		default:
+			return SpanContext{}
+		}
+	}
+	if !sc.Valid() {
+		return SpanContext{}
+	}
+	return sc
+}
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying sc for downstream spans and log records.
+func NewContext(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// FromContext extracts the span context carried by ctx (zero when absent).
+func FromContext(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(ctxKey{}).(SpanContext)
+	return sc
+}
+
+// LogHandler wraps a slog.Handler so every record logged with a
+// trace-carrying context automatically gains trace_id and span_id
+// attributes — the "every slog record during a traced request carries its
+// trace ID" guarantee, enforced in one place instead of at 30 call sites.
+type LogHandler struct {
+	inner slog.Handler
+}
+
+// NewLogHandler wraps h.
+func NewLogHandler(h slog.Handler) *LogHandler { return &LogHandler{inner: h} }
+
+// Enabled implements slog.Handler.
+func (h *LogHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+// Handle implements slog.Handler, injecting the context's trace IDs.
+func (h *LogHandler) Handle(ctx context.Context, r slog.Record) error {
+	if sc := FromContext(ctx); sc.Valid() {
+		r.AddAttrs(
+			slog.String("trace_id", sc.Trace.String()),
+			slog.String("span_id", sc.Span.String()),
+		)
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+// WithAttrs implements slog.Handler.
+func (h *LogHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &LogHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+// WithGroup implements slog.Handler.
+func (h *LogHandler) WithGroup(name string) slog.Handler {
+	return &LogHandler{inner: h.inner.WithGroup(name)}
+}

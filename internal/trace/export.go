@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one Chrome trace_event record. The "X" phase (complete
+// event) carries both timestamp and duration, which is all a span needs;
+// pid/tid place spans on tracks — we map every trace tree onto its own
+// track so Perfetto renders one request per row.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`  // microseconds
+	Dur  int64          `json:"dur"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the top-level object form of the trace_event format
+// (preferred over the bare-array form because it tolerates trailing
+// metadata and loads in both chrome://tracing and Perfetto).
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace serializes spans in Chrome trace_event JSON, loadable
+// in chrome://tracing or https://ui.perfetto.dev. Each trace tree becomes
+// one thread track (tid = TraceID), so a request's span chain nests
+// visually.
+func WriteChromeTrace(w io.Writer, spans []SpanData) error {
+	f := chromeFile{TraceEvents: make([]chromeEvent, 0, len(spans)), DisplayTimeUnit: "ms"}
+	for _, d := range spans {
+		args := map[string]any{
+			"trace_id": d.TraceID.String(),
+			"span_id":  d.SpanID.String(),
+		}
+		if d.Parent != 0 {
+			args["parent_id"] = d.Parent.String()
+		}
+		if d.Err != "" {
+			args["error"] = d.Err
+		}
+		for _, a := range d.Attrs {
+			args[a.Key] = a.Value
+		}
+		dur := d.Duration().Microseconds()
+		if dur < 0 {
+			dur = 0
+		}
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: d.Name,
+			Cat:  string(d.Kind),
+			Ph:   "X",
+			Ts:   d.Start.UnixMicro(),
+			Dur:  dur,
+			Pid:  1,
+			Tid:  uint64(d.TraceID),
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(f); err != nil {
+		return fmt.Errorf("trace: chrome export: %w", err)
+	}
+	return nil
+}
+
+// WriteJSONL serializes spans as one JSON object per line — the flat form
+// for grep/jq pipelines.
+func WriteJSONL(w io.Writer, spans []SpanData) error {
+	enc := json.NewEncoder(w)
+	for _, d := range spans {
+		if err := enc.Encode(d); err != nil {
+			return fmt.Errorf("trace: jsonl export: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,328 @@
+// Package trace is the request-level half of the repository's
+// observability substrate (the aggregate half is internal/metrics): a
+// lightweight span tracer that records what happened to one request as it
+// crossed the proxy chain — client → super proxy attempt(s) → exit node →
+// resolver/origin.
+//
+// The design mirrors the paper's own debugging surface: Luminati's
+// X-Hola-Timeline-Debug header (§2.3) exposes which exit node served a
+// request and what was retried, and every attribution technique in §4–§6
+// leans on that per-request visibility. A Span is the structured form of
+// one hop of that timeline; a trace tree is the whole timeline.
+//
+// Like metrics.Registry, everything is nil-safe: a nil *Tracer hands out
+// nil *Spans whose methods are no-ops, so instrumented code paths never
+// branch on "is tracing enabled". Timestamps come from a caller-supplied
+// clock function (the simnet virtual clock in simulated worlds, the wall
+// clock in the cmd/ daemons), so full-scale simulated crawls produce spans
+// whose durations reflect virtual time.
+package trace
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one request's whole span tree.
+type TraceID uint64
+
+// SpanID identifies one span within a trace.
+type SpanID uint64
+
+// String renders the ID as fixed-width hex (the header/export form).
+func (t TraceID) String() string { return fmt.Sprintf("%016x", uint64(t)) }
+
+// String renders the ID as fixed-width hex.
+func (s SpanID) String() string { return fmt.Sprintf("%016x", uint64(s)) }
+
+// MarshalJSON renders the ID as a quoted hex string.
+func (t TraceID) MarshalJSON() ([]byte, error) { return []byte(`"` + t.String() + `"`), nil }
+
+// MarshalJSON renders the ID as a quoted hex string.
+func (s SpanID) MarshalJSON() ([]byte, error) { return []byte(`"` + s.String() + `"`), nil }
+
+// UnmarshalJSON parses the quoted hex form.
+func (t *TraceID) UnmarshalJSON(b []byte) error {
+	v, err := unhexJSON(b)
+	*t = TraceID(v)
+	return err
+}
+
+// UnmarshalJSON parses the quoted hex form.
+func (s *SpanID) UnmarshalJSON(b []byte) error {
+	v, err := unhexJSON(b)
+	*s = SpanID(v)
+	return err
+}
+
+func unhexJSON(b []byte) (uint64, error) {
+	if len(b) < 2 || b[0] != '"' || b[len(b)-1] != '"' {
+		return 0, fmt.Errorf("trace: malformed id %q", b)
+	}
+	return strconv.ParseUint(string(b[1:len(b)-1]), 16, 64)
+}
+
+// SpanContext is the propagated part of a span: enough for a downstream
+// hop (another goroutine, another process) to parent its own spans.
+type SpanContext struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// Valid reports whether the context names a real span.
+func (sc SpanContext) Valid() bool { return sc.Trace != 0 && sc.Span != 0 }
+
+// Kind classifies a span by the hop that produced it — the /traces
+// endpoint's primary filter.
+type Kind string
+
+// The proxy chain's span vocabulary.
+const (
+	// KindClient: a measurement client's root probe span.
+	KindClient Kind = "client"
+	// KindProxy: the super proxy's server-side request span.
+	KindProxy Kind = "superproxy"
+	// KindAttempt: one exit-node try within a proxied request (the
+	// structured form of one entry in the X-Hola-Timeline-Debug retry
+	// chain).
+	KindAttempt Kind = "attempt"
+	// KindDNS: a DNS resolution, at the super proxy or on the exit node.
+	KindDNS Kind = "dns"
+	// KindFetch: the exit node's origin fetch.
+	KindFetch Kind = "fetch"
+	// KindTunnel: the exit node's CONNECT tunnel data phase.
+	KindTunnel Kind = "tunnel"
+)
+
+// Attr is one typed span attribute.
+type Attr struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// Str builds a string attribute.
+func Str(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Int builds an integer attribute.
+func Int(key string, value int64) Attr { return Attr{Key: key, Value: value} }
+
+// Bool builds a boolean attribute.
+func Bool(key string, value bool) Attr { return Attr{Key: key, Value: value} }
+
+// SpanData is a span's frozen state: what the collector retains and the
+// exporters serialize.
+type SpanData struct {
+	TraceID TraceID   `json:"trace_id"`
+	SpanID  SpanID    `json:"span_id"`
+	Parent  SpanID    `json:"parent_id,omitempty"`
+	Name    string    `json:"name"`
+	Kind    Kind      `json:"kind"`
+	Start   time.Time `json:"start"`
+	End     time.Time `json:"end"`
+	Err     string    `json:"error,omitempty"`
+	Attrs   []Attr    `json:"attrs,omitempty"`
+}
+
+// Attr returns the named attribute's value ("" / nil when absent).
+func (d *SpanData) Attr(key string) any {
+	for _, a := range d.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return nil
+}
+
+// Str returns the named attribute as a string ("" when absent or not a
+// string).
+func (d *SpanData) Str(key string) string {
+	s, _ := d.Attr(key).(string)
+	return s
+}
+
+// Context returns the span's propagation context.
+func (d *SpanData) Context() SpanContext {
+	return SpanContext{Trace: d.TraceID, Span: d.SpanID}
+}
+
+// Duration is the span's elapsed time on its tracer's clock.
+func (d *SpanData) Duration() time.Duration { return d.End.Sub(d.Start) }
+
+// Span is one in-flight operation. Created by a Tracer, finished with End,
+// at which point its frozen SpanData enters the tracer's collector. All
+// methods are safe on a nil receiver and for concurrent use.
+type Span struct {
+	tracer *Tracer
+
+	mu    sync.Mutex
+	data  SpanData
+	ended bool
+}
+
+// Context returns the span's propagation context (zero for a nil span, so
+// child spans of an untraced request become roots of their own traces).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: s.data.TraceID, Span: s.data.SpanID}
+}
+
+// SetAttrs appends attributes to the span.
+func (s *Span) SetAttrs(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.data.Attrs = append(s.data.Attrs, attrs...)
+	s.mu.Unlock()
+}
+
+// SetError marks the span failed. The last non-empty message wins.
+func (s *Span) SetError(msg string) {
+	if s == nil || msg == "" {
+		return
+	}
+	s.mu.Lock()
+	s.data.Err = msg
+	s.mu.Unlock()
+}
+
+// End closes the span, stamping the end time and handing the frozen data
+// to the collector. Idempotent: only the first End records.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.data.End = s.tracer.now()
+	data := s.data
+	s.mu.Unlock()
+	s.tracer.collect(data)
+}
+
+// defaultCapacity bounds a tracer's span memory: roughly one default-scale
+// crawl's worth of request trees, small enough to cap a long-lived
+// daemon's footprint.
+const defaultCapacity = 16384
+
+// lastID hands out process-unique span and trace IDs. A single counter
+// shared by every tracer keeps IDs unique even when several worlds (the
+// all-experiments campaign) trace concurrently.
+var lastID atomic.Uint64
+
+func newID() uint64 { return lastID.Add(1) }
+
+// Tracer creates spans and retains finished ones in a fixed-capacity ring
+// (oldest spans are overwritten once the ring wraps; Total reports how
+// many were ever recorded). A nil *Tracer is a valid no-op sink.
+type Tracer struct {
+	nowFn func() time.Time
+
+	mu    sync.Mutex
+	buf   []SpanData
+	total int64
+}
+
+// New creates a tracer. now supplies timestamps (nil means the wall
+// clock); capacity bounds the collector (<= 0 means the default 16384).
+func New(now func() time.Time, capacity int) *Tracer {
+	if now == nil {
+		now = time.Now
+	}
+	if capacity <= 0 {
+		capacity = defaultCapacity
+	}
+	return &Tracer{nowFn: now, buf: make([]SpanData, 0, capacity)}
+}
+
+func (t *Tracer) now() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.nowFn()
+}
+
+// StartRoot opens a span at the root of a fresh trace.
+func (t *Tracer) StartRoot(name string, kind Kind, attrs ...Attr) *Span {
+	return t.start(SpanContext{}, name, kind, attrs)
+}
+
+// StartChild opens a span under parent. An invalid parent context (an
+// untraced request) starts a fresh trace instead, so per-hop spans survive
+// callers that never propagated context.
+func (t *Tracer) StartChild(parent SpanContext, name string, kind Kind, attrs ...Attr) *Span {
+	return t.start(parent, name, kind, attrs)
+}
+
+func (t *Tracer) start(parent SpanContext, name string, kind Kind, attrs []Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	d := SpanData{
+		SpanID: SpanID(newID()),
+		Name:   name,
+		Kind:   kind,
+		Start:  t.now(),
+		Attrs:  attrs,
+	}
+	if parent.Valid() {
+		d.TraceID = parent.Trace
+		d.Parent = parent.Span
+	} else {
+		d.TraceID = TraceID(newID())
+	}
+	return &Span{tracer: t, data: d}
+}
+
+// collect appends a finished span to the ring.
+func (t *Tracer) collect(d SpanData) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, d)
+	} else {
+		t.buf[t.total%int64(cap(t.buf))] = d
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Spans returns the retained finished spans in completion order.
+func (t *Tracer) Spans() []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanData, 0, len(t.buf))
+	if t.total > int64(len(t.buf)) {
+		at := t.total % int64(cap(t.buf))
+		out = append(out, t.buf[at:]...)
+		out = append(out, t.buf[:at]...)
+	} else {
+		out = append(out, t.buf...)
+	}
+	return out
+}
+
+// Total reports how many spans were ever recorded, including overwritten
+// ones.
+func (t *Tracer) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}

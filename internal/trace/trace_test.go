@@ -1,0 +1,294 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic test clock ticking 1ms per Now call.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2016, 4, 13, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(time.Millisecond)
+	return c.t
+}
+
+// Nil tracer and nil span: every method must be a safe no-op, because the
+// whole proxy chain is instrumented unconditionally.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if got := tr.Spans(); got != nil {
+		t.Fatalf("nil tracer Spans = %v", got)
+	}
+	if got := tr.Total(); got != 0 {
+		t.Fatalf("nil tracer Total = %d", got)
+	}
+	sp := tr.StartRoot("x", KindClient)
+	if sp != nil {
+		t.Fatal("nil tracer handed out a non-nil span")
+	}
+	sp.SetAttrs(Str("k", "v"))
+	sp.SetError("boom")
+	sp.End()
+	sp.End()
+	if sc := sp.Context(); sc.Valid() {
+		t.Fatalf("nil span context valid: %+v", sc)
+	}
+	child := tr.StartChild(sp.Context(), "y", KindProxy)
+	if child != nil {
+		t.Fatal("nil tracer handed out a child span")
+	}
+}
+
+// Parent links: children share the root's trace and point at their parent;
+// an invalid parent context falls back to a fresh root trace.
+func TestParentLinks(t *testing.T) {
+	tr := New(newFakeClock().Now, 16)
+	root := tr.StartRoot("probe", KindClient)
+	child := tr.StartChild(root.Context(), "proxy", KindProxy)
+	grand := tr.StartChild(child.Context(), "fetch", KindFetch)
+	for _, sp := range []*Span{grand, child, root} {
+		sp.End()
+	}
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(spans))
+	}
+	byName := map[string]SpanData{}
+	for _, d := range spans {
+		byName[d.Name] = d
+	}
+	r, c, g := byName["probe"], byName["proxy"], byName["fetch"]
+	if r.Parent != 0 {
+		t.Fatalf("root has parent %v", r.Parent)
+	}
+	if c.TraceID != r.TraceID || c.Parent != r.SpanID {
+		t.Fatalf("child links wrong: %+v vs root %+v", c, r)
+	}
+	if g.TraceID != r.TraceID || g.Parent != c.SpanID {
+		t.Fatalf("grandchild links wrong: %+v vs child %+v", g, c)
+	}
+	if g.End.Before(g.Start) {
+		t.Fatalf("timestamps inverted: %+v", g)
+	}
+
+	orphan := tr.StartChild(SpanContext{}, "orphan", KindDNS)
+	orphan.End()
+	od := tr.Spans()[3]
+	if od.Parent != 0 || od.TraceID == r.TraceID || od.TraceID == 0 {
+		t.Fatalf("invalid parent must start a fresh root trace: %+v", od)
+	}
+}
+
+// End is idempotent and ordering survives ring wrap: the collector keeps
+// the newest capacity spans in completion order.
+func TestRingWrapAndIdempotentEnd(t *testing.T) {
+	const capacity = 8
+	tr := New(newFakeClock().Now, capacity)
+	sp := tr.StartRoot("once", KindClient)
+	sp.End()
+	sp.End()
+	if got := tr.Total(); got != 1 {
+		t.Fatalf("double End recorded %d spans", got)
+	}
+	for i := 0; i < 3*capacity; i++ {
+		s := tr.StartRoot(fmt.Sprintf("s%02d", i), KindClient)
+		s.End()
+	}
+	spans := tr.Spans()
+	if len(spans) != capacity {
+		t.Fatalf("retained %d spans, want %d", len(spans), capacity)
+	}
+	if got := tr.Total(); got != 1+3*capacity {
+		t.Fatalf("total = %d, want %d", got, 1+3*capacity)
+	}
+	// The retained window is the newest spans, oldest-first.
+	for i, d := range spans {
+		want := fmt.Sprintf("s%02d", 2*capacity+i)
+		if d.Name != want {
+			t.Fatalf("span %d = %q, want %q (full window %v)", i, d.Name, want, names(spans))
+		}
+	}
+}
+
+func names(spans []SpanData) []string {
+	out := make([]string, len(spans))
+	for i, d := range spans {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// The collector must be race-free under concurrent span creation and End
+// across the wrap boundary (run with -race).
+func TestConcurrentCollect(t *testing.T) {
+	const (
+		capacity = 64
+		workers  = 8
+		perW     = 100
+	)
+	tr := New(nil, capacity)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				root := tr.StartRoot("root", KindClient, Int("w", int64(w)))
+				child := tr.StartChild(root.Context(), "child", KindAttempt)
+				child.SetAttrs(Int("i", int64(i)))
+				child.SetError("err")
+				child.End()
+				root.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.Total(); got != 2*workers*perW {
+		t.Fatalf("total = %d, want %d", got, 2*workers*perW)
+	}
+	if got := len(tr.Spans()); got != capacity {
+		t.Fatalf("retained = %d, want %d", got, capacity)
+	}
+}
+
+// Header round-trip plus rejection of malformed wire forms.
+func TestHeaderRoundTrip(t *testing.T) {
+	sc := SpanContext{Trace: 0xdeadbeef, Span: 0x1234}
+	h := FormatHeader(sc)
+	if h != "v1;t=00000000deadbeef;s=0000000000001234" {
+		t.Fatalf("header = %q", h)
+	}
+	if got := ParseHeader(h); got != sc {
+		t.Fatalf("round trip = %+v, want %+v", got, sc)
+	}
+	if got := FormatHeader(SpanContext{}); got != "" {
+		t.Fatalf("invalid context formatted as %q", got)
+	}
+	for _, bad := range []string{
+		"", "v2;t=1;s=2", "v1;t=1", "v1;t=xyz;s=2", "v1;t=1;s=", "v1;s=2;x=9",
+		"v1;t=0;s=0", "v1;t=1;s=2;extra=3",
+	} {
+		if got := ParseHeader(bad); got.Valid() {
+			t.Errorf("ParseHeader(%q) = %+v, want invalid", bad, got)
+		}
+	}
+}
+
+// Chrome export: structurally valid trace_event JSON — the shape Perfetto
+// requires (complete events with name/ph/ts/dur, IDs in args).
+func TestWriteChromeTrace(t *testing.T) {
+	tr := New(newFakeClock().Now, 16)
+	root := tr.StartRoot("probe.dns", KindClient, Str("country", "DE"))
+	child := tr.StartChild(root.Context(), "proxy.get", KindProxy)
+	child.SetError("timeout")
+	child.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(f.TraceEvents) != 2 {
+		t.Fatalf("events = %d, want 2", len(f.TraceEvents))
+	}
+	for _, ev := range f.TraceEvents {
+		if ev["ph"] != "X" {
+			t.Fatalf("event phase %v, want X", ev["ph"])
+		}
+		for _, k := range []string{"name", "cat", "ts", "dur", "pid", "tid"} {
+			if _, ok := ev[k]; !ok {
+				t.Fatalf("event missing %q: %v", k, ev)
+			}
+		}
+		args, ok := ev["args"].(map[string]any)
+		if !ok {
+			t.Fatalf("event args missing: %v", ev)
+		}
+		if args["trace_id"] == "" || args["span_id"] == "" {
+			t.Fatalf("event args missing ids: %v", args)
+		}
+	}
+}
+
+// JSONL export round-trips through SpanData, one object per line.
+func TestWriteJSONL(t *testing.T) {
+	tr := New(newFakeClock().Now, 16)
+	root := tr.StartRoot("probe", KindClient, Str("zid", "z1"))
+	tr.StartChild(root.Context(), "fetch", KindFetch).End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(lines))
+	}
+	var d SpanData
+	if err := json.Unmarshal([]byte(lines[1]), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "probe" || d.Str("zid") != "z1" {
+		t.Fatalf("decoded span = %+v", d)
+	}
+	if d.SpanID == 0 || d.TraceID == 0 {
+		t.Fatalf("ids did not round-trip: %+v", d)
+	}
+}
+
+// The slog wrapper injects trace_id/span_id from the context into every
+// record, and stays silent for untraced contexts.
+func TestLogHandlerInjection(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(NewLogHandler(slog.NewJSONHandler(&buf, nil)))
+
+	sc := SpanContext{Trace: 0xabc, Span: 0xdef}
+	logger.InfoContext(NewContext(context.Background(), sc), "traced", "k", "v")
+	logger.InfoContext(context.Background(), "untraced")
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("records = %d, want 2", len(lines))
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["trace_id"] != sc.Trace.String() || rec["span_id"] != sc.Span.String() {
+		t.Fatalf("traced record missing ids: %v", rec)
+	}
+	if rec["k"] != "v" {
+		t.Fatalf("user attrs lost: %v", rec)
+	}
+	rec = map[string]any{}
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rec["trace_id"]; ok {
+		t.Fatalf("untraced record gained a trace id: %v", rec)
+	}
+}

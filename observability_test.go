@@ -1,0 +1,100 @@
+package tft
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"github.com/tftproject/tft/internal/trace"
+)
+
+// The observability acceptance bar: a DNS run yields at least one complete
+// per-request trace tree — client probe → super proxy request → exit-node
+// attempt → node-side resolve and fetch — and the Chrome trace_event
+// export of those spans is structurally valid (Perfetto-loadable).
+func TestRunDNSTraceChain(t *testing.T) {
+	run, err := RunDNS(context.Background(), Options{Seed: 21, Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := run.Spans()
+	if len(spans) == 0 {
+		t.Fatal("run retained no spans")
+	}
+
+	byID := make(map[trace.SpanID]trace.SpanData, len(spans))
+	for _, d := range spans {
+		byID[d.SpanID] = d
+	}
+	// ancestors resolves the parent chain's names, innermost-first.
+	ancestors := func(d trace.SpanData) []string {
+		var names []string
+		for p := d.Parent; p != 0; {
+			pd, ok := byID[p]
+			if !ok {
+				break
+			}
+			names = append(names, pd.Name)
+			p = pd.Parent
+		}
+		return names
+	}
+	chainOK := func(names []string) bool {
+		return len(names) == 3 && names[0] == "proxy.attempt" &&
+			names[1] == "proxy.get" && names[2] == "probe.dns"
+	}
+	fetches, resolves := 0, 0
+	for _, d := range spans {
+		switch d.Name {
+		case "node.fetch":
+			if chainOK(ancestors(d)) {
+				fetches++
+			}
+		case "node.resolve":
+			if chainOK(ancestors(d)) {
+				resolves++
+			}
+		}
+	}
+	if fetches == 0 {
+		t.Fatal("no node.fetch span with the full probe.dns → proxy.get → proxy.attempt chain")
+	}
+	if resolves == 0 {
+		t.Fatal("no node.resolve span with the full chain (RemoteDNS probes must trace resolution)")
+	}
+
+	// The Chrome export of a real run's spans must be structurally valid.
+	var buf bytes.Buffer
+	if err := trace.WriteChromeTrace(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   *int64         `json:"ts"`
+			Dur  *int64         `json:"dur"`
+			Pid  *int           `json:"pid"`
+			Tid  *uint64        `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if len(f.TraceEvents) != len(spans) {
+		t.Fatalf("exported %d events for %d spans", len(f.TraceEvents), len(spans))
+	}
+	for i, ev := range f.TraceEvents {
+		if ev.Name == "" || ev.Ph != "X" || ev.Ts == nil || ev.Dur == nil || ev.Pid == nil || ev.Tid == nil {
+			t.Fatalf("event %d structurally incomplete: %+v", i, ev)
+		}
+		if *ev.Dur < 0 {
+			t.Fatalf("event %d has negative duration: %+v", i, ev)
+		}
+		if ev.Args["trace_id"] == "" || ev.Args["span_id"] == "" {
+			t.Fatalf("event %d missing ids: %+v", i, ev)
+		}
+	}
+}

@@ -212,7 +212,8 @@ func MetricsTable(name string, s *metrics.Snapshot) *analysis.Table {
 	}
 	for _, k := range sortedKeys(s.Histograms) {
 		h := s.Histograms[k]
-		add(k+" (histogram)", fmt.Sprintf("n=%d mean=%.3f", h.Count, h.Mean()))
+		add(k+" (histogram)", fmt.Sprintf("n=%d mean=%.3f p50=%.3f p95=%.3f p99=%.3f",
+			h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)))
 	}
 	for _, k := range sortedKeys(s.Labeled) {
 		var parts []string

@@ -1,10 +1,14 @@
 #!/bin/sh
-# Pre-merge gate: vet, build, race-enabled tests, and a one-iteration
-# crawl-benchmark smoke run. Equivalent to `make check` for environments
-# without make.
+# Pre-merge gate: formatting, vet, build, race-enabled tests, a
+# one-iteration crawl-benchmark smoke run, and a live scrape of the super
+# proxy's Prometheus exposition. Equivalent to `make check` for
+# environments without make.
 set -eux
 
+unformatted=$(gofmt -l .)
+test -z "$unformatted" || { echo "gofmt needed: $unformatted" >&2; exit 1; }
 go vet ./...
 go build ./...
 go test -race ./...
 go test -run=NONE -bench=Crawl -benchtime=1x ./...
+go run ./scripts/promsmoke

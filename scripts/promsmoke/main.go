@@ -1,0 +1,123 @@
+// Command promsmoke is the check.sh exposition gate: it builds
+// cmd/superproxy, starts it with -metrics-addr on free ports, scrapes
+// /metrics, and fails on any line that is not valid Prometheus text
+// exposition (version 0.0.4). Pure Go so the gate has no curl/wget
+// dependency.
+//
+//	go run ./scripts/promsmoke
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"time"
+)
+
+var (
+	commentRe = regexp.MustCompile(`^# (TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram|summary|untyped)|HELP .*)$`)
+	sampleRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{([a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? [+-]?([0-9.eE+-]+|Inf|NaN)( [0-9]+)?$`)
+)
+
+func freePort() (int, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port, nil
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "promsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	bin := filepath.Join(dir, "superproxy")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/superproxy")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building cmd/superproxy: %w", err)
+	}
+
+	var ports [3]int
+	for i := range ports {
+		if ports[i], err = freePort(); err != nil {
+			return err
+		}
+	}
+	metricsAddr := fmt.Sprintf("127.0.0.1:%d", ports[2])
+	proxy := exec.Command(bin,
+		"-listen", fmt.Sprintf("127.0.0.1:%d", ports[0]),
+		"-agents", fmt.Sprintf("127.0.0.1:%d", ports[1]),
+		"-metrics-addr", metricsAddr)
+	proxy.Stderr = os.Stderr
+	if err := proxy.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		proxy.Process.Kill()
+		proxy.Wait()
+	}()
+
+	// The daemon binds its listeners asynchronously; poll until /metrics
+	// answers or the deadline passes.
+	var body string
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get("http://" + metricsAddr + "/metrics")
+		if err == nil {
+			b, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr == nil && resp.StatusCode == http.StatusOK {
+				body = string(b)
+				break
+			}
+			err = fmt.Errorf("status %d", resp.StatusCode)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("scraping /metrics: %v", err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	samples := 0
+	for i, line := range strings.Split(strings.TrimSuffix(body, "\n"), "\n") {
+		switch {
+		case line == "":
+			return fmt.Errorf("blank line %d in exposition", i+1)
+		case strings.HasPrefix(line, "#"):
+			if !commentRe.MatchString(line) {
+				return fmt.Errorf("malformed comment line %d: %q", i+1, line)
+			}
+		default:
+			if !sampleRe.MatchString(line) {
+				return fmt.Errorf("malformed sample line %d: %q", i+1, line)
+			}
+			samples++
+		}
+	}
+	if samples == 0 {
+		return fmt.Errorf("exposition has no samples:\n%s", body)
+	}
+	if !strings.Contains(body, "tft_events_total") {
+		return fmt.Errorf("exposition missing tft_events_total:\n%s", body)
+	}
+	fmt.Printf("promsmoke: %d valid exposition lines from %s\n", samples, metricsAddr)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "promsmoke:", err)
+		os.Exit(1)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"github.com/tftproject/tft/internal/dataset"
 	"github.com/tftproject/tft/internal/metrics"
 	"github.com/tftproject/tft/internal/population"
+	"github.com/tftproject/tft/internal/trace"
 )
 
 // Options selects a world and crawl configuration.
@@ -68,14 +69,30 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// instrument ensures the run has a metrics registry and threads it into
-// the world's service side (the super proxy).
+// instrument ensures the run has a metrics registry and a span tracer, and
+// threads both into the world's service side: the registry into the super
+// proxy, the tracer into the super proxy and every exit node, so one
+// measured request yields one complete span tree. The tracer runs on the
+// world's virtual clock, so span durations are in simulated time.
 func (o *Options) instrument(w *population.World) *metrics.Registry {
 	if o.Crawl.Metrics == nil {
 		o.Crawl.Metrics = metrics.NewRegistry()
 	}
+	if o.Crawl.Tracer == nil && w != nil && w.Clock != nil {
+		o.Crawl.Tracer = trace.New(w.Clock.Now, 0)
+	}
 	if w != nil && w.Super != nil && w.Super.Metrics == nil {
 		w.Super.Metrics = o.Crawl.Metrics
+	}
+	if w != nil && w.Super != nil && w.Super.Tracer == nil {
+		w.Super.Tracer = o.Crawl.Tracer
+	}
+	if w != nil && w.Pool != nil {
+		for _, n := range w.Pool.Nodes() {
+			if n.Tracer == nil {
+				n.Tracer = o.Crawl.Tracer
+			}
+		}
 	}
 	return o.Crawl.Metrics
 }
@@ -98,6 +115,9 @@ type Run interface {
 	Stats() core.Stats
 	// Metrics snapshots the run's crawl-engine telemetry.
 	Metrics() *metrics.Snapshot
+	// Spans returns the finished request spans retained by the run's
+	// tracer — the per-request trace trees behind -trace/-trace-jsonl.
+	Spans() []trace.SpanData
 	// Headline is the one-line summary the CLI prints above the tables.
 	Headline() string
 	// Overview is the run's Table-2 coverage row.
@@ -115,7 +135,8 @@ type DNSRun struct {
 	Dataset  *core.DNSDataset
 	Analysis *analysis.DNSAnalysis
 
-	reg *metrics.Registry
+	reg    *metrics.Registry
+	tracer *trace.Tracer
 }
 
 // RunDNS builds a DNS world and runs the NXDOMAIN-hijack experiment.
@@ -137,7 +158,7 @@ func RunDNS(ctx context.Context, opts Options) (*DNSRun, error) {
 		return nil, err
 	}
 	return &DNSRun{Opts: opts, World: w, Dataset: ds,
-		Analysis: analysis.AnalyzeDNS(opts.cfg(), w.Geo, ds), reg: reg}, nil
+		Analysis: analysis.AnalyzeDNS(opts.cfg(), w.Geo, ds), reg: reg, tracer: opts.Crawl.Tracer}, nil
 }
 
 // Name implements Run.
@@ -154,6 +175,9 @@ func (r *DNSRun) Stats() core.Stats { return r.Dataset.Crawl }
 
 // Metrics snapshots the run's crawl telemetry.
 func (r *DNSRun) Metrics() *metrics.Snapshot { return r.reg.Snapshot() }
+
+// Spans returns the run's retained request spans.
+func (r *DNSRun) Spans() []trace.SpanData { return r.tracer.Spans() }
 
 // Headline is the CLI summary.
 func (r *DNSRun) Headline() string {
@@ -189,7 +213,8 @@ type HTTPRun struct {
 	Dataset  *core.HTTPDataset
 	Analysis *analysis.HTTPAnalysis
 
-	reg *metrics.Registry
+	reg    *metrics.Registry
+	tracer *trace.Tracer
 }
 
 // RunHTTP builds an HTTP world and runs the content-modification
@@ -212,7 +237,7 @@ func RunHTTP(ctx context.Context, opts Options) (*HTTPRun, error) {
 		return nil, err
 	}
 	return &HTTPRun{Opts: opts, World: w, Dataset: ds,
-		Analysis: analysis.AnalyzeHTTP(opts.cfg(), w.Geo, ds), reg: reg}, nil
+		Analysis: analysis.AnalyzeHTTP(opts.cfg(), w.Geo, ds), reg: reg, tracer: opts.Crawl.Tracer}, nil
 }
 
 // Name implements Run.
@@ -230,6 +255,9 @@ func (r *HTTPRun) Stats() core.Stats { return r.Dataset.Crawl }
 
 // Metrics snapshots the run's crawl telemetry.
 func (r *HTTPRun) Metrics() *metrics.Snapshot { return r.reg.Snapshot() }
+
+// Spans returns the run's retained request spans.
+func (r *HTTPRun) Spans() []trace.SpanData { return r.tracer.Spans() }
 
 // Headline is the CLI summary.
 func (r *HTTPRun) Headline() string {
@@ -262,7 +290,8 @@ type TLSRun struct {
 	Dataset  *core.TLSDataset
 	Analysis *analysis.TLSAnalysis
 
-	reg *metrics.Registry
+	reg    *metrics.Registry
+	tracer *trace.Tracer
 }
 
 // RunTLS builds a TLS world and runs the certificate-replacement
@@ -286,7 +315,7 @@ func RunTLS(ctx context.Context, opts Options) (*TLSRun, error) {
 		return nil, err
 	}
 	return &TLSRun{Opts: opts, World: w, Dataset: ds,
-		Analysis: analysis.AnalyzeTLS(opts.cfg(), w.Geo, ds), reg: reg}, nil
+		Analysis: analysis.AnalyzeTLS(opts.cfg(), w.Geo, ds), reg: reg, tracer: opts.Crawl.Tracer}, nil
 }
 
 // Name implements Run.
@@ -303,6 +332,9 @@ func (r *TLSRun) Stats() core.Stats { return r.Dataset.Crawl }
 
 // Metrics snapshots the run's crawl telemetry.
 func (r *TLSRun) Metrics() *metrics.Snapshot { return r.reg.Snapshot() }
+
+// Spans returns the run's retained request spans.
+func (r *TLSRun) Spans() []trace.SpanData { return r.tracer.Spans() }
 
 // Headline is the CLI summary.
 func (r *TLSRun) Headline() string {
@@ -335,7 +367,8 @@ type MonitorRun struct {
 	Dataset  *core.MonDataset
 	Analysis *analysis.MonAnalysis
 
-	reg *metrics.Registry
+	reg    *metrics.Registry
+	tracer *trace.Tracer
 }
 
 // RunMonitor builds a monitoring world and runs the content-monitoring
@@ -359,7 +392,7 @@ func RunMonitor(ctx context.Context, opts Options) (*MonitorRun, error) {
 		return nil, err
 	}
 	return &MonitorRun{Opts: opts, World: w, Dataset: ds,
-		Analysis: analysis.AnalyzeMonitor(opts.cfg(), w.Geo, ds), reg: reg}, nil
+		Analysis: analysis.AnalyzeMonitor(opts.cfg(), w.Geo, ds), reg: reg, tracer: opts.Crawl.Tracer}, nil
 }
 
 // Name implements Run.
@@ -376,6 +409,9 @@ func (r *MonitorRun) Stats() core.Stats { return r.Dataset.Crawl }
 
 // Metrics snapshots the run's crawl telemetry.
 func (r *MonitorRun) Metrics() *metrics.Snapshot { return r.reg.Snapshot() }
+
+// Spans returns the run's retained request spans.
+func (r *MonitorRun) Spans() []trace.SpanData { return r.tracer.Spans() }
 
 // Headline is the CLI summary.
 func (r *MonitorRun) Headline() string {
@@ -419,7 +455,8 @@ type SMTPRun struct {
 	Dataset  *core.SMTPDataset
 	Analysis *analysis.SMTPAnalysis
 
-	reg *metrics.Registry
+	reg    *metrics.Registry
+	tracer *trace.Tracer
 }
 
 // RunSMTP builds the extension world (a VPN allowing any CONNECT port) and
@@ -442,7 +479,7 @@ func RunSMTP(ctx context.Context, opts Options) (*SMTPRun, error) {
 		return nil, err
 	}
 	return &SMTPRun{Opts: opts, World: w, Dataset: ds,
-		Analysis: analysis.AnalyzeSMTP(opts.cfg(), w.Geo, ds), reg: reg}, nil
+		Analysis: analysis.AnalyzeSMTP(opts.cfg(), w.Geo, ds), reg: reg, tracer: opts.Crawl.Tracer}, nil
 }
 
 // Name implements Run.
@@ -459,6 +496,9 @@ func (r *SMTPRun) Stats() core.Stats { return r.Dataset.Crawl }
 
 // Metrics snapshots the run's crawl telemetry.
 func (r *SMTPRun) Metrics() *metrics.Snapshot { return r.reg.Snapshot() }
+
+// Spans returns the run's retained request spans.
+func (r *SMTPRun) Spans() []trace.SpanData { return r.tracer.Spans() }
 
 // Headline is the CLI summary.
 func (r *SMTPRun) Headline() string {
