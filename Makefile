@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench benchjson
 
 check: vet build race bench
 
@@ -19,7 +19,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-# One iteration of every crawl benchmark: a smoke test that the default-
-# scale worlds still build and crawl, not a performance measurement.
+# One iteration of every crawl benchmark plus the simnet pipe micro-benches:
+# a smoke test that the default-scale worlds still build and crawl and the
+# fast path still runs, not a performance measurement.
 bench:
 	$(GO) test -run=NONE -bench=Crawl -benchtime=1x ./...
+	$(GO) test -run=NONE -bench=Pipe -benchtime=1x -benchmem ./internal/simnet
+
+# Machine-readable benchmark baseline: runs the full-pipeline, table, and
+# pipe benchmarks with -benchmem and writes BENCH_<n>.json for the perf
+# trajectory.
+benchjson:
+	$(GO) run ./scripts/benchjson

@@ -71,16 +71,30 @@ func (h Header) Clone() Header {
 }
 
 // write emits headers sorted by key for deterministic wire bytes.
-func (h Header) write(w *bufio.Writer) {
-	keys := make([]string, 0, len(h))
+func (h Header) write(w *bufio.Writer) { h.writeWith(w, "", "") }
+
+// writeWith emits the headers plus one override entry — replacing any
+// existing value under the same key — in a single sorted pass, so the
+// serializers can stamp Content-Length without cloning the map per message.
+func (h Header) writeWith(w *bufio.Writer, oKey, oVal string) {
+	keys := make([]string, 0, len(h)+1)
 	for k := range h {
-		keys = append(keys, k)
+		if k != oKey {
+			keys = append(keys, k)
+		}
+	}
+	if oKey != "" {
+		keys = append(keys, oKey)
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
 		w.WriteString(k)
 		w.WriteString(": ")
-		w.WriteString(h[k])
+		if k == oKey {
+			w.WriteString(oVal)
+		} else {
+			w.WriteString(h[k])
+		}
 		w.WriteString("\r\n")
 	}
 }
@@ -139,17 +153,19 @@ func ReasonPhrase(code int) string {
 
 // Write serializes the request. Content-Length is set from Body.
 func (r *Request) Write(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "%s %s %s\r\n", r.Method, r.Target, protoOr(r.Proto))
-	h := r.Header
-	if h == nil {
-		h = Header{}
-	}
+	bw := getWriter(w)
+	defer putWriter(bw)
+	bw.WriteString(r.Method)
+	bw.WriteByte(' ')
+	bw.WriteString(r.Target)
+	bw.WriteByte(' ')
+	bw.WriteString(protoOr(r.Proto))
+	bw.WriteString("\r\n")
 	if len(r.Body) > 0 || r.Method == "POST" || r.Method == "PUT" {
-		h = h.Clone()
-		h.Set("Content-Length", strconv.Itoa(len(r.Body)))
+		r.Header.writeWith(bw, "Content-Length", strconv.Itoa(len(r.Body)))
+	} else {
+		r.Header.write(bw)
 	}
-	h.write(bw)
 	bw.WriteString("\r\n")
 	bw.Write(r.Body)
 	return bw.Flush()
@@ -157,19 +173,19 @@ func (r *Request) Write(w io.Writer) error {
 
 // Write serializes the response. Content-Length is always set.
 func (r *Response) Write(w io.Writer) error {
-	bw := bufio.NewWriter(w)
+	bw := getWriter(w)
+	defer putWriter(bw)
 	reason := r.Reason
 	if reason == "" {
 		reason = ReasonPhrase(r.StatusCode)
 	}
-	fmt.Fprintf(bw, "%s %d %s\r\n", protoOr(r.Proto), r.StatusCode, reason)
-	h := r.Header
-	if h == nil {
-		h = Header{}
-	}
-	h = h.Clone()
-	h.Set("Content-Length", strconv.Itoa(len(r.Body)))
-	h.write(bw)
+	bw.WriteString(protoOr(r.Proto))
+	bw.WriteByte(' ')
+	bw.Write(strconv.AppendInt(bw.AvailableBuffer(), int64(r.StatusCode), 10))
+	bw.WriteByte(' ')
+	bw.WriteString(reason)
+	bw.WriteString("\r\n")
+	r.Header.writeWith(bw, "Content-Length", strconv.Itoa(len(r.Body)))
 	bw.WriteString("\r\n")
 	bw.Write(r.Body)
 	return bw.Flush()

@@ -6,7 +6,6 @@
 package origin
 
 import (
-	"bufio"
 	"net"
 	"net/netip"
 	"sync"
@@ -127,7 +126,9 @@ func (s *Server) ConnHandler() simnet.ConnHandler {
 	return func(conn net.Conn) {
 		defer conn.Close()
 		src, _ := simnet.RemoteIP(conn)
-		req, err := httpwire.ReadRequest(bufio.NewReader(conn))
+		br := httpwire.GetReader(conn)
+		req, err := httpwire.ReadRequest(br)
+		httpwire.PutReader(br)
 		if err != nil {
 			return
 		}
@@ -140,7 +141,10 @@ func (s *Server) ConnHandler() simnet.ConnHandler {
 func StaticPage(body []byte, contentType string) simnet.ConnHandler {
 	return func(conn net.Conn) {
 		defer conn.Close()
-		if _, err := httpwire.ReadRequest(bufio.NewReader(conn)); err != nil {
+		br := httpwire.GetReader(conn)
+		_, err := httpwire.ReadRequest(br)
+		httpwire.PutReader(br)
+		if err != nil {
 			return
 		}
 		resp := httpwire.NewResponse(200, body)

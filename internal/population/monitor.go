@@ -1,7 +1,6 @@
 package population
 
 import (
-	"bufio"
 	"context"
 	"fmt"
 	"net/netip"
@@ -78,7 +77,9 @@ func (w *World) refetchFunc(userAgent string) func(src netip.Addr, host, path st
 			if skew < 0 {
 				req.Header.Set(origin.SkewHeader, skew.String())
 			}
-			httpwire.RoundTrip(conn, bufio.NewReader(conn), req)
+			br := httpwire.GetReader(conn)
+			httpwire.RoundTrip(conn, br, req)
+			httpwire.PutReader(br)
 		}
 		if delay < 0 {
 			do(delay)

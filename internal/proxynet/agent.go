@@ -120,7 +120,9 @@ func (p *remotePeer) rpc(req *httpwire.Request) (*httpwire.Response, error) {
 		return nil, err
 	}
 	conn.SetDeadline(time.Now().Add(30 * time.Second))
-	resp, err := httpwire.RoundTrip(conn, bufio.NewReader(conn), req)
+	br := httpwire.GetReader(conn)
+	resp, err := httpwire.RoundTrip(conn, br, req)
+	httpwire.PutReader(br)
 	if err != nil {
 		p.drop(conn)
 		return nil, err
@@ -209,8 +211,9 @@ func (g *Gateway) Serve(l net.Listener) error {
 // handle performs one agent connection's registration handshake.
 func (g *Gateway) handle(conn net.Conn) {
 	conn.SetDeadline(time.Now().Add(10 * time.Second))
-	br := bufio.NewReader(conn)
+	br := httpwire.GetReader(conn)
 	req, err := httpwire.ReadRequest(br)
+	httpwire.PutReader(br)
 	if err != nil || req.Method != methodRegister || req.Target == "" {
 		conn.Close()
 		return

@@ -1,0 +1,14 @@
+package proxynet
+
+import "sync"
+
+// copyBufPool recycles the 32KB relay buffers the tunnel data phase uses.
+// Every CONNECT probe spins up two copy loops; without the pool each one
+// allocated its own buffer for what is usually a few KB of TLS handshake.
+var copyBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 32<<10)
+	return &b
+}}
+
+func getCopyBuf() *[]byte  { return copyBufPool.Get().(*[]byte) }
+func putCopyBuf(b *[]byte) { copyBufPool.Put(b) }

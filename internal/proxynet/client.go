@@ -91,7 +91,9 @@ func (c *Client) Get(ctx context.Context, o Options, url string) (*httpwire.Resp
 		return nil, nil, err
 	}
 	req.Header.Set("Host", host)
-	resp, err := httpwire.RoundTrip(conn, bufio.NewReader(conn), req)
+	br := httpwire.GetReader(conn)
+	resp, err := httpwire.RoundTrip(conn, br, req)
+	httpwire.PutReader(br)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -8,7 +8,6 @@
 package proxynet
 
 import (
-	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -116,7 +115,9 @@ func (n *ExitNode) FetchHTTP(ctx context.Context, host string, port uint16, path
 		defer conn.Close()
 		req := httpwire.NewRequest("GET", path)
 		req.Header.Set("Host", host)
-		resp, err = httpwire.RoundTrip(conn, bufio.NewReader(conn), req)
+		br := httpwire.GetReader(conn)
+		resp, err = httpwire.RoundTrip(conn, br, req)
+		httpwire.PutReader(br)
 	}
 	if n.Path != nil && n.Env != nil {
 		n.Path.ObserveFetch(n.Env, host, path, fetch)
@@ -175,9 +176,16 @@ func (n *ExitNode) Tunnel(ctx context.Context, client net.Conn, ip netip.Addr, p
 // through the stream interceptors (STARTTLS strippers and kin).
 func rewriteRelay(client, server net.Conn, stream []middlebox.StreamInterceptor) error {
 	done := make(chan error, 2)
-	go func() { _, err := io.Copy(server, client); done <- err }()
 	go func() {
-		buf := make([]byte, 32<<10)
+		buf := getCopyBuf()
+		defer putCopyBuf(buf)
+		_, err := io.CopyBuffer(server, client, *buf)
+		done <- err
+	}()
+	go func() {
+		bp := getCopyBuf()
+		defer putCopyBuf(bp)
+		buf := *bp
 		for {
 			nr, err := server.Read(buf)
 			if nr > 0 {
@@ -209,8 +217,14 @@ func rewriteRelay(client, server net.Conn, stream []middlebox.StreamInterceptor)
 // rawRelay copies bytes both ways until either side closes.
 func rawRelay(a, b net.Conn) error {
 	done := make(chan error, 2)
-	go func() { _, err := io.Copy(b, a); done <- err }()
-	go func() { _, err := io.Copy(a, b); done <- err }()
+	relay := func(dst, src net.Conn) {
+		buf := getCopyBuf()
+		defer putCopyBuf(buf)
+		_, err := io.CopyBuffer(dst, src, *buf)
+		done <- err
+	}
+	go relay(b, a)
+	go relay(a, b)
 	err := <-done
 	a.Close()
 	b.Close()

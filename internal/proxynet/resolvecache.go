@@ -1,0 +1,156 @@
+package proxynet
+
+import (
+	"container/list"
+	"net/netip"
+	"sync"
+	"time"
+
+	"github.com/tftproject/tft/internal/dnswire"
+	"github.com/tftproject/tft/internal/simnet"
+)
+
+// Resolution-cache defaults. The positive TTL is deliberately short — the
+// super proxy's job is existence checking, not authoritative caching — and
+// negative answers expire even faster so a domain that comes into existence
+// is noticed promptly.
+const (
+	DefaultCacheTTL     = 60 * time.Second
+	DefaultCacheNegTTL  = 10 * time.Second
+	DefaultCacheEntries = 4096
+)
+
+// cacheOutcome reports how a cached resolution was satisfied.
+type cacheOutcome int
+
+const (
+	cacheMiss cacheOutcome = iota
+	cacheHit
+	cacheCoalesced
+)
+
+// ResolveCache is the super proxy's resolution cache: TTL'd positive and
+// negative entries in a bounded LRU, with concurrent lookups for the same
+// host coalesced into a single resolver query.
+//
+// Methodology note: the cache sits ONLY on the super-proxy-side existence
+// check (§4.1 — the lookup behind the d2 gate's whitelisted egress). The
+// exit node's resolver — the thing the experiments measure — is never
+// consulted through it, and every experiment hostname (d1-*, d2-*, h-*,
+// u-*) is globally unique per session, so experiment probes always take
+// the miss path and reach the resolver exactly as before. SERVFAIL is
+// never cached: a transient upstream failure must not stick.
+type ResolveCache struct {
+	// Clock supplies the TTL timebase (the virtual clock in simulations).
+	Clock simnet.Clock
+	// TTL and NegTTL bound positive and NXDOMAIN entry lifetimes.
+	TTL, NegTTL time.Duration
+	// MaxEntries caps the LRU.
+	MaxEntries int
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+	flights map[string]*flight
+}
+
+type cacheEntry struct {
+	host    string
+	ip      netip.Addr
+	rcode   dnswire.RCode
+	expires time.Time
+}
+
+// flight is one in-progress resolution other callers can wait on. ip and
+// rcode are written before done closes and read only after.
+type flight struct {
+	done  chan struct{}
+	ip    netip.Addr
+	rcode dnswire.RCode
+}
+
+// NewResolveCache builds a cache with the default TTLs and size on clock.
+func NewResolveCache(clock simnet.Clock) *ResolveCache {
+	return &ResolveCache{
+		Clock:      clock,
+		TTL:        DefaultCacheTTL,
+		NegTTL:     DefaultCacheNegTTL,
+		MaxEntries: DefaultCacheEntries,
+		entries:    make(map[string]*list.Element),
+		lru:        list.New(),
+		flights:    make(map[string]*flight),
+	}
+}
+
+// ttlFor maps a response code to its cache lifetime; zero means "do not
+// cache".
+func (c *ResolveCache) ttlFor(rcode dnswire.RCode) time.Duration {
+	switch rcode {
+	case dnswire.RCodeSuccess:
+		return c.TTL
+	case dnswire.RCodeNXDomain:
+		return c.NegTTL
+	}
+	return 0
+}
+
+// Resolve returns the cached answer for host or, on a miss, performs lookup
+// (outside the cache lock) and remembers the result. Concurrent misses for
+// the same host share one lookup call.
+func (c *ResolveCache) Resolve(host string, lookup func(string) (netip.Addr, dnswire.RCode)) (netip.Addr, dnswire.RCode, cacheOutcome) {
+	c.mu.Lock()
+	if e, ok := c.entries[host]; ok {
+		ent := e.Value.(*cacheEntry)
+		if c.Clock.Now().Before(ent.expires) {
+			c.lru.MoveToFront(e)
+			ip, rc := ent.ip, ent.rcode
+			c.mu.Unlock()
+			return ip, rc, cacheHit
+		}
+		c.lru.Remove(e)
+		delete(c.entries, host)
+	}
+	if f, ok := c.flights[host]; ok {
+		c.mu.Unlock()
+		<-f.done
+		return f.ip, f.rcode, cacheCoalesced
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[host] = f
+	c.mu.Unlock()
+
+	f.ip, f.rcode = lookup(host)
+
+	c.mu.Lock()
+	delete(c.flights, host)
+	if ttl := c.ttlFor(f.rcode); ttl > 0 {
+		c.insert(host, f.ip, f.rcode, c.Clock.Now().Add(ttl))
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.ip, f.rcode, cacheMiss
+}
+
+// insert stores an entry at the LRU front, evicting from the tail past
+// MaxEntries. Caller holds c.mu.
+func (c *ResolveCache) insert(host string, ip netip.Addr, rcode dnswire.RCode, expires time.Time) {
+	if e, ok := c.entries[host]; ok {
+		ent := e.Value.(*cacheEntry)
+		ent.ip, ent.rcode, ent.expires = ip, rcode, expires
+		c.lru.MoveToFront(e)
+		return
+	}
+	c.entries[host] = c.lru.PushFront(&cacheEntry{host: host, ip: ip, rcode: rcode, expires: expires})
+	for c.MaxEntries > 0 && c.lru.Len() > c.MaxEntries {
+		tail := c.lru.Back()
+		c.lru.Remove(tail)
+		delete(c.entries, tail.Value.(*cacheEntry).host)
+	}
+}
+
+// Len reports the current entry count.
+func (c *ResolveCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -1,0 +1,184 @@
+package proxynet
+
+import (
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/tftproject/tft/internal/dnsserver"
+	"github.com/tftproject/tft/internal/dnswire"
+	"github.com/tftproject/tft/internal/metrics"
+	"github.com/tftproject/tft/internal/simnet"
+)
+
+func cacheLookupCounter(ip netip.Addr, rcode dnswire.RCode, calls *atomic.Int64) func(string) (netip.Addr, dnswire.RCode) {
+	return func(string) (netip.Addr, dnswire.RCode) {
+		calls.Add(1)
+		return ip, rcode
+	}
+}
+
+func TestResolveCacheHitAndTTLExpiry(t *testing.T) {
+	clk := simnet.NewVirtual(time.Unix(0, 0))
+	c := NewResolveCache(clk)
+	ip := netip.MustParseAddr("192.0.2.10")
+	var calls atomic.Int64
+	lookup := cacheLookupCounter(ip, dnswire.RCodeSuccess, &calls)
+
+	if _, _, how := c.Resolve("repeat.example.org", lookup); how != cacheMiss {
+		t.Fatalf("first Resolve = %v, want miss", how)
+	}
+	got, rc, how := c.Resolve("repeat.example.org", lookup)
+	if how != cacheHit || got != ip || rc != dnswire.RCodeSuccess {
+		t.Fatalf("second Resolve = %v/%v/%v, want hit", got, rc, how)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("lookup ran %d times, want 1", calls.Load())
+	}
+
+	clk.Advance(c.TTL + time.Second)
+	if _, _, how := c.Resolve("repeat.example.org", lookup); how != cacheMiss {
+		t.Fatalf("post-TTL Resolve = %v, want miss", how)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("lookup ran %d times after expiry, want 2", calls.Load())
+	}
+}
+
+func TestResolveCacheNegativeTTLShorter(t *testing.T) {
+	clk := simnet.NewVirtual(time.Unix(0, 0))
+	c := NewResolveCache(clk)
+	var calls atomic.Int64
+	lookup := cacheLookupCounter(netip.Addr{}, dnswire.RCodeNXDomain, &calls)
+
+	c.Resolve("gone.example.org", lookup)
+	if _, rc, how := c.Resolve("gone.example.org", lookup); how != cacheHit || rc != dnswire.RCodeNXDomain {
+		t.Fatalf("negative entry not cached: %v/%v", rc, how)
+	}
+	// Past NegTTL but well within the positive TTL the entry must be gone.
+	clk.Advance(c.NegTTL + time.Second)
+	if _, _, how := c.Resolve("gone.example.org", lookup); how != cacheMiss {
+		t.Fatalf("negative entry outlived NegTTL: %v", how)
+	}
+}
+
+func TestResolveCacheNeverCachesServFail(t *testing.T) {
+	clk := simnet.NewVirtual(time.Unix(0, 0))
+	c := NewResolveCache(clk)
+	var calls atomic.Int64
+	lookup := cacheLookupCounter(netip.Addr{}, dnswire.RCodeServFail, &calls)
+
+	c.Resolve("flaky.example.org", lookup)
+	if _, _, how := c.Resolve("flaky.example.org", lookup); how != cacheMiss {
+		t.Fatalf("SERVFAIL was cached: %v", how)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("lookup ran %d times, want 2 (no caching)", calls.Load())
+	}
+}
+
+func TestResolveCacheLRUBound(t *testing.T) {
+	clk := simnet.NewVirtual(time.Unix(0, 0))
+	c := NewResolveCache(clk)
+	c.MaxEntries = 8
+	ip := netip.MustParseAddr("192.0.2.20")
+	var calls atomic.Int64
+	lookup := cacheLookupCounter(ip, dnswire.RCodeSuccess, &calls)
+
+	for i := 0; i < 50; i++ {
+		c.Resolve(string(rune('a'+i%26))+"-host.example.org", lookup)
+	}
+	if c.Len() > 8 {
+		t.Fatalf("cache holds %d entries, cap is 8", c.Len())
+	}
+}
+
+func TestResolveCacheSingleflight(t *testing.T) {
+	c := NewResolveCache(simnet.Real{})
+	ip := netip.MustParseAddr("192.0.2.30")
+	var calls atomic.Int64
+	release := make(chan struct{})
+	lookup := func(string) (netip.Addr, dnswire.RCode) {
+		calls.Add(1)
+		<-release
+		return ip, dnswire.RCodeSuccess
+	}
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	var coalesced atomic.Int64
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, rc, how := c.Resolve("slow.example.org", lookup)
+			if got != ip || rc != dnswire.RCodeSuccess {
+				t.Errorf("Resolve = %v/%v", got, rc)
+			}
+			if how == cacheCoalesced {
+				coalesced.Add(1)
+			}
+		}()
+	}
+	// Let the flight leader win the race to the flights map, then release.
+	for calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("lookup ran %d times under concurrency, want 1", calls.Load())
+	}
+	if coalesced.Load() != waiters-1 {
+		t.Fatalf("%d callers coalesced, want %d", coalesced.Load(), waiters-1)
+	}
+}
+
+// staticAuth answers every query with a fixed A record, standing in for
+// the authoritative side of the resolver chain.
+type staticAuth struct{ ip netip.Addr }
+
+func (a staticAuth) ExchangeDNS(src, dst netip.Addr, query []byte) ([]byte, error) {
+	q, err := dnswire.Unmarshal(query)
+	if err != nil {
+		return nil, err
+	}
+	r := q.Reply()
+	r.Answers = []dnswire.Record{{
+		Name: q.Questions[0].Name, Type: dnswire.TypeA, Class: dnswire.ClassIN,
+		TTL: 60, A: a.ip,
+	}}
+	return r.Marshal()
+}
+
+// TestSuperProxyCacheMetrics drives resolveSuper twice for the same host
+// and asserts the hit/miss counters the check gate scrapes from /metrics.
+func TestSuperProxyCacheMetrics(t *testing.T) {
+	clk := simnet.NewVirtual(time.Unix(0, 0))
+	addr := netip.MustParseAddr("10.0.0.1")
+	want := netip.MustParseAddr("192.0.2.40")
+	sp := &SuperProxy{
+		Addr: addr,
+		Resolver: &dnsserver.Resolver{
+			Addr: addr, Net: staticAuth{ip: want},
+			Upstream: func(string) (netip.Addr, bool) { return netip.MustParseAddr("10.0.0.2"), true },
+		},
+		DNSCache: NewResolveCache(clk),
+		Metrics:  metrics.NewRegistry(),
+	}
+	for i := 0; i < 3; i++ {
+		ip, rc := sp.resolveSuper("cached.example.org")
+		if ip != want || rc != dnswire.RCodeSuccess {
+			t.Fatalf("resolveSuper #%d = %v/%v", i, ip, rc)
+		}
+	}
+	if v := sp.Metrics.Counter("proxy_dns_cache_misses_total").Value(); v != 1 {
+		t.Fatalf("misses = %d, want 1", v)
+	}
+	if v := sp.Metrics.Counter("proxy_dns_cache_hits_total").Value(); v != 2 {
+		t.Fatalf("hits = %d, want 2", v)
+	}
+}

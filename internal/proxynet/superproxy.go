@@ -1,7 +1,6 @@
 package proxynet
 
 import (
-	"bufio"
 	"context"
 	"log/slog"
 	"net"
@@ -51,28 +50,43 @@ func (p Params) Username() string {
 	return sb.String()
 }
 
-// ParseUsername decodes a parameter-laden username.
+// ParseUsername decodes a parameter-laden username. The zone-user prefix —
+// the full "lum-customer-<name>" triple for Luminati-style zones, otherwise
+// the first token — is taken literally, so a customer whose name is itself
+// a reserved token (lum-customer-session-x) does not have the following
+// token swallowed as a parameter value; parameters parse only after the
+// prefix.
 func ParseUsername(u string) Params {
 	var p Params
 	toks := strings.Split(u, "-")
-	var user []string
-	for i := 0; i < len(toks); i++ {
+	prefix := 1
+	if len(toks) >= 3 && toks[0] == "lum" && toks[1] == "customer" {
+		prefix = 3
+	}
+	user := append([]string(nil), toks[:prefix]...)
+	for i := prefix; i < len(toks); i++ {
 		switch toks[i] {
 		case "country":
 			if i+1 < len(toks) {
 				p.Country = geo.CountryCode(strings.ToUpper(toks[i+1]))
 				i++
+				continue
 			}
+			user = append(user, toks[i])
 		case "session":
 			if i+1 < len(toks) {
 				p.Session = toks[i+1]
 				i++
+				continue
 			}
+			user = append(user, toks[i])
 		case "dns":
 			if i+1 < len(toks) && toks[i+1] == "remote" {
 				p.RemoteDNS = true
 				i++
+				continue
 			}
+			user = append(user, toks[i])
 		default:
 			user = append(user, toks[i])
 		}
@@ -94,6 +108,9 @@ type SuperProxy struct {
 	Resolver *dnsserver.Resolver
 	// Clock drives session TTLs.
 	Clock simnet.Clock
+	// DNSCache, when non-nil, caches the super-proxy-side existence checks
+	// (never the exit node's resolutions — see ResolveCache).
+	DNSCache *ResolveCache
 	// HTTPPort and ConnectPort override the service's allowed target ports
 	// (80 and 443). Real-network demos run origins on unprivileged ports.
 	HTTPPort    uint16
@@ -146,8 +163,11 @@ func (sp *SuperProxy) ConnHandler() simnet.ConnHandler {
 
 // ServeConn handles a single client connection.
 func (sp *SuperProxy) ServeConn(conn net.Conn) {
-	br := bufio.NewReader(conn)
+	// The reader returns to the pool right away: both request paths read
+	// from conn directly after the head-of-line request is parsed.
+	br := httpwire.GetReader(conn)
 	req, err := httpwire.ReadRequest(br)
+	httpwire.PutReader(br)
 	if err != nil {
 		return
 	}
@@ -173,10 +193,28 @@ func fail(conn net.Conn, status int, errStr, zid string, ip netip.Addr, attempts
 	resp.Write(conn)
 }
 
-// resolveSuper resolves host at the super proxy. The client address passed
+// resolveSuper resolves host at the super proxy, consulting the DNS cache
+// when one is configured.
+func (sp *SuperProxy) resolveSuper(host string) (netip.Addr, dnswire.RCode) {
+	if sp.DNSCache == nil {
+		return sp.lookupSuper(host)
+	}
+	ip, rcode, how := sp.DNSCache.Resolve(host, sp.lookupSuper)
+	switch how {
+	case cacheHit:
+		sp.Metrics.Counter("proxy_dns_cache_hits_total").Inc()
+	case cacheCoalesced:
+		sp.Metrics.Counter("proxy_dns_cache_coalesced_total").Inc()
+	default:
+		sp.Metrics.Counter("proxy_dns_cache_misses_total").Inc()
+	}
+	return ip, rcode
+}
+
+// lookupSuper performs the uncached resolution. The client address passed
 // to the resolver is the super proxy itself, so the Google anycast egress is
 // the pinned instance.
-func (sp *SuperProxy) resolveSuper(host string) (netip.Addr, dnswire.RCode) {
+func (sp *SuperProxy) lookupSuper(host string) (netip.Addr, dnswire.RCode) {
 	resp, err := sp.Resolver.Lookup(sp.Addr, host, dnswire.TypeA)
 	if err != nil {
 		return netip.Addr{}, dnswire.RCodeServFail

@@ -33,9 +33,11 @@ type TCPDialer struct {
 // Dial implements Dialer. The src address is honoured only under BindSrc;
 // real networks do not let applications spoof sources.
 func (d *TCPDialer) Dial(ctx context.Context, src, dst netip.Addr, port uint16) (net.Conn, error) {
-	target := fmt.Sprintf("%s:%d", dst, port)
+	var target string
 	if d.MapAddr != nil {
 		target = d.MapAddr(dst, port)
+	} else {
+		target = fmt.Sprintf("%s:%d", dst, port)
 	}
 	nd := net.Dialer{Timeout: d.Timeout}
 	if nd.Timeout == 0 {

@@ -7,7 +7,6 @@ import (
 	"net"
 	"net/netip"
 	"sync"
-	"time"
 )
 
 // Errors returned by the fabric.
@@ -32,6 +31,12 @@ type DNSHandler func(src netip.Addr, query []byte) []byte
 // simulation analogue of the real net package and is safe for concurrent
 // use.
 type Fabric struct {
+	// Window overrides the per-direction buffer window of dialed streams
+	// (DefaultWindow when zero). Larger windows let bulk transfers stream
+	// further ahead of the reader; smaller ones bound per-connection
+	// memory. See Pipe.
+	Window int
+
 	mu    sync.RWMutex
 	hosts map[netip.Addr]*host
 }
@@ -91,6 +96,10 @@ func (f *Fabric) lookup(addr netip.Addr) *host {
 // handler runs on its own goroutine, exactly as a real accepted connection
 // would. The returned connection reports src and dst through LocalAddr and
 // RemoteAddr.
+//
+// The stream is a buffered Pipe, not a net.Pipe: writes up to the fabric's
+// window complete without waiting for the reader, which removes the
+// per-write goroutine rendezvous from every hop of the proxy chain.
 func (f *Fabric) Dial(ctx context.Context, src, dst netip.Addr, port uint16) (net.Conn, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -105,11 +114,11 @@ func (f *Fabric) Dial(ctx context.Context, src, dst netip.Addr, port uint16) (ne
 	if h == nil {
 		return nil, fmt.Errorf("%w: %s:%d", ErrConnRefused, dst, port)
 	}
-	local, remote := net.Pipe()
-	lc := &addrConn{Conn: local, local: tcpAddr(src, 0), remote: tcpAddr(dst, port)}
-	rc := &addrConn{Conn: remote, local: tcpAddr(dst, port), remote: tcpAddr(src, 0)}
-	go h(rc)
-	return lc, nil
+	local, remote := Pipe(f.Window)
+	local.local, local.remote = tcpAddr(src, 0), tcpAddr(dst, port)
+	remote.local, remote.remote = tcpAddr(dst, port), tcpAddr(src, 0)
+	go h(remote)
+	return local, nil
 }
 
 // ExchangeDNS delivers one DNS query datagram from src to the service at
@@ -147,19 +156,6 @@ func (f *Fabric) NumHosts() int {
 func tcpAddr(a netip.Addr, port uint16) net.Addr {
 	return &net.TCPAddr{IP: a.AsSlice(), Port: int(port)}
 }
-
-// addrConn decorates a net.Pipe end with meaningful endpoint addresses so
-// servers can log the peer's IP the way a real accept loop would.
-type addrConn struct {
-	net.Conn
-	local, remote net.Addr
-}
-
-func (c *addrConn) LocalAddr() net.Addr  { return c.local }
-func (c *addrConn) RemoteAddr() net.Addr { return c.remote }
-
-// SetDeadline passes through to the pipe; net.Pipe supports deadlines.
-func (c *addrConn) SetDeadline(t time.Time) error { return c.Conn.SetDeadline(t) }
 
 // RemoteIP extracts the peer netip.Addr from a connection served by the
 // fabric (or from a real *net.TCPAddr).

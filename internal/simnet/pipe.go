@@ -1,0 +1,317 @@
+package simnet
+
+import (
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// DefaultWindow is the per-direction buffer window of a fabric stream when
+// the Fabric does not override it. 64KB holds any single httpwire message
+// the measurement stack emits, so a writer streams an entire request or
+// response without ever blocking on the reader.
+const DefaultWindow = 64 << 10
+
+// minRing is the initial ring allocation. Buffers start small and grow
+// geometrically toward the window, so the millions of short-lived probe
+// connections a crawl opens pay for the bytes they actually carry, not for
+// the window's worst case.
+const minRing = 1 << 10
+
+// Pipe returns a connected pair of buffered in-memory stream ends, the
+// fabric's fast-path replacement for net.Pipe. Each direction is an
+// independent ring buffer of at most window bytes (DefaultWindow when
+// window <= 0), so writes complete without a reader rendezvous until the
+// window fills — the property that removes two goroutine wakeups per Write
+// from every hop of the simulated proxy chain.
+//
+// Semantics match net.Pipe where both define behaviour: reads and writes
+// after a local Close return io.ErrClosedPipe, writes to an end whose
+// peer has closed return io.ErrClosedPipe, deadline expiry surfaces
+// os.ErrDeadlineExceeded (a net.Error with Timeout() == true). Where
+// net.Pipe cannot buffer, Pipe behaves like TCP: data written before a
+// close is still delivered, and the peer sees io.EOF only after draining
+// it. CloseWrite half-closes like a TCP FIN.
+func Pipe(window int) (*Stream, *Stream) {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	ab := newRing(window)
+	ba := newRing(window)
+	a := &Stream{in: ba, out: ab, local: pipeAddr{}, remote: pipeAddr{}}
+	b := &Stream{in: ab, out: ba, local: pipeAddr{}, remote: pipeAddr{}}
+	return a, b
+}
+
+// pipeAddr is the placeholder endpoint address, as with net.Pipe.
+type pipeAddr struct{}
+
+func (pipeAddr) Network() string { return "pipe" }
+func (pipeAddr) String() string  { return "pipe" }
+
+// ring is one direction of a Stream: a bounded, growable ring buffer with
+// a single mutex/cond pair coordinating the (usually one) reader and
+// writer, plus the deadline and close state for that direction.
+type ring struct {
+	mu   sync.Mutex
+	cond sync.Cond
+
+	buf    []byte // ring storage; nil until first write, grows to window
+	start  int    // index of the first unread byte
+	n      int    // unread byte count
+	window int    // growth cap
+
+	wclosed bool // write side closed: reads drain then EOF, writes fail
+	rclosed bool // read side closed: writes fail immediately
+
+	rdead, wdead deadline // per-side deadline state
+}
+
+// deadline is one side's deadline: the exceeded flag, the pending timer,
+// and a generation counter that lets a re-arm invalidate the callback of a
+// timer whose Stop raced with its firing.
+type deadline struct {
+	timed bool
+	timer *time.Timer
+	gen   uint64
+}
+
+func newRing(window int) *ring {
+	r := &ring{window: window}
+	r.cond.L = &r.mu
+	return r
+}
+
+// grow enlarges the ring to hold at least need more bytes (capped at the
+// window), linearizing buffered data into the new storage.
+func (r *ring) grow(need int) {
+	want := r.n + need
+	if want > r.window {
+		want = r.window
+	}
+	newCap := cap(r.buf)
+	if newCap == 0 {
+		newCap = minRing
+	}
+	for newCap < want {
+		newCap *= 2
+	}
+	if newCap > r.window {
+		newCap = r.window
+	}
+	if newCap <= cap(r.buf) {
+		return
+	}
+	nb := make([]byte, newCap)
+	if r.n > 0 {
+		tail := copy(nb, r.buf[r.start:min(r.start+r.n, len(r.buf))])
+		if tail < r.n {
+			copy(nb[tail:], r.buf[:r.n-tail])
+		}
+	}
+	r.buf = nb
+	r.start = 0
+}
+
+// read copies buffered bytes out, blocking per the ring's state. Caller is
+// the Stream whose in-direction this ring is.
+func (r *ring) read(p []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if r.rclosed {
+			return 0, io.ErrClosedPipe
+		}
+		if r.rdead.timed {
+			return 0, os.ErrDeadlineExceeded
+		}
+		if r.n > 0 {
+			break
+		}
+		if r.wclosed {
+			return 0, io.EOF
+		}
+		if len(p) == 0 {
+			return 0, nil
+		}
+		r.cond.Wait()
+	}
+	total := 0
+	for total < len(p) && r.n > 0 {
+		chunk := len(r.buf) - r.start // contiguous run from start
+		if chunk > r.n {
+			chunk = r.n
+		}
+		k := copy(p[total:], r.buf[r.start:r.start+chunk])
+		r.start = (r.start + k) % len(r.buf)
+		r.n -= k
+		total += k
+	}
+	r.cond.Broadcast()
+	return total, nil
+}
+
+// write copies p into the ring, blocking while the window is full. It
+// returns the byte count written before any error.
+func (r *ring) write(p []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.wclosed {
+		return 0, io.ErrClosedPipe
+	}
+	if len(p) == 0 {
+		if r.rclosed {
+			return 0, io.ErrClosedPipe
+		}
+		return 0, nil
+	}
+	total := 0
+	for total < len(p) {
+		for {
+			if r.wclosed || r.rclosed {
+				return total, io.ErrClosedPipe
+			}
+			if r.wdead.timed {
+				return total, os.ErrDeadlineExceeded
+			}
+			if r.n < r.window {
+				break
+			}
+			r.cond.Wait()
+		}
+		free := r.window - r.n
+		want := len(p) - total
+		if want > free {
+			want = free
+		}
+		if r.n+want > cap(r.buf) {
+			r.grow(want)
+		}
+		// Copy into at most two contiguous runs of the ring.
+		for want > 0 {
+			end := (r.start + r.n) % len(r.buf)
+			chunk := len(r.buf) - end
+			if chunk > want {
+				chunk = want
+			}
+			copy(r.buf[end:end+chunk], p[total:total+chunk])
+			r.n += chunk
+			total += chunk
+			want -= chunk
+		}
+		r.cond.Broadcast()
+	}
+	return total, nil
+}
+
+// closeWrite marks the direction's write side closed: the reader drains
+// whatever is buffered and then sees io.EOF.
+func (r *ring) closeWrite() {
+	r.mu.Lock()
+	r.wclosed = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// closeRead marks the direction's read side closed: pending and future
+// writes fail with io.ErrClosedPipe, local reads too.
+func (r *ring) closeRead() {
+	r.mu.Lock()
+	r.rclosed = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// setDeadline (re)arms one side's deadline flag and timer.
+func (r *ring) setDeadline(t time.Time, d *deadline) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d.timer != nil {
+		d.timer.Stop()
+		d.timer = nil
+	}
+	d.gen++
+	if t.IsZero() {
+		d.timed = false
+		return
+	}
+	wait := time.Until(t)
+	if wait <= 0 {
+		d.timed = true
+		r.cond.Broadcast()
+		return
+	}
+	d.timed = false
+	gen := d.gen
+	d.timer = time.AfterFunc(wait, func() {
+		r.mu.Lock()
+		if d.gen == gen {
+			d.timed = true
+			r.cond.Broadcast()
+		}
+		r.mu.Unlock()
+	})
+}
+
+func (r *ring) setReadDeadline(t time.Time)  { r.setDeadline(t, &r.rdead) }
+func (r *ring) setWriteDeadline(t time.Time) { r.setDeadline(t, &r.wdead) }
+
+// Stream is one end of a buffered fabric pipe. It implements net.Conn plus
+// the CloseWrite half-close that TCP-like streams offer.
+type Stream struct {
+	in  *ring // peer → us
+	out *ring // us → peer
+
+	local, remote net.Addr
+}
+
+var _ net.Conn = (*Stream)(nil)
+
+// Read implements net.Conn.
+func (s *Stream) Read(p []byte) (int, error) { return s.in.read(p) }
+
+// Write implements net.Conn.
+func (s *Stream) Write(p []byte) (int, error) { return s.out.write(p) }
+
+// Close implements net.Conn: the peer drains any buffered data and then
+// reads io.EOF; its writes — and every further local operation — fail with
+// io.ErrClosedPipe.
+func (s *Stream) Close() error {
+	s.out.closeWrite()
+	s.in.closeRead()
+	return nil
+}
+
+// CloseWrite half-closes the stream: the peer sees io.EOF after draining,
+// while reads on this end keep working — a TCP FIN.
+func (s *Stream) CloseWrite() error {
+	s.out.closeWrite()
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (s *Stream) LocalAddr() net.Addr { return s.local }
+
+// RemoteAddr implements net.Conn.
+func (s *Stream) RemoteAddr() net.Addr { return s.remote }
+
+// SetDeadline implements net.Conn.
+func (s *Stream) SetDeadline(t time.Time) error {
+	s.in.setReadDeadline(t)
+	s.out.setWriteDeadline(t)
+	return nil
+}
+
+// SetReadDeadline implements net.Conn.
+func (s *Stream) SetReadDeadline(t time.Time) error {
+	s.in.setReadDeadline(t)
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn.
+func (s *Stream) SetWriteDeadline(t time.Time) error {
+	s.out.setWriteDeadline(t)
+	return nil
+}

@@ -1,0 +1,357 @@
+package simnet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/netip"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPipeRoundTrip moves data both ways through one pair.
+func TestPipeRoundTrip(t *testing.T) {
+	a, b := Pipe(0)
+	msg := []byte("hello across the fabric")
+	if n, err := a.Write(msg); err != nil || n != len(msg) {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, got); err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("Read = %q, %v", got, err)
+	}
+	if n, err := b.Write([]byte("pong")); err != nil || n != 4 {
+		t.Fatalf("reverse Write = %d, %v", n, err)
+	}
+	got = make([]byte, 4)
+	if _, err := io.ReadFull(a, got); err != nil || string(got) != "pong" {
+		t.Fatalf("reverse Read = %q, %v", got, err)
+	}
+}
+
+// TestPipeWriteDoesNotBlockWithinWindow is the point of the fast path: a
+// writer must complete without any reader present while under the window.
+func TestPipeWriteDoesNotBlockWithinWindow(t *testing.T) {
+	a, _ := Pipe(4 << 10)
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Write(make([]byte, 4<<10))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Write = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("window-sized write blocked with no reader")
+	}
+}
+
+// TestPipeWriteBlocksBeyondWindow checks backpressure engages at the
+// window and releases as the reader drains.
+func TestPipeWriteBlocksBeyondWindow(t *testing.T) {
+	a, b := Pipe(1 << 10)
+	wrote := make(chan int, 1)
+	go func() {
+		n, _ := a.Write(make([]byte, 3<<10))
+		wrote <- n
+	}()
+	select {
+	case <-wrote:
+		t.Fatal("3KB write completed against a 1KB window with no reader")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if _, err := io.ReadFull(b, make([]byte, 3<<10)); err != nil {
+		t.Fatal(err)
+	}
+	if n := <-wrote; n != 3<<10 {
+		t.Fatalf("writer completed %d of %d", n, 3<<10)
+	}
+}
+
+// TestPipeCloseWithPendingData: data buffered before Close must still be
+// delivered, then EOF — the TCP-like close the relays depend on.
+func TestPipeCloseWithPendingData(t *testing.T) {
+	a, b := Pipe(0)
+	msg := []byte("flushed before close")
+	if _, err := a.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	got, err := io.ReadAll(b)
+	if err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("ReadAll after peer close = %q, %v", got, err)
+	}
+	if _, err := b.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("read after drain = %v, want EOF", err)
+	}
+}
+
+// TestPipeCloseWrite half-closes: the peer drains to EOF while the
+// reverse direction stays open.
+func TestPipeCloseWrite(t *testing.T) {
+	a, b := Pipe(0)
+	a.Write([]byte("fin"))
+	if err := a.CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(b)
+	if err != nil || string(got) != "fin" {
+		t.Fatalf("drain = %q, %v", got, err)
+	}
+	// Reverse direction still works.
+	if _, err := b.Write([]byte("ack")); err != nil {
+		t.Fatalf("reverse write after CloseWrite = %v", err)
+	}
+	buf := make([]byte, 3)
+	if _, err := io.ReadFull(a, buf); err != nil || string(buf) != "ack" {
+		t.Fatalf("reverse read = %q, %v", buf, err)
+	}
+	// Writes on the closed side fail.
+	if _, err := a.Write([]byte("x")); !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("write after CloseWrite = %v, want ErrClosedPipe", err)
+	}
+}
+
+// TestPipeDeadlineExpiryMidRead: a blocked Read must wake with a timeout
+// error when its deadline passes.
+func TestPipeDeadlineExpiryMidRead(t *testing.T) {
+	a, _ := Pipe(0)
+	a.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	start := time.Now()
+	_, err := a.Read(make([]byte, 1))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("Read = %v, want ErrDeadlineExceeded", err)
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("deadline error is not a net.Error timeout: %v", err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("read returned before the deadline")
+	}
+}
+
+// TestPipeDeadlineExpiryMidWrite: a Write blocked on a full window must
+// wake with a timeout and report the partial count.
+func TestPipeDeadlineExpiryMidWrite(t *testing.T) {
+	a, _ := Pipe(1 << 10)
+	a.SetWriteDeadline(time.Now().Add(30 * time.Millisecond))
+	n, err := a.Write(make([]byte, 4<<10))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("Write = %v, want ErrDeadlineExceeded", err)
+	}
+	if n != 1<<10 {
+		t.Fatalf("partial write = %d, want %d", n, 1<<10)
+	}
+}
+
+// TestPipeDeadlineReset: re-arming a later deadline after one expired must
+// clear the timed-out state (and a racing old timer must not re-set it).
+func TestPipeDeadlineReset(t *testing.T) {
+	a, b := Pipe(0)
+	a.SetReadDeadline(time.Now().Add(-time.Second))
+	if _, err := a.Read(make([]byte, 1)); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("expired deadline read = %v", err)
+	}
+	a.SetReadDeadline(time.Time{})
+	b.Write([]byte("y"))
+	buf := make([]byte, 1)
+	if _, err := a.Read(buf); err != nil || buf[0] != 'y' {
+		t.Fatalf("read after reset = %q, %v", buf, err)
+	}
+}
+
+// TestPipeNetPipeParity runs the same semantic probes against both our
+// Pipe and net.Pipe and requires identical outcomes everywhere the two
+// can agree (net.Pipe cannot buffer, so probes keep a peer goroutine
+// pumping the unbuffered side).
+func TestPipeNetPipeParity(t *testing.T) {
+	type mk func() (net.Conn, net.Conn)
+	impls := map[string]mk{
+		"simnet": func() (net.Conn, net.Conn) { a, b := Pipe(0); return a, b },
+		"net":    func() (net.Conn, net.Conn) { return net.Pipe() },
+	}
+	for name, make := range impls {
+		t.Run(name, func(t *testing.T) {
+			// Write after local close fails with ErrClosedPipe.
+			a, _ := make()
+			a.Close()
+			if _, err := a.Write([]byte("x")); !errors.Is(err, io.ErrClosedPipe) {
+				t.Errorf("write after close = %v, want ErrClosedPipe", err)
+			}
+			// Read after local close fails with ErrClosedPipe.
+			a, _ = make()
+			a.Close()
+			if _, err := a.Read([]byte{0}); !errors.Is(err, io.ErrClosedPipe) {
+				t.Errorf("read after close = %v, want ErrClosedPipe", err)
+			}
+			// Write to a closed peer fails with ErrClosedPipe.
+			a, b := make()
+			b.Close()
+			if _, err := a.Write([]byte("x")); !errors.Is(err, io.ErrClosedPipe) {
+				t.Errorf("write to closed peer = %v, want ErrClosedPipe", err)
+			}
+			// Read from a closed peer (no data) yields EOF.
+			a, b = make()
+			b.Close()
+			if _, err := a.Read([]byte{0}); err != io.EOF {
+				t.Errorf("read from closed peer = %v, want EOF", err)
+			}
+			// Deadline expiry yields a net.Error timeout.
+			a, _ = make()
+			a.SetReadDeadline(time.Now().Add(10 * time.Millisecond))
+			_, err := a.Read([]byte{0})
+			var ne net.Error
+			if !errors.As(err, &ne) || !ne.Timeout() {
+				t.Errorf("deadline read = %v, want net.Error timeout", err)
+			}
+			// Data crosses intact (reader goroutine for net.Pipe's sake).
+			a, b = make()
+			msg := []byte("parity payload")
+			errc := goWrite(a, msg)
+			got := goAllN(b, len(msg))
+			if werr := <-errc; werr != nil {
+				t.Errorf("write = %v", werr)
+			}
+			if !bytes.Equal(<-got, msg) {
+				t.Error("payload corrupted")
+			}
+		})
+	}
+}
+
+func goWrite(c net.Conn, p []byte) chan error {
+	errc := make(chan error, 1)
+	go func() { _, err := c.Write(p); errc <- err }()
+	return errc
+}
+
+func goAllN(c net.Conn, n int) chan []byte {
+	out := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, n)
+		io.ReadFull(c, buf)
+		out <- buf
+	}()
+	return out
+}
+
+// TestPipeConcurrentReadersWriters hammers one pair from multiple
+// goroutines on each side under -race: total bytes must balance.
+func TestPipeConcurrentReadersWriters(t *testing.T) {
+	a, b := Pipe(2 << 10)
+	const writers = 4
+	const perWriter = 64 << 10
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			chunk := make([]byte, 1234)
+			sent := 0
+			for sent < perWriter {
+				n := len(chunk)
+				if perWriter-sent < n {
+					n = perWriter - sent
+				}
+				w, err := a.Write(chunk[:n])
+				if err != nil {
+					t.Errorf("writer: %v", err)
+					return
+				}
+				sent += w
+			}
+		}()
+	}
+	var readMu sync.Mutex
+	totalRead := 0
+	var rg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			buf := make([]byte, 2048)
+			for {
+				n, err := b.Read(buf)
+				readMu.Lock()
+				totalRead += n
+				readMu.Unlock()
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	a.CloseWrite()
+	rg.Wait()
+	if totalRead != writers*perWriter {
+		t.Fatalf("read %d bytes, wrote %d", totalRead, writers*perWriter)
+	}
+}
+
+// TestPipeConcurrentCloseDuringTransfer closes both ends mid-flight under
+// -race; every goroutine must terminate.
+func TestPipeConcurrentCloseDuringTransfer(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		a, b := Pipe(512)
+		var wg sync.WaitGroup
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 256)
+			for {
+				if _, err := a.Write(buf); err != nil {
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 128)
+			for {
+				if _, err := b.Read(buf); err != nil {
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			time.Sleep(time.Millisecond)
+			a.Close()
+			b.Close()
+		}()
+		wg.Wait()
+	}
+}
+
+// TestFabricDialStreamAddrs: fabric streams must still report the
+// endpoint addresses servers log.
+func TestFabricDialStreamAddrs(t *testing.T) {
+	f := NewFabric()
+	srv := netip.MustParseAddr("10.0.0.2")
+	cli := netip.MustParseAddr("10.0.0.1")
+	accepted := make(chan net.Conn, 1)
+	f.HandleTCP(srv, 80, func(c net.Conn) { accepted <- c })
+	conn, err := f.Dial(context.Background(), cli, srv, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rc := <-accepted
+	defer rc.Close()
+	ip, ok := RemoteIP(rc)
+	if !ok || ip != cli {
+		t.Fatalf("server sees peer %v, want %v", ip, cli)
+	}
+	ip, ok = RemoteIP(conn)
+	if !ok || ip != srv {
+		t.Fatalf("client sees peer %v, want %v", ip, srv)
+	}
+}

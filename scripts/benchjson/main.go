@@ -1,0 +1,165 @@
+// Command benchjson runs the benchmark suite with -benchmem and writes a
+// machine-readable BENCH_<n>.json to the repository root, so the perf
+// trajectory of the full-pipeline and substrate benchmarks is tracked
+// across PRs instead of living in commit messages.
+//
+//	go run ./scripts/benchjson                  # auto-indexed BENCH_<n>.json
+//	go run ./scripts/benchjson -out BENCH_3.json
+//	go run ./scripts/benchjson -bench 'ExperimentRun' -benchtime 3x
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	Name        string             `json:"name"`
+	Package     string             `json:"package"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BPerOp      float64            `json:"b_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Doc is the emitted JSON document.
+type Doc struct {
+	GeneratedAt string  `json:"generated_at"`
+	GoVersion   string  `json:"go_version"`
+	GOOS        string  `json:"goos"`
+	GOARCH      string  `json:"goarch"`
+	CPU         string  `json:"cpu,omitempty"`
+	Bench       string  `json:"bench"`
+	Benchtime   string  `json:"benchtime"`
+	Packages    string  `json:"packages"`
+	Benchmarks  []Bench `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func parse(out string) (benches []Bench, cpu string) {
+	pkg := ""
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = rest
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+			cpu = rest
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		b := Bench{Name: m[1], Package: pkg, Iterations: iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			case "MB/s":
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics["mb_per_s"] = v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[fields[i+1]] = v
+			}
+		}
+		benches = append(benches, b)
+	}
+	return benches, cpu
+}
+
+// nextIndex picks 1 + the highest existing BENCH_<n>.json index.
+func nextIndex() int {
+	max := 0
+	matches, _ := filepath.Glob("BENCH_*.json")
+	for _, m := range matches {
+		var n int
+		if _, err := fmt.Sscanf(filepath.Base(m), "BENCH_%d.json", &n); err == nil && n > max {
+			max = n
+		}
+	}
+	return max + 1
+}
+
+func run() error {
+	var (
+		bench     = flag.String("bench", "ExperimentRun|Table|Summary|Pipe", "benchmark regexp passed to go test")
+		benchtime = flag.String("benchtime", "1x", "benchtime passed to go test")
+		pkgs      = flag.String("pkgs", ". ./internal/simnet", "space-separated package list")
+		out       = flag.String("out", "", "output file (default next free BENCH_<n>.json)")
+	)
+	flag.Parse()
+
+	args := append([]string{"test", "-run=NONE", "-bench=" + *bench,
+		"-benchtime=" + *benchtime, "-benchmem"}, strings.Fields(*pkgs)...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+	}
+	benches, cpu := parse(string(raw))
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark lines in output:\n%s", raw)
+	}
+
+	doc := Doc{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPU:         cpu,
+		Bench:       *bench,
+		Benchtime:   *benchtime,
+		Packages:    *pkgs,
+		Benchmarks:  benches,
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%d.json", nextIndex())
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchjson: %d benchmarks → %s\n", len(benches), path)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

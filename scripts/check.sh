@@ -1,7 +1,8 @@
 #!/bin/sh
-# Pre-merge gate: formatting, vet, build, race-enabled tests, a
-# one-iteration crawl-benchmark smoke run, and a live scrape of the super
-# proxy's Prometheus exposition. Equivalent to `make check` for
+# Pre-merge gate: formatting, vet, build, race-enabled tests, one-iteration
+# benchmark smoke runs (crawl + the simnet fast-path pipe), and a live
+# scrape of the super proxy's Prometheus exposition including the
+# resolver-cache hit-rate assertion. Equivalent to `make check` for
 # environments without make.
 set -eux
 
@@ -11,4 +12,5 @@ go vet ./...
 go build ./...
 go test -race ./...
 go test -run=NONE -bench=Crawl -benchtime=1x ./...
+go test -run=NONE -bench=Pipe -benchtime=1x -benchmem ./internal/simnet
 go run ./scripts/promsmoke
