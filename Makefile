@@ -3,12 +3,18 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench benchjson
+.PHONY: check vet lint build test race bench benchjson fuzz
 
-check: vet build race bench
+check: vet lint build race bench fuzz
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific static analysis: determinism (simclock, seededrand), span
+# hygiene (spanend), pool discipline (poolpair), and context placement
+# (ctxfirst). Exits non-zero on any unwaived finding.
+lint:
+	$(GO) run ./cmd/tftlint ./...
 
 build:
 	$(GO) build ./...
@@ -25,6 +31,13 @@ race:
 bench:
 	$(GO) test -run=NONE -bench=Crawl -benchtime=1x ./...
 	$(GO) test -run=NONE -bench=Pipe -benchtime=1x -benchmem ./internal/simnet
+
+# Short fuzz smoke over the two parser-shaped attack surfaces: proxy
+# usernames (zone/session encoding) and certificate-chain unmarshalling.
+# Five seconds each — a corpus regression check, not a campaign.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzUsernameRoundTrip -fuzztime=5s ./internal/proxynet
+	$(GO) test -run=NONE -fuzz='FuzzUnmarshal$$' -fuzztime=5s ./internal/cert
 
 # Machine-readable benchmark baseline: runs the full-pipeline, table, and
 # pipe benchmarks with -benchmem and writes BENCH_<n>.json for the perf

@@ -30,8 +30,13 @@ import (
 	"github.com/tftproject/tft/internal/geo"
 	"github.com/tftproject/tft/internal/middlebox"
 	"github.com/tftproject/tft/internal/proxynet"
+	"github.com/tftproject/tft/internal/simnet"
 	"github.com/tftproject/tft/internal/trace"
 )
+
+// clk is the daemon's timebase: exit nodes live on real networks, so the
+// wall clock is injected explicitly.
+var clk = simnet.Real{}
 
 func main() {
 	var (
@@ -94,10 +99,10 @@ func main() {
 		logger.Info("HTML injection enabled", "signature", *injectSig)
 	}
 	if *mitmIssuer != "" {
-		store, _ := cert.NewOSRootStore(time.Now())
+		store, _ := cert.NewOSRootStore(clk.Now())
 		spec := middlebox.ProductSpec{Product: *mitmIssuer, IssuerCN: *mitmIssuer,
 			Kind: "Anti-Virus/Security", ReuseKey: true, Invalid: middlebox.InvalidLaunder}
-		path.TLS = append(path.TLS, spec.Build(time.Now(), store).Instance(*zid, time.Now))
+		path.TLS = append(path.TLS, spec.Build(clk.Now(), store).Instance(*zid, clk.Now))
 		logger.Info("TLS interception enabled", "issuer", *mitmIssuer)
 	}
 
@@ -108,7 +113,7 @@ func main() {
 		Resolver: resolver,
 		Path:     path,
 		Net:      &proxynet.TCPDialer{Timeout: 5 * time.Second},
-		Tracer:   trace.New(time.Now, 0),
+		Tracer:   trace.New(clk.Now, 0),
 	}
 	agent := &proxynet.Agent{Node: node, Gateway: *gateway, Conns: *conns}
 

@@ -39,6 +39,7 @@ func main() {
 	}
 	logger.Info("measurement web server up", "listen", *listen)
 	go func() {
+		//tftlint:ignore simclock -- periodic operator-stats ticker in a wall-clock daemon; no simulated run executes this binary
 		for range time.Tick(*report) {
 			logger.Info("request report", "served", srv.RequestCount())
 		}

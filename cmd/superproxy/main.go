@@ -77,7 +77,9 @@ func main() {
 		EgressFor: func(netip.Addr) netip.Addr { return egress },
 	}
 
-	pool := proxynet.NewPool(simnet.NewRand(uint64(time.Now().UnixNano())), *churn)
+	// A live deployment wants different churn ordering per restart, so
+	// the pool seed deliberately comes from the wall clock.
+	pool := proxynet.NewPool(simnet.NewRand(uint64(simnet.Real{}.Now().UnixNano())), *churn)
 	selfIP, _ := netip.ParseAddr("127.0.0.1")
 	sp := proxynet.NewSuperProxy(selfIP, pool, resolver, simnet.Real{})
 	sp.HTTPPort = uint16(*httpPort)
@@ -85,7 +87,7 @@ func main() {
 	sp.DNSCache = proxynet.NewResolveCache(simnet.Real{})
 	reg := metrics.NewRegistry()
 	sp.Metrics = reg
-	tracer := trace.New(time.Now, 0)
+	tracer := trace.New(simnet.Real{}.Now, 0)
 	sp.Tracer = tracer
 	sp.Log = logger
 
@@ -115,6 +117,7 @@ func main() {
 	}
 	logger.Info("super proxy up", "listen", *listen, "agents", *agents, "dns", *dns)
 	go func() {
+		//tftlint:ignore simclock -- periodic operator-stats ticker in a wall-clock daemon; no simulated run executes this binary
 		for range time.Tick(10 * time.Second) {
 			logger.Info("pool status", "peers", pool.Len())
 		}

@@ -1,0 +1,100 @@
+// Command tftlint runs the repository's domain-specific static-analysis
+// suite: determinism (injected clocks, seeded randomness), span hygiene,
+// and pool discipline. See DESIGN.md "Static analysis" for the analyzer
+// catalogue and the waiver policy.
+//
+// Usage:
+//
+//	tftlint [flags] [packages]
+//
+// Packages default to ./... and accept go-tool-style patterns (a directory,
+// or a tree with a trailing /...; testdata and vendor are skipped). Exit
+// status is 0 when clean, 1 when there are findings, and 2 on usage or load
+// errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/tftproject/tft/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("tftlint", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	list := fs.Bool("list", false, "print the registered analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
+	only := fs.String("only", "", "comma-separated analyzers to run exclusively")
+	skip := fs.String("skip", "", "comma-separated analyzers to skip")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tftlint [flags] [packages]")
+		fs.PrintDefaults()
+		fmt.Fprintln(os.Stderr, "\nanalyzers:")
+		for _, a := range lint.All() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := lint.Select(*only, *skip)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tftlint:", err)
+		fs.Usage()
+		return 2
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tftlint:", err)
+		return 2
+	}
+	root, err := lint.FindRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tftlint:", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tftlint:", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := lint.Expand(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tftlint:", err)
+		return 2
+	}
+	ds, err := loader.Lint(dirs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tftlint:", err)
+		return 2
+	}
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, ds); err != nil {
+			fmt.Fprintln(os.Stderr, "tftlint:", err)
+			return 2
+		}
+	} else if err := lint.WriteText(os.Stdout, ds); err != nil {
+		fmt.Fprintln(os.Stderr, "tftlint:", err)
+		return 2
+	}
+	if len(ds) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -128,6 +128,7 @@ func main() {
 		dnsserver.StaticNX{Name: "LoopTel", Landing: loop}, true)
 
 	for pool.Len() < 2 {
+		//tftlint:ignore simclock -- settle poll while real agents register over real sockets
 		time.Sleep(20 * time.Millisecond)
 	}
 	fmt.Printf("exit nodes registered: %v\n\n", gw.Peers())

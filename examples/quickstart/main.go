@@ -15,6 +15,7 @@ import (
 )
 
 func main() {
+	//tftlint:ignore simclock -- demo timing printout; wall clock is the point
 	start := time.Now()
 	fmt.Println("Running the four experiments at 2% of paper scale...")
 
@@ -37,5 +38,6 @@ func main() {
 		fmt.Println(t)
 	}
 	fmt.Println(res.Report())
+	//tftlint:ignore simclock -- demo timing printout; wall clock is the point
 	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
 }

@@ -35,14 +35,16 @@ func ServeUDP(pc net.PacketConn, handler simnet.DNSHandler) error {
 	}
 }
 
-// QueryUDP sends one query datagram to server and waits for the reply.
+// QueryUDP sends one query datagram to server and waits for the reply. It
+// always runs against real sockets, so the deadline timebase is explicitly
+// the wall clock.
 func QueryUDP(server string, query []byte, timeout time.Duration) ([]byte, error) {
 	conn, err := net.Dial("udp", server)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
-	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+	if err := conn.SetDeadline(simnet.Real{}.Now().Add(timeout)); err != nil {
 		return nil, err
 	}
 	if _, err := conn.Write(query); err != nil {
@@ -78,6 +80,9 @@ type UDPExchanger struct {
 	BindSrc bool
 	// Timeout per exchange (default 3s).
 	Timeout time.Duration
+	// Clock supplies the deadline timebase; nil means the wall clock
+	// (exchanges ride real UDP sockets).
+	Clock simnet.Clock
 }
 
 // ExchangeDNS implements Exchanger.
@@ -99,7 +104,11 @@ func (u *UDPExchanger) ExchangeDNS(src, dst netip.Addr, query []byte) ([]byte, e
 		return nil, err
 	}
 	defer conn.Close()
-	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+	clock := u.Clock
+	if clock == nil {
+		clock = simnet.Real{}
+	}
+	if err := conn.SetDeadline(clock.Now().Add(timeout)); err != nil {
 		return nil, err
 	}
 	if _, err := conn.Write(query); err != nil {

@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// runCtxFirst enforces the Go API convention the rest of the repository
+// already follows: an exported function or method that accepts a
+// context.Context takes it as the first parameter (receivers excluded).
+// Unexported functions are left alone — closures and internal helpers
+// sometimes thread context late for readability.
+func runCtxFirst(p *Pass) []Diagnostic {
+	var ds []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !fd.Name.IsExported() || fd.Type.Params == nil {
+				continue
+			}
+			idx := 0
+			for _, field := range fd.Type.Params.List {
+				width := len(field.Names)
+				if width == 0 {
+					width = 1 // unnamed parameter still occupies a position
+				}
+				if idx > 0 && isContextType(p, field.Type) {
+					ds = append(ds, p.Diag(field.Pos(),
+						"exported %s takes context.Context as parameter %d; context must come first",
+						fd.Name.Name, idx+1))
+				}
+				idx += width
+			}
+		}
+	}
+	return ds
+}
+
+// isContextType reports whether the type expression denotes context.Context.
+func isContextType(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,202 @@
+// Package lint implements tftlint, the repository's domain-specific
+// static-analysis suite. The crawl's scientific claim — that every observed
+// violation is attributable to the simulated network, not to harness
+// nondeterminism — rests on conventions no compiler enforces: clocks are
+// injected (simnet.Clock, never the time package's wall-clock reads),
+// randomness flows from the seeded world RNG (never the process-global
+// math/rand source), every started trace span is ended, and pooled buffers
+// are returned on every path. tftlint turns those tribal rules into a
+// pre-merge gate.
+//
+// The framework is deliberately stdlib-only: packages are parsed with
+// go/parser and type-checked with go/types through the source importer, so
+// the tool builds and runs in environments with no module cache. The
+// analyzer interface mirrors the shape of golang.org/x/tools/go/analysis
+// (Name, Doc, Run(pass) → diagnostics) without the dependency.
+//
+// Findings can be waived inline:
+//
+//	//tftlint:ignore <analyzer>[,<analyzer>...] -- <reason>
+//
+// The reason is mandatory and the waiver applies to findings on the
+// comment's own line and the line below it. A malformed waiver (missing
+// reason, unknown analyzer) is itself a diagnostic, so waivers stay
+// grep-auditable and cannot rot silently.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// Diagnostic is one finding, anchored to a source position. File paths are
+// slash-separated and relative to the module root so output is byte-stable
+// across machines and checkouts.
+type Diagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Sort orders diagnostics deterministically: by file, then line, column,
+// analyzer, and finally message. Every consumer (text output, JSON output,
+// golden tests) sees the same order.
+func Sort(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// WriteText renders one "file:line:col: analyzer: message" line per
+// diagnostic.
+func WriteText(w io.Writer, ds []Diagnostic) error {
+	for _, d := range ds {
+		if _, err := fmt.Fprintln(w, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the diagnostics as a JSON array (an empty array, not
+// null, when there are no findings).
+func WriteJSON(w io.Writer, ds []Diagnostic) error {
+	if ds == nil {
+		ds = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ds)
+}
+
+// Analyzer is one named check. Run inspects a type-checked package and
+// returns its findings; the runner stamps positions, applies waivers, and
+// sorts.
+type Analyzer struct {
+	// Name identifies the analyzer in output, waiver comments, and the
+	// -only/-skip flags.
+	Name string
+	// Doc is a one-line description shown by `tftlint -list`.
+	Doc string
+	// Run reports the analyzer's findings for one package.
+	Run func(*Pass) []Diagnostic
+}
+
+// Pass hands one type-checked package to an analyzer.
+type Pass struct {
+	// Fset maps token positions back to file/line/column.
+	Fset *token.FileSet
+	// Files are the package's parsed sources (comments included).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info carries the type-checker's fact maps (Uses, Defs, Selections,
+	// Types) for the package's files.
+	Info *types.Info
+	// Path is the package's import path.
+	Path string
+	// RelDir is the package directory relative to the module root,
+	// slash-separated ("" for the root package).
+	RelDir string
+
+	root string
+}
+
+// Rel converts a token position to a module-root-relative slash path plus
+// line and column.
+func (p *Pass) Rel(pos token.Pos) (file string, line, col int) {
+	pp := p.Fset.Position(pos)
+	rel, err := filepath.Rel(p.root, pp.Filename)
+	if err != nil {
+		rel = pp.Filename
+	}
+	return filepath.ToSlash(rel), pp.Line, pp.Column
+}
+
+// FileRel returns the module-root-relative slash path of a parsed file.
+func (p *Pass) FileRel(f *ast.File) string {
+	file, _, _ := p.Rel(f.Pos())
+	return file
+}
+
+// Diag builds a diagnostic at pos. The runner fills in the analyzer name.
+func (p *Pass) Diag(pos token.Pos, format string, args ...any) Diagnostic {
+	file, line, col := p.Rel(pos)
+	return Diagnostic{File: file, Line: line, Col: col, Message: fmt.Sprintf(format, args...)}
+}
+
+// PkgFunc resolves the callee of a call expression to a *types.Func, or nil
+// when the callee is not a statically-known function or method.
+func (p *Pass) PkgFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// ImportedPkg reports the import path behind an identifier when the
+// identifier names an imported package (e.g. the "time" in time.Now).
+func (p *Pass) ImportedPkg(id *ast.Ident) (string, bool) {
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}
+
+// walkParents traverses root in source order, calling fn with every node
+// and its ancestor stack (outermost first, immediate parent last). It never
+// prunes, so the stack stays consistent.
+func walkParents(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// parent returns the immediate parent from a walkParents stack (nil at the
+// root).
+func parent(stack []ast.Node) ast.Node {
+	if len(stack) == 0 {
+		return nil
+	}
+	return stack[len(stack)-1]
+}

@@ -1,0 +1,267 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Loader parses and type-checks packages of this module without the go
+// tool: module-internal imports are resolved against the repository tree
+// and everything else (the standard library) goes through go/importer's
+// source importer. No module cache or export data is required.
+type Loader struct {
+	// Root is the module root directory (where go.mod lives).
+	Root string
+	// Module is the module path from go.mod.
+	Module string
+	// Fset is shared by every file the loader touches so positions stay
+	// comparable across packages.
+	Fset *token.FileSet
+
+	std  types.ImporterFrom
+	pkgs map[string]*Package
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path ("<module>/<rel dir>").
+	Path string
+	// Dir is the absolute package directory.
+	Dir string
+	// RelDir is Dir relative to the module root, slash-separated ("" for
+	// the root package).
+	RelDir string
+	// Files are the parsed non-test sources, sorted by file name.
+	Files []*ast.File
+	// Pkg is the type-checked package (possibly incomplete when
+	// TypeErrors is non-empty).
+	Pkg *types.Package
+	// Info holds the type-checker's fact maps for Files.
+	Info *types.Info
+	// TypeErrors collects soft type-check errors. Analysis proceeds past
+	// them: the fact maps stay usable for the code that did check.
+	TypeErrors []error
+}
+
+// cgoOff disables cgo in the default build context exactly once, so the
+// source importer type-checks the pure-Go variants of cgo-capable stdlib
+// packages (net, os/user) instead of failing on import "C".
+var cgoOff sync.Once
+
+// NewLoader creates a loader for the module rooted at root.
+func NewLoader(root string) (*Loader, error) {
+	mod, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	cgoOff.Do(func() { build.Default.CgoEnabled = false })
+	fset := token.NewFileSet()
+	l := &Loader{Root: root, Module: mod, Fset: fset, pkgs: make(map[string]*Package)}
+	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return l, nil
+}
+
+// FindRoot walks up from dir to the enclosing directory containing go.mod.
+func FindRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		up := filepath.Dir(dir)
+		if up == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = up
+	}
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if after, ok := strings.CutPrefix(strings.TrimSpace(line), "module"); ok {
+			mod := strings.Trim(strings.TrimSpace(after), `"`)
+			if mod != "" {
+				return mod, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}
+
+// LoadDir parses and type-checks the package in dir (which must live under
+// the module root). Results are cached per import path.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return nil, fmt.Errorf("lint: %s is outside module %s", dir, l.Module)
+	}
+	path := l.Module
+	if rel != "." {
+		path = l.Module + "/" + filepath.ToSlash(rel)
+	}
+	return l.load(path, dir)
+}
+
+// load is the cache-aware core of LoadDir and the importer.
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	p := &Package{Path: path, Dir: dir, Files: files}
+	if rel, err := filepath.Rel(l.Root, dir); err == nil && rel != "." {
+		p.RelDir = filepath.ToSlash(rel)
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	p.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	// Check reports every error through conf.Error and still returns as
+	// much of the package as it could type; analyzers run best-effort on
+	// whatever checked.
+	p.Pkg, _ = conf.Check(path, l.Fset, files, p.Info)
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.Root, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths load from
+// the repository tree, everything else defers to the source importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
+		sub := strings.TrimPrefix(strings.TrimPrefix(path, l.Module), "/")
+		p, err := l.load(path, filepath.Join(l.Root, filepath.FromSlash(sub)))
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// Expand resolves package patterns relative to cwd into a sorted, deduped
+// list of package directories. A trailing "/..." walks the subtree the way
+// the go tool does: testdata, vendor, and dot- or underscore-prefixed
+// directories are skipped, and only directories containing at least one
+// non-test Go file count. A plain pattern names a single directory.
+func Expand(cwd string, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		base, walk := strings.CutSuffix(pat, "...")
+		base = strings.TrimSuffix(base, "/")
+		if base == "" {
+			base = "."
+		}
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(cwd, base)
+		}
+		if !walk {
+			if !hasGoFiles(base) {
+				return nil, fmt.Errorf("lint: no Go files in %s", base)
+			}
+			add(base)
+			continue
+		}
+		err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			if p != base {
+				n := d.Name()
+				if n == "testdata" || n == "vendor" || strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") {
+					return filepath.SkipDir
+				}
+			}
+			if hasGoFiles(p) {
+				add(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains a non-test Go file.
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

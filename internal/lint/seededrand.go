@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// bannedRand are the package-level math/rand and math/rand/v2 functions
+// that draw from the process-global, randomly-seeded source. Constructors
+// (New, NewPCG, NewChaCha8, NewZipf) stay legal: they are exactly how the
+// seeded world RNG is built.
+var bannedRand = map[string]bool{
+	// math/rand/v2
+	"Int": true, "IntN": true,
+	"Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true,
+	"Uint": true, "UintN": true,
+	"Uint32": true, "Uint32N": true,
+	"Uint64": true, "Uint64N": true,
+	"Float32": true, "Float64": true,
+	"ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "N": true,
+	// math/rand (v1) spellings, should one ever sneak in
+	"Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Seed": true, "Read": true,
+}
+
+// runSeededRand bans package-level math/rand calls under internal/: a
+// fixed-seed crawl must never touch the process-global RNG, or two runs
+// with the same seed stop being comparable.
+func runSeededRand(p *Pass) []Diagnostic {
+	if !strings.HasPrefix(p.RelDir+"/", "internal/") {
+		return nil
+	}
+	var ds []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !bannedRand[sel.Sel.Name] {
+				return true
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if path, ok := p.ImportedPkg(x); ok && (path == "math/rand/v2" || path == "math/rand") {
+				ds = append(ds, p.Diag(sel.Pos(),
+					"package-level %s.%s draws from the process-global RNG; use a seeded *rand.Rand from simnet.NewRand/SubRand",
+					x.Name, sel.Sel.Name))
+			}
+			return true
+		})
+	}
+	return ds
+}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// bannedTime are the time-package functions that read or schedule against
+// the process wall clock. Durations, time.Time arithmetic, and the zero
+// time.Time{} stay legal — only the ambient clock is off limits.
+var bannedTime = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// simclockExempt reports whether a file may read the wall clock without a
+// waiver: the simnet.Real implementation (it IS the wall clock behind the
+// Clock interface) and the scripts/ tree (developer tooling that never runs
+// inside a simulation).
+func simclockExempt(relFile string) bool {
+	return relFile == "internal/simnet/clock.go" || strings.HasPrefix(relFile, "scripts/")
+}
+
+// runSimClock flags every reference to a banned time-package function —
+// calls and function values alike (passing time.Now as a timebase is just
+// as wall-clocked as calling it).
+func runSimClock(p *Pass) []Diagnostic {
+	var ds []Diagnostic
+	for _, f := range p.Files {
+		if simclockExempt(p.FileRel(f)) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !bannedTime[sel.Sel.Name] {
+				return true
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if path, ok := p.ImportedPkg(x); ok && path == "time" {
+				ds = append(ds, p.Diag(sel.Pos(),
+					"time.%s reads the ambient wall clock; thread an injected simnet.Clock (simnet.Real for daemons) or waive with a reason",
+					sel.Sel.Name))
+			}
+			return true
+		})
+	}
+	return ds
+}

@@ -1,0 +1,18 @@
+// Package bad buries context.Context behind other parameters.
+package bad
+
+import "context"
+
+// Fetch takes ctx second.
+func Fetch(name string, ctx context.Context) error {
+	return ctx.Err()
+}
+
+// Client is a method receiver for the analyzer's method case.
+type Client struct{}
+
+// Do takes ctx after the payload.
+func (Client) Do(n int, ctx context.Context) error {
+	_ = n
+	return ctx.Err()
+}

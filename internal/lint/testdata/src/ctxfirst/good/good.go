@@ -1,0 +1,26 @@
+// Package good follows the convention: exported functions take their
+// context first; unexported helpers may order parameters freely.
+package good
+
+import "context"
+
+// Fetch takes ctx first.
+func Fetch(ctx context.Context, name string) error {
+	_ = name
+	return ctx.Err()
+}
+
+// Client is a method receiver for the analyzer's method case.
+type Client struct{}
+
+// Do takes ctx first after the receiver.
+func (Client) Do(ctx context.Context, n int) error {
+	_ = n
+	return ctx.Err()
+}
+
+// retryLater is unexported, so late context placement is tolerated.
+func retryLater(n int, ctx context.Context) error {
+	_ = n
+	return ctx.Err()
+}

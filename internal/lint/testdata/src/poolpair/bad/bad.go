@@ -1,0 +1,34 @@
+// Package bad takes pooled buffers without returning them.
+package bad
+
+import (
+	"bytes"
+
+	"github.com/tftproject/tft/internal/httpwire"
+)
+
+// getCopyBuf and putCopyBuf mirror proxynet's package-local pool helpers;
+// the analyzer matches the unexported pair by name in any package.
+func getCopyBuf() *[]byte {
+	b := make([]byte, 32<<10)
+	return &b
+}
+
+func putCopyBuf(*[]byte) {}
+
+// Leak borrows a pooled reader and never puts it back.
+func Leak(src *bytes.Buffer) {
+	br := httpwire.GetReader(src)
+	br.ReadByte()
+}
+
+// Dropped does not even hold the pooled reader in a local.
+func Dropped(src *bytes.Buffer) {
+	httpwire.GetReader(src)
+}
+
+// LeakLocal loses a package-local pooled buffer.
+func LeakLocal() int {
+	buf := getCopyBuf()
+	return len(*buf)
+}

@@ -1,0 +1,31 @@
+// Package good pairs every pooled Get with its Put in-function, the PR 3
+// discipline: pool only where the lifetime ends in-function.
+package good
+
+import (
+	"bytes"
+
+	"github.com/tftproject/tft/internal/httpwire"
+)
+
+func getCopyBuf() *[]byte {
+	b := make([]byte, 32<<10)
+	return &b
+}
+
+func putCopyBuf(*[]byte) {}
+
+// Paired returns the reader on the spot once parsing is done.
+func Paired(src *bytes.Buffer) byte {
+	br := httpwire.GetReader(src)
+	b, _ := br.ReadByte()
+	httpwire.PutReader(br)
+	return b
+}
+
+// PairedDefer returns the buffer via defer, error paths included.
+func PairedDefer() int {
+	buf := getCopyBuf()
+	defer putCopyBuf(buf)
+	return len(*buf)
+}

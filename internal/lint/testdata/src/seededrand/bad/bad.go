@@ -1,0 +1,21 @@
+// Package bad calls package-level math/rand/v2 functions, which draw from
+// the process-global, randomly-seeded source — poison for a fixed-seed
+// crawl.
+package bad
+
+import "math/rand/v2"
+
+// Pick indexes via the global RNG.
+func Pick(xs []int) int {
+	return xs[rand.IntN(len(xs))]
+}
+
+// Jitter samples the global RNG.
+func Jitter() float64 {
+	return rand.Float64()
+}
+
+// Shuffled permutes via the global RNG.
+func Shuffled(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

@@ -1,0 +1,23 @@
+// Package good threads seeded RNGs the way the repository does: rand.Rand
+// values built by simnet.NewRand/SubRand and passed explicitly.
+package good
+
+import (
+	"math/rand/v2"
+
+	"github.com/tftproject/tft/internal/simnet"
+)
+
+// Pick indexes via an injected seeded RNG; methods on *rand.Rand are fine.
+func Pick(rng *rand.Rand, xs []int) int {
+	return xs[rng.IntN(len(xs))]
+}
+
+// Fresh builds a deterministic RNG — the constructors are exactly how the
+// seeded world RNG comes to be, so they stay legal.
+func Fresh(seed uint64) *rand.Rand {
+	if seed == 0 {
+		return rand.New(rand.NewPCG(1, 2))
+	}
+	return simnet.NewRand(seed)
+}

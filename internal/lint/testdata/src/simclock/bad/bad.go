@@ -1,0 +1,30 @@
+// Package bad exercises every wall-clock read the simclock analyzer bans.
+package bad
+
+import "time"
+
+// Elapsed reads the ambient clock four ways.
+func Elapsed() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	<-time.After(time.Millisecond)
+	_ = time.Until(start)
+	return time.Since(start)
+}
+
+// Timers constructs every wall-clock timer flavour.
+func Timers() {
+	t := time.NewTimer(time.Second)
+	t.Stop()
+	k := time.NewTicker(time.Second)
+	k.Stop()
+	_ = time.Tick(time.Second)
+	a := time.AfterFunc(time.Second, func() {})
+	a.Stop()
+}
+
+// Timebase passes the wall clock as a function value — just as banned as
+// calling it.
+func Timebase() func() time.Time {
+	return time.Now
+}

@@ -1,0 +1,27 @@
+// Package good shows the injected-clock idiom the simclock analyzer wants:
+// all time flows through a simnet.Clock handed in by the caller.
+package good
+
+import (
+	"time"
+
+	"github.com/tftproject/tft/internal/simnet"
+)
+
+// Wait blocks for d on the injected clock.
+func Wait(clock simnet.Clock, d time.Duration) time.Time {
+	done := make(chan struct{})
+	t := clock.AfterFunc(d, func() { close(done) })
+	defer t.Stop()
+	<-done
+	return clock.Now()
+}
+
+// Deadline computes an absolute instant from the injected clock; duration
+// arithmetic and the zero time stay legal.
+func Deadline(clock simnet.Clock, timeout time.Duration) time.Time {
+	if timeout <= 0 {
+		return time.Time{}
+	}
+	return clock.Now().Add(timeout)
+}

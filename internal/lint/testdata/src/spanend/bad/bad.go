@@ -1,0 +1,24 @@
+// Package bad leaks spans every way the spanend analyzer understands.
+package bad
+
+import (
+	"context"
+
+	"github.com/tftproject/tft/internal/trace"
+)
+
+// Dropped discards the started span outright.
+func Dropped(t *trace.Tracer) {
+	t.StartRoot("dropped", trace.KindClient)
+}
+
+// Blank assigns the span to the blank identifier.
+func Blank(t *trace.Tracer) {
+	_ = t.StartRoot("blank", trace.KindClient)
+}
+
+// Leaked decorates the span but never ends it.
+func Leaked(ctx context.Context, t *trace.Tracer) {
+	span := t.StartChild(trace.FromContext(ctx), "leaked", trace.KindProxy)
+	span.SetError("boom")
+}

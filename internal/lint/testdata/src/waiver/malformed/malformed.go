@@ -1,0 +1,23 @@
+// Package malformed carries broken waivers. Each one is itself a
+// diagnostic, and the finding it pretended to cover still fires.
+package malformed
+
+import "time"
+
+// NoReason waives without the mandatory "-- reason".
+func NoReason() time.Time {
+	//tftlint:ignore simclock
+	return time.Now()
+}
+
+// UnknownAnalyzer waives an analyzer that does not exist.
+func UnknownAnalyzer() time.Time {
+	//tftlint:ignore clocksim -- name is wrong
+	return time.Now()
+}
+
+// BadVerb uses a directive other than ignore.
+func BadVerb() time.Time {
+	//tftlint:allow simclock -- no such verb
+	return time.Now()
+}

@@ -1,0 +1,16 @@
+// Package ok demonstrates well-formed waivers: analyzer name plus a
+// mandatory reason, on the finding's line or the line above.
+package ok
+
+import "time"
+
+// Stamp is wall-clock on purpose and says so.
+func Stamp() time.Time {
+	//tftlint:ignore simclock -- fixture: wall-clock wanted here, waiver on the line above
+	return time.Now()
+}
+
+// Delay waives with a trailing comment on the finding's own line.
+func Delay() {
+	time.Sleep(time.Millisecond) //tftlint:ignore simclock -- fixture: trailing waiver on the same line
+}

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// WaiverAnalyzer is the pseudo-analyzer name under which malformed waiver
+// comments are reported. It is always on: a waiver that cannot suppress
+// anything must never look like it does.
+const WaiverAnalyzer = "waiver"
+
+// waiver is one well-formed //tftlint:ignore comment.
+type waiver struct {
+	file      string
+	line      int
+	analyzers map[string]bool
+}
+
+// suppresses reports whether w covers d: same file, the comment's own line
+// or the line directly below it (so both trailing and leading placements
+// work), and a matching analyzer name.
+func (w waiver) suppresses(d Diagnostic) bool {
+	return w.file == d.File && (d.Line == w.line || d.Line == w.line+1) && w.analyzers[d.Analyzer]
+}
+
+// collectWaivers scans a package's comments for tftlint directives. It
+// returns the effective waivers plus a diagnostic for every malformed one:
+// a missing "-- reason", an empty analyzer list, or an analyzer name not in
+// known. Malformed waivers suppress nothing.
+func collectWaivers(p *Pass, known map[string]bool) ([]waiver, []Diagnostic) {
+	var ws []waiver
+	var ds []Diagnostic
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//tftlint:")
+				if !ok {
+					continue
+				}
+				w, msg := parseWaiver(rest, known)
+				if msg != "" {
+					d := p.Diag(c.Pos(), "%s", msg)
+					d.Analyzer = WaiverAnalyzer
+					ds = append(ds, d)
+					continue
+				}
+				w.file, w.line, _ = p.Rel(c.Pos())
+				ws = append(ws, w)
+			}
+		}
+	}
+	return ws, ds
+}
+
+// parseWaiver validates the directive text after "//tftlint:". It returns
+// either a waiver or a malformed-waiver message.
+func parseWaiver(rest string, known map[string]bool) (waiver, string) {
+	args, ok := strings.CutPrefix(rest, "ignore")
+	if !ok {
+		verb := rest
+		if i := strings.IndexAny(verb, " \t"); i >= 0 {
+			verb = verb[:i]
+		}
+		return waiver{}, "unknown tftlint directive \"" + verb + "\" (only \"ignore\" exists)"
+	}
+	names, reason, ok := strings.Cut(args, "--")
+	if !ok || strings.TrimSpace(reason) == "" {
+		return waiver{}, "waiver without a reason; write //tftlint:ignore <analyzer> -- <reason>"
+	}
+	set := make(map[string]bool)
+	for _, n := range strings.FieldsFunc(names, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+		if !known[n] {
+			return waiver{}, "waiver names unknown analyzer \"" + n + "\""
+		}
+		set[n] = true
+	}
+	if len(set) == 0 {
+		return waiver{}, "waiver without analyzer names; write //tftlint:ignore <analyzer> -- <reason>"
+	}
+	return waiver{analyzers: set}, ""
+}
+
+// Lint loads every directory, runs the analyzers over each package, applies
+// waivers, and returns the findings in deterministic order.
+func (l *Loader) Lint(dirs []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var all []Diagnostic
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pass := &Pass{
+			Fset:   l.Fset,
+			Files:  pkg.Files,
+			Pkg:    pkg.Pkg,
+			Info:   pkg.Info,
+			Path:   pkg.Path,
+			RelDir: pkg.RelDir,
+			root:   l.Root,
+		}
+		waivers, malformed := collectWaivers(pass, known)
+		all = append(all, malformed...)
+		for _, a := range analyzers {
+			for _, d := range a.Run(pass) {
+				d.Analyzer = a.Name
+				if waived(d, waivers) {
+					continue
+				}
+				all = append(all, d)
+			}
+		}
+	}
+	Sort(all)
+	return all, nil
+}
+
+func waived(d Diagnostic, ws []waiver) bool {
+	for _, w := range ws {
+		if w.suppresses(d) {
+			return true
+		}
+	}
+	return false
+}
+
+// identObj resolves an identifier to its object, looking in both the Uses
+// and Defs maps.
+func identObj(p *Pass, id *ast.Ident) any {
+	if o := p.Info.Uses[id]; o != nil {
+		return o
+	}
+	if o := p.Info.Defs[id]; o != nil {
+		return o
+	}
+	return nil
+}

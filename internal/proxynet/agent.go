@@ -14,6 +14,7 @@ import (
 	"github.com/tftproject/tft/internal/dnswire"
 	"github.com/tftproject/tft/internal/geo"
 	"github.com/tftproject/tft/internal/httpwire"
+	"github.com/tftproject/tft/internal/simnet"
 	"github.com/tftproject/tft/internal/trace"
 )
 
@@ -38,6 +39,14 @@ const (
 // agentConnsPerPeer caps a remote peer's idle connection pool.
 const agentConnsPerPeer = 16
 
+// Agent-protocol timeouts: waiting for an idle connection, one RPC
+// round-trip, and the registration handshake.
+const (
+	agentBorrowTimeout   = 2 * time.Second
+	agentRPCTimeout      = 30 * time.Second
+	agentRegisterTimeout = 10 * time.Second
+)
+
 // errPeerBusy is returned when a remote peer has no idle agent connection.
 var errPeerBusy = errors.New("proxynet: remote peer has no available agent connection")
 
@@ -46,6 +55,7 @@ type remotePeer struct {
 	zid     string
 	ip      netip.Addr
 	country geo.CountryCode
+	clock   simnet.Clock
 
 	mu   sync.Mutex
 	idle chan net.Conn
@@ -86,12 +96,16 @@ func (p *remotePeer) addConn(conn net.Conn) bool {
 	}
 }
 
-// borrow takes an idle connection.
+// borrow takes an idle connection, giving up after agentBorrowTimeout on
+// the peer's injected clock.
 func (p *remotePeer) borrow() (net.Conn, error) {
+	timeout := make(chan struct{})
+	t := p.clock.AfterFunc(agentBorrowTimeout, func() { close(timeout) })
+	defer t.Stop()
 	select {
 	case conn := <-p.idle:
 		return conn, nil
-	case <-time.After(2 * time.Second):
+	case <-timeout:
 		return nil, errPeerBusy
 	}
 }
@@ -119,7 +133,7 @@ func (p *remotePeer) rpc(req *httpwire.Request) (*httpwire.Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	conn.SetDeadline(p.clock.Now().Add(agentRPCTimeout))
 	br := httpwire.GetReader(conn)
 	resp, err := httpwire.RoundTrip(conn, br, req)
 	httpwire.PutReader(br)
@@ -193,6 +207,9 @@ func (p *remotePeer) Tunnel(ctx context.Context, client net.Conn, ip netip.Addr,
 // pool.
 type Gateway struct {
 	Pool *Pool
+	// Clock supplies handshake and RPC deadlines; nil means the wall
+	// clock (agent connections ride real sockets).
+	Clock simnet.Clock
 
 	mu    sync.Mutex
 	peers map[string]*remotePeer
@@ -203,6 +220,14 @@ func NewGateway(pool *Pool) *Gateway {
 	return &Gateway{Pool: pool, peers: make(map[string]*remotePeer)}
 }
 
+// clock returns the injected clock, defaulting to the wall clock.
+func (g *Gateway) clock() simnet.Clock {
+	if g.Clock != nil {
+		return g.Clock
+	}
+	return simnet.Real{}
+}
+
 // Serve runs the agent accept loop until the listener closes.
 func (g *Gateway) Serve(l net.Listener) error {
 	return ServeListener(l, g.handle)
@@ -210,7 +235,7 @@ func (g *Gateway) Serve(l net.Listener) error {
 
 // handle performs one agent connection's registration handshake.
 func (g *Gateway) handle(conn net.Conn) {
-	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	conn.SetDeadline(g.clock().Now().Add(agentRegisterTimeout))
 	br := httpwire.GetReader(conn)
 	req, err := httpwire.ReadRequest(br)
 	httpwire.PutReader(br)
@@ -230,7 +255,7 @@ func (g *Gateway) handle(conn net.Conn) {
 	g.mu.Lock()
 	peer, ok := g.peers[zid]
 	if !ok {
-		peer = &remotePeer{zid: zid, ip: ip, country: country,
+		peer = &remotePeer{zid: zid, ip: ip, country: country, clock: g.clock(),
 			idle: make(chan net.Conn, agentConnsPerPeer)}
 		g.peers[zid] = peer
 	}
@@ -280,6 +305,9 @@ type Agent struct {
 	Conns int
 	// Backoff between reconnect attempts (default 500ms).
 	Backoff time.Duration
+	// Clock paces reconnect backoff; nil means the wall clock (the agent
+	// dials real sockets).
+	Clock simnet.Clock
 }
 
 // Run maintains the agent connections until ctx is cancelled.
@@ -292,6 +320,10 @@ func (a *Agent) Run(ctx context.Context) error {
 	if backoff <= 0 {
 		backoff = 500 * time.Millisecond
 	}
+	clock := a.Clock
+	if clock == nil {
+		clock = simnet.Real{}
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < conns; i++ {
 		wg.Add(1)
@@ -299,10 +331,13 @@ func (a *Agent) Run(ctx context.Context) error {
 			defer wg.Done()
 			for ctx.Err() == nil {
 				if err := a.serveOne(ctx); err != nil && ctx.Err() == nil {
+					wait := make(chan struct{})
+					t := clock.AfterFunc(backoff, func() { close(wait) })
 					select {
-					case <-time.After(backoff):
+					case <-wait:
 					case <-ctx.Done():
 					}
+					t.Stop()
 				}
 			}
 		}()

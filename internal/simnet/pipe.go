@@ -237,6 +237,10 @@ func (r *ring) setDeadline(t time.Time, d *deadline) {
 		d.timed = false
 		return
 	}
+	// Pipe deadlines honour the net.Conn contract: SetDeadline takes an
+	// absolute wall-clock instant and must fire even while the virtual
+	// clock stands still, so the timer below is deliberately real.
+	//tftlint:ignore simclock -- net.Conn deadlines are wall-clock by contract; virtual-time runs never set pipe deadlines
 	wait := time.Until(t)
 	if wait <= 0 {
 		d.timed = true
@@ -245,6 +249,7 @@ func (r *ring) setDeadline(t time.Time, d *deadline) {
 	}
 	d.timed = false
 	gen := d.gen
+	//tftlint:ignore simclock -- net.Conn deadlines are wall-clock by contract; virtual-time runs never set pipe deadlines
 	d.timer = time.AfterFunc(wait, func() {
 		r.mu.Lock()
 		if d.gen == gen {

@@ -236,6 +236,7 @@ type Tracer struct {
 // clock); capacity bounds the collector (<= 0 means the default 16384).
 func New(now func() time.Time, capacity int) *Tracer {
 	if now == nil {
+		//tftlint:ignore simclock -- documented fallback timebase when no clock is injected; simulated runs always inject the virtual clock
 		now = time.Now
 	}
 	if capacity <= 0 {

@@ -1,16 +1,19 @@
 #!/bin/sh
-# Pre-merge gate: formatting, vet, build, race-enabled tests, one-iteration
-# benchmark smoke runs (crawl + the simnet fast-path pipe), and a live
-# scrape of the super proxy's Prometheus exposition including the
-# resolver-cache hit-rate assertion. Equivalent to `make check` for
-# environments without make.
+# Pre-merge gate: formatting, vet, tftlint static analysis, build,
+# race-enabled tests, a short fuzz smoke, one-iteration benchmark smoke runs
+# (crawl + the simnet fast-path pipe), and a live scrape of the super
+# proxy's Prometheus exposition including the resolver-cache hit-rate
+# assertion. Equivalent to `make check` for environments without make.
 set -eux
 
 unformatted=$(gofmt -l .)
 test -z "$unformatted" || { echo "gofmt needed: $unformatted" >&2; exit 1; }
 go vet ./...
+go run ./cmd/tftlint ./...
 go build ./...
 go test -race ./...
+go test -run=NONE -fuzz=FuzzUsernameRoundTrip -fuzztime=5s ./internal/proxynet
+go test -run=NONE -fuzz='FuzzUnmarshal$' -fuzztime=5s ./internal/cert
 go test -run=NONE -bench=Crawl -benchtime=1x ./...
 go test -run=NONE -bench=Pipe -benchtime=1x -benchmem ./internal/simnet
 go run ./scripts/promsmoke
