@@ -39,8 +39,8 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzUsernameRoundTrip -fuzztime=5s ./internal/proxynet
 	$(GO) test -run=NONE -fuzz='FuzzUnmarshal$$' -fuzztime=5s ./internal/cert
 
-# Machine-readable benchmark baseline: runs the full-pipeline, table, and
-# pipe benchmarks with -benchmem and writes BENCH_<n>.json for the perf
-# trajectory.
+# Machine-readable benchmark baseline: runs the full-pipeline, table, pipe,
+# and full-scale (Scale=1.0 DNS, minutes of runtime) benchmarks with
+# -benchmem and writes BENCH_6.json for the perf trajectory.
 benchjson:
-	$(GO) run ./scripts/benchjson
+	$(GO) run ./scripts/benchjson -out BENCH_6.json

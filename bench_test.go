@@ -13,13 +13,18 @@ package tft
 
 import (
 	"context"
+	"io"
 	"net/netip"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/tftproject/tft/internal/analysis"
 	"github.com/tftproject/tft/internal/cert"
 	"github.com/tftproject/tft/internal/core"
+	"github.com/tftproject/tft/internal/dataset"
+	"github.com/tftproject/tft/internal/metrics"
 	"github.com/tftproject/tft/internal/population"
 	"github.com/tftproject/tft/internal/tlssim"
 )
@@ -90,7 +95,7 @@ func BenchmarkTable3CountryHijack(b *testing.B) {
 	b.ResetTimer()
 	var t *analysis.Table
 	for i := 0; i < b.N; i++ {
-		t = res.DNS.Analysis.Table3(10)
+		_, t = res.DNS.Analysis.Table3(10)
 	}
 	b.StopTimer()
 	logTable(b, t)
@@ -103,7 +108,7 @@ func BenchmarkTable4ISPResolvers(b *testing.B) {
 	b.ResetTimer()
 	var t *analysis.Table
 	for i := 0; i < b.N; i++ {
-		t = res.DNS.Analysis.Table4()
+		_, t = res.DNS.Analysis.Table4()
 	}
 	b.StopTimer()
 	logTable(b, t)
@@ -237,7 +242,7 @@ func BenchmarkFigure5DelayCDF(b *testing.B) {
 	b.ResetTimer()
 	var t *analysis.Table
 	for i := 0; i < b.N; i++ {
-		t = res.Monitor.Analysis.Figure5Table(6)
+		_, t = res.Monitor.Analysis.Figure5Table(6)
 	}
 	b.StopTimer()
 	logTable(b, t)
@@ -646,5 +651,112 @@ func BenchmarkExtensionLongitudinal(b *testing.B) {
 	b.ReportMetric(100*last, "waveN-hijack-pct")
 	if last >= first {
 		b.Error("longitudinal decline not observed")
+	}
+}
+
+// BenchmarkFullScaleDNS runs the §4 DNS experiment at the paper's full
+// population (Scale=1.0) through the complete streaming pipeline: lazy
+// shard-seeded world, crawl workers feeding per-shard sinks, per-shard
+// analysis aggregates merged after the run, and per-shard streaming
+// dataset writers — with in-memory dataset accumulation disabled, so peak
+// heap is the pipeline's true working set. Alongside ns/op it reports the
+// peak heap sampled during the crawl, the p99 wall-clock probe latency
+// from the probe_duration_seconds histogram, and the measured-node count;
+// scripts/benchjson folds all three into BENCH_6.json.
+func BenchmarkFullScaleDNS(b *testing.B) {
+	const workers = 8
+	for i := 0; i < b.N; i++ {
+		w, err := population.BuildDNSWorld(benchSeed, 1.0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reg := metrics.NewRegistry()
+		shardAgg := make([]*analysis.DNSAnalysis, workers)
+		shardWriters := make([]*dataset.DNSWriter, workers)
+		for s := range shardAgg {
+			shardAgg[s] = analysis.NewDNSAnalysis(analysis.Config{Scale: 1.0}, w.Geo)
+			sw, err := dataset.NewDNSWriter(io.Discard, benchSeed, 1.0, dataset.StreamRecords)
+			if err != nil {
+				b.Fatal(err)
+			}
+			shardWriters[s] = sw
+		}
+		exp := &core.DNSExperiment{
+			Client: w.Client, Auth: w.Auth, Web: w.Web, Geo: w.Geo,
+			Zone: population.Zone, Weights: w.Pool.CountryCounts(),
+			Seed:                benchSeed,
+			DiscardObservations: true,
+			Sink: func(shard int, o *core.DNSObservation) {
+				shardAgg[shard].Observe(o)
+				if err := shardWriters[shard].Write(o); err != nil {
+					b.Error(err)
+				}
+			},
+		}
+		exp.Crawl.Workers = workers
+		exp.Crawl.Metrics = reg
+		// The virtual clock never advances during a DNS crawl, so probe
+		// durations need the wall clock to be meaningful.
+		//tftlint:ignore simclock -- benchmark-only wall-clock probe timing; no measured output depends on it
+		exp.Crawl.Now = time.Now
+		exp.InstallRules(population.WebIP)
+
+		stopSampling := make(chan struct{})
+		var peak uint64
+		var sampler sync.WaitGroup
+		sampler.Add(1)
+		go func() {
+			defer sampler.Done()
+			//tftlint:ignore simclock -- benchmark-only heap-sampling cadence; no measured output depends on it
+			tick := time.NewTicker(50 * time.Millisecond)
+			defer tick.Stop()
+			var ms runtime.MemStats
+			for {
+				select {
+				case <-stopSampling:
+					return
+				case <-tick.C:
+					runtime.ReadMemStats(&ms)
+					if ms.HeapAlloc > peak {
+						peak = ms.HeapAlloc
+					}
+				}
+			}
+		}()
+
+		ds, err := exp.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		close(stopSampling)
+		sampler.Wait()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > peak {
+			peak = ms.HeapAlloc
+		}
+
+		merged := shardAgg[0]
+		for _, a := range shardAgg[1:] {
+			merged.Merge(a)
+		}
+		merged.Finalize()
+		for _, sw := range shardWriters {
+			if err := sw.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if len(ds.Observations) != 0 {
+			b.Fatalf("DiscardObservations left %d observations in memory", len(ds.Observations))
+		}
+		sum := merged.Summary()
+		if sum.MeasuredNodes == 0 {
+			b.Fatal("no nodes measured at full scale")
+		}
+
+		h := reg.Snapshot().Histograms["probe_duration_seconds"]
+		b.ReportMetric(h.Quantile(0.99)*1e3, "p99-probe-ms")
+		b.ReportMetric(float64(peak)/(1<<20), "peak-heap-MB")
+		b.ReportMetric(float64(sum.MeasuredNodes), "nodes")
 	}
 }

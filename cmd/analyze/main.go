@@ -73,7 +73,9 @@ func main() {
 				fmt.Printf("== DNS: %d records; %d measured, hijacked %.1f%%, attribution %v\n\n",
 					h.Records, s.MeasuredNodes, s.HijackPct, s.Attribution)
 				_, t5 := a.Table5()
-				return []*analysis.Table{a.Table3(10), a.Table4(), t5}, nil
+				_, t3 := a.Table3(10)
+				_, t4 := a.Table4()
+				return []*analysis.Table{t3, t4, t5}, nil
 			}},
 		{file: "http.jsonl", geo: []string{"geo-http.jsonl", "geo.jsonl"},
 			load: func(f *os.File, cfg analysis.Config, reg *geo.Registry) ([]*analysis.Table, error) {
@@ -112,7 +114,8 @@ func main() {
 				fmt.Printf("== Monitoring: %d records; monitored %d (%.2f%%)\n\n", h.Records, s.Monitored, s.MonitoredPct)
 				fmt.Println(analysis.PlotCDFs(a.Figure5(6), 90, 18))
 				_, t9 := a.Table9(6)
-				return []*analysis.Table{t9, a.Figure5Table(6)}, nil
+				_, f5 := a.Figure5Table(6)
+				return []*analysis.Table{t9, f5}, nil
 			}},
 		{file: "smtp.jsonl", geo: []string{"geo-smtp.jsonl", "geo.jsonl"},
 			load: func(f *os.File, cfg analysis.Config, reg *geo.Registry) ([]*analysis.Table, error) {

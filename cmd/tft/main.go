@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	tft [-experiment dns|http|https|monitor|smtp|longitudinal|all]
+//	tft [-experiment dns|http|tls|monitor|smtp|longitudinal|all]
 //	    [-scale 0.05] [-seed N] [-workers 8] [-report]
 //	    [-metrics] [-metrics-json] [-events-json] [-events-kind violation]
 //	    [-trace out.json] [-trace-jsonl out.jsonl]
@@ -26,6 +26,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -40,22 +41,20 @@ import (
 	"github.com/tftproject/tft/internal/trace"
 )
 
-// experiments maps each valid -experiment value to its one-line summary;
-// aliases share a canonical entry. The unknown-experiment usage message is
-// generated from this table, so it cannot drift from the switch below.
-var experiments = []struct{ name, desc string }{
-	{"dns", "§4 DNS proxying and hijacking (d1/d2 gate)"},
-	{"http", "§5 HTTP object manipulation"},
-	{"https", "§6 TLS certificate replacement (alias: tls)"},
-	{"monitor", "§7 traffic monitoring (alias: monitoring)"},
-	{"smtp", "§8 STARTTLS stripping"},
+// cliModes are the -experiment values this command adds on top of the
+// library's experiment registry; the usage message iterates the registry
+// (tft.Experiments) first, then these, so it cannot drift from either.
+var cliModes = []struct{ name, desc string }{
 	{"longitudinal", "§9 repeated weekly crawls"},
 	{"all", "every experiment plus the paper-vs-measured report"},
 }
 
 func usageUnknown(name string) {
 	fmt.Fprintf(os.Stderr, "tft: unknown experiment %q\n\nvalid -experiment values:\n", name)
-	for _, e := range experiments {
+	for _, e := range tft.Experiments() {
+		fmt.Fprintf(os.Stderr, "  %-13s %s\n", e, tft.DescribeExperiment(e))
+	}
+	for _, e := range cliModes {
 		fmt.Fprintf(os.Stderr, "  %-13s %s\n", e.name, e.desc)
 	}
 	os.Exit(2)
@@ -63,7 +62,7 @@ func usageUnknown(name string) {
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "dns, http, https, monitor, smtp, longitudinal, or all")
+		experiment  = flag.String("experiment", "all", "dns, http, tls, monitor, smtp, longitudinal, or all")
 		scale       = flag.Float64("scale", 0.05, "fraction of the paper's population sizes (0 < s <= 1)")
 		seed        = flag.Uint64("seed", 20160413, "world/crawl seed; a (seed, scale) pair reproduces a run")
 		workers     = flag.Int("workers", 8, "concurrent measurement sessions")
@@ -126,26 +125,6 @@ func main() {
 	}
 
 	switch *experiment {
-	case "dns":
-		run, err := tft.RunDNS(ctx, opts)
-		exitOn(err)
-		printRun(run)
-	case "http":
-		run, err := tft.RunHTTP(ctx, opts)
-		exitOn(err)
-		printRun(run)
-	case "https", "tls":
-		run, err := tft.RunTLS(ctx, opts)
-		exitOn(err)
-		printRun(run)
-	case "monitor", "monitoring":
-		run, err := tft.RunMonitor(ctx, opts)
-		exitOn(err)
-		printRun(run)
-	case "smtp":
-		run, err := tft.RunSMTP(ctx, opts)
-		exitOn(err)
-		printRun(run)
 	case "longitudinal":
 		run, err := tft.RunLongitudinal(ctx, opts, 4)
 		exitOn(err)
@@ -178,7 +157,12 @@ func main() {
 			fmt.Printf("dataset release written to %s\n", *dump)
 		}
 	default:
-		usageUnknown(*experiment)
+		run, err := tft.RunExperiment(ctx, *experiment, opts)
+		if errors.Is(err, tft.ErrUnknownExperiment) {
+			usageUnknown(*experiment)
+		}
+		exitOn(err)
+		printRun(run)
 	}
 
 	if *traceOut != "" {

@@ -4,7 +4,12 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"sort"
 	"testing"
+
+	"github.com/tftproject/tft/internal/core"
+	"github.com/tftproject/tft/internal/metrics"
+	"github.com/tftproject/tft/internal/population"
 )
 
 // renderDNS flattens everything a fixed seed promises to reproduce into one
@@ -19,10 +24,10 @@ func renderDNS(t *testing.T, r *DNSRun) []byte {
 		buf.WriteString(tbl.String())
 	}
 	buf.WriteString(r.Headline())
-	if err := r.writeDataset(&buf); err != nil {
+	if err := r.WriteDataset(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.writeGeo(&buf); err != nil {
+	if err := r.WriteGeo(&buf); err != nil {
 		t.Fatal(err)
 	}
 	fmt.Fprintf(&buf, "%+v\n", r.Stats())
@@ -49,5 +54,61 @@ func TestDNSRunDeterministic(t *testing.T) {
 	}
 	if len(a) == 0 {
 		t.Fatal("rendered report is empty; determinism check proved nothing")
+	}
+}
+
+// TestDNSShardSinksMergeCanonically is the sharding half of the
+// determinism gate. A multi-worker crawl's dataset is produced by merging
+// per-shard sinks; this re-derives that merge from the Sink callback's
+// per-shard streams and requires the result to equal the dataset the run
+// returned — same observation set, same canonical ZID order, no worker
+// allowed to drop, duplicate, or reorder a record. The crawl's stop point
+// legitimately depends on worker interleaving (the novelty window is
+// evaluated in completion order, as on a real crawl), so the invariant is
+// merge fidelity for whatever set was measured, not cross-worker-count
+// equality.
+func TestDNSShardSinksMergeCanonically(t *testing.T) {
+	const workers = 7
+	w, err := population.BuildDNSWorld(20160413, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([][]*core.DNSObservation, workers)
+	exp := &core.DNSExperiment{
+		Client: w.Client, Auth: w.Auth, Web: w.Web, Geo: w.Geo,
+		Zone: population.Zone, Weights: w.Pool.CountryCounts(),
+		Seed: 20160413,
+		Sink: func(shard int, o *core.DNSObservation) {
+			shards[shard] = append(shards[shard], o)
+		},
+	}
+	exp.Crawl.Workers = workers
+	exp.Crawl.Metrics = metrics.NewRegistry()
+	exp.InstallRules(population.WebIP)
+	ds, err := exp.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var merged []*core.DNSObservation
+	for _, s := range shards {
+		merged = append(merged, s...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].ZID < merged[j].ZID })
+	if len(merged) == 0 {
+		t.Fatal("sink saw no observations; merge check proved nothing")
+	}
+	if len(merged) != len(ds.Observations) {
+		t.Fatalf("sink streams carry %d observations, dataset has %d", len(merged), len(ds.Observations))
+	}
+	for i := range merged {
+		if merged[i] != ds.Observations[i] {
+			t.Fatalf("observation %d: merged sink stream has %q, dataset has %q",
+				i, merged[i].ZID, ds.Observations[i].ZID)
+		}
+		if i > 0 && merged[i-1].ZID >= merged[i].ZID {
+			t.Fatalf("dataset order not strictly increasing at %d: %q >= %q",
+				i, merged[i-1].ZID, merged[i].ZID)
+		}
 	}
 }

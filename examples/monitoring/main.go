@@ -32,7 +32,8 @@ func main() {
 
 	rows, table := run.Analysis.Table9(6)
 	fmt.Println(table)
-	fmt.Println(run.Analysis.Figure5Table(6))
+	_, fig5 := run.Analysis.Figure5Table(6)
+	fmt.Println(fig5)
 	fmt.Println(analysis.PlotCDFs(run.Analysis.Figure5(6), 90, 18))
 
 	// Walk one monitored node end to end.

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"log"
@@ -38,6 +39,25 @@ func main() {
 		fmt.Println(t)
 	}
 	fmt.Println(res.Report())
+
+	// Experiments are also reachable by name through the registry, and
+	// every run serializes its release dataset through the exported
+	// Run.WriteDataset/WriteGeo surface.
+	run, err := tft.RunExperiment(context.Background(), "smtp", tft.Options{Seed: 42, Scale: 0.02})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var ds, geo bytes.Buffer
+	if err := run.WriteDataset(&ds); err != nil {
+		log.Fatal(err)
+	}
+	if err := run.WriteGeo(&geo); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registry: %v\n", tft.Experiments())
+	fmt.Printf("%q release dump: dataset %d bytes, geo snapshot %d bytes\n",
+		run.Name(), ds.Len(), geo.Len())
+
 	//tftlint:ignore simclock -- demo timing printout; wall clock is the point
 	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
 }

@@ -1,0 +1,98 @@
+package tft
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrUnknownExperiment is wrapped by RunExperiment when the requested name
+// matches no registered experiment or alias. Callers can errors.Is against
+// it to distinguish a bad name from a failed run.
+var ErrUnknownExperiment = errors.New("unknown experiment")
+
+// experimentEntry is one row of the experiment registry: the canonical
+// name (which is also Run.Name() and the dataset file stem), accepted
+// aliases, the one-line summary CLIs print in usage listings, and the
+// constructor.
+type experimentEntry struct {
+	name    string
+	aliases []string
+	desc    string
+	run     func(ctx context.Context, opts Options) (Run, error)
+}
+
+// runAs adapts a concrete Run* constructor to the registry's interface
+// signature without letting a typed nil escape into the Run interface.
+func runAs[R Run](f func(context.Context, Options) (R, error)) func(context.Context, Options) (Run, error) {
+	return func(ctx context.Context, opts Options) (Run, error) {
+		r, err := f(ctx, opts)
+		if err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+}
+
+// experimentRegistry lists the paper's experiments in paper order. The
+// longitudinal campaign is not registered: it returns waves, not a Run.
+var experimentRegistry = []experimentEntry{
+	{name: "dns", desc: "§4 DNS proxying and hijacking (d1/d2 gate)",
+		run: runAs(RunDNS)},
+	{name: "http", desc: "§5 HTTP object manipulation",
+		run: runAs(RunHTTP)},
+	{name: "tls", aliases: []string{"https"}, desc: "§6 TLS certificate replacement (alias: https)",
+		run: runAs(RunTLS)},
+	{name: "monitor", aliases: []string{"monitoring"}, desc: "§7 traffic monitoring (alias: monitoring)",
+		run: runAs(RunMonitor)},
+	{name: "smtp", desc: "§3.4 extension: port-25 blocking and STARTTLS stripping",
+		run: runAs(RunSMTP)},
+}
+
+// lookupExperiment resolves a canonical name or alias to its entry.
+func lookupExperiment(name string) (experimentEntry, bool) {
+	for _, e := range experimentRegistry {
+		if e.name == name {
+			return e, true
+		}
+		for _, a := range e.aliases {
+			if a == name {
+				return e, true
+			}
+		}
+	}
+	return experimentEntry{}, false
+}
+
+// Experiments returns the canonical names of every registered experiment
+// in paper order — the valid inputs to RunExperiment (aliases resolve too).
+func Experiments() []string {
+	names := make([]string, 0, len(experimentRegistry))
+	for _, e := range experimentRegistry {
+		names = append(names, e.name)
+	}
+	return names
+}
+
+// DescribeExperiment returns the one-line summary for a registered
+// experiment name or alias, or "" when unknown. CLIs build their usage
+// listings from this so the text cannot drift from the registry.
+func DescribeExperiment(name string) string {
+	e, ok := lookupExperiment(name)
+	if !ok {
+		return ""
+	}
+	return e.desc
+}
+
+// RunExperiment builds the named experiment's world and runs it, accepting
+// canonical names and aliases. Unknown names wrap ErrUnknownExperiment.
+func RunExperiment(ctx context.Context, name string, opts Options) (Run, error) {
+	e, ok := lookupExperiment(name)
+	if !ok {
+		return nil, fmt.Errorf("%w %q (valid: %s)", ErrUnknownExperiment, name,
+			strings.Join(Experiments(), ", "))
+	}
+	return e.run(ctx, opts)
+}

@@ -147,7 +147,7 @@ func TestDNSTable3Ranking(t *testing.T) {
 	mk("DE", asns["cleanisp"], 2, 40) // 5%
 	mk("PH", asns["mobile"], 1, 3)    // below country threshold
 	a := AnalyzeDNS(Config{Scale: 0.05}, r, ds)
-	tbl := a.Table3(10)
+	_, tbl := a.Table3(10)
 	if len(tbl.Rows) != 2 {
 		t.Fatalf("rows = %v", tbl.Rows)
 	}

@@ -62,74 +62,231 @@ func (g *ResolverGroup) HijackRatio() float64 {
 // countries.
 func (g *ResolverGroup) IsPublic() bool { return len(g.Countries) > 2 }
 
-// DNSAnalysis is the full §4 analysis over a DNS dataset.
+// DNSAnalysis is the full §4 analysis over a DNS dataset. It is a
+// streaming aggregate: observations feed in one at a time through Observe
+// and are reduced immediately into fixed-size tallies, so analysing a
+// paper-scale crawl never retains the observations themselves. Partial
+// aggregates built on separate worker shards combine with Merge; every
+// summary and table is identical whether the observations arrived in one
+// stream or were sharded K ways, because each tally is a commutative sum
+// and attribution is deferred until the merged resolver groups are known.
 type DNSAnalysis struct {
 	Cfg Config
 	Geo *geo.Registry
 
-	// Measured excludes shared-anycast-filtered nodes.
-	Measured []*core.DNSObservation
-	Filtered int
+	// MeasuredNodes counts observations kept; Filtered counts the
+	// shared-anycast-excluded ones.
+	MeasuredNodes int
+	Filtered      int
 
 	// Groups maps resolver egress to its group.
 	Groups map[netip.Addr]*ResolverGroup
 
-	// Attribution per hijacked node.
+	// Attribution per hijacked node. Populated by Finalize (AnalyzeDNS,
+	// Summary, and the table builders call it implicitly).
 	Attribution   map[HijackSource]int
 	HijackedTotal int
+
+	byCC           map[geo.CountryCode]*ccTally
+	byAS           map[geo.ASN]*asTally
+	googleLandings map[string]*landingTally
+	sharedOrgs     map[string]bool
+	// hijacked retains, per hijacked node, only what attribution needs:
+	// attribution depends on the *globally merged* resolver groups (a
+	// resolver's multi-country spread may only appear after Merge), so it
+	// cannot be decided per observation.
+	hijacked []hijackRef
+	final    bool
 }
 
-// AnalyzeDNS runs grouping and attribution.
-func AnalyzeDNS(cfg Config, reg *geo.Registry, ds *core.DNSDataset) *DNSAnalysis {
-	a := &DNSAnalysis{
+type ccTally struct{ total, hijacked int }
+
+type asTally struct{ total, google int }
+
+type landingTally struct {
+	nodes int
+	ases  map[geo.ASN]bool
+}
+
+type hijackRef struct {
+	resolver netip.Addr
+	asn      geo.ASN
+}
+
+// NewDNSAnalysis creates an empty streaming aggregate. Observe is not safe
+// for concurrent use; sharded crawls build one aggregate per shard and
+// Merge them.
+func NewDNSAnalysis(cfg Config, reg *geo.Registry) *DNSAnalysis {
+	return &DNSAnalysis{
 		Cfg: cfg, Geo: reg,
-		Groups:      make(map[netip.Addr]*ResolverGroup),
-		Attribution: make(map[HijackSource]int),
+		Groups:         make(map[netip.Addr]*ResolverGroup),
+		Attribution:    make(map[HijackSource]int),
+		byCC:           make(map[geo.CountryCode]*ccTally),
+		byAS:           make(map[geo.ASN]*asTally),
+		googleLandings: make(map[string]*landingTally),
+		sharedOrgs:     make(map[string]bool),
 	}
+}
+
+// AnalyzeDNS runs grouping and attribution over a fully materialized
+// dataset — the convenience path for in-memory runs.
+func AnalyzeDNS(cfg Config, reg *geo.Registry, ds *core.DNSDataset) *DNSAnalysis {
+	a := NewDNSAnalysis(cfg, reg)
 	for _, o := range ds.Observations {
-		if o.SharedAnycast {
-			a.Filtered++
-			continue
-		}
-		a.Measured = append(a.Measured, o)
-		g := a.Groups[o.ResolverIP]
-		if g == nil {
-			g = &ResolverGroup{Addr: o.ResolverIP, Countries: make(map[geo.CountryCode]int), SameOrg: true}
-			if asn, ok := reg.LookupAS(o.ResolverIP); ok {
-				g.ASN = asn
-				g.Org, _ = reg.Org(asn)
-			}
-			a.Groups[o.ResolverIP] = g
-		}
-		g.Nodes++
-		g.Countries[o.Country]++
-		if o.Hijacked {
-			g.Hijacked++
-			a.HijackedTotal++
-		}
-		nodeOrg, ok := reg.Org(o.ASN)
-		if !ok || g.Org == nil || nodeOrg.ID != g.Org.ID {
-			g.SameOrg = false
-		}
+		a.Observe(o)
 	}
-	for _, o := range a.Measured {
-		if !o.Hijacked {
-			continue
-		}
-		a.Attribution[a.attributeNode(o)]++
-	}
+	a.Finalize()
 	return a
 }
 
-// attributeNode decides who hijacked one node's response.
-func (a *DNSAnalysis) attributeNode(o *core.DNSObservation) HijackSource {
+// Observe folds one observation into the aggregate. The observation is not
+// retained.
+func (a *DNSAnalysis) Observe(o *core.DNSObservation) {
+	a.final = false
+	if o.SharedAnycast {
+		a.Filtered++
+		return
+	}
+	a.MeasuredNodes++
+	g := a.Groups[o.ResolverIP]
+	if g == nil {
+		g = &ResolverGroup{Addr: o.ResolverIP, Countries: make(map[geo.CountryCode]int), SameOrg: true}
+		if asn, ok := a.Geo.LookupAS(o.ResolverIP); ok {
+			g.ASN = asn
+			g.Org, _ = a.Geo.Org(asn)
+		}
+		a.Groups[o.ResolverIP] = g
+	}
+	g.Nodes++
+	g.Countries[o.Country]++
+	if o.Hijacked {
+		g.Hijacked++
+	}
+	nodeOrg, ok := a.Geo.Org(o.ASN)
+	if !ok || g.Org == nil || nodeOrg.ID != g.Org.ID {
+		g.SameOrg = false
+	}
+
+	cc := a.byCC[o.Country]
+	if cc == nil {
+		cc = &ccTally{}
+		a.byCC[o.Country] = cc
+	}
+	cc.total++
+	as := a.byAS[o.ASN]
+	if as == nil {
+		as = &asTally{}
+		a.byAS[o.ASN] = as
+	}
+	as.total++
 	if geo.IsGoogleEgress(o.ResolverIP) {
+		as.google++
+	}
+
+	if !o.Hijacked {
+		return
+	}
+	cc.hijacked++
+	a.hijacked = append(a.hijacked, hijackRef{resolver: o.ResolverIP, asn: o.ASN})
+	if geo.IsGoogleEgress(o.ResolverIP) {
+		for _, d := range o.LandingDomains {
+			lt := a.googleLandings[d]
+			if lt == nil {
+				lt = &landingTally{ases: map[geo.ASN]bool{}}
+				a.googleLandings[d] = lt
+			}
+			lt.nodes++
+			lt.ases[o.ASN] = true
+		}
+	}
+	if len(o.LandingBody) > 0 && strings.Contains(string(o.LandingBody), middlebox.SharedRedirectJS) {
+		if org, ok := a.Geo.Org(o.ASN); ok {
+			a.sharedOrgs[org.Name] = true
+		}
+	}
+}
+
+// Merge folds another shard's partial aggregate into a. Both must share
+// the same Config and geo registry; b must not be used afterwards. Every
+// tally is a commutative sum, so merging K shard partials in any order
+// equals analysing the concatenated stream.
+func (a *DNSAnalysis) Merge(b *DNSAnalysis) {
+	a.final = false
+	a.MeasuredNodes += b.MeasuredNodes
+	a.Filtered += b.Filtered
+	for addr, gb := range b.Groups {
+		g := a.Groups[addr]
+		if g == nil {
+			a.Groups[addr] = gb
+			continue
+		}
+		g.Nodes += gb.Nodes
+		g.Hijacked += gb.Hijacked
+		for cc, n := range gb.Countries {
+			g.Countries[cc] += n
+		}
+		g.SameOrg = g.SameOrg && gb.SameOrg
+	}
+	for cc, tb := range b.byCC {
+		t := a.byCC[cc]
+		if t == nil {
+			a.byCC[cc] = tb
+			continue
+		}
+		t.total += tb.total
+		t.hijacked += tb.hijacked
+	}
+	for asn, tb := range b.byAS {
+		t := a.byAS[asn]
+		if t == nil {
+			a.byAS[asn] = tb
+			continue
+		}
+		t.total += tb.total
+		t.google += tb.google
+	}
+	for d, lb := range b.googleLandings {
+		lt := a.googleLandings[d]
+		if lt == nil {
+			a.googleLandings[d] = lb
+			continue
+		}
+		lt.nodes += lb.nodes
+		for asn := range lb.ases {
+			lt.ases[asn] = true
+		}
+	}
+	for org := range b.sharedOrgs {
+		a.sharedOrgs[org] = true
+	}
+	a.hijacked = append(a.hijacked, b.hijacked...)
+}
+
+// Finalize computes the attribution split from the merged resolver groups.
+// Idempotent; Summary and the table builders call it implicitly, so
+// explicit calls are only needed before reading the Attribution field
+// directly.
+func (a *DNSAnalysis) Finalize() {
+	if a.final {
+		return
+	}
+	a.final = true
+	a.HijackedTotal = len(a.hijacked)
+	a.Attribution = make(map[HijackSource]int)
+	for _, h := range a.hijacked {
+		a.Attribution[a.attributeNode(h)]++
+	}
+}
+
+// attributeNode decides who hijacked one node's response.
+func (a *DNSAnalysis) attributeNode(h hijackRef) HijackSource {
+	if geo.IsGoogleEgress(h.resolver) {
 		// Google is well known not to hijack (§4.3.3): the rewrite happened
 		// on the path or on the host.
 		return SourceOther
 	}
-	g := a.Groups[o.ResolverIP]
-	nodeOrg, okN := a.Geo.Org(o.ASN)
+	g := a.Groups[h.resolver]
+	nodeOrg, okN := a.Geo.Org(h.asn)
 	resOrg, okR := a.Geo.Org(g.ASN)
 	if okN && okR && nodeOrg.ID == resOrg.ID {
 		return SourceISPResolver
@@ -160,19 +317,14 @@ type DNSSummary struct {
 
 // Summary computes the dataset-wide statistics.
 func (a *DNSAnalysis) Summary() DNSSummary {
-	countries := map[geo.CountryCode]bool{}
-	ases := map[geo.ASN]bool{}
-	for _, o := range a.Measured {
-		countries[o.Country] = true
-		ases[o.ASN] = true
-	}
+	a.Finalize()
 	s := DNSSummary{
-		MeasuredNodes:   len(a.Measured),
+		MeasuredNodes:   a.MeasuredNodes,
 		FilteredAnycast: a.Filtered,
 		UniqueResolvers: len(a.Groups),
 		Hijacked:        a.HijackedTotal,
-		Countries:       len(countries),
-		ASes:            len(ases),
+		Countries:       len(a.byCC),
+		ASes:            len(a.byAS),
 		Attribution:     a.Attribution,
 	}
 	if s.MeasuredNodes > 0 {
@@ -181,38 +333,38 @@ func (a *DNSAnalysis) Summary() DNSSummary {
 	return s
 }
 
-// Table3 ranks countries by hijacked ratio (≥ the scaled 100-node cutoff).
-func (a *DNSAnalysis) Table3(topN int) *Table {
-	type row struct {
-		cc         geo.CountryCode
-		hij, total int
+// Table3Row is one country's hijack tally.
+type Table3Row struct {
+	Country  geo.CountryCode
+	Hijacked int
+	Total    int
+}
+
+// Ratio is the country's hijacked fraction.
+func (r Table3Row) Ratio() float64 {
+	if r.Total == 0 {
+		return 0
 	}
-	byCC := map[geo.CountryCode]*row{}
-	for _, o := range a.Measured {
-		r := byCC[o.Country]
-		if r == nil {
-			r = &row{cc: o.Country}
-			byCC[o.Country] = r
-		}
-		r.total++
-		if o.Hijacked {
-			r.hij++
-		}
-	}
-	var rows []*row
+	return float64(r.Hijacked) / float64(r.Total)
+}
+
+// Table3 ranks countries by hijacked ratio (≥ the scaled 100-node cutoff),
+// returning the typed rows alongside the rendered table.
+func (a *DNSAnalysis) Table3(topN int) ([]Table3Row, *Table) {
+	a.Finalize()
+	var rows []Table3Row
 	min := a.Cfg.MinNodesPerCountry()
-	for _, r := range byCC {
-		if r.total >= min {
-			rows = append(rows, r)
+	for cc, ct := range a.byCC {
+		if ct.total >= min {
+			rows = append(rows, Table3Row{Country: cc, Hijacked: ct.hijacked, Total: ct.total})
 		}
 	}
 	sort.Slice(rows, func(i, j int) bool {
-		ri := float64(rows[i].hij) / float64(rows[i].total)
-		rj := float64(rows[j].hij) / float64(rows[j].total)
+		ri, rj := rows[i].Ratio(), rows[j].Ratio()
 		if ri != rj {
 			return ri > rj
 		}
-		return rows[i].cc < rows[j].cc
+		return rows[i].Country < rows[j].Country
 	})
 	if topN > 0 && len(rows) > topN {
 		rows = rows[:topN]
@@ -221,10 +373,10 @@ func (a *DNSAnalysis) Table3(topN int) *Table {
 		Headers: []string{"Rank", "Country", "Hijacked", "Total", "Ratio"}}
 	for i, r := range rows {
 		t.Rows = append(t.Rows, []string{
-			itoa(i + 1), geo.CountryName(r.cc), itoa(r.hij), itoa(r.total), pct(r.hij, r.total),
+			itoa(i + 1), geo.CountryName(r.Country), itoa(r.Hijacked), itoa(r.Total), pct(r.Hijacked, r.Total),
 		})
 	}
-	return t
+	return rows, t
 }
 
 // ISPHijackRow is one Table 4 entry.
@@ -271,16 +423,18 @@ func (a *DNSAnalysis) ISPHijackers() []ISPHijackRow {
 	return rows
 }
 
-// Table4 renders the ISP hijacker list.
-func (a *DNSAnalysis) Table4() *Table {
+// Table4 renders the ISP hijacker list, returning the typed rows alongside
+// the rendered table.
+func (a *DNSAnalysis) Table4() ([]ISPHijackRow, *Table) {
+	rows := a.ISPHijackers()
 	t := &Table{ID: "Table 4", Title: "ISP DNS servers hijacking responses for >90% of exit nodes",
 		Headers: []string{"Country", "ISP", "DNS Servers", "Exit Nodes"}}
-	for _, r := range a.ISPHijackers() {
+	for _, r := range rows {
 		t.Rows = append(t.Rows, []string{
 			geo.CountryName(r.Country), r.ISP, itoa(r.Servers), itoa(r.Nodes),
 		})
 	}
-	return t
+	return rows, t
 }
 
 // PublicResolverStats summarises §4.3.2.
@@ -329,28 +483,10 @@ type Table5Row struct {
 // Table5 analyses nodes hijacked despite using Google DNS: the landing
 // domains in the content they received, with AS spread.
 func (a *DNSAnalysis) Table5() ([]Table5Row, *Table) {
-	type agg struct {
-		nodes int
-		ases  map[geo.ASN]bool
-	}
-	byDomain := map[string]*agg{}
-	for _, o := range a.Measured {
-		if !o.Hijacked || !geo.IsGoogleEgress(o.ResolverIP) {
-			continue
-		}
-		for _, d := range o.LandingDomains {
-			ag := byDomain[d]
-			if ag == nil {
-				ag = &agg{ases: map[geo.ASN]bool{}}
-				byDomain[d] = ag
-			}
-			ag.nodes++
-			ag.ases[o.ASN] = true
-		}
-	}
+	a.Finalize()
 	var rows []Table5Row
 	min := a.Cfg.MinRowNodes()
-	for d, ag := range byDomain {
+	for d, ag := range a.googleLandings {
 		if ag.nodes < min {
 			continue
 		}
@@ -380,22 +516,11 @@ func (a *DNSAnalysis) Table5() ([]Table5Row, *Table) {
 }
 
 // SharedApplianceISPs finds landing pages embedding the byte-identical
-// redirect JavaScript block (§4.3.1's five-ISP finding).
+// redirect JavaScript block (§4.3.1's five-ISP finding). The fingerprint
+// match happens at Observe time, so the landing bodies are never retained.
 func (a *DNSAnalysis) SharedApplianceISPs() []string {
-	orgs := map[string]bool{}
-	for _, o := range a.Measured {
-		if !o.Hijacked || len(o.LandingBody) == 0 {
-			continue
-		}
-		if !strings.Contains(string(o.LandingBody), middlebox.SharedRedirectJS) {
-			continue
-		}
-		if org, ok := a.Geo.Org(o.ASN); ok {
-			orgs[org.Name] = true
-		}
-	}
-	out := make([]string, 0, len(orgs))
-	for name := range orgs {
+	out := make([]string, 0, len(a.sharedOrgs))
+	for name := range a.sharedOrgs {
 		out = append(out, name)
 	}
 	sort.Strings(out)
@@ -462,22 +587,9 @@ func (g GoogleHeavyAS) Share() float64 {
 // GoogleHeavyASes lists ASes (≥ the scaled server cutoff of nodes) where at
 // least threshold of nodes resolve through Google.
 func (a *DNSAnalysis) GoogleHeavyASes(threshold float64) []GoogleHeavyAS {
-	type agg struct{ google, total int }
-	byAS := map[geo.ASN]*agg{}
-	for _, o := range a.Measured {
-		ag := byAS[o.ASN]
-		if ag == nil {
-			ag = &agg{}
-			byAS[o.ASN] = ag
-		}
-		ag.total++
-		if geo.IsGoogleEgress(o.ResolverIP) {
-			ag.google++
-		}
-	}
 	min := a.Cfg.MinNodesPerServer()
 	var out []GoogleHeavyAS
-	for asn, ag := range byAS {
+	for asn, ag := range a.byAS {
 		if ag.total < min || float64(ag.google)/float64(ag.total) < threshold {
 			continue
 		}

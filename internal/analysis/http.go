@@ -23,6 +23,25 @@ func AnalyzeHTTP(cfg Config, reg *geo.Registry, ds *core.HTTPDataset) *HTTPAnaly
 	return &HTTPAnalysis{Cfg: cfg, Geo: reg, DS: ds}
 }
 
+// NewHTTPAnalysis creates an empty aggregate for streaming use; shard
+// partials combine with Merge.
+func NewHTTPAnalysis(cfg Config, reg *geo.Registry) *HTTPAnalysis {
+	return AnalyzeHTTP(cfg, reg, &core.HTTPDataset{})
+}
+
+// Observe adds one observation to the aggregate.
+func (a *HTTPAnalysis) Observe(o *core.HTTPObservation) {
+	a.DS.Observations = append(a.DS.Observations, o)
+}
+
+// Merge folds another shard's partial aggregate into a; b must not be used
+// afterwards. Every summary and table reduces over unordered maps with
+// deterministic sort tie-breakers, so merged partials render identically
+// to a single unsharded aggregate.
+func (a *HTTPAnalysis) Merge(b *HTTPAnalysis) {
+	a.DS.Observations = append(a.DS.Observations, b.DS.Observations...)
+}
+
 // HTTPSummary is the §5.2 headline.
 type HTTPSummary struct {
 	MeasuredNodes int

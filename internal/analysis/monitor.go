@@ -22,6 +22,24 @@ func AnalyzeMonitor(cfg Config, reg *geo.Registry, ds *core.MonDataset) *MonAnal
 	return &MonAnalysis{Cfg: cfg, Geo: reg, DS: ds}
 }
 
+// NewMonAnalysis creates an empty aggregate for streaming use; shard
+// partials combine with Merge.
+func NewMonAnalysis(cfg Config, reg *geo.Registry) *MonAnalysis {
+	return AnalyzeMonitor(cfg, reg, &core.MonDataset{})
+}
+
+// Observe adds one observation to the aggregate.
+func (a *MonAnalysis) Observe(o *core.MonObservation) {
+	a.DS.Observations = append(a.DS.Observations, o)
+}
+
+// Merge folds another shard's partial aggregate into a; b must not be used
+// afterwards. Summaries and tables reduce over unordered maps with
+// deterministic tie-breakers, so merge order never shows in the output.
+func (a *MonAnalysis) Merge(b *MonAnalysis) {
+	a.DS.Observations = append(a.DS.Observations, b.DS.Observations...)
+}
+
 // MonSummary is the §7.2 headline.
 type MonSummary struct {
 	MeasuredNodes int
@@ -205,11 +223,12 @@ func (a *MonAnalysis) Figure5(topN int) []CDF {
 }
 
 // Figure5Table renders the CDFs as quantile rows (the textual stand-in for
-// the paper's plot).
-func (a *MonAnalysis) Figure5Table(topN int) *Table {
+// the paper's plot), returning the typed CDFs alongside the rendered table.
+func (a *MonAnalysis) Figure5Table(topN int) ([]CDF, *Table) {
+	cdfs := a.Figure5(topN)
 	t := &Table{ID: "Figure 5", Title: "Delay between exit-node request and unexpected request (quantiles)",
 		Headers: []string{"Name", "neg%", "p10", "p25", "p50", "p75", "p90", "p99"}}
-	for _, c := range a.Figure5(topN) {
+	for _, c := range cdfs {
 		t.Rows = append(t.Rows, []string{
 			c.Name,
 			fmt.Sprintf("%.0f%%", 100*c.NegativeShare()),
@@ -217,7 +236,7 @@ func (a *MonAnalysis) Figure5Table(topN int) *Table {
 			fmtDelay(c.Quantile(0.75)), fmtDelay(c.Quantile(0.90)), fmtDelay(c.Quantile(0.99)),
 		})
 	}
-	return t
+	return cdfs, t
 }
 
 func fmtDelay(d time.Duration) string {

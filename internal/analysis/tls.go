@@ -20,6 +20,24 @@ func AnalyzeTLS(cfg Config, reg *geo.Registry, ds *core.TLSDataset) *TLSAnalysis
 	return &TLSAnalysis{Cfg: cfg, Geo: reg, DS: ds}
 }
 
+// NewTLSAnalysis creates an empty aggregate for streaming use; shard
+// partials combine with Merge.
+func NewTLSAnalysis(cfg Config, reg *geo.Registry) *TLSAnalysis {
+	return AnalyzeTLS(cfg, reg, &core.TLSDataset{})
+}
+
+// Observe adds one observation to the aggregate.
+func (a *TLSAnalysis) Observe(o *core.TLSObservation) {
+	a.DS.Observations = append(a.DS.Observations, o)
+}
+
+// Merge folds another shard's partial aggregate into a; b must not be used
+// afterwards. Summaries and tables reduce over unordered maps with
+// deterministic tie-breakers, so merge order never shows in the output.
+func (a *TLSAnalysis) Merge(b *TLSAnalysis) {
+	a.DS.Observations = append(a.DS.Observations, b.DS.Observations...)
+}
+
 // TLSSummary is the §6.2 headline.
 type TLSSummary struct {
 	MeasuredNodes int

@@ -24,7 +24,9 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"slices"
+	"strings"
 	"sync"
+	"time"
 
 	"github.com/tftproject/tft/internal/geo"
 	"github.com/tftproject/tft/internal/metrics"
@@ -103,6 +105,11 @@ type CrawlConfig struct {
 	// root span whose context the proxy chain's spans parent under,
 	// yielding a complete per-request trace tree. Nil disables tracing.
 	Tracer *trace.Tracer
+	// Now, when non-nil, timestamps each probe so its duration feeds the
+	// probe_duration_seconds histogram. Simulated runs inject the world's
+	// virtual clock; benchmarks may inject a wall clock to measure real
+	// per-probe latency. Nil disables probe timing.
+	Now func() time.Time
 }
 
 // withDefaults fills unset fields.
@@ -149,6 +156,7 @@ type crawler struct {
 	mByCountry  *metrics.LabeledCounter
 	mWindowNew  *metrics.Gauge
 	mWindowRate *metrics.Histogram
+	mProbeSecs  *metrics.Histogram
 }
 
 // newCrawler builds a crawler over the service-reported country weights.
@@ -179,7 +187,17 @@ func newCrawler(cfg CrawlConfig, weights map[geo.CountryCode]int, rng *rand.Rand
 		mByCountry:  m.Labeled("crawl_sessions_by_country"),
 		mWindowNew:  m.Gauge("crawl_window_new"),
 		mWindowRate: m.Histogram("crawl_window_new_rate", windowRateBounds),
+		mProbeSecs:  m.Histogram("probe_duration_seconds", probeSecondsBounds),
 	}
+}
+
+// probeSecondsBounds bucket per-probe durations. The sub-millisecond
+// buckets resolve in-process simulated probes under a wall clock; the upper
+// buckets cover virtual-clock worlds where middlebox delays advance
+// simulated time.
+var probeSecondsBounds = []float64{
+	1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3,
+	0.01, 0.05, 0.1, 0.5, 1, 5, 30,
 }
 
 // windowRateBounds bucket the stop-rule window's new-node rate; the 0.05
@@ -312,24 +330,73 @@ func (c *crawler) traceProbe(ctx context.Context, name string, cc geo.CountryCod
 	}
 }
 
+// workers reports the resolved worker count — the number of shards a
+// sharded consumer of runWorkers must size its sinks for.
+func (c *crawler) workers() int { return c.cfg.Workers }
+
 // runWorkers drives measure() from cfg.Workers goroutines until the crawl
-// stops or ctx is cancelled. measure is called with a country and session
-// ID and must do its own recording. Cancellation is checked before every
-// session hand-out, so each worker finishes at most the session it is in.
-func (c *crawler) runWorkers(ctx context.Context, measure func(cc geo.CountryCode, session string)) {
+// stops or ctx is cancelled. measure is called with the worker's shard
+// index, a country, and a session ID, and must do its own recording; a
+// given shard's calls are sequential, so per-shard state needs no
+// synchronization. Cancellation is checked before every session hand-out,
+// so each worker finishes at most the session it is in. With a non-nil
+// cfg.Now each probe's duration is observed into probe_duration_seconds.
+func (c *crawler) runWorkers(ctx context.Context, measure func(shard int, cc geo.CountryCode, session string)) {
 	var wg sync.WaitGroup
 	for w := 0; w < c.cfg.Workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(shard int) {
 			defer wg.Done()
 			for {
 				cc, sess, ok := c.next(ctx)
 				if !ok {
 					return
 				}
-				measure(cc, sess)
+				if c.cfg.Now == nil {
+					measure(shard, cc, sess)
+					continue
+				}
+				start := c.cfg.Now()
+				measure(shard, cc, sess)
+				c.mProbeSecs.Observe(c.cfg.Now().Sub(start).Seconds())
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+}
+
+// shardSink accumulates one worker shard's probe records and outcome
+// tallies. Each shard is written by exactly one worker goroutine, so the
+// hot path appends without locks; mergeShards reduces the partials after
+// the crawl.
+type shardSink[T any] struct {
+	obs        []T
+	failures   int
+	duplicates int
+	discarded  int
+}
+
+// newShardSinks sizes one sink per worker shard.
+func newShardSinks[T any](workers int) []shardSink[T] {
+	return make([]shardSink[T], workers)
+}
+
+// mergeShards reduces per-shard partials into a single dataset: tallies
+// sum, and observations are concatenated then canonically ordered by zID.
+// Because the crawler dedups zIDs globally, the sort is a total order, so
+// the merged dataset is independent of worker count and scheduling.
+func mergeShards[T any](shards []shardSink[T], zid func(T) string) (obs []T, failures, duplicates, discarded int) {
+	n := 0
+	for i := range shards {
+		n += len(shards[i].obs)
+	}
+	obs = make([]T, 0, n)
+	for i := range shards {
+		obs = append(obs, shards[i].obs...)
+		failures += shards[i].failures
+		duplicates += shards[i].duplicates
+		discarded += shards[i].discarded
+	}
+	slices.SortFunc(obs, func(a, b T) int { return strings.Compare(zid(a), zid(b)) })
+	return obs, failures, duplicates, discarded
 }

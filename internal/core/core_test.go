@@ -145,7 +145,7 @@ func TestDNSExperimentEndToEnd(t *testing.T) {
 		if o.SharedAnycast {
 			continue
 		}
-		truth := w.Truth[o.ZID]
+		truth := w.TruthFor(o.ZID)
 		if truth == nil {
 			t.Fatalf("measured unknown node %s", o.ZID)
 		}
@@ -172,7 +172,7 @@ func TestDNSExperimentResolverAndLanding(t *testing.T) {
 			if len(o.LandingDomains) > 0 {
 				sawLanding++
 			}
-			truth := w.Truth[o.ZID]
+			truth := w.TruthFor(o.ZID)
 			_ = truth
 		}
 	}
@@ -184,7 +184,7 @@ func TestDNSExperimentResolverAndLanding(t *testing.T) {
 func TestDNSCountryDerivedFromIP(t *testing.T) {
 	w, ds := runDNS(t, dnsScale)
 	for _, o := range ds.Observations {
-		truth := w.Truth[o.ZID]
+		truth := w.TruthFor(o.ZID)
 		if o.Country != truth.Country {
 			t.Fatalf("node %s measured country %q, truth %q", o.ZID, o.Country, truth.Country)
 		}
@@ -214,7 +214,7 @@ func TestHTTPExperimentEndToEnd(t *testing.T) {
 
 	htmlMod, imgMod := 0, 0
 	for _, o := range ds.Observations {
-		truth := w.Truth[o.ZID]
+		truth := w.TruthFor(o.ZID)
 		html := o.Objects[content.KindHTML]
 		img := o.Objects[content.KindImage]
 		if html.Outcome == ObjModified || html.Outcome == ObjBlocked {
@@ -263,7 +263,7 @@ func TestTLSExperimentEndToEnd(t *testing.T) {
 	}
 	replacedNodes := 0
 	for _, o := range ds.Observations {
-		truth := w.Truth[o.ZID]
+		truth := w.TruthFor(o.ZID)
 		if o.AnyReplaced() {
 			replacedNodes++
 			if truth.TLSProduct == "" {
@@ -304,7 +304,7 @@ func TestTLSLaunderingVisible(t *testing.T) {
 	// observable: replaced invalid-site chains exist and carry AV issuers.
 	foundLaunderIssuer := false
 	for _, o := range ds.Observations {
-		truth := w.Truth[o.ZID]
+		truth := w.TruthFor(o.ZID)
 		if truth.TLSProduct != "Kaspersky" && truth.TLSProduct != "Eset SSL Filter" {
 			continue
 		}
@@ -340,7 +340,7 @@ func TestMonitorExperimentEndToEnd(t *testing.T) {
 	monitored, vpn, pre := 0, 0, 0
 	orgs := map[string]int{}
 	for _, o := range ds.Observations {
-		truth := w.Truth[o.ZID]
+		truth := w.TruthFor(o.ZID)
 		if o.Monitored() {
 			monitored++
 			if truth.MonitorProduct == "" {
@@ -434,7 +434,7 @@ func TestSMTPExtensionEndToEnd(t *testing.T) {
 	}
 	blocked, stripped, clean := 0, 0, 0
 	for _, o := range ds.Observations {
-		truth := w.Truth[o.ZID]
+		truth := w.TruthFor(o.ZID)
 		switch {
 		case o.Blocked:
 			blocked++

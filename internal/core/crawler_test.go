@@ -55,7 +55,7 @@ func TestCrawlerWorkersConcurrencySafe(t *testing.T) {
 		weights, simnet.NewRand(3))
 	var mu sync.Mutex
 	perCountry := map[geo.CountryCode]int{}
-	cr.runWorkers(context.Background(), func(cc geo.CountryCode, sess string) {
+	cr.runWorkers(context.Background(), func(_ int, cc geo.CountryCode, sess string) {
 		// Simulate a 40-node world.
 		zid := fmt.Sprintf("z%02d", len(sess)%5*8+int(sess[len(sess)-1])%8)
 		cr.observe(zid)

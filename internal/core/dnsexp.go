@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"net/netip"
 	"strings"
-	"sync"
 
 	"github.com/tftproject/tft/internal/content"
 	"github.com/tftproject/tft/internal/dnsserver"
@@ -65,6 +64,16 @@ type DNSExperiment struct {
 	Budget  *Budget
 	Crawl   CrawlConfig
 	Seed    uint64
+	// Sink, when non-nil, receives every successful observation as it is
+	// produced, tagged with the worker shard that measured it. Calls within
+	// one shard are sequential; distinct shards call concurrently, so sinks
+	// keeping global state must synchronize (per-shard state needs not).
+	Sink func(shard int, o *DNSObservation)
+	// DiscardObservations drops successful observations after the Sink has
+	// seen them instead of accumulating them in the dataset — the streaming
+	// mode paper-scale crawls use to keep resident memory bounded by the
+	// analysis aggregates rather than the observation count.
+	DiscardObservations bool
 }
 
 // namePrefixes used under the zone.
@@ -105,9 +114,9 @@ func (e *DNSExperiment) Run(ctx context.Context) (*DNSDataset, error) {
 	}
 	cr := newCrawler(e.Crawl, e.Weights, simnet.SubRand(e.Seed, "crawl/dns"))
 	ds := &DNSDataset{}
-	var mu sync.Mutex
+	shards := newShardSinks[*DNSObservation](cr.workers())
 
-	cr.runWorkers(ctx, func(cc geo.CountryCode, sess string) {
+	cr.runWorkers(ctx, func(shard int, cc geo.CountryCode, sess string) {
 		pctx, done := cr.traceProbe(ctx, "probe.dns", cc, sess)
 		obs, outcome := e.measure(pctx, cr, cc, sess)
 		zid := ""
@@ -115,11 +124,9 @@ func (e *DNSExperiment) Run(ctx context.Context) (*DNSDataset, error) {
 			zid = obs.ZID
 		}
 		done(zid, outcome)
-		mu.Lock()
-		defer mu.Unlock()
+		sink := &shards[shard]
 		switch outcome {
 		case outcomeOK:
-			ds.Observations = append(ds.Observations, obs)
 			if obs.SharedAnycast {
 				m.Counter("dns_shared_anycast_total").Inc()
 			}
@@ -129,16 +136,24 @@ func (e *DNSExperiment) Run(ctx context.Context) (*DNSDataset, error) {
 					Session: sess, ZID: obs.ZID, Country: string(obs.Country),
 					Detail: "dns_hijack"})
 			}
+			if e.Sink != nil {
+				e.Sink(shard, obs)
+			}
+			if !e.DiscardObservations {
+				sink.obs = append(sink.obs, obs)
+			}
 		case outcomeFailed:
-			ds.Failures++
+			sink.failures++
 			m.Counter("crawl_failures_total").Inc()
 		case outcomeDuplicate:
-			ds.Duplicates++
+			sink.duplicates++
 		case outcomeDiscarded:
-			ds.Discarded++
+			sink.discarded++
 			m.Counter("crawl_discarded_total").Inc()
 		}
 	})
+	ds.Observations, ds.Failures, ds.Duplicates, ds.Discarded =
+		mergeShards(shards, func(o *DNSObservation) string { return o.ZID })
 	ds.Crawl = cr.stats()
 	return ds, ctx.Err()
 }
@@ -171,6 +186,16 @@ func (o outcome) String() string {
 func (e *DNSExperiment) measure(ctx context.Context, cr *crawler, cc geo.CountryCode, sess string) (*DNSObservation, outcome) {
 	d1 := fmt.Sprintf("%s%s.%s", d1Prefix, sess, e.Zone)
 	d2 := fmt.Sprintf("%s%s.%s", d2Prefix, sess, e.Zone)
+	// Probe names are unique per session, so once this probe returns their
+	// log entries can never be consulted again; releasing them keeps the
+	// authority and web-server logs at O(in-flight sessions) instead of
+	// O(all sessions) across a paper-scale crawl.
+	defer func() {
+		e.Auth.Forget(d1)
+		e.Auth.Forget(d2)
+		e.Web.Forget(d1)
+		e.Web.Forget(d2)
+	}()
 	opts := proxynet.Options{Country: cc, Session: sess, RemoteDNS: true}
 
 	// Step 2: fetch d1; the node's resolver must answer, and both our DNS

@@ -139,11 +139,15 @@ func (e *HTTPExperiment) Run(ctx context.Context) (*HTTPDataset, error) {
 	}
 	cr := newCrawler(e.Crawl, e.Weights, simnet.SubRand(e.Seed, "crawl/http"))
 	ds := &HTTPDataset{}
+	shards := newShardSinks[*HTTPObservation](cr.workers())
+	// The AS sampling quota is inherently global — every shard consults it
+	// before fully measuring a node — so it stays behind a mutex while the
+	// dataset accumulation streams lock-free into per-shard sinks.
 	var mu sync.Mutex
 	asCount := make(map[geo.ASN]int)
 	asFlagged := make(map[geo.ASN]bool)
 
-	cr.runWorkers(ctx, func(cc geo.CountryCode, sess string) {
+	cr.runWorkers(ctx, func(shard int, cc geo.CountryCode, sess string) {
 		pctx, done := cr.traceProbe(ctx, "probe.http", cc, sess)
 		obs, oc := e.measure(pctx, cr, cc, sess, kinds, &mu, asCount, asFlagged)
 		zid := ""
@@ -151,32 +155,39 @@ func (e *HTTPExperiment) Run(ctx context.Context) (*HTTPDataset, error) {
 			zid = obs.ZID
 		}
 		done(zid, oc)
-		mu.Lock()
-		defer mu.Unlock()
+		sink := &shards[shard]
 		switch oc {
 		case outcomeOK:
-			ds.Observations = append(ds.Observations, obs)
-			asCount[obs.ASN]++
+			sink.obs = append(sink.obs, obs)
 			for _, res := range obs.Objects {
 				m.Labeled("http_object_outcomes").Inc(res.Outcome.String())
 			}
+			mu.Lock()
+			asCount[obs.ASN]++
 			if obs.AnyModified() {
 				asFlagged[obs.ASN] = true
+			}
+			mu.Unlock()
+			if obs.AnyModified() {
 				m.Counter("http_modified_total").Inc()
 				m.Record(metrics.Event{Kind: metrics.EventViolation,
 					Session: sess, ZID: obs.ZID, Country: string(obs.Country),
 					Detail: "http_modified"})
 			}
 		case outcomeFailed:
-			ds.Failures++
+			sink.failures++
 			m.Counter("crawl_failures_total").Inc()
 		case outcomeDuplicate:
-			ds.Duplicates++
+			sink.duplicates++
 		case outcomeDiscarded:
-			ds.SkippedQuota++
+			sink.discarded++
 			m.Counter("http_quota_skipped_total").Inc()
 		}
 	})
+	var skipped int
+	ds.Observations, ds.Failures, ds.Duplicates, skipped =
+		mergeShards(shards, func(o *HTTPObservation) string { return o.ZID })
+	ds.SkippedQuota = skipped
 	ds.Crawl = cr.stats()
 	return ds, ctx.Err()
 }

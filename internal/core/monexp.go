@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"net/netip"
 	"strings"
-	"sync"
 	"time"
 
 	"github.com/tftproject/tft/internal/dnsserver"
@@ -104,9 +103,9 @@ func (e *MonitorExperiment) Run(ctx context.Context) (*MonDataset, error) {
 	}
 	cr := newCrawler(e.Crawl, e.Weights, simnet.SubRand(e.Seed, "crawl/mon"))
 	ds := &MonDataset{}
-	var mu sync.Mutex
+	shards := newShardSinks[*MonObservation](cr.workers())
 
-	cr.runWorkers(ctx, func(cc geo.CountryCode, sess string) {
+	cr.runWorkers(ctx, func(shard int, cc geo.CountryCode, sess string) {
 		pctx, done := cr.traceProbe(ctx, "probe.monitor", cc, sess)
 		obs, oc := e.fetch(pctx, cr, cc, sess)
 		zid := ""
@@ -114,18 +113,19 @@ func (e *MonitorExperiment) Run(ctx context.Context) (*MonDataset, error) {
 			zid = obs.ZID
 		}
 		done(zid, oc)
-		mu.Lock()
-		defer mu.Unlock()
+		sink := &shards[shard]
 		switch oc {
 		case outcomeOK:
-			ds.Observations = append(ds.Observations, obs)
+			sink.obs = append(sink.obs, obs)
 		case outcomeFailed:
-			ds.Failures++
+			sink.failures++
 			m.Counter("crawl_failures_total").Inc()
 		case outcomeDuplicate:
-			ds.Duplicates++
+			sink.duplicates++
 		}
 	})
+	ds.Observations, ds.Failures, ds.Duplicates, _ =
+		mergeShards(shards, func(o *MonObservation) string { return o.ZID })
 	ds.Crawl = cr.stats()
 
 	// Monitors schedule their refetches on the virtual clock; advancing

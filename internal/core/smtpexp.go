@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"net/netip"
-	"sync"
 
 	"github.com/tftproject/tft/internal/geo"
 	"github.com/tftproject/tft/internal/metrics"
@@ -61,8 +60,8 @@ func (e *SMTPExperiment) Run(ctx context.Context) (*SMTPDataset, error) {
 	m := e.Crawl.Metrics
 	cr := newCrawler(e.Crawl, e.Weights, simnet.SubRand(e.Seed, "crawl/smtp"))
 	ds := &SMTPDataset{}
-	var mu sync.Mutex
-	cr.runWorkers(ctx, func(cc geo.CountryCode, sess string) {
+	shards := newShardSinks[*SMTPObservation](cr.workers())
+	cr.runWorkers(ctx, func(shard int, cc geo.CountryCode, sess string) {
 		pctx, done := cr.traceProbe(ctx, "probe.smtp", cc, sess)
 		obs, oc := e.measure(pctx, cr, cc, sess)
 		zid := ""
@@ -70,11 +69,10 @@ func (e *SMTPExperiment) Run(ctx context.Context) (*SMTPDataset, error) {
 			zid = obs.ZID
 		}
 		done(zid, oc)
-		mu.Lock()
-		defer mu.Unlock()
+		sink := &shards[shard]
 		switch oc {
 		case outcomeOK:
-			ds.Observations = append(ds.Observations, obs)
+			sink.obs = append(sink.obs, obs)
 			if obs.Blocked {
 				m.Counter("smtp_blocked_total").Inc()
 			} else if !obs.StartTLS {
@@ -84,12 +82,14 @@ func (e *SMTPExperiment) Run(ctx context.Context) (*SMTPDataset, error) {
 					Detail: "smtp_starttls_stripped"})
 			}
 		case outcomeFailed:
-			ds.Failures++
+			sink.failures++
 			m.Counter("crawl_failures_total").Inc()
 		case outcomeDuplicate:
-			ds.Duplicates++
+			sink.duplicates++
 		}
 	})
+	ds.Observations, ds.Failures, ds.Duplicates, _ =
+		mergeShards(shards, func(o *SMTPObservation) string { return o.ZID })
 	ds.Crawl = cr.stats()
 	return ds, ctx.Err()
 }

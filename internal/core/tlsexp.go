@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"net/netip"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -137,9 +136,9 @@ func (e *TLSExperiment) Run(ctx context.Context) (*TLSDataset, error) {
 	cr := newCrawler(e.Crawl, e.Weights, simnet.SubRand(e.Seed, "crawl/tls"))
 	ds := &TLSDataset{}
 	e.probes = &ds.Probes
-	var mu sync.Mutex
+	shards := newShardSinks[*TLSObservation](cr.workers())
 
-	cr.runWorkers(ctx, func(cc geo.CountryCode, sess string) {
+	cr.runWorkers(ctx, func(shard int, cc geo.CountryCode, sess string) {
 		pctx, done := cr.traceProbe(ctx, "probe.tls", cc, sess)
 		obs, oc := e.measure(pctx, cr, cc, sess)
 		zid := ""
@@ -147,11 +146,10 @@ func (e *TLSExperiment) Run(ctx context.Context) (*TLSDataset, error) {
 			zid = obs.ZID
 		}
 		done(zid, oc)
-		mu.Lock()
-		defer mu.Unlock()
+		sink := &shards[shard]
 		switch oc {
 		case outcomeOK:
-			ds.Observations = append(ds.Observations, obs)
+			sink.obs = append(sink.obs, obs)
 			if obs.Phase2 {
 				m.Counter("tls_phase2_total").Inc()
 			}
@@ -162,15 +160,17 @@ func (e *TLSExperiment) Run(ctx context.Context) (*TLSDataset, error) {
 					Detail: "tls_cert_replaced"})
 			}
 		case outcomeFailed:
-			ds.Failures++
+			sink.failures++
 			m.Counter("crawl_failures_total").Inc()
 		case outcomeDuplicate:
-			ds.Duplicates++
+			sink.duplicates++
 		case outcomeDiscarded:
-			ds.Discarded++
+			sink.discarded++
 			m.Counter("crawl_discarded_total").Inc()
 		}
 	})
+	ds.Observations, ds.Failures, ds.Duplicates, ds.Discarded =
+		mergeShards(shards, func(o *TLSObservation) string { return o.ZID })
 	m.Counter("tls_probes_total").Add(ds.Probes)
 	ds.Crawl = cr.stats()
 	return ds, ctx.Err()

@@ -13,6 +13,7 @@ package dataset
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/netip"
@@ -52,26 +53,23 @@ type dnsRecord struct {
 	LandingBody    []byte   `json:"landing_body,omitempty"`
 }
 
+// dnsRecordOf converts an observation to its serialized shape.
+func dnsRecordOf(o *core.DNSObservation) any {
+	return dnsRecord{
+		ZID: o.ZID, NodeIP: addrString(o.NodeIP), ResolverIP: addrString(o.ResolverIP),
+		ASN: uint32(o.ASN), Country: string(o.Country),
+		SharedAnycast: o.SharedAnycast, Hijacked: o.Hijacked,
+		LandingDomains: o.LandingDomains, LandingBody: o.LandingBody,
+	}
+}
+
 // WriteDNS streams a DNS dataset.
 func WriteDNS(w io.Writer, seed uint64, scale float64, ds *core.DNSDataset) error {
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	if err := enc.Encode(Header{Format: FormatName, Version: Version, Experiment: "dns",
-		Seed: seed, Scale: scale, Records: len(ds.Observations)}); err != nil {
+	sw, err := NewDNSWriter(w, seed, scale, len(ds.Observations))
+	if err != nil {
 		return err
 	}
-	for _, o := range ds.Observations {
-		rec := dnsRecord{
-			ZID: o.ZID, NodeIP: addrString(o.NodeIP), ResolverIP: addrString(o.ResolverIP),
-			ASN: uint32(o.ASN), Country: string(o.Country),
-			SharedAnycast: o.SharedAnycast, Hijacked: o.Hijacked,
-			LandingDomains: o.LandingDomains, LandingBody: o.LandingBody,
-		}
-		if err := enc.Encode(rec); err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
+	return drain(sw, ds.Observations)
 }
 
 // ReadDNS loads a DNS dataset.
@@ -81,9 +79,12 @@ func ReadDNS(r io.Reader) (*Header, *core.DNSDataset, error) {
 		return nil, nil, err
 	}
 	ds := &core.DNSDataset{}
-	for i := 0; i < h.Records; i++ {
+	for i := 0; h.Records < 0 || i < h.Records; i++ {
 		var rec dnsRecord
 		if err := dec.Decode(&rec); err != nil {
+			if h.Records < 0 && errors.Is(err, io.EOF) {
+				break
+			}
 			return nil, nil, fmt.Errorf("dataset: record %d: %w", i, err)
 		}
 		o := &core.DNSObservation{
@@ -114,28 +115,26 @@ type httpObject struct {
 	ImageRatio float64 `json:"image_ratio,omitempty"`
 }
 
+// httpRecordOf converts an observation to its serialized shape.
+func httpRecordOf(o *core.HTTPObservation) any {
+	rec := httpRecord{ZID: o.ZID, NodeIP: addrString(o.NodeIP),
+		ASN: uint32(o.ASN), Country: string(o.Country)}
+	for _, obj := range o.Objects {
+		rec.Objects = append(rec.Objects, httpObject{
+			Outcome: int(obj.Outcome), BodyLen: obj.BodyLen,
+			Body: obj.Body, ImageRatio: obj.ImageRatio,
+		})
+	}
+	return rec
+}
+
 // WriteHTTP streams an HTTP dataset.
 func WriteHTTP(w io.Writer, seed uint64, scale float64, ds *core.HTTPDataset) error {
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	if err := enc.Encode(Header{Format: FormatName, Version: Version, Experiment: "http",
-		Seed: seed, Scale: scale, Records: len(ds.Observations)}); err != nil {
+	sw, err := NewHTTPWriter(w, seed, scale, len(ds.Observations))
+	if err != nil {
 		return err
 	}
-	for _, o := range ds.Observations {
-		rec := httpRecord{ZID: o.ZID, NodeIP: addrString(o.NodeIP),
-			ASN: uint32(o.ASN), Country: string(o.Country)}
-		for _, obj := range o.Objects {
-			rec.Objects = append(rec.Objects, httpObject{
-				Outcome: int(obj.Outcome), BodyLen: obj.BodyLen,
-				Body: obj.Body, ImageRatio: obj.ImageRatio,
-			})
-		}
-		if err := enc.Encode(rec); err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
+	return drain(sw, ds.Observations)
 }
 
 // ReadHTTP loads an HTTP dataset.
@@ -145,9 +144,12 @@ func ReadHTTP(r io.Reader) (*Header, *core.HTTPDataset, error) {
 		return nil, nil, err
 	}
 	ds := &core.HTTPDataset{}
-	for i := 0; i < h.Records; i++ {
+	for i := 0; h.Records < 0 || i < h.Records; i++ {
 		var rec httpRecord
 		if err := dec.Decode(&rec); err != nil {
+			if h.Records < 0 && errors.Is(err, io.EOF) {
+				break
+			}
 			return nil, nil, fmt.Errorf("dataset: record %d: %w", i, err)
 		}
 		o := &core.HTTPObservation{ZID: rec.ZID, NodeIP: parseAddr(rec.NodeIP),
@@ -186,29 +188,27 @@ type tlsResult struct {
 	Err        string `json:"err,omitempty"`
 }
 
+// tlsRecordOf converts an observation to its serialized shape.
+func tlsRecordOf(o *core.TLSObservation) any {
+	rec := tlsRecord{ZID: o.ZID, NodeIP: addrString(o.NodeIP),
+		ASN: uint32(o.ASN), Country: string(o.Country), Phase2: o.Phase2}
+	for _, s := range o.Sites {
+		rec.Sites = append(rec.Sites, tlsResult{
+			Host: s.Host, Class: int(s.Class), Replaced: s.Replaced,
+			IssuerCN: s.IssuerCN, LeafKey: s.LeafKey.String(),
+			ChainValid: s.ChainValid, Err: s.Err,
+		})
+	}
+	return rec
+}
+
 // WriteTLS streams a TLS dataset.
 func WriteTLS(w io.Writer, seed uint64, scale float64, ds *core.TLSDataset) error {
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	if err := enc.Encode(Header{Format: FormatName, Version: Version, Experiment: "tls",
-		Seed: seed, Scale: scale, Records: len(ds.Observations)}); err != nil {
+	sw, err := NewTLSWriter(w, seed, scale, len(ds.Observations))
+	if err != nil {
 		return err
 	}
-	for _, o := range ds.Observations {
-		rec := tlsRecord{ZID: o.ZID, NodeIP: addrString(o.NodeIP),
-			ASN: uint32(o.ASN), Country: string(o.Country), Phase2: o.Phase2}
-		for _, s := range o.Sites {
-			rec.Sites = append(rec.Sites, tlsResult{
-				Host: s.Host, Class: int(s.Class), Replaced: s.Replaced,
-				IssuerCN: s.IssuerCN, LeafKey: s.LeafKey.String(),
-				ChainValid: s.ChainValid, Err: s.Err,
-			})
-		}
-		if err := enc.Encode(rec); err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
+	return drain(sw, ds.Observations)
 }
 
 // ReadTLS loads a TLS dataset.
@@ -218,9 +218,12 @@ func ReadTLS(r io.Reader) (*Header, *core.TLSDataset, error) {
 		return nil, nil, err
 	}
 	ds := &core.TLSDataset{}
-	for i := 0; i < h.Records; i++ {
+	for i := 0; h.Records < 0 || i < h.Records; i++ {
 		var rec tlsRecord
 		if err := dec.Decode(&rec); err != nil {
+			if h.Records < 0 && errors.Is(err, io.EOF) {
+				break
+			}
 			return nil, nil, fmt.Errorf("dataset: record %d: %w", i, err)
 		}
 		o := &core.TLSObservation{ZID: rec.ZID, NodeIP: parseAddr(rec.NodeIP),
@@ -259,29 +262,27 @@ type monSource struct {
 	UserAgent string `json:"user_agent,omitempty"`
 }
 
+// monRecordOf converts an observation to its serialized shape.
+func monRecordOf(o *core.MonObservation) any {
+	rec := monRecord{ZID: o.ZID, NodeIP: addrString(o.NodeIP),
+		ASN: uint32(o.ASN), Country: string(o.Country),
+		Host: o.Host, RequestAt: o.RequestAt, ViaVPN: o.ViaVPN, OwnSrc: addrString(o.OwnSrc)}
+	for _, u := range o.Unexpected {
+		rec.Unexpected = append(rec.Unexpected, monSource{
+			Src: addrString(u.Src), ASN: uint32(u.ASN), Org: u.Org,
+			DelayNS: int64(u.Delay), UserAgent: u.UserAgent,
+		})
+	}
+	return rec
+}
+
 // WriteMonitor streams a monitoring dataset.
 func WriteMonitor(w io.Writer, seed uint64, scale float64, ds *core.MonDataset) error {
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	if err := enc.Encode(Header{Format: FormatName, Version: Version, Experiment: "monitor",
-		Seed: seed, Scale: scale, Records: len(ds.Observations)}); err != nil {
+	sw, err := NewMonitorWriter(w, seed, scale, len(ds.Observations))
+	if err != nil {
 		return err
 	}
-	for _, o := range ds.Observations {
-		rec := monRecord{ZID: o.ZID, NodeIP: addrString(o.NodeIP),
-			ASN: uint32(o.ASN), Country: string(o.Country),
-			Host: o.Host, RequestAt: o.RequestAt, ViaVPN: o.ViaVPN, OwnSrc: addrString(o.OwnSrc)}
-		for _, u := range o.Unexpected {
-			rec.Unexpected = append(rec.Unexpected, monSource{
-				Src: addrString(u.Src), ASN: uint32(u.ASN), Org: u.Org,
-				DelayNS: int64(u.Delay), UserAgent: u.UserAgent,
-			})
-		}
-		if err := enc.Encode(rec); err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
+	return drain(sw, ds.Observations)
 }
 
 // ReadMonitor loads a monitoring dataset.
@@ -291,9 +292,12 @@ func ReadMonitor(r io.Reader) (*Header, *core.MonDataset, error) {
 		return nil, nil, err
 	}
 	ds := &core.MonDataset{}
-	for i := 0; i < h.Records; i++ {
+	for i := 0; h.Records < 0 || i < h.Records; i++ {
 		var rec monRecord
 		if err := dec.Decode(&rec); err != nil {
+			if h.Records < 0 && errors.Is(err, io.EOF) {
+				break
+			}
 			return nil, nil, fmt.Errorf("dataset: record %d: %w", i, err)
 		}
 		o := &core.MonObservation{ZID: rec.ZID, NodeIP: parseAddr(rec.NodeIP),
@@ -321,23 +325,20 @@ type smtpRecord struct {
 	Banner   string `json:"banner,omitempty"`
 }
 
+// smtpRecordOf converts an observation to its serialized shape.
+func smtpRecordOf(o *core.SMTPObservation) any {
+	return smtpRecord{ZID: o.ZID, NodeIP: addrString(o.NodeIP),
+		ASN: uint32(o.ASN), Country: string(o.Country),
+		Blocked: o.Blocked, StartTLS: o.StartTLS, Banner: o.Banner}
+}
+
 // WriteSMTP streams an SMTP-extension dataset.
 func WriteSMTP(w io.Writer, seed uint64, scale float64, ds *core.SMTPDataset) error {
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	if err := enc.Encode(Header{Format: FormatName, Version: Version, Experiment: "smtp",
-		Seed: seed, Scale: scale, Records: len(ds.Observations)}); err != nil {
+	sw, err := NewSMTPWriter(w, seed, scale, len(ds.Observations))
+	if err != nil {
 		return err
 	}
-	for _, o := range ds.Observations {
-		rec := smtpRecord{ZID: o.ZID, NodeIP: addrString(o.NodeIP),
-			ASN: uint32(o.ASN), Country: string(o.Country),
-			Blocked: o.Blocked, StartTLS: o.StartTLS, Banner: o.Banner}
-		if err := enc.Encode(rec); err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
+	return drain(sw, ds.Observations)
 }
 
 // ReadSMTP loads an SMTP-extension dataset.
@@ -347,9 +348,12 @@ func ReadSMTP(r io.Reader) (*Header, *core.SMTPDataset, error) {
 		return nil, nil, err
 	}
 	ds := &core.SMTPDataset{}
-	for i := 0; i < h.Records; i++ {
+	for i := 0; h.Records < 0 || i < h.Records; i++ {
 		var rec smtpRecord
 		if err := dec.Decode(&rec); err != nil {
+			if h.Records < 0 && errors.Is(err, io.EOF) {
+				break
+			}
 			return nil, nil, fmt.Errorf("dataset: record %d: %w", i, err)
 		}
 		ds.Observations = append(ds.Observations, &core.SMTPObservation{
@@ -377,10 +381,22 @@ func readHeader(r io.Reader, wantExperiment string) (*Header, *json.Decoder, err
 	if wantExperiment != "" && h.Experiment != wantExperiment {
 		return nil, nil, fmt.Errorf("dataset: experiment %q, want %q", h.Experiment, wantExperiment)
 	}
-	if h.Records < 0 {
+	if h.Records < StreamRecords {
 		return nil, nil, fmt.Errorf("dataset: negative record count")
 	}
 	return &h, dec, nil
+}
+
+// drain writes every observation through a streaming writer and closes it,
+// preserving the first error encountered.
+func drain[T any](sw *Writer[T], obs []T) error {
+	for _, o := range obs {
+		if err := sw.Write(o); err != nil {
+			sw.Close()
+			return err
+		}
+	}
+	return sw.Close()
 }
 
 // Peek reads only the header to identify a file.
@@ -435,7 +451,8 @@ type geoRecord struct {
 // analogue, required to reproduce attribution from the raw observations.
 func WriteGeo(w io.Writer, seed uint64, scale float64, reg *geo.Registry) error {
 	orgs, ases, prefixes := reg.Snapshot()
-	bw := bufio.NewWriter(w)
+	bw := getWriter(w)
+	defer putWriter(bw)
 	enc := json.NewEncoder(bw)
 	if err := enc.Encode(Header{Format: FormatName, Version: Version, Experiment: "geo",
 		Seed: seed, Scale: scale, Records: len(orgs) + len(ases) + len(prefixes)}); err != nil {
@@ -468,9 +485,12 @@ func ReadGeo(r io.Reader) (*Header, *geo.Registry, error) {
 	var orgs []geo.SnapshotOrg
 	var ases []geo.SnapshotAS
 	var prefixes []geo.SnapshotPrefix
-	for i := 0; i < h.Records; i++ {
+	for i := 0; h.Records < 0 || i < h.Records; i++ {
 		var rec geoRecord
 		if err := dec.Decode(&rec); err != nil {
+			if h.Records < 0 && errors.Is(err, io.EOF) {
+				break
+			}
 			return nil, nil, fmt.Errorf("dataset: geo record %d: %w", i, err)
 		}
 		switch {

@@ -1,0 +1,124 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/tftproject/tft/internal/core"
+)
+
+// StreamRecords is the Header.Records sentinel for streamed datasets: the
+// writer emits the header before any observation exists, so the count is
+// unknown. Readers of a streamed file consume records until EOF.
+const StreamRecords = -1
+
+// writerPool recycles the bufio.Writers every dataset writer serializes
+// through. A paper-scale run opens one writer per experiment per shard;
+// pooling keeps that churn out of the allocation profile the same way
+// httpwire pools its per-connection buffers.
+var writerPool = sync.Pool{New: func() any { return bufio.NewWriter(nil) }}
+
+func getWriter(w io.Writer) *bufio.Writer {
+	bw := writerPool.Get().(*bufio.Writer)
+	bw.Reset(w)
+	return bw
+}
+
+func putWriter(bw *bufio.Writer) {
+	bw.Reset(nil)
+	writerPool.Put(bw)
+}
+
+// Writer streams one dataset: a header line followed by one JSON record
+// per observation, written as each arrives rather than from a materialized
+// slice. Not safe for concurrent use; sharded crawls write one file per
+// shard. Close flushes and recycles the underlying buffer — every Write
+// after Close fails.
+type Writer[T any] struct {
+	bw   *bufio.Writer
+	enc  *json.Encoder
+	conv func(T) any
+	n    int
+}
+
+// newStreamWriter writes the header and returns the row writer. records is
+// the exact observation count when known, or StreamRecords for an
+// unbounded stream.
+func newStreamWriter[T any](w io.Writer, experiment string, seed uint64, scale float64, records int, conv func(T) any) (*Writer[T], error) {
+	//tftlint:ignore poolpair -- the Writer owns the buffer across its streaming lifetime; Close is the paired put
+	bw := getWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(Header{Format: FormatName, Version: Version, Experiment: experiment,
+		Seed: seed, Scale: scale, Records: records}); err != nil {
+		putWriter(bw)
+		return nil, err
+	}
+	return &Writer[T]{bw: bw, enc: enc, conv: conv}, nil
+}
+
+// Write encodes one observation.
+func (sw *Writer[T]) Write(o T) error {
+	if sw.bw == nil {
+		return fmt.Errorf("dataset: write after Close")
+	}
+	sw.n++
+	return sw.enc.Encode(sw.conv(o))
+}
+
+// Count reports the records written so far.
+func (sw *Writer[T]) Count() int { return sw.n }
+
+// Close flushes buffered output and recycles the buffer. Idempotent.
+func (sw *Writer[T]) Close() error {
+	if sw.bw == nil {
+		return nil
+	}
+	err := sw.bw.Flush()
+	putWriter(sw.bw)
+	sw.bw = nil
+	sw.enc = nil
+	return err
+}
+
+// Per-experiment streaming writer types.
+type (
+	// DNSWriter streams DNS observations.
+	DNSWriter = Writer[*core.DNSObservation]
+	// HTTPWriter streams HTTP observations.
+	HTTPWriter = Writer[*core.HTTPObservation]
+	// TLSWriter streams TLS observations.
+	TLSWriter = Writer[*core.TLSObservation]
+	// MonitorWriter streams monitoring observations.
+	MonitorWriter = Writer[*core.MonObservation]
+	// SMTPWriter streams SMTP observations.
+	SMTPWriter = Writer[*core.SMTPObservation]
+)
+
+// NewDNSWriter opens a streaming DNS dataset writer. records may be
+// StreamRecords when the count is unknown up front.
+func NewDNSWriter(w io.Writer, seed uint64, scale float64, records int) (*DNSWriter, error) {
+	return newStreamWriter(w, "dns", seed, scale, records, dnsRecordOf)
+}
+
+// NewHTTPWriter opens a streaming HTTP dataset writer.
+func NewHTTPWriter(w io.Writer, seed uint64, scale float64, records int) (*HTTPWriter, error) {
+	return newStreamWriter(w, "http", seed, scale, records, httpRecordOf)
+}
+
+// NewTLSWriter opens a streaming TLS dataset writer.
+func NewTLSWriter(w io.Writer, seed uint64, scale float64, records int) (*TLSWriter, error) {
+	return newStreamWriter(w, "tls", seed, scale, records, tlsRecordOf)
+}
+
+// NewMonitorWriter opens a streaming monitoring dataset writer.
+func NewMonitorWriter(w io.Writer, seed uint64, scale float64, records int) (*MonitorWriter, error) {
+	return newStreamWriter(w, "monitor", seed, scale, records, monRecordOf)
+}
+
+// NewSMTPWriter opens a streaming SMTP dataset writer.
+func NewSMTPWriter(w io.Writer, seed uint64, scale float64, records int) (*SMTPWriter, error) {
+	return newStreamWriter(w, "smtp", seed, scale, records, smtpRecordOf)
+}

@@ -1,0 +1,123 @@
+package dataset
+
+import (
+	"bytes"
+	"net/netip"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/tftproject/tft/internal/core"
+)
+
+func streamFixture() []*core.DNSObservation {
+	return []*core.DNSObservation{
+		{ZID: "z1", NodeIP: netip.MustParseAddr("91.1.2.3"),
+			ResolverIP: netip.MustParseAddr("91.1.0.53"), ASN: 64500, Country: "MY",
+			Hijacked: true, LandingDomains: []string{"midascdn.nervesis.com"},
+			LandingBody: []byte("<html>ads</html>")},
+		{ZID: "z2", NodeIP: netip.MustParseAddr("91.1.2.4"), ASN: 64500, Country: "MY",
+			SharedAnycast: true},
+		{ZID: "z3", NodeIP: netip.MustParseAddr("10.0.0.1"),
+			ResolverIP: netip.MustParseAddr("8.8.8.8"), ASN: 64501, Country: "DE"},
+	}
+}
+
+// TestStreamWriterMatchesBatch pins the compatibility contract: a streaming
+// writer fed the same observations with an exact record count produces a
+// byte-identical file to the in-memory batch writer.
+func TestStreamWriterMatchesBatch(t *testing.T) {
+	obs := streamFixture()
+	ds := &core.DNSDataset{Observations: obs}
+
+	var batch bytes.Buffer
+	if err := WriteDNS(&batch, 42, 0.05, ds); err != nil {
+		t.Fatal(err)
+	}
+
+	var streamed bytes.Buffer
+	sw, err := NewDNSWriter(&streamed, 42, 0.05, len(obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range obs {
+		if err := sw.Write(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(batch.Bytes(), streamed.Bytes()) {
+		t.Fatalf("streamed output diverged from batch output:\n--- batch ---\n%s\n--- streamed ---\n%s",
+			batch.Bytes(), streamed.Bytes())
+	}
+}
+
+// TestStreamWriterUnknownCount round-trips a stream written before its
+// record count was known: the header carries the StreamRecords sentinel and
+// the reader consumes to EOF.
+func TestStreamWriterUnknownCount(t *testing.T) {
+	obs := streamFixture()
+	var buf bytes.Buffer
+	sw, err := NewDNSWriter(&buf, 42, 0.05, StreamRecords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range obs {
+		if err := sw.Write(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sw.Count() != len(obs) {
+		t.Fatalf("Count = %d, want %d", sw.Count(), len(obs))
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	h, got, err := ReadDNS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Records != StreamRecords {
+		t.Fatalf("header records = %d, want %d", h.Records, StreamRecords)
+	}
+	if len(got.Observations) != len(obs) {
+		t.Fatalf("read %d observations, want %d", len(got.Observations), len(obs))
+	}
+	for i := range obs {
+		if !reflect.DeepEqual(obs[i], got.Observations[i]) {
+			t.Fatalf("record %d: %+v != %+v", i, obs[i], got.Observations[i])
+		}
+	}
+}
+
+// TestStreamWriterClose checks Close is idempotent and fences off further
+// writes.
+func TestStreamWriterClose(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := NewDNSWriter(&buf, 1, 0.05, StreamRecords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := sw.Write(streamFixture()[0]); err == nil {
+		t.Fatal("Write after Close succeeded")
+	}
+}
+
+// TestReadHeaderRejectsBelowSentinel keeps garbage counts out: -1 is the
+// one legal negative value.
+func TestReadHeaderRejectsBelowSentinel(t *testing.T) {
+	raw := `{"format":"tft-dataset","version":1,"experiment":"dns","seed":1,"scale":0.05,"records":-2}` + "\n"
+	if _, _, err := ReadDNS(strings.NewReader(raw)); err == nil {
+		t.Fatal("records=-2 accepted")
+	}
+}

@@ -65,8 +65,8 @@ type Authority struct {
 	mu       sync.Mutex
 	rules    map[string]Rule
 	fallback func(name string) Rule
-	byName   map[string][]int // name -> indexes into log
-	log      []Query
+	byName   map[string][]Query // name -> logged queries, arrival order
+	total    int
 }
 
 // NewAuthority creates an authoritative server for zone.
@@ -75,7 +75,7 @@ func NewAuthority(zone string, clock simnet.Clock) *Authority {
 		zone:   dnswire.CanonicalName(zone),
 		clock:  clock,
 		rules:  make(map[string]Rule),
-		byName: make(map[string][]int),
+		byName: make(map[string][]Query),
 	}
 }
 
@@ -146,8 +146,8 @@ func (a *Authority) Resolve(src netip.Addr, q *dnswire.Message) *dnswire.Message
 	}
 
 	a.mu.Lock()
-	a.log = append(a.log, Query{Time: a.clock.Now(), Src: src, Name: name, Type: question.Type})
-	a.byName[name] = append(a.byName[name], len(a.log)-1)
+	a.byName[name] = append(a.byName[name], Query{Time: a.clock.Now(), Src: src, Name: name, Type: question.Type})
+	a.total++
 	rule := a.rules[name]
 	if rule == nil && a.fallback != nil {
 		rule = a.fallback(name)
@@ -186,17 +186,26 @@ func (a *Authority) QueriesFor(name string) []Query {
 	name = dnswire.CanonicalName(name)
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	idx := a.byName[name]
-	out := make([]Query, len(idx))
-	for i, j := range idx {
-		out[i] = a.log[j]
-	}
+	out := make([]Query, len(a.byName[name]))
+	copy(out, a.byName[name])
 	return out
 }
 
-// QueryCount returns the total number of logged queries.
+// Forget drops the logged queries for a name. Experiments that fully
+// consume a probe name's log release it so a paper-scale crawl holds
+// O(in-flight sessions) log entries instead of O(all sessions). QueryCount
+// still includes forgotten arrivals.
+func (a *Authority) Forget(name string) {
+	name = dnswire.CanonicalName(name)
+	a.mu.Lock()
+	delete(a.byName, name)
+	a.mu.Unlock()
+}
+
+// QueryCount returns the total number of logged queries, including any
+// later released with Forget.
 func (a *Authority) QueryCount() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return len(a.log)
+	return a.total
 }

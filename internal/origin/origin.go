@@ -47,13 +47,13 @@ type Server struct {
 	AllowSkew bool
 
 	mu     sync.Mutex
-	log    []Request
-	byHost map[string][]int
+	byHost map[string][]Request
+	total  int
 }
 
 // NewServer creates a measurement web server on the given clock.
 func NewServer(clock simnet.Clock) *Server {
-	return &Server{clock: clock, byHost: make(map[string][]int)}
+	return &Server{clock: clock, byHost: make(map[string][]Request)}
 }
 
 // Handle processes one parsed request from src and returns the response.
@@ -94,8 +94,8 @@ func IndexBody() []byte {
 
 func (s *Server) record(r Request) {
 	s.mu.Lock()
-	s.log = append(s.log, r)
-	s.byHost[r.Host] = append(s.byHost[r.Host], len(s.log)-1)
+	s.byHost[r.Host] = append(s.byHost[r.Host], r)
+	s.total++
 	s.mu.Unlock()
 }
 
@@ -105,19 +105,27 @@ func (s *Server) record(r Request) {
 func (s *Server) RequestsFor(host string) []Request {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	idx := s.byHost[host]
-	out := make([]Request, len(idx))
-	for i, j := range idx {
-		out[i] = s.log[j]
-	}
+	out := make([]Request, len(s.byHost[host]))
+	copy(out, s.byHost[host])
 	return out
 }
 
-// RequestCount returns the total number of logged requests.
+// Forget drops the logged requests for a host. Experiments that fully
+// consume a probe name's log release it so a paper-scale crawl holds
+// O(in-flight sessions) log entries instead of O(all sessions).
+// RequestCount still includes forgotten arrivals.
+func (s *Server) Forget(host string) {
+	s.mu.Lock()
+	delete(s.byHost, host)
+	s.mu.Unlock()
+}
+
+// RequestCount returns the total number of logged requests, including any
+// later released with Forget.
 func (s *Server) RequestCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.log)
+	return s.total
 }
 
 // ConnHandler serves one connection: a single request/response exchange,

@@ -161,8 +161,8 @@ func (b *monBuilder) buildGroup(g *MonitorGroup) {
 		if g.VPN {
 			path.VPNEgress = vpnEgress[i%len(vpnEgress)]
 		}
-		node.Path = path
-		node.Env = b.monitorEnv(node.ZID, g.Name)
+		node.SetPath(path)
+		node.SetEnv(b.monitorEnv(node.ZID(), g.Name))
 		b.truth(node).MonitorProduct = g.Name
 		b.total++
 	}
@@ -221,14 +221,14 @@ func (b *monBuilder) buildMiscMonitors() {
 		for i := 0; i < nodesEach; i++ {
 			cc := countries[(gi+i)%len(countries)]
 			node := b.addNode(cc, b.bgAS(cc), b.Google, nil)
-			node.Path = &middlebox.Path{Monitors: []middlebox.Monitor{&middlebox.Watcher{
+			node.SetPath(&middlebox.Path{Monitors: []middlebox.Monitor{&middlebox.Watcher{
 				Product: name,
 				Requests: []middlebox.RefetchSpec{{
 					Delay:   middlebox.DelaySpec{Min: 5 * time.Second, Max: 900 * time.Second, LogUniform: true},
 					Sources: srcs,
 				}},
-			}}}
-			node.Env = b.monitorEnv(node.ZID, name)
+			}}})
+			node.SetEnv(b.monitorEnv(node.ZID(), name))
 			b.truth(node).MonitorProduct = name
 			b.total++
 		}

@@ -40,7 +40,7 @@ func TestDNSWorldScaleTotals(t *testing.T) {
 	approx(t, "pool size", w.Pool.Len(), wantNodes, 0.10)
 
 	hijacked := 0
-	for _, tr := range w.Truth {
+	for _, tr := range w.Truths() {
 		if tr.DNSHijacker != "" {
 			hijacked++
 		}
@@ -52,7 +52,7 @@ func TestDNSWorldCountryRatios(t *testing.T) {
 	w := dnsWorld(t)
 	total := make(map[geo.CountryCode]int)
 	hij := make(map[geo.CountryCode]int)
-	for _, tr := range w.Truth {
+	for _, tr := range w.Truths() {
 		total[tr.Country]++
 		if tr.DNSHijacker != "" {
 			hij[tr.Country]++
@@ -82,9 +82,9 @@ func TestDNSWorldDeterministic(t *testing.T) {
 			t.Fatalf("node %d differs: %v vs %v", i, n1[i], n2[i])
 		}
 	}
-	for zid, t1 := range w1.Truth {
-		if t2 := w2.Truth[zid]; t2 == nil || *t1 != *t2 {
-			t.Fatalf("truth differs for %s", zid)
+	for _, t1 := range w1.Truths() {
+		if t2 := w2.TruthFor(t1.ZID); t2 == nil || *t1 != *t2 {
+			t.Fatalf("truth differs for %s", t1.ZID)
 		}
 	}
 }
@@ -96,7 +96,7 @@ func TestDNSWorldGroundTruthBehaviour(t *testing.T) {
 	w.Auth.SetRule("gone."+Zone, nil) // ensure NXDOMAIN (no rule)
 	checked := map[string]int{}
 	for _, n := range w.Pool.Nodes() {
-		tr := w.Truth[n.ZID]
+		tr := w.TruthFor(n.ZID)
 		kind := "clean"
 		if tr.DNSHijacker != "" {
 			kind = "hijacked"
@@ -124,7 +124,7 @@ func TestDNSWorldGroundTruthBehaviour(t *testing.T) {
 func TestDNSWorldGoogleUsersExist(t *testing.T) {
 	w := dnsWorld(t)
 	google, pathHijacked := 0, 0
-	for _, tr := range w.Truth {
+	for _, tr := range w.Truths() {
 		if tr.UsesGoogleDNS {
 			google++
 			if tr.DNSHijacker != "" {
@@ -149,8 +149,8 @@ func TestDNSWorldNodeAddressesResolveToTruthAS(t *testing.T) {
 			continue
 		}
 		asn, ok := w.Geo.LookupAS(n.Addr)
-		if !ok || asn != w.Truth[n.ZID].ASN {
-			t.Fatalf("node %s addr %v maps to AS%d, truth AS%d", n.ZID, n.Addr, asn, w.Truth[n.ZID].ASN)
+		if !ok || asn != w.TruthFor(n.ZID).ASN {
+			t.Fatalf("node %s addr %v maps to AS%d, truth AS%d", n.ZID, n.Addr, asn, w.TruthFor(n.ZID).ASN)
 		}
 		cc, ok := w.Geo.Country(asn)
 		if !ok || cc != n.Country {
@@ -167,7 +167,7 @@ func TestHTTPWorld(t *testing.T) {
 	approx(t, "pool size", w.Pool.Len(), sc(HTTPTotalNodes, 0.05), 0.10)
 	counts := map[string]int{}
 	imgCounts := map[string]int{}
-	for _, tr := range w.Truth {
+	for _, tr := range w.Truths() {
 		if tr.HTTPModifier != "" {
 			counts[tr.HTTPModifier]++
 		}
@@ -211,7 +211,7 @@ func TestTLSWorld(t *testing.T) {
 		}
 	}
 	products := map[string]int{}
-	for _, tr := range w.Truth {
+	for _, tr := range w.Truths() {
 		if tr.TLSProduct != "" {
 			products[tr.TLSProduct]++
 		}
@@ -228,7 +228,7 @@ func TestMonitorWorld(t *testing.T) {
 		t.Fatal(err)
 	}
 	monitored := map[string]int{}
-	for _, tr := range w.Truth {
+	for _, tr := range w.Truths() {
 		if tr.MonitorProduct != "" {
 			monitored[tr.MonitorProduct]++
 		}
@@ -244,7 +244,7 @@ func TestMonitorWorld(t *testing.T) {
 		org, ok := w.Geo.Org(n.ASN)
 		if ok && org.ID == "talktalk-gb" {
 			ttTotal++
-			if w.Truth[n.ZID].MonitorProduct == "TalkTalk" {
+			if w.TruthFor(n.ZID).MonitorProduct == "TalkTalk" {
 				ttMon++
 			}
 		}
@@ -266,7 +266,7 @@ func TestMonitorWorldRefetchArrives(t *testing.T) {
 	// Find a TrendMicro node and fetch through it directly.
 	var node *proxynet.ExitNode
 	for _, n := range w.Pool.Nodes() {
-		if w.Truth[n.ZID].MonitorProduct == "Trend Micro" {
+		if w.TruthFor(n.ZID).MonitorProduct == "Trend Micro" {
 			node = n
 			break
 		}
@@ -320,7 +320,7 @@ func TestSMTPWorld(t *testing.T) {
 		t.Fatal("SMTP world without any-port tunnels")
 	}
 	blocked, stripped, clean := 0, 0, 0
-	for _, tr := range w.Truth {
+	for _, tr := range w.Truths() {
 		switch tr.HTTPModifier {
 		case "smtp:port25-blocked":
 			blocked++
@@ -347,7 +347,7 @@ func TestCloudguardConfinedToRussia(t *testing.T) {
 		t.Fatal(err)
 	}
 	found := 0
-	for _, tr := range w.Truth {
+	for _, tr := range w.Truths() {
 		if tr.TLSProduct == "Cloudguard.me" {
 			found++
 			if tr.Country != "RU" {

@@ -233,7 +233,7 @@ func (b *tlsBuilder) buildProducts() {
 			}
 			asn := b.bgAS(cc)
 			node := b.addNode(cc, asn, b.Google, nil)
-			node.Path = &middlebox.Path{TLS: []middlebox.TLSInterceptor{pcs.Instance(node.ZID, now)}}
+			node.SetPath(&middlebox.Path{TLS: []middlebox.TLSInterceptor{pcs.Instance(node.ZID(), now)}})
 			b.truth(node).TLSProduct = spec.Product
 			b.total++
 		}
@@ -252,7 +252,7 @@ func (b *tlsBuilder) buildProducts() {
 		cc := b.countries[int(b.rng.IntN(len(b.countries)))]
 		asn := b.bgAS(cc)
 		node := b.addNode(cc, asn, b.Google, nil)
-		node.Path = &middlebox.Path{TLS: []middlebox.TLSInterceptor{pcs.Instance(node.ZID, now)}}
+		node.SetPath(&middlebox.Path{TLS: []middlebox.TLSInterceptor{pcs.Instance(node.ZID(), now)}})
 		b.truth(node).TLSProduct = spec.Product
 		b.total++
 	}

@@ -70,9 +70,14 @@ type World struct {
 	Geo    *geo.Registry
 	Auth   *dnsserver.Authority
 	Web    *origin.Server
-	Pool   *proxynet.Pool
+	Pool   proxynet.NodeSource
 	Super  *proxynet.SuperProxy
 	Client *proxynet.Client
+
+	// Spec is the recorded node population backing Pool: builders record
+	// one columnar row per node here, and the pool materializes live nodes
+	// from it on demand.
+	Spec *WorldSpec
 
 	// Trust is the clean OS root store; SiteCAs issue legitimate site
 	// certificates chained into it.
@@ -85,9 +90,6 @@ type World struct {
 	// Sites is the HTTPS experiment's target registry (TLS worlds only).
 	Sites *SiteRegistry
 
-	// Truth maps zID to ground truth.
-	Truth map[string]*NodeTruth
-
 	// ResolverDir lists every recursive resolver in the world with its
 	// openness — the target list the open-resolver-scan baseline sweeps
 	// (standing in for an IPv4-wide scan).
@@ -99,7 +101,7 @@ type World struct {
 	ResolversByOrg map[geo.OrgID][]*dnsserver.Resolver
 
 	rng        *rand.Rand
-	nextZID    int
+	lazy       *proxynet.LazyPool
 	nextASN    geo.ASN
 	nextOrg    int
 	landings   map[string]netip.Addr // landing domain -> host address
@@ -117,7 +119,7 @@ func newWorld(seed uint64, scale float64, label string) (*World, error) {
 		Clock:          simnet.NewVirtual(Epoch),
 		Fabric:         simnet.NewFabric(),
 		Geo:            geo.NewRegistry(),
-		Truth:          make(map[string]*NodeTruth),
+		Spec:           NewWorldSpec(seed),
 		ResolversByOrg: make(map[geo.OrgID][]*dnsserver.Resolver),
 		rng:            simnet.SubRand(seed, "population/"+label),
 		nextASN:        100000,
@@ -143,7 +145,10 @@ func newWorld(seed uint64, scale float64, label string) (*World, error) {
 		Addr: geo.GoogleDNSAddr, Net: w.Fabric, Upstream: w.upstreamFn,
 		EgressFor: func(netip.Addr) netip.Addr { return geo.SuperProxyResolverEgress },
 	}
-	w.Pool = proxynet.NewPool(simnet.SubRand(seed, "pool/"+label), 0.01)
+	w.lazy = proxynet.NewLazyPool(simnet.SubRand(seed, "pool/"+label), 0.01,
+		func(i int) *proxynet.ExitNode { return w.Spec.Materialize(i, w.Fabric) },
+		w.Spec.Index)
+	w.Pool = w.lazy
 	w.Super = proxynet.NewSuperProxy(ProxyIP, w.Pool, spResolver, w.Clock)
 	// Experiment hostnames are per-session unique, so the cache never
 	// changes what the probes observe; repeated-host traffic benefits.
@@ -325,33 +330,45 @@ func (w *World) registerResolver(r *dnsserver.Resolver, open bool) {
 	})
 }
 
-// addNode creates an exit node, registers it in the pool, and records its
-// ground truth. Returns the node.
-func (w *World) addNode(cc geo.CountryCode, asn geo.ASN, resolver *dnsserver.Resolver, path *middlebox.Path) *proxynet.ExitNode {
-	w.nextZID++
-	zid := fmt.Sprintf("z%08d", w.nextZID)
-	node := &proxynet.ExitNode{
-		ZID:      zid,
-		Addr:     w.addr(asn),
-		ASN:      asn,
-		Country:  cc,
-		Resolver: resolver,
-		Path:     path,
-		Net:      w.Fabric,
+// addNode records an exit-node spec row, registers its country with the
+// lazy pool, and seeds its ground truth. The node itself is materialized on
+// demand when the super proxy picks it. Returns a handle for the per-node
+// assignments builders make after creation.
+func (w *World) addNode(cc geo.CountryCode, asn geo.ASN, resolver *dnsserver.Resolver, path *middlebox.Path) NodeHandle {
+	i := w.Spec.add(cc, asn, w.addr(asn), resolver, path)
+	if j := w.lazy.Register(cc); j != i {
+		panic(fmt.Sprintf("population: spec row %d registered as pool index %d", i, j))
 	}
-	if err := w.Pool.Add(node); err != nil {
-		panic(err)
-	}
-	t := &NodeTruth{ZID: zid, Country: cc, ASN: asn}
+	t := w.Spec.Truth(i)
+	*t = NodeTruth{ZID: w.Spec.ZID(i), Country: cc, ASN: asn}
 	if resolver == w.Google {
 		t.UsesGoogleDNS = true
 	}
-	w.Truth[zid] = t
-	return node
+	return NodeHandle{spec: w.Spec, idx: i}
 }
 
-// truth returns the ground-truth record for a node.
-func (w *World) truth(n *proxynet.ExitNode) *NodeTruth { return w.Truth[n.ZID] }
+// truth returns the ground-truth record for a recorded node.
+func (w *World) truth(h NodeHandle) *NodeTruth { return w.Spec.Truth(h.idx) }
+
+// TruthFor returns the ground-truth record for a zID, or nil for unknown
+// identifiers. Tests use it to validate what the pipeline measures.
+func (w *World) TruthFor(zid string) *NodeTruth {
+	i, ok := w.Spec.Index(zid)
+	if !ok {
+		return nil
+	}
+	return w.Spec.Truth(i)
+}
+
+// Truths returns the ground-truth records for every recorded node in
+// creation order — a test helper; O(population).
+func (w *World) Truths() []*NodeTruth {
+	out := make([]*NodeTruth, w.Spec.Len())
+	for i := range out {
+		out[i] = w.Spec.Truth(i)
+	}
+	return out
+}
 
 // pickCountries returns n distinct background countries, deterministically
 // pseudo-shuffled, excluding any in the given set.

@@ -1,0 +1,165 @@
+package population
+
+import (
+	"fmt"
+	"net/netip"
+
+	"github.com/tftproject/tft/internal/dnsserver"
+	"github.com/tftproject/tft/internal/geo"
+	"github.com/tftproject/tft/internal/middlebox"
+	"github.com/tftproject/tft/internal/proxynet"
+	"github.com/tftproject/tft/internal/simnet"
+)
+
+// WorldSpec is the recorded blueprint of a world's exit-node population.
+// The builders run exactly as they would for an eager world — consuming the
+// same random streams and allocating addresses in the same order — but each
+// addNode call records one compact columnar row here instead of
+// materializing a *proxynet.ExitNode and registering it in a pool. Nodes
+// are materialized on demand (per pick, or per shard for sharded
+// consumers), so idle cost per unrealized node is a handful of column cells
+// instead of a live node object plus pool and truth map entries.
+//
+// Storage is structure-of-arrays: shared components (resolvers, interceptor
+// paths, monitor envs) are stored as pointers to objects the builders share
+// between many nodes, so two materializations of the same index observe the
+// same cross-pick state.
+type WorldSpec struct {
+	seed uint64
+
+	addrs     []netip.Addr
+	asns      []geo.ASN
+	countries []geo.CountryCode
+	resolvers []*dnsserver.Resolver
+	paths     []*middlebox.Path
+	envs      []*middlebox.Env
+	truths    []NodeTruth
+}
+
+// NewWorldSpec creates an empty spec store for a world with the given seed.
+func NewWorldSpec(seed uint64) *WorldSpec {
+	return &WorldSpec{seed: seed}
+}
+
+// Len is the recorded population size.
+func (s *WorldSpec) Len() int { return len(s.addrs) }
+
+// ZID returns the persistent identifier of node i. Identifiers are dense —
+// node i is "z%08d" of i+1 — so a zID maps back to its row without an index
+// structure.
+func (s *WorldSpec) ZID(i int) string { return fmt.Sprintf("z%08d", i+1) }
+
+// Index maps a zID back to its row, reporting false for identifiers this
+// spec never issued.
+func (s *WorldSpec) Index(zid string) (int, bool) {
+	if len(zid) != 9 || zid[0] != 'z' {
+		return 0, false
+	}
+	n := 0
+	for i := 1; i < len(zid); i++ {
+		c := zid[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	if n < 1 || n > len(s.addrs) {
+		return 0, false
+	}
+	return n - 1, true
+}
+
+// add records one node row and returns its index.
+func (s *WorldSpec) add(cc geo.CountryCode, asn geo.ASN, addr netip.Addr, resolver *dnsserver.Resolver, path *middlebox.Path) int {
+	i := len(s.addrs)
+	s.addrs = append(s.addrs, addr)
+	s.asns = append(s.asns, asn)
+	s.countries = append(s.countries, cc)
+	s.resolvers = append(s.resolvers, resolver)
+	s.paths = append(s.paths, path)
+	s.envs = append(s.envs, nil)
+	s.truths = append(s.truths, NodeTruth{})
+	return i
+}
+
+// Truth returns the mutable ground-truth record for row i.
+func (s *WorldSpec) Truth(i int) *NodeTruth { return &s.truths[i] }
+
+// Materialize builds the live exit node for row i, carrying its traffic
+// over net. Every call returns a fresh instance; all cross-pick state lives
+// in the shared resolver/path/env components.
+func (s *WorldSpec) Materialize(i int, net proxynet.Dialer) *proxynet.ExitNode {
+	return &proxynet.ExitNode{
+		ZID:      s.ZID(i),
+		Addr:     s.addrs[i],
+		ASN:      s.asns[i],
+		Country:  s.countries[i],
+		Resolver: s.resolvers[i],
+		Path:     s.paths[i],
+		Env:      s.envs[i],
+		Net:      net,
+	}
+}
+
+// SpecShard is one contiguous share of a sharded traversal of the spec,
+// with a splitmix-derived seed of its own so per-shard consumers draw from
+// decorrelated random streams and any shard's work is reproducible without
+// touching the others.
+type SpecShard struct {
+	spec *WorldSpec
+	// Index is the shard number; Start/End the half-open row range.
+	Index      int
+	Start, End int
+}
+
+// Shards splits the spec into k contiguous shards (earlier shards absorb
+// the remainder). k is clamped to [1, Len()] for non-empty specs.
+func (s *WorldSpec) Shards(k int) []SpecShard {
+	n := s.Len()
+	if k < 1 {
+		k = 1
+	}
+	if n > 0 && k > n {
+		k = n
+	}
+	out := make([]SpecShard, k)
+	for i := 0; i < k; i++ {
+		out[i] = SpecShard{spec: s, Index: i, Start: i * n / k, End: (i + 1) * n / k}
+	}
+	return out
+}
+
+// Len is the shard's row count.
+func (sh SpecShard) Len() int { return sh.End - sh.Start }
+
+// Seed is the shard's derived random-stream root.
+func (sh SpecShard) Seed() uint64 { return simnet.ShardSeed(sh.spec.seed, sh.Index) }
+
+// Each visits the shard's rows in order, handing the visitor the row
+// index; materialize what is needed via the parent spec.
+func (sh SpecShard) Each(visit func(i int)) {
+	for i := sh.Start; i < sh.End; i++ {
+		visit(i)
+	}
+}
+
+// Spec returns the parent spec.
+func (sh SpecShard) Spec() *WorldSpec { return sh.spec }
+
+// NodeHandle is the builders' reference to a recorded node: enough to set
+// the per-node components assigned after creation (interceptor path,
+// monitor env) and the ground-truth labels, without keeping a live node
+// around.
+type NodeHandle struct {
+	spec *WorldSpec
+	idx  int
+}
+
+// ZID returns the node's persistent identifier.
+func (h NodeHandle) ZID() string { return h.spec.ZID(h.idx) }
+
+// SetPath assigns the node's interceptor stack.
+func (h NodeHandle) SetPath(p *middlebox.Path) { h.spec.paths[h.idx] = p }
+
+// SetEnv assigns the node's monitor environment.
+func (h NodeHandle) SetEnv(e *middlebox.Env) { h.spec.envs[h.idx] = e }

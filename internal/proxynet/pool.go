@@ -22,6 +22,9 @@ type Pool struct {
 	// churn is the probability a selected node turns out unavailable for
 	// this attempt.
 	churn float64
+	// prepare, when set, is applied to every in-process exit node added to
+	// the pool (see NodeSource.SetPrepare).
+	prepare func(*ExitNode)
 }
 
 // NewPool creates an empty pool drawing selection randomness from rng.
@@ -41,6 +44,9 @@ func (p *Pool) Add(n Peer) error {
 	defer p.mu.Unlock()
 	if _, ok := p.byZID[n.PeerID()]; ok {
 		return fmt.Errorf("proxynet: duplicate zID %q", n.PeerID())
+	}
+	if en, ok := n.(*ExitNode); ok && p.prepare != nil {
+		p.prepare(en)
 	}
 	p.peers = append(p.peers, n)
 	p.byZID[n.PeerID()] = n
@@ -127,6 +133,22 @@ func (p *Pool) Peers() []Peer {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.peers
+}
+
+// SetPrepare implements NodeSource: the hook runs immediately on every
+// registered in-process node and on each node added afterwards.
+func (p *Pool) SetPrepare(prepare func(*ExitNode)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.prepare = prepare
+	if prepare == nil {
+		return
+	}
+	for _, peer := range p.peers {
+		if n, ok := peer.(*ExitNode); ok {
+			prepare(n)
+		}
+	}
 }
 
 // Nodes returns the in-process exit nodes in the pool. The simulated worlds

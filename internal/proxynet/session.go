@@ -11,22 +11,45 @@ import (
 // exit node (§2.3: "within 60 seconds").
 const SessionTTL = 60 * time.Second
 
-// sessionTable maps client session numbers to exit-node zIDs with a TTL.
+// sessionCap bounds the pin table. Experiment sessions are short-lived
+// (a handful of requests each) but the virtual clock may not advance during
+// a crawl, so TTL expiry alone cannot reclaim the entries; without a cap a
+// paper-scale crawl would retain one pin per session forever. The cap is
+// far larger than any plausible set of concurrently live sessions, so
+// eviction only ever removes pins that will never be consulted again.
+const sessionCap = 1 << 17
+
+// sessionTable maps client session numbers to exit-node zIDs with a TTL and
+// a FIFO size cap.
 type sessionTable struct {
 	clock simnet.Clock
 	ttl   time.Duration
+	cap   int
 
 	mu      sync.Mutex
 	entries map[string]sessionEntry
+	seq     uint64
+	// order holds insertion records for cap eviction; head is the next
+	// eviction candidate. Refreshing a pin does not move it; a slot whose
+	// seq no longer matches the live entry is stale and skipped.
+	order []sessionSlot
+	head  int
+}
+
+type sessionSlot struct {
+	key string
+	seq uint64
 }
 
 type sessionEntry struct {
 	zid     string
 	expires time.Time
+	seq     uint64
 }
 
 func newSessionTable(clock simnet.Clock) *sessionTable {
-	return &sessionTable{clock: clock, ttl: SessionTTL, entries: make(map[string]sessionEntry)}
+	return &sessionTable{clock: clock, ttl: SessionTTL, cap: sessionCap,
+		entries: make(map[string]sessionEntry)}
 }
 
 // get returns the pinned zID for key when the pin is still fresh.
@@ -47,8 +70,26 @@ func (st *sessionTable) get(key string) (string, bool) {
 // put pins key to zid, refreshing the TTL.
 func (st *sessionTable) put(key, zid string) {
 	st.mu.Lock()
-	st.entries[key] = sessionEntry{zid: zid, expires: st.clock.Now().Add(st.ttl)}
-	st.mu.Unlock()
+	defer st.mu.Unlock()
+	e, ok := st.entries[key]
+	if !ok {
+		st.seq++
+		e.seq = st.seq
+		st.order = append(st.order, sessionSlot{key: key, seq: e.seq})
+	}
+	st.entries[key] = sessionEntry{zid: zid, expires: st.clock.Now().Add(st.ttl), seq: e.seq}
+	for st.cap > 0 && len(st.entries) > st.cap && st.head < len(st.order) {
+		slot := st.order[st.head]
+		st.order[st.head] = sessionSlot{}
+		st.head++
+		if live, ok := st.entries[slot.key]; ok && live.seq == slot.seq {
+			delete(st.entries, slot.key)
+		}
+	}
+	if st.head > 0 && st.head*2 > len(st.order) {
+		st.order = append(st.order[:0], st.order[st.head:]...)
+		st.head = 0
+	}
 }
 
 // purge drops expired entries; called opportunistically.

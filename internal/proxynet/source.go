@@ -1,0 +1,204 @@
+package proxynet
+
+import (
+	"math/rand/v2"
+	"sort"
+	"sync"
+
+	"github.com/tftproject/tft/internal/geo"
+)
+
+// NodeSource is the super proxy's view of the exit-node population: country-
+// weighted random selection, zID lookup, and the advertised per-country
+// counts the §3.2 crawler proportions its sampling by. Two implementations
+// exist: *Pool (eager, every node resident) and *LazyPool (nodes
+// materialized per pick from a recorded world spec, so a paper-scale
+// population costs no idle memory per unrealized node).
+type NodeSource interface {
+	// Get returns the peer with the given zID.
+	Get(zid string) (Peer, bool)
+	// Pick selects a random available node, optionally restricted to a
+	// country, excluding zIDs the current request already tried. A false
+	// second return with a non-nil peer is the churn roll: the node was
+	// selected but is transiently unavailable for this attempt.
+	Pick(country geo.CountryCode, exclude map[string]bool) (Peer, bool)
+	// Len reports the population size.
+	Len() int
+	// CountryCounts reports the advertised node count per country.
+	CountryCounts() map[geo.CountryCode]int
+	// Countries lists countries with at least one node, sorted.
+	Countries() []geo.CountryCode
+	// Nodes materializes every in-process exit node — a test and
+	// instrumentation helper; O(population) on a LazyPool.
+	Nodes() []*ExitNode
+	// SetPrepare installs a hook applied to every exit node before it is
+	// handed out (and, for eager pools, to already-registered nodes).
+	// Instrumentation uses it to stamp tracers without the source having to
+	// know what a tracer is.
+	SetPrepare(prepare func(*ExitNode))
+}
+
+var (
+	_ NodeSource = (*Pool)(nil)
+	_ NodeSource = (*LazyPool)(nil)
+)
+
+// LazyPool selects from a population of node specs without keeping the
+// nodes resident: each pick materializes a fresh *ExitNode from the backing
+// spec store and drops it when the caller is done. All cross-pick node
+// state (resolver, interceptor path, monitor env) lives in components the
+// materializer shares between instances, so two materializations of one
+// zID behave identically. Nodes in a LazyPool are always online; churn is
+// modeled by the same per-pick roll *Pool uses.
+type LazyPool struct {
+	mu        sync.Mutex
+	rng       *rand.Rand
+	churn     float64
+	n         int
+	byCountry map[geo.CountryCode][]int32
+
+	materialize func(i int) *ExitNode
+	index       func(zid string) (int, bool)
+	prepare     func(*ExitNode)
+}
+
+// NewLazyPool creates an empty lazy pool drawing selection randomness from
+// rng. materialize builds the node for a spec index; index maps a zID back
+// to its spec index (reporting false for unknown zIDs). Both are consulted
+// under the pool lock and must not call back into the pool.
+func NewLazyPool(rng *rand.Rand, churn float64, materialize func(i int) *ExitNode, index func(zid string) (int, bool)) *LazyPool {
+	return &LazyPool{
+		rng:         rng,
+		churn:       churn,
+		byCountry:   make(map[geo.CountryCode][]int32),
+		materialize: materialize,
+		index:       index,
+	}
+}
+
+// Register records the next spec's country and returns its index. Call
+// once per spec, in spec order, while the world is being recorded.
+func (p *LazyPool) Register(cc geo.CountryCode) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	i := p.n
+	p.n++
+	p.byCountry[cc] = append(p.byCountry[cc], int32(i))
+	return i
+}
+
+// node materializes index i and applies the prepare hook. Caller holds
+// p.mu.
+func (p *LazyPool) node(i int) *ExitNode {
+	n := p.materialize(i)
+	if p.prepare != nil {
+		p.prepare(n)
+	}
+	return n
+}
+
+// Get implements NodeSource.
+func (p *LazyPool) Get(zid string) (Peer, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	i, ok := p.index(zid)
+	if !ok || i < 0 || i >= p.n {
+		return nil, false
+	}
+	return p.node(i), true
+}
+
+// Pick implements NodeSource with the same bounded-probe selection and
+// churn semantics as Pool.Pick.
+func (p *LazyPool) Pick(country geo.CountryCode, exclude map[string]bool) (Peer, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var candidates []int32
+	total := p.n
+	if country != "" {
+		candidates = p.byCountry[country]
+		total = len(candidates)
+	}
+	if total == 0 {
+		return nil, false
+	}
+	at := func(j int) int {
+		if candidates != nil {
+			return int(candidates[j])
+		}
+		return j
+	}
+	// Bounded random probing keeps selection O(1) on the fast path.
+	for probe := 0; probe < 32; probe++ {
+		i := at(p.rng.IntN(total))
+		if len(exclude) > 0 {
+			n := p.node(i)
+			if exclude[n.ZID] {
+				continue
+			}
+			if p.churn > 0 && p.rng.Float64() < p.churn {
+				return n, false
+			}
+			return n, true
+		}
+		if p.churn > 0 && p.rng.Float64() < p.churn {
+			return p.node(i), false
+		}
+		return p.node(i), true
+	}
+	// Dense exclusion: fall back to a scan.
+	for j := 0; j < total; j++ {
+		n := p.node(at(j))
+		if !exclude[n.ZID] {
+			return n, true
+		}
+	}
+	return nil, false
+}
+
+// Len implements NodeSource.
+func (p *LazyPool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.n
+}
+
+// CountryCounts implements NodeSource.
+func (p *LazyPool) CountryCounts() map[geo.CountryCode]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[geo.CountryCode]int, len(p.byCountry))
+	for cc, idx := range p.byCountry {
+		out[cc] = len(idx)
+	}
+	return out
+}
+
+// Countries implements NodeSource.
+func (p *LazyPool) Countries() []geo.CountryCode {
+	counts := p.CountryCounts()
+	out := make([]geo.CountryCode, 0, len(counts))
+	for cc := range counts {
+		out = append(out, cc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Nodes implements NodeSource by materializing the full population.
+func (p *LazyPool) Nodes() []*ExitNode {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*ExitNode, p.n)
+	for i := range out {
+		out[i] = p.node(i)
+	}
+	return out
+}
+
+// SetPrepare implements NodeSource.
+func (p *LazyPool) SetPrepare(prepare func(*ExitNode)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.prepare = prepare
+}

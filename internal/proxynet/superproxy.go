@@ -101,8 +101,9 @@ func ParseUsername(u string) Params {
 type SuperProxy struct {
 	// Addr is the proxy's own address.
 	Addr netip.Addr
-	// Pool supplies exit nodes.
-	Pool *Pool
+	// Pool supplies exit nodes — eager (*Pool) or lazily materialized
+	// (*LazyPool).
+	Pool NodeSource
 	// Resolver performs the super proxy's DNS resolution (Google's service;
 	// its egress is pinned so the d2 gate can whitelist it).
 	Resolver *dnsserver.Resolver
@@ -149,7 +150,7 @@ func (sp *SuperProxy) connectPort() uint16 {
 }
 
 // NewSuperProxy assembles a super proxy.
-func NewSuperProxy(addr netip.Addr, pool *Pool, resolver *dnsserver.Resolver, clock simnet.Clock) *SuperProxy {
+func NewSuperProxy(addr netip.Addr, pool NodeSource, resolver *dnsserver.Resolver, clock simnet.Clock) *SuperProxy {
 	return &SuperProxy{Addr: addr, Pool: pool, Resolver: resolver, Clock: clock, sessions: newSessionTable(clock)}
 }
 

@@ -53,7 +53,7 @@ func (r *Results) Compare() []Comparison {
 		add("§4.4", "hijacks attributed to middlebox/software", "2.7%",
 			fmt.Sprintf("%.1f%%", oth), oth > 0.5 && oth < 6*loose)
 	}
-	t3 := r.DNS.Analysis.Table3(1)
+	_, t3 := r.DNS.Analysis.Table3(1)
 	topIsMalaysia := len(t3.Rows) > 0 && t3.Rows[0][1] == "Malaysia"
 	add("Table 3", "most-hijacked country", "Malaysia (52.3%)", topCountry(t3), topIsMalaysia)
 	heavy := r.DNS.Analysis.GoogleHeavyASes(0.8)

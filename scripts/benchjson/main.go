@@ -111,15 +111,17 @@ func nextIndex() int {
 
 func run() error {
 	var (
-		bench     = flag.String("bench", "ExperimentRun|Table|Summary|Pipe", "benchmark regexp passed to go test")
+		bench     = flag.String("bench", "ExperimentRun|Table|Summary|Pipe|FullScale", "benchmark regexp passed to go test")
 		benchtime = flag.String("benchtime", "1x", "benchtime passed to go test")
 		pkgs      = flag.String("pkgs", ". ./internal/simnet", "space-separated package list")
 		out       = flag.String("out", "", "output file (default next free BENCH_<n>.json)")
 	)
 	flag.Parse()
 
+	// The full-scale DNS benchmark alone takes minutes; give the suite
+	// headroom beyond go test's default 10m package timeout.
 	args := append([]string{"test", "-run=NONE", "-bench=" + *bench,
-		"-benchtime=" + *benchtime, "-benchmem"}, strings.Fields(*pkgs)...)
+		"-benchtime=" + *benchtime, "-benchmem", "-timeout=30m"}, strings.Fields(*pkgs)...)
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
 	raw, err := cmd.Output()

@@ -16,4 +16,7 @@ go test -run=NONE -fuzz=FuzzUsernameRoundTrip -fuzztime=5s ./internal/proxynet
 go test -run=NONE -fuzz='FuzzUnmarshal$' -fuzztime=5s ./internal/cert
 go test -run=NONE -bench=Crawl -benchtime=1x ./...
 go test -run=NONE -bench=Pipe -benchtime=1x -benchmem ./internal/simnet
+# Small-K shard-merge smoke: per-shard sinks and aggregate Merge must
+# reproduce the unsharded tables byte-for-byte.
+go test -run='TestDNSShardSinksMergeCanonically|TestDNSMergePartialsMatchUnsharded' .
 go run ./scripts/promsmoke

@@ -7,7 +7,8 @@
 // Quick start:
 //
 //	run, err := tft.RunDNS(context.Background(), tft.Options{Seed: 1, Scale: 0.05})
-//	fmt.Println(run.Analysis.Table3(10))
+//	_, t3 := run.Analysis.Table3(10)
+//	fmt.Println(t3)
 //
 // Scale 1.0 reproduces full paper scale (1.27M nodes across the four
 // experiments); the default 0.05 runs in seconds on a laptop with the same
@@ -32,6 +33,7 @@ import (
 	"github.com/tftproject/tft/internal/dataset"
 	"github.com/tftproject/tft/internal/metrics"
 	"github.com/tftproject/tft/internal/population"
+	"github.com/tftproject/tft/internal/proxynet"
 	"github.com/tftproject/tft/internal/trace"
 )
 
@@ -61,12 +63,19 @@ func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = 20160413
 	}
-	// An explicitly-set Crawl.Workers wins; Options.Workers is the
-	// convenience knob for callers who leave Crawl untouched.
-	if o.Workers > 0 && o.Crawl.Workers == 0 {
-		o.Crawl.Workers = o.Workers
-	}
+	o.Crawl.Workers = resolveWorkers(o.Workers, o.Crawl.Workers)
 	return o
+}
+
+// resolveWorkers collapses the Options.Workers vs Crawl.Workers precedence
+// into one place: an explicitly-set Crawl.Workers wins, Options.Workers is
+// the convenience knob for callers who leave Crawl untouched, and zero
+// defers to the crawl engine's default.
+func resolveWorkers(optWorkers, crawlWorkers int) int {
+	if crawlWorkers > 0 {
+		return crawlWorkers
+	}
+	return optWorkers
 }
 
 // instrument ensures the run has a metrics registry and a span tracer, and
@@ -88,11 +97,12 @@ func (o *Options) instrument(w *population.World) *metrics.Registry {
 		w.Super.Tracer = o.Crawl.Tracer
 	}
 	if w != nil && w.Pool != nil {
-		for _, n := range w.Pool.Nodes() {
+		tracer := o.Crawl.Tracer
+		w.Pool.SetPrepare(func(n *proxynet.ExitNode) {
 			if n.Tracer == nil {
-				n.Tracer = o.Crawl.Tracer
+				n.Tracer = tracer
 			}
-		}
+		})
 	}
 	return o.Crawl.Metrics
 }
@@ -123,9 +133,11 @@ type Run interface {
 	// Overview is the run's Table-2 coverage row.
 	Overview() analysis.DatasetOverview
 
-	// writeDataset and writeGeo serialize the run for the release dump.
-	writeDataset(w io.Writer) error
-	writeGeo(w io.Writer) error
+	// WriteDataset and WriteGeo serialize the run and its geo snapshot for
+	// the release dump — the exported surface cmd/analyze and external
+	// consumers rebuild every table from.
+	WriteDataset(w io.Writer) error
+	WriteGeo(w io.Writer) error
 }
 
 // DNSRun bundles the §4 experiment's world, dataset, and analysis.
@@ -166,8 +178,10 @@ func (r *DNSRun) Name() string { return "dns" }
 
 // Tables renders the run's paper artifacts.
 func (r *DNSRun) Tables() []*analysis.Table {
+	_, t3 := r.Analysis.Table3(10)
+	_, t4 := r.Analysis.Table4()
 	_, t5 := r.Analysis.Table5()
-	return []*analysis.Table{r.Analysis.Table3(10), r.Analysis.Table4(), t5}
+	return []*analysis.Table{t3, t4, t5}
 }
 
 // Stats summarises the crawl.
@@ -198,11 +212,11 @@ func (r *DNSRun) Overview() analysis.DatasetOverview {
 		Nodes: s.MeasuredNodes + s.FilteredAnycast, ASes: s.ASes, Countries: s.Countries}
 }
 
-func (r *DNSRun) writeDataset(w io.Writer) error {
+func (r *DNSRun) WriteDataset(w io.Writer) error {
 	return dataset.WriteDNS(w, r.Opts.Seed, r.Opts.Scale, r.Dataset)
 }
 
-func (r *DNSRun) writeGeo(w io.Writer) error {
+func (r *DNSRun) WriteGeo(w io.Writer) error {
 	return dataset.WriteGeo(w, r.Opts.Seed, r.Opts.Scale, r.World.Geo)
 }
 
@@ -275,11 +289,11 @@ func (r *HTTPRun) Overview() analysis.DatasetOverview {
 		Nodes: s.MeasuredNodes, ASes: s.ASes, Countries: s.Countries}
 }
 
-func (r *HTTPRun) writeDataset(w io.Writer) error {
+func (r *HTTPRun) WriteDataset(w io.Writer) error {
 	return dataset.WriteHTTP(w, r.Opts.Seed, r.Opts.Scale, r.Dataset)
 }
 
-func (r *HTTPRun) writeGeo(w io.Writer) error {
+func (r *HTTPRun) WriteGeo(w io.Writer) error {
 	return dataset.WriteGeo(w, r.Opts.Seed, r.Opts.Scale, r.World.Geo)
 }
 
@@ -352,11 +366,11 @@ func (r *TLSRun) Overview() analysis.DatasetOverview {
 		Nodes: s.MeasuredNodes, ASes: s.ASes, Countries: s.Countries}
 }
 
-func (r *TLSRun) writeDataset(w io.Writer) error {
+func (r *TLSRun) WriteDataset(w io.Writer) error {
 	return dataset.WriteTLS(w, r.Opts.Seed, r.Opts.Scale, r.Dataset)
 }
 
-func (r *TLSRun) writeGeo(w io.Writer) error {
+func (r *TLSRun) WriteGeo(w io.Writer) error {
 	return dataset.WriteGeo(w, r.Opts.Seed, r.Opts.Scale, r.World.Geo)
 }
 
@@ -401,7 +415,8 @@ func (r *MonitorRun) Name() string { return "monitor" }
 // Tables renders the run's paper artifacts.
 func (r *MonitorRun) Tables() []*analysis.Table {
 	_, t9 := r.Analysis.Table9(6)
-	return []*analysis.Table{t9, r.Analysis.Figure5Table(6)}
+	_, f5 := r.Analysis.Figure5Table(6)
+	return []*analysis.Table{t9, f5}
 }
 
 // Stats summarises the crawl.
@@ -428,11 +443,11 @@ func (r *MonitorRun) Overview() analysis.DatasetOverview {
 		Nodes: s.MeasuredNodes, ASes: ases, Countries: countries}
 }
 
-func (r *MonitorRun) writeDataset(w io.Writer) error {
+func (r *MonitorRun) WriteDataset(w io.Writer) error {
 	return dataset.WriteMonitor(w, r.Opts.Seed, r.Opts.Scale, r.Dataset)
 }
 
-func (r *MonitorRun) writeGeo(w io.Writer) error {
+func (r *MonitorRun) WriteGeo(w io.Writer) error {
 	return dataset.WriteGeo(w, r.Opts.Seed, r.Opts.Scale, r.World.Geo)
 }
 
@@ -521,11 +536,11 @@ func (r *SMTPRun) Overview() analysis.DatasetOverview {
 		Nodes: s.MeasuredNodes, ASes: len(aset), Countries: len(cset)}
 }
 
-func (r *SMTPRun) writeDataset(w io.Writer) error {
+func (r *SMTPRun) WriteDataset(w io.Writer) error {
 	return dataset.WriteSMTP(w, r.Opts.Seed, r.Opts.Scale, r.Dataset)
 }
 
-func (r *SMTPRun) writeGeo(w io.Writer) error {
+func (r *SMTPRun) WriteGeo(w io.Writer) error {
 	return dataset.WriteGeo(w, r.Opts.Seed, r.Opts.Scale, r.World.Geo)
 }
 
@@ -597,10 +612,10 @@ func (r *Results) Dump(dir string) error {
 		if run.Name() == "dns" {
 			geoName = "geo.jsonl"
 		}
-		if err := write(geoName, run.writeGeo); err != nil {
+		if err := write(geoName, run.WriteGeo); err != nil {
 			return err
 		}
-		if err := write(run.Name()+".jsonl", run.writeDataset); err != nil {
+		if err := write(run.Name()+".jsonl", run.WriteDataset); err != nil {
 			return err
 		}
 	}

@@ -127,8 +127,10 @@ func TestDumpAndReanalyze(t *testing.T) {
 		t.Fatalf("attribution diverged: %v vs %v", got.Attribution, live.Attribution)
 	}
 	// Table 4 regenerates identically.
-	liveT4 := res.DNS.Analysis.Table4().String()
-	reT4 := reloaded.Table4().String()
+	_, liveTable4 := res.DNS.Analysis.Table4()
+	_, reTable4 := reloaded.Table4()
+	liveT4 := liveTable4.String()
+	reT4 := reTable4.String()
 	if liveT4 != reT4 {
 		t.Fatalf("Table 4 diverged:\n%s\nvs\n%s", liveT4, reT4)
 	}
