@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test race bench benchjson fuzz
+.PHONY: check vet lint build test race bench benchjson benchdiff fuzz progress-smoke
 
-check: vet lint build race bench fuzz
+check: vet lint build race bench fuzz progress-smoke benchdiff
 
 vet:
 	$(GO) vet ./...
@@ -44,3 +44,16 @@ fuzz:
 # -benchmem and writes BENCH_6.json for the perf trajectory.
 benchjson:
 	$(GO) run ./scripts/benchjson -out BENCH_6.json
+
+# Compare the newest two BENCH_<n>.json files and warn on >15% ns/op or
+# peak-heap regressions. Soft gate: historical BENCH files span machines,
+# so cross-host noise is expected; run `make benchjson` twice on one host
+# for an enforceable comparison.
+benchdiff:
+	$(GO) run ./scripts/benchdiff || echo "benchdiff: WARNING: benchmark regression detected (see delta table above)" >&2
+
+# Flight-recorder smoke: a short DNS crawl with -progress and
+# -progress-jsonl must stream parseable checkpoints and finish with a
+# manifest whose node count matches the run's own headline.
+progress-smoke:
+	$(GO) run ./scripts/progresssmoke

@@ -15,7 +15,6 @@ import (
 	"context"
 	"io"
 	"net/netip"
-	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -26,6 +25,8 @@ import (
 	"github.com/tftproject/tft/internal/dataset"
 	"github.com/tftproject/tft/internal/metrics"
 	"github.com/tftproject/tft/internal/population"
+	"github.com/tftproject/tft/internal/progress"
+	"github.com/tftproject/tft/internal/simnet"
 	"github.com/tftproject/tft/internal/tlssim"
 )
 
@@ -701,40 +702,28 @@ func BenchmarkFullScaleDNS(b *testing.B) {
 		exp.Crawl.Now = time.Now
 		exp.InstallRules(population.WebIP)
 
-		stopSampling := make(chan struct{})
-		var peak uint64
-		var sampler sync.WaitGroup
-		sampler.Add(1)
-		go func() {
-			defer sampler.Done()
-			//tftlint:ignore simclock -- benchmark-only heap-sampling cadence; no measured output depends on it
-			tick := time.NewTicker(50 * time.Millisecond)
-			defer tick.Stop()
-			var ms runtime.MemStats
-			for {
-				select {
-				case <-stopSampling:
-					return
-				case <-tick.C:
-					runtime.ReadMemStats(&ms)
-					if ms.HeapAlloc > peak {
-						peak = ms.HeapAlloc
-					}
-				}
-			}
-		}()
+		// The flight recorder doubles as the benchmark's heap sampler: the
+		// tracker's watermarks record peak heap while the sampler drives
+		// the 50ms cadence on the wall clock.
+		tracker := progress.NewTracker()
+		exp.Crawl.Progress = tracker
+		sampler := &progress.Sampler{
+			Tracker:  tracker,
+			Clock:    simnet.Real{},
+			Interval: 50 * time.Millisecond,
+		}
+		if err := sampler.Start(); err != nil {
+			b.Fatal(err)
+		}
 
 		ds, err := exp.Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
-		close(stopSampling)
-		sampler.Wait()
-		var ms runtime.MemStats
-		runtime.ReadMemStats(&ms)
-		if ms.HeapAlloc > peak {
-			peak = ms.HeapAlloc
+		if err := sampler.Stop(); err != nil {
+			b.Fatal(err)
 		}
+		peak := tracker.CaptureWatermarks().PeakHeapBytes
 
 		merged := shardAgg[0]
 		for _, a := range shardAgg[1:] {

@@ -7,6 +7,8 @@
 //	    [-scale 0.05] [-seed N] [-workers 8] [-report]
 //	    [-metrics] [-metrics-json] [-events-json] [-events-kind violation]
 //	    [-trace out.json] [-trace-jsonl out.jsonl]
+//	    [-progress] [-progress-jsonl out.jsonl] [-progress-interval 1s]
+//	    [-stall-after 2m] [-status-addr :8080]
 //
 // -scale 1.0 reproduces full paper scale (1.27M nodes across experiments);
 // expect minutes of runtime and several GB of memory. The default 5% runs
@@ -22,6 +24,14 @@
 // ui.perfetto.dev or chrome://tracing to see each probe's client → super
 // proxy → exit node span tree. -trace-jsonl writes the same spans one JSON
 // object per line for grep/jq pipelines.
+//
+// -progress attaches the flight recorder and rewrites a live stderr line
+// (done/total, throughput, ETA, heap, goroutines). -progress-jsonl streams
+// every checkpoint sample — plus watchdog stall reports and the final
+// per-run manifests — as JSONL for offline analysis; -progress-interval
+// sets the sampling cadence and -stall-after arms the stall watchdog (0
+// disables it). -status-addr serves the statusz introspection surface,
+// including /progressz, while the campaign runs.
 package main
 
 import (
@@ -38,6 +48,9 @@ import (
 	tft "github.com/tftproject/tft"
 	"github.com/tftproject/tft/internal/analysis"
 	"github.com/tftproject/tft/internal/metrics"
+	"github.com/tftproject/tft/internal/progress"
+	"github.com/tftproject/tft/internal/simnet"
+	"github.com/tftproject/tft/internal/statusz"
 	"github.com/tftproject/tft/internal/trace"
 )
 
@@ -74,6 +87,12 @@ func main() {
 		eventsKind  = flag.String("events-kind", "", "filter -events-json to one event kind (e.g. violation)")
 		traceOut    = flag.String("trace", "", "write all runs' spans as Chrome trace_event JSON to this file")
 		traceJSONL  = flag.String("trace-jsonl", "", "write all runs' spans as JSONL to this file")
+
+		showProgress  = flag.Bool("progress", false, "rewrite a live progress line on stderr while the crawl runs")
+		progressJSONL = flag.String("progress-jsonl", "", "stream flight-recorder checkpoints and run manifests as JSONL to this file")
+		progressEvery = flag.Duration("progress-interval", time.Second, "flight-recorder sampling interval")
+		stallAfter    = flag.Duration("stall-after", 2*time.Minute, "report a stall when no shard progresses for this long (0 disables the watchdog)")
+		statusAddr    = flag.String("status-addr", "", "serve the statusz introspection surface (incl. /progressz) on this address while running")
 	)
 	flag.Parse()
 
@@ -82,7 +101,7 @@ func main() {
 		k, ok := metrics.ParseEventKind(*eventsKind)
 		if !ok {
 			var names []string
-			for kk := metrics.EventSessionStarted; kk <= metrics.EventCrawlStopped; kk++ {
+			for _, kk := range metrics.EventKinds() {
 				names = append(names, kk.String())
 			}
 			sort.Strings(names)
@@ -98,7 +117,47 @@ func main() {
 	//tftlint:ignore simclock -- operator-facing wall-clock timing of the CLI run; never part of measured output
 	start := time.Now()
 
+	// The flight recorder: one shared tracker + registry across every run
+	// in the campaign, sampled on the wall clock (the operator is watching
+	// real time, even though the crawl inside runs on virtual time).
+	var (
+		sampler  *progress.Sampler
+		ckptFile *os.File
+	)
+	if *showProgress || *progressJSONL != "" || *statusAddr != "" {
+		tracker := progress.NewTracker()
+		reg := metrics.NewRegistry()
+		opts.Crawl.Progress = tracker
+		opts.Crawl.Metrics = reg
+		sampler = &progress.Sampler{
+			Tracker:    tracker,
+			Clock:      simnet.Real{},
+			Interval:   *progressEvery,
+			Metrics:    reg,
+			StallAfter: *stallAfter,
+		}
+		if *progressJSONL != "" {
+			f, err := os.Create(*progressJSONL)
+			exitOn(err)
+			ckptFile = f
+			sampler.Checkpoint = f
+		}
+		if *showProgress {
+			sampler.OnSample = func(sm progress.Sample) {
+				fmt.Fprintf(os.Stderr, "\r\033[K%s", progressLine(sm))
+			}
+		}
+		exitOn(sampler.Start())
+		if *statusAddr != "" {
+			srv := &statusz.Server{Metrics: reg, Progress: tracker}
+			addr, err := srv.Start(*statusAddr)
+			exitOn(err)
+			fmt.Fprintf(os.Stderr, "statusz listening on http://%s/progressz\n", addr)
+		}
+	}
+
 	var allSpans []trace.SpanData
+	var manifests []*progress.RunManifest
 	printRun := func(run tft.Run) {
 		fmt.Println(run.Headline())
 		for _, t := range run.Tables() {
@@ -122,6 +181,9 @@ func main() {
 			}
 		}
 		allSpans = append(allSpans, run.Spans()...)
+		if m := run.Manifest(); m != nil {
+			manifests = append(manifests, m)
+		}
 	}
 
 	switch *experiment {
@@ -165,6 +227,24 @@ func main() {
 		printRun(run)
 	}
 
+	if sampler != nil {
+		// Stop takes one final sample, so even a sub-interval run leaves a
+		// complete checkpoint trail.
+		exitOn(sampler.Stop())
+		if *showProgress {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+	if ckptFile != nil {
+		// Manifests ride the same stream as the samples: "type":"manifest"
+		// lines close out the file, one per run.
+		for _, m := range manifests {
+			exitOn(m.WriteLine(ckptFile))
+		}
+		exitOn(ckptFile.Close())
+		fmt.Printf("flight recorder (%d manifests) written to %s\n", len(manifests), *progressJSONL)
+	}
+
 	if *traceOut != "" {
 		exitOn(writeFile(*traceOut, allSpans, trace.WriteChromeTrace))
 		fmt.Printf("chrome trace (%d spans) written to %s — open at ui.perfetto.dev\n",
@@ -176,6 +256,30 @@ func main() {
 	}
 	//tftlint:ignore simclock -- operator-facing wall-clock timing of the CLI run; never part of measured output
 	fmt.Printf("completed in %v (scale %.3f, seed %d)\n", time.Since(start).Round(time.Millisecond), *scale, *seed)
+}
+
+// progressLine renders one sample as the -progress stderr line.
+func progressLine(sm progress.Sample) string {
+	var b strings.Builder
+	if sm.Experiment != "" {
+		fmt.Fprintf(&b, "[%s] ", sm.Experiment)
+	}
+	if sm.Total > 0 {
+		fmt.Fprintf(&b, "%d/%d nodes (%.1f%%)", sm.Done, sm.Total,
+			100*float64(sm.Done)/float64(sm.Total))
+	} else {
+		fmt.Fprintf(&b, "%d nodes", sm.Done)
+	}
+	fmt.Fprintf(&b, " | %.0f probes/s", sm.ProbesPerSec)
+	if sm.ETASeconds >= 0 {
+		fmt.Fprintf(&b, " | eta %s", (time.Duration(sm.ETASeconds) * time.Second).Round(time.Second))
+	}
+	fmt.Fprintf(&b, " | heap %dMB | %d goroutines",
+		sm.Watermarks.HeapBytes>>20, sm.Watermarks.Goroutines)
+	if sm.Stalled {
+		b.WriteString(" | STALLED")
+	}
+	return b.String()
 }
 
 // writeFile renders spans with the given exporter into path ("-" means

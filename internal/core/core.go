@@ -30,6 +30,7 @@ import (
 
 	"github.com/tftproject/tft/internal/geo"
 	"github.com/tftproject/tft/internal/metrics"
+	"github.com/tftproject/tft/internal/progress"
 	"github.com/tftproject/tft/internal/trace"
 )
 
@@ -105,6 +106,11 @@ type CrawlConfig struct {
 	// root span whose context the proxy chain's spans parent under,
 	// yielding a complete per-request trace tree. Nil disables tracing.
 	Tracer *trace.Tracer
+	// Progress, when non-nil, is the flight recorder: the crawler reports
+	// each issued probe and the drivers report per-shard outcomes into it,
+	// so a Sampler can expose live done/total, rates, and ETA while the
+	// crawl runs. Nil disables progress reporting.
+	Progress *progress.Tracker
 	// Now, when non-nil, timestamps each probe so its duration feeds the
 	// probe_duration_seconds histogram. Simulated runs inject the world's
 	// virtual clock; benchmarks may inject a wall clock to measure real
@@ -334,6 +340,14 @@ func (c *crawler) traceProbe(ctx context.Context, name string, cc geo.CountryCod
 // sharded consumer of runWorkers must size its sinks for.
 func (c *crawler) workers() int { return c.cfg.Workers }
 
+// beginProgress announces the crawl to the flight recorder: the experiment
+// name, the node population (the ETA denominator — the service-reported
+// country weights the crawl works through), and the shard count. Drivers
+// call it once, right after newCrawler.
+func (c *crawler) beginProgress(experiment string) {
+	c.cfg.Progress.Begin(experiment, int64(c.totalW), c.cfg.Workers)
+}
+
 // runWorkers drives measure() from cfg.Workers goroutines until the crawl
 // stops or ctx is cancelled. measure is called with the worker's shard
 // index, a country, and a session ID, and must do its own recording; a
@@ -352,6 +366,7 @@ func (c *crawler) runWorkers(ctx context.Context, measure func(shard int, cc geo
 				if !ok {
 					return
 				}
+				c.cfg.Progress.Probe(shard)
 				if c.cfg.Now == nil {
 					measure(shard, cc, sess)
 					continue

@@ -113,6 +113,8 @@ func (e *DNSExperiment) Run(ctx context.Context) (*DNSDataset, error) {
 		e.Budget.Metrics = m
 	}
 	cr := newCrawler(e.Crawl, e.Weights, simnet.SubRand(e.Seed, "crawl/dns"))
+	cr.beginProgress("dns")
+	prog := e.Crawl.Progress
 	ds := &DNSDataset{}
 	shards := newShardSinks[*DNSObservation](cr.workers())
 
@@ -127,10 +129,12 @@ func (e *DNSExperiment) Run(ctx context.Context) (*DNSDataset, error) {
 		sink := &shards[shard]
 		switch outcome {
 		case outcomeOK:
+			prog.Done(shard)
 			if obs.SharedAnycast {
 				m.Counter("dns_shared_anycast_total").Inc()
 			}
 			if obs.Hijacked {
+				prog.Violation(shard)
 				m.Counter("dns_hijacked_total").Inc()
 				m.Record(metrics.Event{Kind: metrics.EventViolation,
 					Session: sess, ZID: obs.ZID, Country: string(obs.Country),
@@ -144,11 +148,14 @@ func (e *DNSExperiment) Run(ctx context.Context) (*DNSDataset, error) {
 			}
 		case outcomeFailed:
 			sink.failures++
+			prog.Fail(shard)
 			m.Counter("crawl_failures_total").Inc()
 		case outcomeDuplicate:
 			sink.duplicates++
+			prog.Duplicate(shard)
 		case outcomeDiscarded:
 			sink.discarded++
+			prog.Discard(shard)
 			m.Counter("crawl_discarded_total").Inc()
 		}
 	})

@@ -138,6 +138,8 @@ func (e *HTTPExperiment) Run(ctx context.Context) (*HTTPDataset, error) {
 		e.Budget.Metrics = m
 	}
 	cr := newCrawler(e.Crawl, e.Weights, simnet.SubRand(e.Seed, "crawl/http"))
+	cr.beginProgress("http")
+	prog := e.Crawl.Progress
 	ds := &HTTPDataset{}
 	shards := newShardSinks[*HTTPObservation](cr.workers())
 	// The AS sampling quota is inherently global — every shard consults it
@@ -158,6 +160,7 @@ func (e *HTTPExperiment) Run(ctx context.Context) (*HTTPDataset, error) {
 		sink := &shards[shard]
 		switch oc {
 		case outcomeOK:
+			prog.Done(shard)
 			sink.obs = append(sink.obs, obs)
 			for _, res := range obs.Objects {
 				m.Labeled("http_object_outcomes").Inc(res.Outcome.String())
@@ -169,6 +172,7 @@ func (e *HTTPExperiment) Run(ctx context.Context) (*HTTPDataset, error) {
 			}
 			mu.Unlock()
 			if obs.AnyModified() {
+				prog.Violation(shard)
 				m.Counter("http_modified_total").Inc()
 				m.Record(metrics.Event{Kind: metrics.EventViolation,
 					Session: sess, ZID: obs.ZID, Country: string(obs.Country),
@@ -176,11 +180,14 @@ func (e *HTTPExperiment) Run(ctx context.Context) (*HTTPDataset, error) {
 			}
 		case outcomeFailed:
 			sink.failures++
+			prog.Fail(shard)
 			m.Counter("crawl_failures_total").Inc()
 		case outcomeDuplicate:
 			sink.duplicates++
+			prog.Duplicate(shard)
 		case outcomeDiscarded:
 			sink.discarded++
+			prog.Discard(shard)
 			m.Counter("http_quota_skipped_total").Inc()
 		}
 	})

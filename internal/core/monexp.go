@@ -102,6 +102,8 @@ func (e *MonitorExperiment) Run(ctx context.Context) (*MonDataset, error) {
 		e.Budget.Metrics = m
 	}
 	cr := newCrawler(e.Crawl, e.Weights, simnet.SubRand(e.Seed, "crawl/mon"))
+	cr.beginProgress("monitor")
+	prog := e.Crawl.Progress
 	ds := &MonDataset{}
 	shards := newShardSinks[*MonObservation](cr.workers())
 
@@ -116,12 +118,15 @@ func (e *MonitorExperiment) Run(ctx context.Context) (*MonDataset, error) {
 		sink := &shards[shard]
 		switch oc {
 		case outcomeOK:
+			prog.Done(shard)
 			sink.obs = append(sink.obs, obs)
 		case outcomeFailed:
 			sink.failures++
+			prog.Fail(shard)
 			m.Counter("crawl_failures_total").Inc()
 		case outcomeDuplicate:
 			sink.duplicates++
+			prog.Duplicate(shard)
 		}
 	})
 	ds.Observations, ds.Failures, ds.Duplicates, _ =
@@ -135,6 +140,9 @@ func (e *MonitorExperiment) Run(ctx context.Context) (*MonDataset, error) {
 	for _, obs := range ds.Observations {
 		e.collect(obs)
 		if obs.Monitored() {
+			// The watch-window collection runs after the crawl, outside any
+			// worker shard; violations land on shard 0.
+			prog.Violation(0)
 			m.Counter("monitor_monitored_total").Inc()
 			m.Counter("monitor_unexpected_requests_total").Add(int64(len(obs.Unexpected)))
 			m.Record(metrics.Event{Kind: metrics.EventViolation,

@@ -59,6 +59,8 @@ type SMTPExperiment struct {
 func (e *SMTPExperiment) Run(ctx context.Context) (*SMTPDataset, error) {
 	m := e.Crawl.Metrics
 	cr := newCrawler(e.Crawl, e.Weights, simnet.SubRand(e.Seed, "crawl/smtp"))
+	cr.beginProgress("smtp")
+	prog := e.Crawl.Progress
 	ds := &SMTPDataset{}
 	shards := newShardSinks[*SMTPObservation](cr.workers())
 	cr.runWorkers(ctx, func(shard int, cc geo.CountryCode, sess string) {
@@ -72,10 +74,12 @@ func (e *SMTPExperiment) Run(ctx context.Context) (*SMTPDataset, error) {
 		sink := &shards[shard]
 		switch oc {
 		case outcomeOK:
+			prog.Done(shard)
 			sink.obs = append(sink.obs, obs)
 			if obs.Blocked {
 				m.Counter("smtp_blocked_total").Inc()
 			} else if !obs.StartTLS {
+				prog.Violation(shard)
 				m.Counter("smtp_stripped_total").Inc()
 				m.Record(metrics.Event{Kind: metrics.EventViolation,
 					Session: sess, ZID: obs.ZID, Country: string(obs.Country),
@@ -83,9 +87,11 @@ func (e *SMTPExperiment) Run(ctx context.Context) (*SMTPDataset, error) {
 			}
 		case outcomeFailed:
 			sink.failures++
+			prog.Fail(shard)
 			m.Counter("crawl_failures_total").Inc()
 		case outcomeDuplicate:
 			sink.duplicates++
+			prog.Duplicate(shard)
 		}
 	})
 	ds.Observations, ds.Failures, ds.Duplicates, _ =

@@ -134,6 +134,8 @@ func (e *TLSExperiment) Run(ctx context.Context) (*TLSDataset, error) {
 		e.Budget.Metrics = m
 	}
 	cr := newCrawler(e.Crawl, e.Weights, simnet.SubRand(e.Seed, "crawl/tls"))
+	cr.beginProgress("tls")
+	prog := e.Crawl.Progress
 	ds := &TLSDataset{}
 	e.probes = &ds.Probes
 	shards := newShardSinks[*TLSObservation](cr.workers())
@@ -149,11 +151,13 @@ func (e *TLSExperiment) Run(ctx context.Context) (*TLSDataset, error) {
 		sink := &shards[shard]
 		switch oc {
 		case outcomeOK:
+			prog.Done(shard)
 			sink.obs = append(sink.obs, obs)
 			if obs.Phase2 {
 				m.Counter("tls_phase2_total").Inc()
 			}
 			if obs.AnyReplaced() {
+				prog.Violation(shard)
 				m.Counter("tls_replaced_total").Inc()
 				m.Record(metrics.Event{Kind: metrics.EventViolation,
 					Session: sess, ZID: obs.ZID, Country: string(obs.Country),
@@ -161,11 +165,14 @@ func (e *TLSExperiment) Run(ctx context.Context) (*TLSDataset, error) {
 			}
 		case outcomeFailed:
 			sink.failures++
+			prog.Fail(shard)
 			m.Counter("crawl_failures_total").Inc()
 		case outcomeDuplicate:
 			sink.duplicates++
+			prog.Duplicate(shard)
 		case outcomeDiscarded:
 			sink.discarded++
+			prog.Discard(shard)
 			m.Counter("crawl_discarded_total").Inc()
 		}
 	})

@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// The Quantile interpolation contract, case by case (see the doc comment on
+// HistogramSnapshot.Quantile for the prose version).
+func TestQuantileEdgeCases(t *testing.T) {
+	mk := func(bounds []float64, counts []int64) HistogramSnapshot {
+		var total int64
+		for _, c := range counts {
+			total += c
+		}
+		return HistogramSnapshot{Bounds: bounds, Counts: counts, Count: total}
+	}
+	cases := []struct {
+		name string
+		h    HistogramSnapshot
+		q    float64
+		want float64
+	}{
+		{"empty histogram", mk([]float64{1, 2}, []int64{0, 0, 0}), 0.5, 0},
+		{"no bounds", HistogramSnapshot{Count: 5}, 0.5, 0},
+
+		// Single bucket holding everything: interpolation spans [0, bound].
+		{"single bucket q=0.5", mk([]float64{10}, []int64{4, 0}), 0.5, 5},
+		{"single bucket q=0", mk([]float64{10}, []int64{4, 0}), 0, 0},
+		{"single bucket q=1", mk([]float64{10}, []int64{4, 0}), 1, 10},
+
+		// q clamps rather than erroring.
+		{"q below range", mk([]float64{10}, []int64{4, 0}), -3, 0},
+		{"q above range", mk([]float64{10}, []int64{4, 0}), 7, 10},
+		{"q NaN-adjacent small", mk([]float64{10}, []int64{4, 0}), 1e-12, 0},
+
+		// Empty buckets are skipped: all mass in the second bucket, so every
+		// rank interpolates within (1, 2].
+		{"skip empty first bucket q=0", mk([]float64{1, 2}, []int64{0, 10, 0}), 0, 1},
+		{"skip empty first bucket q=0.5", mk([]float64{1, 2}, []int64{0, 10, 0}), 0.5, 1.5},
+
+		// Mass split across buckets: rank 3 of 4 is halfway through the
+		// second bucket's two observations.
+		{"two buckets q=0.75", mk([]float64{1, 2}, []int64{2, 2, 0}), 0.75, 1.5},
+
+		// Overflow bucket clamps to the last bound.
+		{"overflow q=1", mk([]float64{1, 2}, []int64{1, 1, 3}), 1, 2},
+		{"all overflow", mk([]float64{1, 2}, []int64{0, 0, 5}), 0.5, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.h.Quantile(tc.q)
+			if math.Abs(got-tc.want) > 1e-9 {
+				t.Fatalf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+// A live histogram round-trips through the snapshot with sane quantiles.
+func TestQuantileFromRegistry(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("probe_duration_seconds", []float64{0.1, 0.2, 0.4, 0.8})
+	for i := 0; i < 100; i++ {
+		h.Observe(0.15) // all mass in the (0.1, 0.2] bucket
+	}
+	snap := r.Snapshot().Histograms["probe_duration_seconds"]
+	p50 := snap.Quantile(0.5)
+	if p50 <= 0.1 || p50 > 0.2 {
+		t.Fatalf("p50 = %v, want within (0.1, 0.2]", p50)
+	}
+	if p99 := snap.Quantile(0.99); p99 <= p50-1e-9 || p99 > 0.2 {
+		t.Fatalf("p99 = %v, want in [p50, 0.2]", p99)
+	}
+}

@@ -24,12 +24,25 @@ func (h HistogramSnapshot) Mean() float64 {
 	return h.Sum / float64(h.Count)
 }
 
-// Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
-// within the fixed buckets: the rank is located in its bucket, then placed
-// proportionally between the bucket's bounds. The first bucket
-// interpolates up from zero (all registry histograms observe non-negative
-// values); ranks landing in the overflow bucket clamp to the last bound,
-// the usual conservative convention for open-ended buckets.
+// Quantile estimates the q-quantile by linear interpolation within the
+// fixed buckets: the rank (q * Count) is located in its bucket, then placed
+// proportionally between the bucket's bounds.
+//
+// The interpolation contract, exactly:
+//
+//   - An empty histogram (Count == 0) or one with no bounds returns 0.
+//   - q is clamped to [0, 1]: out-of-range arguments behave like 0 or 1.
+//   - The first bucket interpolates up from zero (all registry histograms
+//     observe non-negative values), so q=0 returns the lower edge of the
+//     first non-empty bucket (0 when that is the first bucket).
+//   - Empty buckets are skipped; a rank never resolves inside a bucket
+//     with no observations.
+//   - Ranks landing in the overflow bucket — including q=1 when any
+//     observation exceeded the last bound — clamp to the last bound, the
+//     usual conservative convention for open-ended buckets.
+//
+// The estimate is exact when observations are uniform within each bucket
+// and is always within one bucket width of the true quantile otherwise.
 func (h HistogramSnapshot) Quantile(q float64) float64 {
 	if h.Count == 0 || len(h.Bounds) == 0 {
 		return 0

@@ -29,6 +29,10 @@ const (
 	// EventCrawlStopped: the crawl ended; Detail says whether the stop rule
 	// or the session cap ended it.
 	EventCrawlStopped
+	// EventStall: the progress watchdog saw no shard advance for its
+	// configured interval; Detail is the experiment, Value the seconds
+	// since the last progress.
+	EventStall
 )
 
 // String names the kind.
@@ -48,6 +52,8 @@ func (k EventKind) String() string {
 		return "violation"
 	case EventCrawlStopped:
 		return "crawl_stopped"
+	case EventStall:
+		return "stall"
 	}
 	return fmt.Sprintf("EventKind(%d)", uint8(k))
 }
@@ -74,12 +80,23 @@ func (k *EventKind) UnmarshalJSON(b []byte) error {
 // ParseEventKind resolves a kind name (as rendered by String) back to its
 // value — the -events-kind CLI filter and the /events query parameter.
 func ParseEventKind(name string) (EventKind, bool) {
-	for k := EventSessionStarted; k <= EventCrawlStopped; k++ {
+	for _, k := range EventKinds() {
 		if k.String() == name {
 			return k, true
 		}
 	}
 	return 0, false
+}
+
+// EventKinds lists every defined kind in declaration order — the single
+// place the enum's upper bound lives, so usage listings and parsers cannot
+// drift when kinds are added.
+func EventKinds() []EventKind {
+	kinds := make([]EventKind, 0, int(EventStall)+1)
+	for k := EventSessionStarted; k <= EventStall; k++ {
+		kinds = append(kinds, k)
+	}
+	return kinds
 }
 
 // Event is one typed crawl occurrence.

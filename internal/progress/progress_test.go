@@ -1,0 +1,160 @@
+package progress
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTrackerNilSafe(t *testing.T) {
+	var tk *Tracker
+	tk.Begin("dns", 10, 2)
+	tk.Probe(0)
+	tk.Done(0)
+	tk.Violation(1)
+	tk.Fail(1)
+	tk.Duplicate(0)
+	tk.Discard(0)
+	tk.noteStall()
+	if st := tk.Snapshot(); st.Done != 0 || st.Experiment != "" {
+		t.Fatalf("nil tracker snapshot = %+v", st)
+	}
+	if wm := tk.CaptureWatermarks(); wm.PeakHeapBytes != 0 {
+		t.Fatalf("nil tracker watermarks = %+v", wm)
+	}
+}
+
+func TestTrackerCounts(t *testing.T) {
+	tk := NewTracker()
+	tk.Begin("http", 100, 4)
+	for i := 0; i < 20; i++ {
+		tk.Probe(i % 4)
+	}
+	for i := 0; i < 12; i++ {
+		tk.Done(i % 4)
+	}
+	tk.Violation(0)
+	tk.Violation(1)
+	tk.Fail(2)
+	tk.Duplicate(3)
+	tk.Discard(3)
+
+	st := tk.Snapshot()
+	if st.Experiment != "http" || st.TotalNodes != 100 || st.Workers != 4 {
+		t.Fatalf("run identity = %+v", st)
+	}
+	if st.Probes != 20 || st.Done != 12 || st.Violations != 2 ||
+		st.Failures != 1 || st.Duplicates != 1 || st.Discarded != 1 {
+		t.Fatalf("counts = %+v", st)
+	}
+	if len(st.Shards) != 4 {
+		t.Fatalf("shards = %d", len(st.Shards))
+	}
+
+	// Begin resets per-run counts but keeps process-lifetime state.
+	tk.noteStall()
+	tk.Begin("tls", 50, 2)
+	st = tk.Snapshot()
+	if st.Done != 0 || st.Probes != 0 || st.Experiment != "tls" {
+		t.Fatalf("post-Begin counts = %+v", st)
+	}
+	if st.Stalls != 1 {
+		t.Fatalf("stall total should persist across Begin, got %d", st.Stalls)
+	}
+}
+
+func TestTrackerShardClamping(t *testing.T) {
+	tk := NewTracker()
+	tk.Begin("dns", 10, 3)
+	// Out-of-range shard indexes wrap instead of panicking.
+	tk.Done(7)
+	tk.Done(-1)
+	if st := tk.Snapshot(); st.Done != 2 {
+		t.Fatalf("wrapped shard counts lost: %+v", st)
+	}
+}
+
+func TestCaptureWatermarksPeaks(t *testing.T) {
+	tk := NewTracker()
+	wm1 := tk.CaptureWatermarks()
+	if wm1.HeapBytes == 0 || wm1.Goroutines == 0 {
+		t.Fatalf("watermarks empty: %+v", wm1)
+	}
+	hold := make([]byte, 8<<20)
+	wm2 := tk.CaptureWatermarks()
+	_ = hold
+	if wm2.PeakHeapBytes < wm1.PeakHeapBytes {
+		t.Fatalf("peak heap regressed: %d -> %d", wm1.PeakHeapBytes, wm2.PeakHeapBytes)
+	}
+	if wm2.PeakHeapBytes < wm2.HeapBytes {
+		t.Fatalf("peak below current: %+v", wm2)
+	}
+}
+
+// The satellite race test: K shards hammer the tracker while a reader
+// snapshots concurrently. Run under -race this exercises the lock-free
+// cells; the assertions check that done-counts are monotonic, every
+// snapshot's aggregate equals the sum of its shard rows, and the final
+// totals are exact.
+func TestTrackerConcurrentSnapshots(t *testing.T) {
+	const (
+		shards   = 8
+		perShard = 5000
+	)
+	tk := NewTracker()
+	tk.Begin("race", shards*perShard, shards)
+
+	var writers, reader sync.WaitGroup
+	stop := make(chan struct{})
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		var lastDone, lastProbes int64
+		for {
+			st := tk.Snapshot()
+			if st.Done < lastDone || st.Probes < lastProbes {
+				t.Errorf("non-monotonic snapshot: done %d -> %d, probes %d -> %d",
+					lastDone, st.Done, lastProbes, st.Probes)
+				return
+			}
+			lastDone, lastProbes = st.Done, st.Probes
+			var sum int64
+			for _, sh := range st.Shards {
+				sum += sh.Done
+			}
+			if sum != st.Done {
+				t.Errorf("aggregate done %d != shard sum %d", st.Done, sum)
+				return
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	for s := 0; s < shards; s++ {
+		writers.Add(1)
+		go func(s int) {
+			defer writers.Done()
+			for i := 0; i < perShard; i++ {
+				tk.Probe(s)
+				tk.Done(s)
+				if i%10 == 0 {
+					tk.Violation(s)
+				}
+			}
+		}(s)
+	}
+	writers.Wait()
+	close(stop)
+	reader.Wait()
+
+	st := tk.Snapshot()
+	if st.Done != shards*perShard || st.Probes != shards*perShard {
+		t.Fatalf("final counts: done=%d probes=%d want %d", st.Done, st.Probes, shards*perShard)
+	}
+	if want := int64(shards * (perShard / 10)); st.Violations != want {
+		t.Fatalf("violations = %d, want %d", st.Violations, want)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"github.com/tftproject/tft/internal/geo"
+	"github.com/tftproject/tft/internal/metrics"
 )
 
 // NodeSource is the super proxy's view of the exit-node population: country-
@@ -60,6 +61,10 @@ type LazyPool struct {
 	materialize func(i int) *ExitNode
 	index       func(zid string) (int, bool)
 	prepare     func(*ExitNode)
+	// materialized counts node materializations — the pool's dominant cost
+	// at paper scale, where every pick rebuilds a node from its spec. Nil
+	// (the nil-safe Counter) until SetMetrics installs a registry.
+	materialized *metrics.Counter
 }
 
 // NewLazyPool creates an empty lazy pool drawing selection randomness from
@@ -90,11 +95,21 @@ func (p *LazyPool) Register(cc geo.CountryCode) int {
 // node materializes index i and applies the prepare hook. Caller holds
 // p.mu.
 func (p *LazyPool) node(i int) *ExitNode {
+	p.materialized.Inc()
 	n := p.materialize(i)
 	if p.prepare != nil {
 		p.prepare(n)
 	}
 	return n
+}
+
+// SetMetrics points the pool's materialization counter
+// (proxy_pool_materializations_total) at reg. Instrumentation installs it
+// alongside SetPrepare; a nil registry leaves the counter a no-op.
+func (p *LazyPool) SetMetrics(reg *metrics.Registry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.materialized = reg.Counter("proxy_pool_materializations_total")
 }
 
 // Get implements NodeSource.

@@ -8,14 +8,17 @@
 package statusz
 
 import (
+	"encoding/json"
 	"fmt"
 	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 
 	"github.com/tftproject/tft/internal/metrics"
+	"github.com/tftproject/tft/internal/progress"
 	"github.com/tftproject/tft/internal/trace"
 )
 
@@ -29,6 +32,8 @@ type Server struct {
 	Metrics *metrics.Registry
 	// Tracer backs /traces.
 	Tracer *trace.Tracer
+	// Progress backs /progressz — the flight recorder's live crawl view.
+	Progress *progress.Tracker
 	// Pprof additionally mounts net/http/pprof under /debug/pprof/.
 	Pprof bool
 	// Log receives one record per request when set.
@@ -39,13 +44,15 @@ type Server struct {
 //
 //	/statusz        text overview with endpoint index and telemetry counts
 //	/metrics        Prometheus text exposition; ?format=json for the snapshot
+//	/progressz      live crawl progress; ?format=json for the full snapshot
 //	/traces         recent spans as JSON; ?kind=, ?zid=, ?limit= filters
-//	/events         crawl event ring as JSONL; ?kind= filter
+//	/events         crawl event ring as JSONL; ?kind=, ?limit= filters
 //	/debug/pprof/   (only when Pprof is set)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/statusz", s.handleStatusz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/progressz", s.handleProgressz)
 	mux.HandleFunc("/traces", s.handleTraces)
 	mux.HandleFunc("/events", s.handleEvents)
 	if s.Pprof {
@@ -98,8 +105,9 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "endpoints:")
 	fmt.Fprintln(w, "  /metrics             Prometheus text exposition")
 	fmt.Fprintln(w, "  /metrics?format=json expvar-style snapshot")
+	fmt.Fprintln(w, "  /progressz           live crawl progress (?format=json)")
 	fmt.Fprintln(w, "  /traces              recent spans (?kind=, ?zid=, ?limit=)")
-	fmt.Fprintln(w, "  /events              crawl event ring as JSONL (?kind=)")
+	fmt.Fprintln(w, "  /events              crawl event ring as JSONL (?kind=, ?limit=)")
 	if s.Pprof {
 		fmt.Fprintln(w, "  /debug/pprof/        runtime profiles")
 	}
@@ -119,18 +127,95 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleProgressz renders the flight recorder's live view of the crawl: a
+// plain-text summary by default, the full progress.Status document with
+// ?format=json.
+func (s *Server) handleProgressz(w http.ResponseWriter, r *http.Request) {
+	st := s.Progress.Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(st); err != nil && s.Log != nil {
+			s.Log.Error("progressz dump", "err", err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "tft progressz")
+	fmt.Fprintln(w)
+	if st.Experiment == "" {
+		fmt.Fprintln(w, "no run in progress")
+		return
+	}
+	fmt.Fprintf(w, "experiment:  %s\n", st.Experiment)
+	pct := 0.0
+	if st.TotalNodes > 0 {
+		pct = 100 * float64(st.Done) / float64(st.TotalNodes)
+	}
+	fmt.Fprintf(w, "nodes:       %d/%d (%.1f%%) done, %d workers, %d shards\n",
+		st.Done, st.TotalNodes, pct, st.Workers, len(st.Shards))
+	fmt.Fprintf(w, "probes:      %d issued, %d failed, %d duplicate, %d discarded\n",
+		st.Probes, st.Failures, st.Duplicates, st.Discarded)
+	fmt.Fprintf(w, "violations:  %d\n", st.Violations)
+	if sm := st.Sample; sm != nil {
+		fmt.Fprintf(w, "throughput:  %.1f probes/s, %.1f nodes/s\n",
+			sm.ProbesPerSec, sm.NodesPerSec)
+		if sm.ETASeconds >= 0 {
+			fmt.Fprintf(w, "eta:         %.0fs\n", sm.ETASeconds)
+		} else {
+			fmt.Fprintln(w, "eta:         unknown")
+		}
+	}
+	fmt.Fprintf(w, "heap:        %d bytes (peak %d)\n",
+		st.Watermarks.HeapBytes, st.Watermarks.PeakHeapBytes)
+	fmt.Fprintf(w, "goroutines:  %d (peak %d)\n",
+		st.Watermarks.Goroutines, st.Watermarks.PeakGoroutines)
+	fmt.Fprintf(w, "gc pause:    %.3fs total\n", st.Watermarks.GCPauseTotalSeconds)
+	fmt.Fprintf(w, "stalls:      %d\n", st.Stalls)
+}
+
+// parseLimit validates an optional non-negative integer ?limit= value,
+// answering the request itself (400 plus the endpoint's usage line) on a
+// malformed one.
+func (s *Server) parseLimit(w http.ResponseWriter, r *http.Request, usage string) (int, bool) {
+	v := r.URL.Query().Get("limit")
+	if v == "" {
+		return 0, true
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		http.Error(w, fmt.Sprintf("bad limit %q: must be a non-negative integer\nusage: %s", v, usage),
+			http.StatusBadRequest)
+		return 0, false
+	}
+	return n, true
+}
+
+// tracesUsage is /traces' self-describing error text; the kind list comes
+// from the span vocabulary, not a hand-maintained copy.
+func tracesUsage() string {
+	kinds := trace.Kinds()
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = string(k)
+	}
+	return fmt.Sprintf("/traces?kind=<%s>&zid=<zid>&limit=<non-negative int>",
+		strings.Join(names, "|"))
+}
+
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	kind := trace.Kind(q.Get("kind"))
+	if kind != "" && !trace.ValidKind(kind) {
+		http.Error(w, fmt.Sprintf("unknown span kind %q\nusage: %s", kind, tracesUsage()),
+			http.StatusBadRequest)
+		return
+	}
 	zid := q.Get("zid")
-	limit := 0
-	if v := q.Get("limit"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 0 {
-			http.Error(w, "bad limit", http.StatusBadRequest)
-			return
-		}
-		limit = n
+	limit, ok := s.parseLimit(w, r, tracesUsage())
+	if !ok {
+		return
 	}
 	spans := s.Tracer.Spans()
 	out := spans[:0:0]
@@ -153,18 +238,54 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// eventsUsage is /events' self-describing error text; the kind list comes
+// from metrics.EventKinds, the enum's single source of truth.
+func eventsUsage() string {
+	kinds := metrics.EventKinds()
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = k.String()
+	}
+	return fmt.Sprintf("/events?kind=<%s>&limit=<non-negative int>",
+		strings.Join(names, "|"))
+}
+
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	var kinds []metrics.EventKind
 	if v := r.URL.Query().Get("kind"); v != "" {
 		k, ok := metrics.ParseEventKind(v)
 		if !ok {
-			http.Error(w, "unknown event kind", http.StatusBadRequest)
+			http.Error(w, fmt.Sprintf("unknown event kind %q\nusage: %s", v, eventsUsage()),
+				http.StatusBadRequest)
 			return
 		}
 		kinds = append(kinds, k)
 	}
+	limit, ok := s.parseLimit(w, r, eventsUsage())
+	if !ok {
+		return
+	}
+	snap := s.Metrics.Snapshot()
+	if limit > 0 {
+		// The ring is oldest-first; the limit keeps the most recent events
+		// matching the kind filter.
+		events := snap.Events
+		if len(kinds) > 0 {
+			events = events[:0:0]
+			for _, e := range snap.Events {
+				if e.Kind == kinds[0] {
+					events = append(events, e)
+				}
+			}
+			kinds = nil
+		}
+		if len(events) > limit {
+			events = events[len(events)-limit:]
+		}
+		snap.Events = events
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	if err := s.Metrics.Snapshot().WriteEventsJSONL(w, kinds...); err != nil && s.Log != nil {
+	if err := snap.WriteEventsJSONL(w, kinds...); err != nil && s.Log != nil {
 		s.Log.Error("events dump", "err", err)
 	}
 }

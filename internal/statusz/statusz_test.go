@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/tftproject/tft/internal/metrics"
+	"github.com/tftproject/tft/internal/progress"
 	"github.com/tftproject/tft/internal/trace"
 )
 
@@ -132,6 +133,90 @@ func TestEventsFiltering(t *testing.T) {
 	}
 }
 
+// Malformed filter parameters come back as 400s that teach the caller the
+// endpoint's query vocabulary instead of a bare error string.
+func TestFilterValidation(t *testing.T) {
+	_, ts := testServer(t, false)
+
+	cases := []struct {
+		path string
+		want string // substring the usage text must carry
+	}{
+		{"/traces?kind=bogus", "superproxy"},
+		{"/traces?limit=-1", "non-negative"},
+		{"/traces?limit=abc", "usage: /traces"},
+		{"/events?kind=bogus", "session_started"},
+		{"/events?limit=-3", "usage: /events"},
+		{"/events?limit=1.5", "non-negative"},
+	}
+	for _, tc := range cases {
+		code, body := get(t, ts.URL+tc.path)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s = %d, want 400", tc.path, code)
+		}
+		if !strings.Contains(body, tc.want) {
+			t.Errorf("%s body %q missing %q", tc.path, body, tc.want)
+		}
+	}
+
+	// Valid filters still pass.
+	code, _ := get(t, ts.URL+"/traces?kind=attempt&limit=5")
+	if code != http.StatusOK {
+		t.Fatalf("/traces?kind=attempt&limit=5 = %d", code)
+	}
+}
+
+// /events?limit= keeps the newest matching events.
+func TestEventsLimit(t *testing.T) {
+	_, ts := testServer(t, false)
+	_, body := get(t, ts.URL+"/events?limit=1")
+	got := strings.Split(strings.TrimSpace(body), "\n")
+	if len(got) != 1 || !strings.Contains(got[0], "session_started") {
+		t.Fatalf("/events?limit=1 should keep the newest event, got %v", got)
+	}
+	_, body = get(t, ts.URL+"/events?kind=violation&limit=1")
+	got = strings.Split(strings.TrimSpace(body), "\n")
+	if len(got) != 1 || !strings.Contains(got[0], "dns_hijack") {
+		t.Fatalf("/events?kind=violation&limit=1 = %v", got)
+	}
+}
+
+func TestProgressz(t *testing.T) {
+	tk := progress.NewTracker()
+	tk.Begin("dns", 40, 4)
+	for i := 0; i < 10; i++ {
+		tk.Probe(i % 4)
+		tk.Done(i % 4)
+	}
+	tk.Violation(2)
+	s := &Server{Progress: tk}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	code, body := get(t, ts.URL+"/progressz")
+	if code != http.StatusOK || !strings.Contains(body, "tft progressz") {
+		t.Fatalf("/progressz = %d %q", code, body)
+	}
+	if !strings.Contains(body, "10/40 (25.0%)") {
+		t.Errorf("/progressz missing node progress:\n%s", body)
+	}
+	if !strings.Contains(body, "violations:  1") {
+		t.Errorf("/progressz missing violations:\n%s", body)
+	}
+
+	code, body = get(t, ts.URL+"/progressz?format=json")
+	var st progress.Status
+	if code != http.StatusOK || json.Unmarshal([]byte(body), &st) != nil {
+		t.Fatalf("/progressz?format=json = %d %q", code, body)
+	}
+	if st.Experiment != "dns" || st.Done != 10 || st.TotalNodes != 40 || st.Violations != 1 {
+		t.Errorf("json status = %+v", st)
+	}
+	if len(st.Shards) != 4 {
+		t.Errorf("json status shards = %d, want 4", len(st.Shards))
+	}
+}
+
 func TestPprofGating(t *testing.T) {
 	_, ts := testServer(t, false)
 	code, _ := get(t, ts.URL+"/debug/pprof/cmdline")
@@ -150,7 +235,7 @@ func TestPprofGating(t *testing.T) {
 func TestNilSources(t *testing.T) {
 	ts := httptest.NewServer((&Server{}).Handler())
 	defer ts.Close()
-	for _, path := range []string{"/statusz", "/metrics", "/metrics?format=json", "/traces", "/events"} {
+	for _, path := range []string{"/statusz", "/metrics", "/metrics?format=json", "/traces", "/events", "/progressz", "/progressz?format=json"} {
 		code, _ := get(t, ts.URL+path)
 		if code != http.StatusOK {
 			t.Fatalf("%s = %d with nil sources", path, code)

@@ -97,6 +97,23 @@ const (
 	KindTunnel Kind = "tunnel"
 )
 
+// Kinds lists the span vocabulary in chain order — the /traces endpoint's
+// filter validation and usage text iterate this instead of hard-coding the
+// names.
+func Kinds() []Kind {
+	return []Kind{KindClient, KindProxy, KindAttempt, KindDNS, KindFetch, KindTunnel}
+}
+
+// ValidKind reports whether k is part of the span vocabulary.
+func ValidKind(k Kind) bool {
+	for _, v := range Kinds() {
+		if v == k {
+			return true
+		}
+	}
+	return false
+}
+
 // Attr is one typed span attribute.
 type Attr struct {
 	Key   string `json:"key"`

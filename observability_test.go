@@ -5,7 +5,12 @@ import (
 	"context"
 	"encoding/json"
 	"testing"
+	"time"
 
+	"github.com/tftproject/tft/internal/core"
+	"github.com/tftproject/tft/internal/metrics"
+	"github.com/tftproject/tft/internal/progress"
+	"github.com/tftproject/tft/internal/simnet"
 	"github.com/tftproject/tft/internal/trace"
 )
 
@@ -96,5 +101,98 @@ func TestRunDNSTraceChain(t *testing.T) {
 		if ev.Args["trace_id"] == "" || ev.Args["span_id"] == "" {
 			t.Fatalf("event %d missing ids: %+v", i, ev)
 		}
+	}
+}
+
+// The flight-recorder acceptance bar: a DNS run observed by a live Sampler
+// produces at least one sample (Stop's final read guarantees it even when
+// the crawl beats the interval), and the RunManifest's final counts agree
+// with both the crawl-engine metrics and the run's own Stats.
+func TestRunDNSFlightRecorder(t *testing.T) {
+	tracker := progress.NewTracker()
+	reg := metrics.NewRegistry()
+	opts := Options{Seed: 21, Scale: 0.01}
+	opts.Crawl.Progress = tracker
+	opts.Crawl.Metrics = reg
+
+	sampler := &progress.Sampler{
+		Tracker:  tracker,
+		Clock:    simnet.Real{},
+		Interval: 20 * time.Millisecond,
+		Metrics:  reg,
+	}
+	if err := sampler.Start(); err != nil {
+		t.Fatal(err)
+	}
+	run, err := RunDNS(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sampler.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(sampler.Samples()) == 0 {
+		t.Fatal("sampler retained no samples (Stop must take a final one)")
+	}
+
+	man := run.Manifest()
+	if man == nil {
+		t.Fatal("run has no manifest")
+	}
+	if man.Experiment != "dns" || man.Seed != 21 || man.Scale != 0.01 {
+		t.Fatalf("manifest identity = %+v", man)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counter("crawl_sessions_total"); got != man.Sessions {
+		t.Errorf("manifest sessions %d != crawl_sessions_total %d", man.Sessions, got)
+	}
+	if got := snap.Counter("crawl_nodes_total"); got != man.UniqueNodes {
+		t.Errorf("manifest unique nodes %d != crawl_nodes_total %d", man.UniqueNodes, got)
+	}
+	var st core.Stats = run.Stats()
+	if man.Sessions != int64(st.Sessions) || man.UniqueNodes != int64(st.UniqueNodes) {
+		t.Errorf("manifest %+v disagrees with run stats %+v", man, st)
+	}
+	if man.NodesDone != int64(len(run.Dataset.Observations))+man.Discarded {
+		t.Errorf("manifest nodes done %d != observations %d + discarded %d",
+			man.NodesDone, len(run.Dataset.Observations), man.Discarded)
+	}
+	if man.Probes < man.NodesDone {
+		t.Errorf("probes %d < nodes done %d", man.Probes, man.NodesDone)
+	}
+	if man.Watermarks.PeakHeapBytes == 0 {
+		t.Error("manifest watermarks empty")
+	}
+	if man.DurationSeconds < 0 || man.FinishedAt.Before(man.StartedAt) {
+		t.Errorf("manifest time range invalid: %+v", man)
+	}
+
+	// WriteManifest renders valid JSON carrying the same counts.
+	var buf bytes.Buffer
+	if err := run.WriteManifest(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back progress.RunManifest
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("manifest JSON invalid: %v", err)
+	}
+	if back.Sessions != man.Sessions || back.NodesDone != man.NodesDone {
+		t.Errorf("round-tripped manifest %+v != %+v", back, man)
+	}
+
+	// A second run on the same Options reuses the tracker: Begin must reset
+	// the per-run counts so the new manifest doesn't double-count. (Counts
+	// are compared within the run, not across runs — the concurrent stop
+	// rule makes per-run totals scheduling-dependent.)
+	run2, err := RunDNS(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := run2.Manifest()
+	if m2.NodesDone != int64(len(run2.Dataset.Observations))+m2.Discarded {
+		t.Errorf("second run nodes done %d != observations %d + discarded %d (Begin must reset shard counts)",
+			m2.NodesDone, len(run2.Dataset.Observations), m2.Discarded)
 	}
 }

@@ -1,0 +1,164 @@
+// Command benchdiff compares the newest two BENCH_<n>.json documents that
+// scripts/benchjson wrote and fails when the shared benchmarks regressed:
+// a delta table goes to stdout, and any benchmark whose ns/op or peak heap
+// ("peak-heap-MB" metric) grew past the threshold (default 15%) makes the
+// command exit 1.
+//
+//	go run ./scripts/benchdiff                 # newest two BENCH_<n>.json
+//	go run ./scripts/benchdiff -threshold 25
+//	go run ./scripts/benchdiff -dir /path/to/repo
+//
+// With fewer than two BENCH files the comparison is vacuous: benchdiff
+// prints a note and exits 0, so fresh clones pass the check.sh gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Bench mirrors scripts/benchjson's per-benchmark record.
+type Bench struct {
+	Name    string             `json:"name"`
+	Package string             `json:"package"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Doc mirrors the BENCH_<n>.json document shape.
+type Doc struct {
+	GeneratedAt string  `json:"generated_at"`
+	Benchmarks  []Bench `json:"benchmarks"`
+}
+
+var benchFile = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+func main() {
+	dir := flag.String("dir", ".", "directory holding the BENCH_<n>.json files")
+	threshold := flag.Float64("threshold", 15, "regression threshold in percent")
+	flag.Parse()
+
+	old, cur, err := newestTwo(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if cur == "" {
+		fmt.Println("benchdiff: fewer than two BENCH_<n>.json files; nothing to compare")
+		return
+	}
+	regressions, err := diff(*dir, old, cur, *threshold)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if regressions > 0 {
+		fmt.Printf("\nbenchdiff: %d regression(s) beyond %.0f%% (%s -> %s)\n",
+			regressions, *threshold, old, cur)
+		os.Exit(1)
+	}
+	fmt.Printf("\nbenchdiff: no regressions beyond %.0f%% (%s -> %s)\n", *threshold, old, cur)
+}
+
+// newestTwo returns the two highest-indexed BENCH files (old, then new).
+// When fewer than two exist, cur is empty.
+func newestTwo(dir string) (old, cur string, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", "", err
+	}
+	type indexed struct {
+		n    int
+		name string
+	}
+	var found []indexed
+	for _, e := range entries {
+		m := benchFile.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		found = append(found, indexed{n, e.Name()})
+	}
+	if len(found) < 2 {
+		return "", "", nil
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].n < found[j].n })
+	return found[len(found)-2].name, found[len(found)-1].name, nil
+}
+
+func load(path string) (map[string]Bench, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Doc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]Bench, len(doc.Benchmarks))
+	for _, bm := range doc.Benchmarks {
+		out[bm.Package+"."+bm.Name] = bm
+	}
+	return out, nil
+}
+
+// diff prints the delta table for benchmarks present in both documents and
+// returns how many exceeded the threshold on ns/op or peak heap.
+func diff(dir, oldName, curName string, threshold float64) (int, error) {
+	oldB, err := load(filepath.Join(dir, oldName))
+	if err != nil {
+		return 0, err
+	}
+	curB, err := load(filepath.Join(dir, curName))
+	if err != nil {
+		return 0, err
+	}
+	var keys []string
+	for k := range curB {
+		if _, ok := oldB[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 {
+		fmt.Printf("benchdiff: %s and %s share no benchmarks\n", oldName, curName)
+		return 0, nil
+	}
+
+	fmt.Printf("benchdiff %s -> %s (threshold %.0f%%)\n\n", oldName, curName, threshold)
+	fmt.Printf("%-44s %14s %14s %8s\n", "benchmark", "old", "new", "delta")
+	regressions := 0
+	row := func(name string, old, cur float64, unit string) {
+		delta := 0.0
+		if old > 0 {
+			delta = 100 * (cur - old) / old
+		}
+		mark := ""
+		if old > 0 && delta > threshold {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-44s %14.4g %14.4g %+7.1f%%%s  (%s)\n", name, old, cur, delta, mark, unit)
+	}
+	for _, k := range keys {
+		o, c := oldB[k], curB[k]
+		short := c.Name
+		row(short, o.NsPerOp, c.NsPerOp, "ns/op")
+		oldPeak, okO := o.Metrics["peak-heap-MB"]
+		curPeak, okC := c.Metrics["peak-heap-MB"]
+		if okO && okC {
+			row(short+" [peak heap]", oldPeak, curPeak, "MB")
+		}
+	}
+	return regressions, nil
+}

@@ -20,3 +20,11 @@ go test -run=NONE -bench=Pipe -benchtime=1x -benchmem ./internal/simnet
 # reproduce the unsharded tables byte-for-byte.
 go test -run='TestDNSShardSinksMergeCanonically|TestDNSMergePartialsMatchUnsharded' .
 go run ./scripts/promsmoke
+# Flight-recorder smoke: a short crawl with -progress-jsonl must produce a
+# parseable checkpoint stream and a manifest consistent with the run.
+go run ./scripts/progresssmoke
+# Benchmark trajectory (soft gate): compare the newest two BENCH_<n>.json
+# and warn on >15% ns/op or peak-heap regressions. Warn-only — historical
+# BENCH files span machines, so deltas carry cross-host noise; run
+# scripts/benchjson twice on one host for an enforceable comparison.
+go run ./scripts/benchdiff || echo "benchdiff: WARNING: benchmark regression detected (see delta table above)" >&2

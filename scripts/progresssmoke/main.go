@@ -1,0 +1,134 @@
+// Command progresssmoke is the check.sh flight-recorder gate: it builds
+// cmd/tft, runs a short DNS crawl with -progress, -progress-jsonl, and a
+// fast sampling interval, and then asserts the recorder's whole surface
+// held together end to end:
+//
+//   - every checkpoint line parses as JSON with a known "type"
+//     (sample | stall | manifest),
+//   - the stream carries at least one sample and exactly one dns manifest,
+//   - the manifest's node count matches the headline's measured-node count,
+//   - the -progress stderr stream carried a live progress line.
+//
+// Pure Go so the gate has no shell-tool dependency.
+//
+//	go run ./scripts/progresssmoke
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// headlineRe extracts the measured and filtered node counts from the DNS
+// run's headline, e.g. "== DNS (§4): 14636 nodes measured (29 filtered
+// shared-anycast), ...". The tracker's done-count includes the nodes the
+// analysis later filters, so the manifest must equal their sum.
+var headlineRe = regexp.MustCompile(`(\d+) nodes measured \((\d+) filtered`)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "progresssmoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("progresssmoke: ok")
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "progresssmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	bin := filepath.Join(dir, "tft")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/tft").CombinedOutput(); err != nil {
+		return fmt.Errorf("build cmd/tft: %v\n%s", err, out)
+	}
+
+	ckpt := filepath.Join(dir, "checkpoints.jsonl")
+	cmd := exec.Command(bin,
+		"-experiment", "dns", "-scale", "0.02", "-workers", "4",
+		"-progress", "-progress-jsonl", ckpt, "-progress-interval", "25ms")
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("tft run: %v\nstderr:\n%s", err, stderr.String())
+	}
+
+	// The -progress stderr stream must have carried a live line.
+	if !strings.Contains(stderr.String(), "probes/s") {
+		return fmt.Errorf("stderr carried no progress line:\n%s", stderr.String())
+	}
+
+	// Every checkpoint line parses; count the types.
+	f, err := os.Open(ckpt)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 4<<20), 4<<20)
+	samples, manifests := 0, 0
+	var manifestNodes int64
+	for sc.Scan() {
+		var line struct {
+			Type       string `json:"type"`
+			Experiment string `json:"experiment"`
+			NodesDone  int64  `json:"nodes_done"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return fmt.Errorf("unparseable checkpoint line %q: %v", sc.Text(), err)
+		}
+		switch line.Type {
+		case "sample":
+			samples++
+		case "stall":
+			// A stall in a healthy smoke run would itself be a finding, but
+			// the line type is legal.
+		case "manifest":
+			manifests++
+			if line.Experiment != "dns" {
+				return fmt.Errorf("manifest for %q, want dns", line.Experiment)
+			}
+			manifestNodes = line.NodesDone
+		default:
+			return fmt.Errorf("unknown checkpoint line type %q", line.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples < 1 {
+		return fmt.Errorf("checkpoint stream carried no samples")
+	}
+	if manifests != 1 {
+		return fmt.Errorf("checkpoint stream carried %d manifests, want 1", manifests)
+	}
+
+	// The manifest's final node count must match the run's own headline.
+	m := headlineRe.FindStringSubmatch(stdout.String())
+	if m == nil {
+		return fmt.Errorf("no measured-node headline in stdout:\n%s", stdout.String())
+	}
+	measured, err := strconv.ParseInt(m[1], 10, 64)
+	if err != nil {
+		return err
+	}
+	filtered, err := strconv.ParseInt(m[2], 10, 64)
+	if err != nil {
+		return err
+	}
+	if manifestNodes != measured+filtered {
+		return fmt.Errorf("manifest nodes_done %d != headline %d measured + %d filtered",
+			manifestNodes, measured, filtered)
+	}
+	return nil
+}

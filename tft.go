@@ -33,6 +33,7 @@ import (
 	"github.com/tftproject/tft/internal/dataset"
 	"github.com/tftproject/tft/internal/metrics"
 	"github.com/tftproject/tft/internal/population"
+	"github.com/tftproject/tft/internal/progress"
 	"github.com/tftproject/tft/internal/proxynet"
 	"github.com/tftproject/tft/internal/trace"
 )
@@ -87,6 +88,12 @@ func (o *Options) instrument(w *population.World) *metrics.Registry {
 	if o.Crawl.Metrics == nil {
 		o.Crawl.Metrics = metrics.NewRegistry()
 	}
+	if o.Crawl.Progress == nil {
+		// Always install a flight recorder so every run carries a populated
+		// manifest; the tracker never touches the crawl's RNG or measured
+		// output, so a fixed-seed run is byte-identical with or without it.
+		o.Crawl.Progress = progress.NewTracker()
+	}
 	if o.Crawl.Tracer == nil && w != nil && w.Clock != nil {
 		o.Crawl.Tracer = trace.New(w.Clock.Now, 0)
 	}
@@ -103,8 +110,70 @@ func (o *Options) instrument(w *population.World) *metrics.Registry {
 				n.Tracer = tracer
 			}
 		})
+		if lp, ok := w.Pool.(*proxynet.LazyPool); ok {
+			lp.SetMetrics(o.Crawl.Metrics)
+		}
 	}
 	return o.Crawl.Metrics
+}
+
+// wallNow stamps run manifests. Manifests are operator-facing run records
+// (when did this campaign actually execute), so they use the wall clock by
+// contract and are excluded from all determinism comparisons.
+func wallNow() time.Time {
+	//tftlint:ignore simclock -- manifest timestamps are operator-facing wall-clock metadata, never part of measured output
+	return time.Now()
+}
+
+// buildManifest closes a run's flight-recorder record from the crawl stats
+// and the tracker's final counts. Called at the end of each Run* while the
+// tracker still holds that crawl's state (a shared tracker is reset by the
+// next run's Begin).
+func (o Options) buildManifest(name string, st core.Stats, started, finished time.Time) *progress.RunManifest {
+	snap := o.Crawl.Progress.Snapshot()
+	wm := o.Crawl.Progress.CaptureWatermarks()
+	workers := o.Crawl.Workers
+	if snap.Workers > 0 {
+		workers = snap.Workers // crawler-resolved count, after defaults
+	}
+	return &progress.RunManifest{
+		Experiment:      name,
+		Seed:            o.Seed,
+		Scale:           o.Scale,
+		Workers:         workers,
+		Shards:          snap.Workers,
+		StartedAt:       started,
+		FinishedAt:      finished,
+		DurationSeconds: finished.Sub(started).Seconds(),
+		Sessions:        int64(st.Sessions),
+		UniqueNodes:     int64(st.UniqueNodes),
+		NodesDone:       snap.Done,
+		TotalNodes:      snap.TotalNodes,
+		Probes:          snap.Probes,
+		Violations:      snap.Violations,
+		Failures:        snap.Failures,
+		Discarded:       snap.Discarded,
+		Duplicates:      snap.Duplicates,
+		StoppedByRule:   st.StoppedByRule,
+		Stalls:          snap.Stalls,
+		Watermarks:      wm,
+	}
+}
+
+// runManifest is the embedded carrier for the Run interface's manifest
+// accessors; every Run type gets Manifest/WriteManifest from it.
+type runManifest struct{ man *progress.RunManifest }
+
+// Manifest returns the run's flight-recorder manifest: seed, scale,
+// workers, duration, final counts, and peak runtime watermarks.
+func (r runManifest) Manifest() *progress.RunManifest { return r.man }
+
+// WriteManifest serializes the manifest as indented JSON.
+func (r runManifest) WriteManifest(w io.Writer) error {
+	if r.man == nil {
+		return nil
+	}
+	return r.man.Write(w)
 }
 
 func (o Options) cfg() analysis.Config { return analysis.Config{Scale: o.Scale} }
@@ -138,10 +207,19 @@ type Run interface {
 	// consumers rebuild every table from.
 	WriteDataset(w io.Writer) error
 	WriteGeo(w io.Writer) error
+
+	// Manifest is the run's flight-recorder closing record (seed, scale,
+	// workers, duration, final counts, peak watermarks); WriteManifest
+	// serializes it as indented JSON. Results.Dump collects the campaign's
+	// manifests into manifest.json.
+	Manifest() *progress.RunManifest
+	WriteManifest(w io.Writer) error
 }
 
 // DNSRun bundles the §4 experiment's world, dataset, and analysis.
 type DNSRun struct {
+	runManifest
+
 	Opts     Options
 	World    *population.World
 	Dataset  *core.DNSDataset
@@ -154,6 +232,7 @@ type DNSRun struct {
 // RunDNS builds a DNS world and runs the NXDOMAIN-hijack experiment.
 func RunDNS(ctx context.Context, opts Options) (*DNSRun, error) {
 	opts = opts.withDefaults()
+	started := wallNow()
 	w, err := population.BuildDNSWorld(opts.Seed, opts.Scale)
 	if err != nil {
 		return nil, err
@@ -170,7 +249,9 @@ func RunDNS(ctx context.Context, opts Options) (*DNSRun, error) {
 		return nil, err
 	}
 	return &DNSRun{Opts: opts, World: w, Dataset: ds,
-		Analysis: analysis.AnalyzeDNS(opts.cfg(), w.Geo, ds), reg: reg, tracer: opts.Crawl.Tracer}, nil
+		Analysis: analysis.AnalyzeDNS(opts.cfg(), w.Geo, ds),
+		reg:      reg, tracer: opts.Crawl.Tracer,
+		runManifest: runManifest{man: opts.buildManifest("dns", ds.Crawl, started, wallNow())}}, nil
 }
 
 // Name implements Run.
@@ -222,6 +303,8 @@ func (r *DNSRun) WriteGeo(w io.Writer) error {
 
 // HTTPRun bundles the §5 experiment.
 type HTTPRun struct {
+	runManifest
+
 	Opts     Options
 	World    *population.World
 	Dataset  *core.HTTPDataset
@@ -235,6 +318,7 @@ type HTTPRun struct {
 // experiment.
 func RunHTTP(ctx context.Context, opts Options) (*HTTPRun, error) {
 	opts = opts.withDefaults()
+	started := wallNow()
 	w, err := population.BuildHTTPWorld(opts.Seed, opts.Scale)
 	if err != nil {
 		return nil, err
@@ -251,7 +335,9 @@ func RunHTTP(ctx context.Context, opts Options) (*HTTPRun, error) {
 		return nil, err
 	}
 	return &HTTPRun{Opts: opts, World: w, Dataset: ds,
-		Analysis: analysis.AnalyzeHTTP(opts.cfg(), w.Geo, ds), reg: reg, tracer: opts.Crawl.Tracer}, nil
+		Analysis: analysis.AnalyzeHTTP(opts.cfg(), w.Geo, ds),
+		reg:      reg, tracer: opts.Crawl.Tracer,
+		runManifest: runManifest{man: opts.buildManifest("http", ds.Crawl, started, wallNow())}}, nil
 }
 
 // Name implements Run.
@@ -299,6 +385,8 @@ func (r *HTTPRun) WriteGeo(w io.Writer) error {
 
 // TLSRun bundles the §6 experiment.
 type TLSRun struct {
+	runManifest
+
 	Opts     Options
 	World    *population.World
 	Dataset  *core.TLSDataset
@@ -312,6 +400,7 @@ type TLSRun struct {
 // experiment.
 func RunTLS(ctx context.Context, opts Options) (*TLSRun, error) {
 	opts = opts.withDefaults()
+	started := wallNow()
 	w, err := population.BuildTLSWorld(opts.Seed, opts.Scale)
 	if err != nil {
 		return nil, err
@@ -329,7 +418,9 @@ func RunTLS(ctx context.Context, opts Options) (*TLSRun, error) {
 		return nil, err
 	}
 	return &TLSRun{Opts: opts, World: w, Dataset: ds,
-		Analysis: analysis.AnalyzeTLS(opts.cfg(), w.Geo, ds), reg: reg, tracer: opts.Crawl.Tracer}, nil
+		Analysis: analysis.AnalyzeTLS(opts.cfg(), w.Geo, ds),
+		reg:      reg, tracer: opts.Crawl.Tracer,
+		runManifest: runManifest{man: opts.buildManifest("tls", ds.Crawl, started, wallNow())}}, nil
 }
 
 // Name implements Run.
@@ -376,6 +467,8 @@ func (r *TLSRun) WriteGeo(w io.Writer) error {
 
 // MonitorRun bundles the §7 experiment.
 type MonitorRun struct {
+	runManifest
+
 	Opts     Options
 	World    *population.World
 	Dataset  *core.MonDataset
@@ -389,6 +482,7 @@ type MonitorRun struct {
 // experiment (24 virtual hours of server-log watching).
 func RunMonitor(ctx context.Context, opts Options) (*MonitorRun, error) {
 	opts = opts.withDefaults()
+	started := wallNow()
 	w, err := population.BuildMonitorWorld(opts.Seed, opts.Scale)
 	if err != nil {
 		return nil, err
@@ -406,7 +500,9 @@ func RunMonitor(ctx context.Context, opts Options) (*MonitorRun, error) {
 		return nil, err
 	}
 	return &MonitorRun{Opts: opts, World: w, Dataset: ds,
-		Analysis: analysis.AnalyzeMonitor(opts.cfg(), w.Geo, ds), reg: reg, tracer: opts.Crawl.Tracer}, nil
+		Analysis: analysis.AnalyzeMonitor(opts.cfg(), w.Geo, ds),
+		reg:      reg, tracer: opts.Crawl.Tracer,
+		runManifest: runManifest{man: opts.buildManifest("monitor", ds.Crawl, started, wallNow())}}, nil
 }
 
 // Name implements Run.
@@ -465,6 +561,8 @@ func monCoverage(r *MonitorRun) (countries, ases int) {
 // arbitrary-port tunnel service, implementing the paper's stated future
 // work.
 type SMTPRun struct {
+	runManifest
+
 	Opts     Options
 	World    *population.World
 	Dataset  *core.SMTPDataset
@@ -479,6 +577,7 @@ type SMTPRun struct {
 // blocking and STARTTLS stripping.
 func RunSMTP(ctx context.Context, opts Options) (*SMTPRun, error) {
 	opts = opts.withDefaults()
+	started := wallNow()
 	w, err := population.BuildSMTPWorld(opts.Seed, opts.Scale)
 	if err != nil {
 		return nil, err
@@ -494,7 +593,9 @@ func RunSMTP(ctx context.Context, opts Options) (*SMTPRun, error) {
 		return nil, err
 	}
 	return &SMTPRun{Opts: opts, World: w, Dataset: ds,
-		Analysis: analysis.AnalyzeSMTP(opts.cfg(), w.Geo, ds), reg: reg, tracer: opts.Crawl.Tracer}, nil
+		Analysis: analysis.AnalyzeSMTP(opts.cfg(), w.Geo, ds),
+		reg:      reg, tracer: opts.Crawl.Tracer,
+		runManifest: runManifest{man: opts.buildManifest("smtp", ds.Crawl, started, wallNow())}}, nil
 }
 
 // Name implements Run.
@@ -607,6 +708,7 @@ func (r *Results) Dump(dir string) error {
 		defer f.Close()
 		return fn(f)
 	}
+	manifests := make([]*progress.RunManifest, 0, 4)
 	for _, run := range r.Runs() {
 		geoName := "geo-" + run.Name() + ".jsonl"
 		if run.Name() == "dns" {
@@ -618,8 +720,13 @@ func (r *Results) Dump(dir string) error {
 		if err := write(run.Name()+".jsonl", run.WriteDataset); err != nil {
 			return err
 		}
+		manifests = append(manifests, run.Manifest())
 	}
-	return nil
+	// manifest.json records how the release was produced: per-run seeds,
+	// scale, workers, durations, final counts, and runtime watermarks.
+	return write("manifest.json", func(w io.Writer) error {
+		return progress.WriteManifests(w, manifests)
+	})
 }
 
 // LongitudinalRun bundles a §9-style continuous measurement: repeated DNS
