@@ -41,9 +41,9 @@ fuzz:
 
 # Machine-readable benchmark baseline: runs the full-pipeline, table, pipe,
 # and full-scale (Scale=1.0 DNS, minutes of runtime) benchmarks with
-# -benchmem and writes BENCH_6.json for the perf trajectory.
+# -benchmem and writes BENCH_8.json for the perf trajectory.
 benchjson:
-	$(GO) run ./scripts/benchjson -out BENCH_6.json
+	$(GO) run ./scripts/benchjson -out BENCH_8.json
 
 # Compare the newest two BENCH_<n>.json files and warn on >15% ns/op or
 # peak-heap regressions. Soft gate: historical BENCH files span machines,

@@ -21,7 +21,6 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"math/rand/v2"
 	"slices"
 	"strings"
@@ -233,7 +232,14 @@ func (c *crawler) next(ctx context.Context) (geo.CountryCode, string, bool) {
 		return "", "", false
 	}
 	c.sessions++
-	id := fmt.Sprintf("s%08d", c.sessions)
+	// "s%08d" by hand: one allocation instead of Sprintf's boxing, on a
+	// path that runs once per session.
+	var sb [9]byte
+	sb[0] = 's'
+	for i, n := 8, c.sessions; i >= 1; i, n = i-1, n/10 {
+		sb[i] = byte('0' + n%10)
+	}
+	id := string(sb[:])
 	w := int(c.rng.IntN(c.totalW))
 	idx := 0
 	for idx < len(c.cum) && c.cum[idx] <= w {

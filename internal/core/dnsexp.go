@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"net/netip"
 	"strings"
 
@@ -191,8 +190,8 @@ func (o outcome) String() string {
 
 // measure runs the three-step §4.1 probe through one session.
 func (e *DNSExperiment) measure(ctx context.Context, cr *crawler, cc geo.CountryCode, sess string) (*DNSObservation, outcome) {
-	d1 := fmt.Sprintf("%s%s.%s", d1Prefix, sess, e.Zone)
-	d2 := fmt.Sprintf("%s%s.%s", d2Prefix, sess, e.Zone)
+	d1 := d1Prefix + sess + "." + e.Zone
+	d2 := d2Prefix + sess + "." + e.Zone
 	// Probe names are unique per session, so once this probe returns their
 	// log entries can never be consulted again; releasing them keeps the
 	// authority and web-server logs at O(in-flight sessions) instead of

@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"net/netip"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -210,7 +211,7 @@ func (e *HTTPExperiment) measure(ctx context.Context, cr *crawler, cc geo.Countr
 	}
 
 	for idx, k := range kinds {
-		host := fmt.Sprintf("%s%s-%d.%s", httpPrefix, sess, idx, e.Zone)
+		host := httpPrefix + sess + "-" + strconv.Itoa(idx) + "." + e.Zone
 		resp, dbg, err := e.Client.Get(ctx, opts, "http://"+host+k.Path())
 		if err != nil || dbg == nil || dbg.ZID == "" || dbg.Err != "" {
 			if idx == 0 {

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"net/netip"
 	"strings"
 	"time"
@@ -155,7 +154,7 @@ func (e *MonitorExperiment) Run(ctx context.Context) (*MonDataset, error) {
 
 // fetch issues the single request for a node's unique domain.
 func (e *MonitorExperiment) fetch(ctx context.Context, cr *crawler, cc geo.CountryCode, sess string) (*MonObservation, outcome) {
-	host := fmt.Sprintf("%s%s.%s", monPrefix, sess, e.Zone)
+	host := monPrefix + sess + "." + e.Zone
 	opts := proxynet.Options{Country: cc, Session: sess}
 	at := e.Clock.Now()
 	resp, dbg, err := e.Client.Get(ctx, opts, "http://"+host+"/")

@@ -281,16 +281,21 @@ func appendName(buf []byte, name string, comp map[string]int) ([]byte, error) {
 	if len(name) > 254 {
 		return nil, ErrNameTooLong
 	}
-	labels := strings.Split(strings.TrimSuffix(name, "."), ".")
-	for i := range labels {
-		suffix := strings.Join(labels[i:], ".")
+	// Walk the labels by index: every suffix is a substring of name, so
+	// the compression-map probes and inserts allocate nothing.
+	trimmed := strings.TrimSuffix(name, ".")
+	for i := 0; i < len(trimmed); {
+		suffix := trimmed[i:]
 		if off, ok := comp[suffix]; ok && off < 0x3FFF {
 			return binary.BigEndian.AppendUint16(buf, uint16(0xC000|off)), nil
 		}
 		if len(buf) < 0x3FFF {
 			comp[suffix] = len(buf)
 		}
-		l := labels[i]
+		l := suffix
+		if j := strings.IndexByte(suffix, '.'); j >= 0 {
+			l = suffix[:j]
+		}
 		if l == "" {
 			return nil, ErrBadName
 		}
@@ -299,6 +304,7 @@ func appendName(buf []byte, name string, comp map[string]int) ([]byte, error) {
 		}
 		buf = append(buf, byte(len(l)))
 		buf = append(buf, l...)
+		i += len(l) + 1
 	}
 	return append(buf, 0), nil
 }
@@ -433,7 +439,12 @@ func readRecord(data []byte, off int) (Record, int, error) {
 // readName decodes a possibly-compressed name starting at off, returning the
 // canonical dotted name and the offset just past the name's in-place bytes.
 func readName(data []byte, off int) (string, int, error) {
-	var sb strings.Builder
+	// Accumulate into a stack buffer so the whole decode costs exactly one
+	// allocation (the final string). 256 bytes covers every legal name: the
+	// dotted form of a maximal name is 255 bytes, which the n > 255 check
+	// below rejects anyway.
+	var nb [256]byte
+	n := 0
 	jumped := false
 	end := off
 	hops := 0
@@ -447,14 +458,13 @@ func readName(data []byte, off int) (string, int, error) {
 			if !jumped {
 				end = off + 1
 			}
-			name := sb.String()
-			if name == "" {
-				name = "."
+			if n == 0 {
+				return ".", end, nil
 			}
-			if len(name) > 255 {
+			if n > 255 {
 				return "", end, ErrNameTooLong
 			}
-			return name, end, nil
+			return string(nb[:n]), end, nil
 		case b&0xC0 == 0xC0:
 			if off+1 >= len(data) {
 				return "", end, ErrShortMessage
@@ -476,8 +486,12 @@ func readName(data []byte, off int) (string, int, error) {
 			if off+1+l > len(data) {
 				return "", end, ErrShortMessage
 			}
-			sb.Write(data[off+1 : off+1+l])
-			sb.WriteByte('.')
+			if n+l+1 > len(nb) {
+				return "", end, ErrNameTooLong
+			}
+			n += copy(nb[n:], data[off+1:off+1+l])
+			nb[n] = '.'
+			n++
 			off += 1 + l
 		}
 	}
@@ -486,6 +500,9 @@ func readName(data []byte, off int) (string, int, error) {
 // CanonicalName lowercases a domain name and ensures a trailing dot, the
 // form used as map keys throughout the repository.
 func CanonicalName(name string) string {
+	if canonicalAlready(name) {
+		return name
+	}
 	name = strings.ToLower(strings.TrimSpace(name))
 	if name == "" {
 		return "."
@@ -494,6 +511,24 @@ func CanonicalName(name string) string {
 		name += "."
 	}
 	return name
+}
+
+// canonicalAlready reports whether name is already in canonical form — all
+// ASCII, lowercase, whitespace-free, with a trailing dot — so CanonicalName
+// can return it unchanged. Names on the hot path are canonical already; this
+// check makes the common case allocation-free.
+func canonicalAlready(name string) bool {
+	if name == "" || name[len(name)-1] != '.' {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c >= 0x80 || (c >= 'A' && c <= 'Z') ||
+			c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' || c == '\f' {
+			return false
+		}
+	}
+	return true
 }
 
 // IsSubdomain reports whether child equals or falls under parent.

@@ -14,7 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 )
@@ -38,6 +38,21 @@ type Header map[string]string
 
 // CanonicalKey normalizes a header name (content-length → Content-Length).
 func CanonicalKey(k string) string {
+	// Fast path: keys at the call sites are almost always written in
+	// canonical form already ("Host", "Content-Length"), so scan before
+	// paying the two allocations of the rewrite.
+	upper := true
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		if (upper && 'a' <= c && c <= 'z') || (!upper && 'A' <= c && c <= 'Z') {
+			return canonicalKeySlow(k)
+		}
+		upper = c == '-'
+	}
+	return k
+}
+
+func canonicalKeySlow(k string) string {
 	b := []byte(k)
 	upper := true
 	for i, c := range b {
@@ -77,7 +92,13 @@ func (h Header) write(w *bufio.Writer) { h.writeWith(w, "", "") }
 // existing value under the same key — in a single sorted pass, so the
 // serializers can stamp Content-Length without cloning the map per message.
 func (h Header) writeWith(w *bufio.Writer, oKey, oVal string) {
-	keys := make([]string, 0, len(h)+1)
+	// Sort from a stack-backed array: messages carry a handful of headers,
+	// and slices.Sort (unlike sort.Strings) doesn't force the slice to heap.
+	var arr [12]string
+	keys := arr[:0]
+	if len(h)+1 > len(arr) {
+		keys = make([]string, 0, len(h)+1)
+	}
 	for k := range h {
 		if k != oKey {
 			keys = append(keys, k)
@@ -86,7 +107,7 @@ func (h Header) writeWith(w *bufio.Writer, oKey, oVal string) {
 	if oKey != "" {
 		keys = append(keys, oKey)
 	}
-	sort.Strings(keys)
+	slices.Sort(keys)
 	for _, k := range keys {
 		w.WriteString(k)
 		w.WriteString(": ")
@@ -113,7 +134,7 @@ type Request struct {
 
 // NewRequest builds a request with an empty header map.
 func NewRequest(method, target string) *Request {
-	return &Request{Method: method, Target: target, Proto: "HTTP/1.1", Header: Header{}}
+	return &Request{Method: method, Target: target, Proto: "HTTP/1.1", Header: make(Header, 8)}
 }
 
 // Response is an HTTP response.
@@ -127,7 +148,7 @@ type Response struct {
 
 // NewResponse builds a response with standard reason text and body.
 func NewResponse(code int, body []byte) *Response {
-	return &Response{StatusCode: code, Reason: ReasonPhrase(code), Proto: "HTTP/1.1", Header: Header{}, Body: body}
+	return &Response{StatusCode: code, Reason: ReasonPhrase(code), Proto: "HTTP/1.1", Header: make(Header, 8), Body: body}
 }
 
 // ReasonPhrase returns the standard reason for common status codes.
@@ -250,9 +271,22 @@ func ReadResponse(br *bufio.Reader) (*Response, error) {
 }
 
 func readLine(br *bufio.Reader) (string, error) {
+	// Fast path: the line fits the bufio buffer (every header and request
+	// line in the simulation does), so one string conversion suffices.
+	chunk, isPrefix, err := br.ReadLine()
+	if err != nil {
+		return "", err
+	}
+	if !isPrefix {
+		if len(chunk) > MaxHeaderBytes {
+			return "", ErrHeaderTooBig
+		}
+		return string(chunk), nil
+	}
 	var sb strings.Builder
+	sb.Write(chunk)
 	for {
-		chunk, isPrefix, err := br.ReadLine()
+		chunk, isPrefix, err = br.ReadLine()
 		if err != nil {
 			return "", err
 		}
@@ -267,7 +301,9 @@ func readLine(br *bufio.Reader) (string, error) {
 }
 
 func readHeader(br *bufio.Reader) (Header, error) {
-	h := Header{}
+	// Sized for the typical message: presizing skips the incremental bucket
+	// growth that dominated this function's allocation profile.
+	h := make(Header, 8)
 	total := 0
 	for i := 0; ; i++ {
 		if i > maxHeaderLines {

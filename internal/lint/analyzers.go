@@ -18,6 +18,11 @@ func All() []*Analyzer {
 			Run:  runCtxFirst,
 		},
 		{
+			Name: "nogo",
+			Doc:  "go statements in internal/simnet and internal/proxynet are banned; connection work runs on the event core unless a waiver argues otherwise",
+			Run:  runNoGo,
+		},
+		{
 			Name: "poolpair",
 			Doc:  "every pooled buffer Get (httpwire readers/writers, proxynet copy buffers) needs its matching Put in the same function",
 			Run:  runPoolPair,

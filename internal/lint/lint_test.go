@@ -63,6 +63,7 @@ func TestFixtures(t *testing.T) {
 		"spanend/bad",
 		"poolpair/bad",
 		"ctxfirst/bad",
+		"nogo/bad",
 		"waiver/malformed",
 	}
 	for _, dir := range positives {
@@ -93,6 +94,7 @@ func TestFixtures(t *testing.T) {
 		"spanend/good",
 		"poolpair/good",
 		"ctxfirst/good",
+		"nogo/good",
 		"waiver/ok",
 	}
 	for _, dir := range negatives {

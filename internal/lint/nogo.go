@@ -1,0 +1,38 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// nogoScoped reports whether a file is on the goroutine diet: the event-core
+// packages (internal/simnet, internal/proxynet), whose hot path must not
+// regrow goroutine-per-connection dispatch, plus this package's own nogo
+// fixtures. Test files never reach the loader, so test-only goroutines stay
+// legal.
+func nogoScoped(relFile string) bool {
+	return strings.HasPrefix(relFile, "internal/simnet/") ||
+		strings.HasPrefix(relFile, "internal/proxynet/") ||
+		strings.Contains(relFile, "testdata/src/nogo/")
+}
+
+// runNoGo flags every go statement in the scoped packages. The simnet event
+// core retired goroutine-per-connection from the hot path; the surviving
+// goroutines (stream handlers, real-socket relays, agent workers) each carry
+// a reasoned waiver, and any new one must argue for itself the same way.
+func runNoGo(p *Pass) []Diagnostic {
+	var ds []Diagnostic
+	for _, f := range p.Files {
+		if !nogoScoped(p.FileRel(f)) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				ds = append(ds, p.Diag(g.Pos(),
+					"go statement in an event-core package; drive the work from the run-to-completion scheduler (fabric tasks, splice, Clock.AfterFunc) or waive with a reason"))
+			}
+			return true
+		})
+	}
+	return ds
+}

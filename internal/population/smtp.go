@@ -44,9 +44,10 @@ func BuildSMTPWorld(seed uint64, scale float64) (*World, error) {
 	// The hypothetical VPN allows arbitrary ports (§3.4).
 	w.Super.AnyPortConnect = true
 
-	// The measurement mail server.
+	// The measurement mail server. SMTP is server-talks-first (the 220
+	// greeting) and multi-round, so it keeps a goroutine per connection.
 	mail := smtpwire.NewServer(MailHost)
-	w.Fabric.HandleTCP(MailIP, 25, func(conn net.Conn) {
+	w.Fabric.HandleTCPStream(MailIP, 25, func(conn net.Conn) {
 		defer conn.Close()
 		mail.ServeOnce(conn)
 	})

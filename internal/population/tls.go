@@ -113,7 +113,12 @@ func (b *tlsBuilder) registerSite(host string, asn geo.ASN, chain []*cert.Certif
 	ip := b.addr(asn)
 	s := &Site{Host: host, IP: ip, Chain: chain, Invalid: invalid}
 	var flip atomic.Uint64
-	b.Fabric.HandleTCP(ip, 443, origin.TLSSite(func(sni string) []*cert.Certificate {
+	// Stream, not run-to-completion: HTTPS origins are dialed by the exit
+	// node while setting up a CONNECT tunnel, so their first bytes (the
+	// ClientHello) only arrive after the tunnel's 200 has reached the client
+	// and the relay is armed — the handler cannot run to completion inline
+	// on whichever goroutine happens to pump it.
+	b.Fabric.HandleTCPStream(ip, 443, origin.TLSSite(func(sni string) []*cert.Certificate {
 		if s.AltChain != nil && flip.Add(1)%2 == 0 {
 			return s.AltChain
 		}

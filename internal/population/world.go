@@ -128,6 +128,9 @@ func newWorld(seed uint64, scale float64, label string) (*World, error) {
 	if err := geo.InstallGoogle(w.Geo); err != nil {
 		return nil, err
 	}
+	// Stream deadlines live on virtual time: a simulated run never stalls on
+	// a wall-clock timer, and Advance can expire idle connections.
+	w.Fabric.Clock = w.Clock
 
 	w.Auth = dnsserver.NewAuthority(Zone, w.Clock)
 	w.Fabric.HandleDNS(AuthIP, w.Auth.Handler())

@@ -182,8 +182,17 @@ func (p *remotePeer) FetchHTTP(ctx context.Context, host string, port uint16, pa
 }
 
 // Tunnel implements Peer: the agent connection carrying the CONNECT becomes
-// the tunnel and is consumed.
-func (p *remotePeer) Tunnel(ctx context.Context, client net.Conn, ip netip.Addr, port uint16) error {
+// the tunnel and is consumed. Agent tunnels ride real sockets, so the relay
+// always runs synchronously — done has fired by the time Tunnel returns.
+func (p *remotePeer) Tunnel(ctx context.Context, client net.Conn, ip netip.Addr, port uint16, done func(error)) bool {
+	err := p.tunnel(ctx, client, ip, port)
+	if done != nil {
+		done(err)
+	}
+	return false
+}
+
+func (p *remotePeer) tunnel(ctx context.Context, client net.Conn, ip netip.Addr, port uint16) error {
 	conn, err := p.borrow()
 	if err != nil {
 		return err
@@ -200,7 +209,7 @@ func (p *remotePeer) Tunnel(ctx context.Context, client net.Conn, ip netip.Addr,
 		return err
 	}
 	defer p.drop(conn)
-	return rawRelay(client, conn)
+	return relayBoth(client, conn, nil)
 }
 
 // Gateway accepts agent registrations and materializes remote peers into a
@@ -327,6 +336,7 @@ func (a *Agent) Run(ctx context.Context) error {
 	var wg sync.WaitGroup
 	for i := 0; i < conns; i++ {
 		wg.Add(1)
+		//tftlint:ignore nogo -- agent worker pool: each persistent connection to the super proxy blocks on a real socket
 		go func() {
 			defer wg.Done()
 			for ctx.Err() == nil {
@@ -412,7 +422,9 @@ func (a *Agent) serveOne(ctx context.Context) error {
 			}
 			// The connection becomes the tunnel and is consumed; the node
 			// relays (and its TLS interceptors, if any, do their work).
-			a.Node.Tunnel(rctx, &bufferedConn{Conn: conn, br: br}, ip, port)
+			// The client is a real socket, never a fabric stream, so the
+			// relay runs synchronously and has finished by the return.
+			a.Node.Tunnel(rctx, &bufferedConn{Conn: conn, br: br}, ip, port, nil)
 			return nil
 		default:
 			httpwire.NewResponse(400, []byte("unknown agent op")).Write(conn)

@@ -1,7 +1,6 @@
 package proxynet
 
 import (
-	"fmt"
 	"net/netip"
 	"strings"
 
@@ -59,21 +58,25 @@ func (d *Debug) PeerNXDomain() bool { return d.Err == ErrDNSPeer }
 
 // encodeTimeline renders the timeline header value.
 func encodeTimeline(zid string, ip netip.Addr, attempts []Attempt) string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "v1 zid=%s", zid)
+	b := make([]byte, 0, 64)
+	b = append(b, "v1 zid="...)
+	b = append(b, zid...)
 	if ip.IsValid() {
-		fmt.Fprintf(&sb, " ip=%s", ip)
+		b = append(b, " ip="...)
+		b = ip.AppendTo(b)
 	}
 	if len(attempts) > 0 {
-		sb.WriteString(" tried=")
+		b = append(b, " tried="...)
 		for i, a := range attempts {
 			if i > 0 {
-				sb.WriteByte(',')
+				b = append(b, ',')
 			}
-			fmt.Fprintf(&sb, "%s:%s", a.ZID, a.Err)
+			b = append(b, a.ZID...)
+			b = append(b, ':')
+			b = append(b, a.Err...)
 		}
 	}
-	return sb.String()
+	return string(b)
 }
 
 // attachDebug stamps the debug headers on a proxy response.

@@ -9,7 +9,6 @@ package proxynet
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -22,6 +21,7 @@ import (
 	"github.com/tftproject/tft/internal/geo"
 	"github.com/tftproject/tft/internal/httpwire"
 	"github.com/tftproject/tft/internal/middlebox"
+	"github.com/tftproject/tft/internal/simnet"
 	"github.com/tftproject/tft/internal/tlssim"
 	"github.com/tftproject/tft/internal/trace"
 )
@@ -138,50 +138,106 @@ func (n *ExitNode) FetchHTTP(ctx context.Context, host string, port uint16, path
 // Tunnel bridges client to ip:port — the CONNECT data phase. With TLS
 // interceptors on the node's path, the relay parses the handshake and lets
 // them replace the certificate chain; otherwise bytes pass transparently.
-func (n *ExitNode) Tunnel(ctx context.Context, client net.Conn, ip netip.Addr, port uint16) error {
+//
+// When both tunnel legs are fabric streams the relay runs on the event
+// core (see splice) and Tunnel returns true immediately with the tunnel
+// still live; done fires once it finishes. Otherwise the relay blocks (or,
+// for a stream client, detaches onto one goroutine) and done fires with
+// the first non-benign error either direction hit. done may be nil.
+func (n *ExitNode) Tunnel(ctx context.Context, client net.Conn, ip netip.Addr, port uint16, done func(error)) bool {
 	span := n.Tracer.StartChild(trace.FromContext(ctx), "node.tunnel", trace.KindTunnel,
 		trace.Str("zid", n.ZID), trace.Int("port", int64(port)))
-	defer span.End()
+	finish := func(err error) {
+		if err != nil {
+			span.SetError(err.Error())
+		}
+		span.End()
+		if done != nil {
+			done(err)
+		}
+	}
 	if n.Path.PortBlocked(port) {
-		err := fmt.Errorf("proxynet: outbound port %d blocked by the node's ISP", port)
-		span.SetError(err.Error())
-		return err
+		finish(fmt.Errorf("proxynet: outbound port %d blocked by the node's ISP", port))
+		return false
 	}
 	server, err := n.Net.Dial(ctx, n.Addr, ip, port)
 	if err != nil {
-		span.SetError(err.Error())
-		return err
+		finish(err)
+		return false
 	}
-	defer server.Close()
 
+	var rewrite func([]byte) []byte
 	if stream := n.Path.StreamFor(port); len(stream) > 0 {
-		return rewriteRelay(client, server, stream)
+		rewrite = func(chunk []byte) []byte {
+			for _, ic := range stream {
+				chunk = ic.RewriteS2C(chunk)
+			}
+			return chunk
+		}
 	}
+	cs, clientStream := client.(*simnet.Stream)
+	ss, serverStream := server.(*simnet.Stream)
+
 	// TLS-intercepting products engage on TLS-bearing tunnels; mail ports
 	// belong to the stream interceptors above.
-	if n.Path != nil && len(n.Path.TLS) > 0 && port != 25 && port != 587 {
-		return tlssim.Relay(client, server, func(sni string, chain []*cert.Certificate) []*cert.Certificate {
+	if rewrite == nil && n.Path != nil && len(n.Path.TLS) > 0 && port != 25 && port != 587 {
+		hook := func(sni string, chain []*cert.Certificate) []*cert.Certificate {
 			for _, ic := range n.Path.TLS {
 				if replaced := ic.InterceptChain(sni, chain); replaced != nil {
 					return replaced
 				}
 			}
 			return nil
-		})
+		}
+		relay := func() error {
+			err := tlssim.Relay(client, server, hook)
+			client.Close()
+			server.Close()
+			if benignRelayErr(err) {
+				return nil
+			}
+			return err
+		}
+		if clientStream {
+			//tftlint:ignore nogo -- TLS-intercept relays parse the handshake with blocking record reads; one goroutine per intercepted tunnel, off the transparent hot path
+			go func() { finish(relay()) }()
+			return true
+		}
+		finish(relay())
+		return false
 	}
-	return rawRelay(client, server)
+
+	if clientStream && serverStream {
+		// The hot path: both legs are fabric streams, so the relay is a
+		// callback-driven state machine on the event core — no goroutines.
+		startSplice(cs, ss, rewrite, finish)
+		return true
+	}
+	if clientStream {
+		//tftlint:ignore nogo -- mixed stream/socket tunnel: the real-socket leg needs blocking reads, so the relay detaches onto goroutines
+		go func() { finish(relayBoth(client, server, rewrite)) }()
+		return true
+	}
+	finish(relayBoth(client, server, rewrite))
+	return false
 }
 
-// rewriteRelay copies bytes both ways, passing server→client chunks
-// through the stream interceptors (STARTTLS strippers and kin).
-func rewriteRelay(client, server net.Conn, stream []middlebox.StreamInterceptor) error {
+// relayBoth copies bytes both ways until either side closes — the blocking
+// fallback for tunnels with a real socket on at least one leg. rewrite,
+// when non-nil, transforms server→client chunks (STARTTLS strippers and
+// kin). The first direction to finish tears both connections down; the
+// returned error is the first non-benign one either direction hit, so a
+// benign EOF on one leg cannot mask a real failure on the other.
+func relayBoth(client, server net.Conn, rewrite func([]byte) []byte) error {
 	done := make(chan error, 2)
+	//tftlint:ignore nogo -- blocking relay fallback: the client→server direction runs on its own goroutine for the tunnel's lifetime
 	go func() {
 		buf := getCopyBuf()
 		defer putCopyBuf(buf)
 		_, err := io.CopyBuffer(server, client, *buf)
 		done <- err
 	}()
+	//tftlint:ignore nogo -- blocking relay fallback: the server→client direction runs on its own goroutine for the tunnel's lifetime
 	go func() {
 		bp := getCopyBuf()
 		defer putCopyBuf(bp)
@@ -190,8 +246,8 @@ func rewriteRelay(client, server net.Conn, stream []middlebox.StreamInterceptor)
 			nr, err := server.Read(buf)
 			if nr > 0 {
 				chunk := buf[:nr]
-				for _, ic := range stream {
-					chunk = ic.RewriteS2C(chunk)
+				if rewrite != nil {
+					chunk = rewrite(chunk)
 				}
 				if _, werr := client.Write(chunk); werr != nil {
 					done <- werr
@@ -204,33 +260,15 @@ func rewriteRelay(client, server net.Conn, stream []middlebox.StreamInterceptor)
 			}
 		}
 	}()
-	err := <-done
+	first := <-done
 	client.Close()
 	server.Close()
-	<-done
-	if err != nil && !errors.Is(err, io.ErrClosedPipe) && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-		return err
+	second := <-done
+	if !benignRelayErr(first) {
+		return first
 	}
-	return nil
-}
-
-// rawRelay copies bytes both ways until either side closes.
-func rawRelay(a, b net.Conn) error {
-	done := make(chan error, 2)
-	relay := func(dst, src net.Conn) {
-		buf := getCopyBuf()
-		defer putCopyBuf(buf)
-		_, err := io.CopyBuffer(dst, src, *buf)
-		done <- err
-	}
-	go relay(b, a)
-	go relay(a, b)
-	err := <-done
-	a.Close()
-	b.Close()
-	<-done
-	if err != nil && !errors.Is(err, io.ErrClosedPipe) && !errors.Is(err, net.ErrClosed) {
-		return err
+	if !benignRelayErr(second) {
+		return second
 	}
 	return nil
 }

@@ -3,10 +3,13 @@ package proxynet
 import (
 	"bufio"
 	"context"
+	"errors"
+	"io"
 	"net"
 	"net/netip"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/tftproject/tft/internal/dnsserver"
 	"github.com/tftproject/tft/internal/httpwire"
@@ -22,7 +25,9 @@ func smtpFabric(t *testing.T, path *middlebox.Path) (*simnet.Fabric, *ExitNode) 
 	t.Helper()
 	f := simnet.NewFabric()
 	mail := smtpwire.NewServer("mail.tft-example.net")
-	f.HandleTCP(mailIP, 25, func(conn net.Conn) {
+	// SMTP is server-talks-first: the greeting must flow before the client
+	// writes, so the handler keeps its own goroutine.
+	f.HandleTCPStream(mailIP, 25, func(conn net.Conn) {
 		defer conn.Close()
 		mail.ServeOnce(conn)
 	})
@@ -42,7 +47,7 @@ func tunnelProbe(t *testing.T, node *ExitNode) (*smtpwire.Session, error) {
 	defer client.Close()
 	go func() {
 		defer nodeSide.Close()
-		node.Tunnel(context.Background(), nodeSide, mailIP, 25)
+		node.Tunnel(context.Background(), nodeSide, mailIP, 25, nil)
 	}()
 	return smtpwire.Probe(client, "probe.tft-example.net")
 }
@@ -86,7 +91,7 @@ func TestTunnelBlockedPort(t *testing.T) {
 	errCh := make(chan error, 1)
 	go func() {
 		defer nodeSide.Close()
-		errCh <- node.Tunnel(context.Background(), nodeSide, mailIP, 25)
+		node.Tunnel(context.Background(), nodeSide, mailIP, 25, func(err error) { errCh <- err })
 	}()
 	if err := <-errCh; err == nil {
 		t.Fatal("tunnel to a blocked port succeeded")
@@ -112,7 +117,7 @@ func TestTunnelStripperDoesNotTouchOtherPorts(t *testing.T) {
 	defer client.Close()
 	go func() {
 		defer nodeSide.Close()
-		node.Tunnel(context.Background(), nodeSide, echoIP, 7777)
+		node.Tunnel(context.Background(), nodeSide, echoIP, 7777, nil)
 	}()
 	payload := "250-STARTTLS would be stripped if this were port 25\r\n"
 	if _, err := client.Write([]byte(payload)); err != nil {
@@ -160,5 +165,83 @@ func TestResolveAWithServFailUpstream(t *testing.T) {
 	}
 	if rcode.String() != "SERVFAIL" {
 		t.Fatalf("rcode = %v", rcode)
+	}
+}
+
+// scriptConn is a scripted net.Conn for relay error-propagation tests: Read
+// serves the scripted payloads (after an optional gate) and then returns
+// readErr; Write returns writeErr when set.
+type scriptConn struct {
+	reads    [][]byte
+	readGate <-chan struct{} // when non-nil, Read blocks on it first
+	readErr  error
+	writeErr error
+	eofSent  chan struct{} // closed when Read has returned readErr
+}
+
+func newScriptConn() *scriptConn {
+	return &scriptConn{readErr: io.EOF, eofSent: make(chan struct{})}
+}
+
+func (c *scriptConn) Read(p []byte) (int, error) {
+	if c.readGate != nil {
+		<-c.readGate
+		// Let the other leg's benign result reach the relay first, so the
+		// test exercises the benign-first, error-second ordering.
+		time.Sleep(2 * time.Millisecond)
+	}
+	if len(c.reads) == 0 {
+		select {
+		case <-c.eofSent:
+		default:
+			close(c.eofSent)
+		}
+		return 0, c.readErr
+	}
+	n := copy(p, c.reads[0])
+	c.reads = c.reads[1:]
+	return n, nil
+}
+
+func (c *scriptConn) Write(p []byte) (int, error) {
+	if c.writeErr != nil {
+		return 0, c.writeErr
+	}
+	return len(p), nil
+}
+
+func (c *scriptConn) Close() error                       { return nil }
+func (c *scriptConn) LocalAddr() net.Addr                { return &net.TCPAddr{} }
+func (c *scriptConn) RemoteAddr() net.Addr               { return &net.TCPAddr{} }
+func (c *scriptConn) SetDeadline(t time.Time) error      { return nil }
+func (c *scriptConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *scriptConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// TestRelayBothSurfacesErrorBehindBenignEOF pins the error contract of the
+// blocking relay fallback: the client leg hits a clean EOF first (benign),
+// then the server→client direction fails with a real write error. The relay
+// must surface the write error — a benign first result may not mask it.
+func TestRelayBothSurfacesErrorBehindBenignEOF(t *testing.T) {
+	wantErr := errors.New("client write: connection reset")
+	client := newScriptConn() // reads: immediate EOF; writes fail
+	client.writeErr = wantErr
+	server := newScriptConn()
+	server.reads = [][]byte{[]byte("payload")}
+	server.readGate = client.eofSent // serve data only after the EOF leg finished
+
+	err := relayBoth(client, server, nil)
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("relayBoth returned %v, want the non-benign write error %v", err, wantErr)
+	}
+}
+
+// TestRelayBothBenignBothWays: both directions ending in EOF/closed-pipe is
+// a clean teardown, not an error.
+func TestRelayBothBenignBothWays(t *testing.T) {
+	client := newScriptConn()
+	server := newScriptConn()
+	server.reads = [][]byte{[]byte("hello")}
+	if err := relayBoth(client, server, nil); err != nil {
+		t.Fatalf("clean teardown returned %v, want nil", err)
 	}
 }

@@ -29,8 +29,14 @@ type Peer interface {
 	ResolveA(ctx context.Context, name string) (netip.Addr, dnswire.RCode, error)
 	// FetchHTTP performs the node-side fetch of a proxied GET.
 	FetchHTTP(ctx context.Context, host string, port uint16, path string, ip netip.Addr) (*httpwire.Response, error)
-	// Tunnel bridges client to ip:port (normally 443) through the node.
-	Tunnel(ctx context.Context, client net.Conn, ip netip.Addr, port uint16) error
+	// Tunnel bridges client to ip:port (normally 443) through the node —
+	// the CONNECT data phase. done, when non-nil, fires exactly once with
+	// the tunnel's outcome (nil for an orderly close). The return value
+	// reports whether the tunnel detached: true means the relay is still
+	// live when Tunnel returns (done fires later) and the peer owns both
+	// connections; false means the tunnel already finished — done has
+	// fired and both connections are closed — or never started.
+	Tunnel(ctx context.Context, client net.Conn, ip netip.Addr, port uint16, done func(error)) bool
 }
 
 // PeerID implements Peer.

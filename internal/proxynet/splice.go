@@ -1,0 +1,155 @@
+package proxynet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/tftproject/tft/internal/simnet"
+)
+
+// splice is the event-driven tunnel relay: it bridges two fabric streams
+// without parking goroutines on blocking reads. Each direction is a small
+// state machine driven by the streams' readiness callbacks — TryRead into a
+// pooled buffer, TryWrite out, stash the remainder when the destination
+// window is full, resume on the next notify. A tunnel at rest costs two
+// pooled buffers and no goroutines.
+//
+// Teardown matches the historical goroutine relay: the first direction to
+// finish (EOF or error) closes both connections. The completion callback
+// fires exactly once with the first non-benign error either direction hit
+// (nil when both legs ended in an orderly close).
+type splice struct {
+	mu       sync.Mutex
+	running  bool // a kick is draining the state machines
+	again    bool // a notify arrived while running; drain once more
+	finished bool
+
+	dirs [2]spliceDir
+	done func(error)
+}
+
+// spliceDir is one copy direction of the tunnel.
+type spliceDir struct {
+	src, dst *simnet.Stream
+	// rewrite, when set, transforms each chunk (the server→client leg of
+	// STARTTLS-stripping tunnels).
+	rewrite func([]byte) []byte
+	buf     *[]byte // pooled copy buffer
+	stash   []byte  // bytes read but not yet written (dst window was full)
+}
+
+// startSplice arms a relay between client and server and drives it until
+// either side finishes. rewrite, when non-nil, applies to server→client
+// chunks. done fires exactly once.
+func startSplice(client, server *simnet.Stream, rewrite func([]byte) []byte, done func(error)) {
+	s := &splice{done: done}
+	//tftlint:ignore poolpair -- tunnel-lifetime buffer: Get here, Put in finish when the splice tears down
+	s.dirs[0] = spliceDir{src: client, dst: server, buf: getCopyBuf()}
+	//tftlint:ignore poolpair -- tunnel-lifetime buffer: Get here, Put in finish when the splice tears down
+	s.dirs[1] = spliceDir{src: server, dst: client, rewrite: rewrite, buf: getCopyBuf()}
+	client.SetNotify(s.kick)
+	server.SetNotify(s.kick)
+	// Drain anything already buffered (the client may have pipelined data
+	// behind its CONNECT before the tunnel was established).
+	s.kick()
+}
+
+// kick drains both direction state machines until neither can progress.
+// It is the streams' notify callback and may fire from any goroutine; the
+// running/again pair collapses concurrent kicks into one drain loop.
+func (s *splice) kick() {
+	s.mu.Lock()
+	if s.finished || s.running {
+		s.again = s.running
+		s.mu.Unlock()
+		return
+	}
+	s.running = true
+	s.again = false
+	s.mu.Unlock()
+	for {
+		s.pump()
+		s.mu.Lock()
+		if s.finished || !s.again {
+			s.running = false
+			s.mu.Unlock()
+			return
+		}
+		s.again = false
+		s.mu.Unlock()
+	}
+}
+
+// pump advances each direction until it blocks, the tunnel finishes, or an
+// error surfaces. Only one pump runs at a time (kick serializes), so the
+// per-direction state needs no locking of its own.
+func (s *splice) pump() {
+	for i := range s.dirs {
+		d := &s.dirs[i]
+		for {
+			if len(d.stash) > 0 {
+				n, err := d.dst.TryWrite(d.stash)
+				d.stash = d.stash[n:]
+				if err == simnet.ErrWouldBlock {
+					break
+				}
+				if err != nil {
+					s.finish(err)
+					return
+				}
+				continue
+			}
+			n, err := d.src.TryRead(*d.buf)
+			if n > 0 {
+				chunk := (*d.buf)[:n]
+				if d.rewrite != nil {
+					chunk = d.rewrite(chunk)
+				}
+				d.stash = chunk
+				continue
+			}
+			if err == simnet.ErrWouldBlock {
+				break
+			}
+			// io.EOF, a close, or a deadline: this direction is over.
+			s.finish(err)
+			return
+		}
+	}
+}
+
+// finish tears the tunnel down: disarm the callbacks, close both ends,
+// return the buffers, and report the outcome exactly once.
+func (s *splice) finish(err error) {
+	s.mu.Lock()
+	if s.finished {
+		s.mu.Unlock()
+		return
+	}
+	s.finished = true
+	s.mu.Unlock()
+	client, server := s.dirs[0].src, s.dirs[1].src
+	client.SetNotify(nil)
+	server.SetNotify(nil)
+	client.Close()
+	server.Close()
+	putCopyBuf(s.dirs[0].buf)
+	putCopyBuf(s.dirs[1].buf)
+	s.dirs[0].stash, s.dirs[1].stash = nil, nil
+	if benignRelayErr(err) {
+		err = nil
+	}
+	if s.done != nil {
+		s.done(err)
+	}
+}
+
+// benignRelayErr reports whether err is the ordinary end of a tunnel — an
+// orderly EOF or the teardown echo of the peer leg closing — rather than a
+// failure worth surfacing.
+func benignRelayErr(err error) bool {
+	return err == nil || errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed)
+}

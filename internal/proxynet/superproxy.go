@@ -157,34 +157,37 @@ func NewSuperProxy(addr netip.Addr, pool NodeSource, resolver *dnsserver.Resolve
 // ConnHandler serves one proxied request per connection.
 func (sp *SuperProxy) ConnHandler() simnet.ConnHandler {
 	return func(conn net.Conn) {
-		defer conn.Close()
-		sp.ServeConn(conn)
+		if !sp.ServeConn(conn) {
+			conn.Close()
+		}
 	}
 }
 
-// ServeConn handles a single client connection.
-func (sp *SuperProxy) ServeConn(conn net.Conn) {
+// ServeConn handles a single client connection. It reports whether the
+// connection detached into a still-live CONNECT tunnel: true means the
+// tunnel now owns (and will close) conn; false means the caller closes it.
+func (sp *SuperProxy) ServeConn(conn net.Conn) bool {
 	// The reader returns to the pool right away: both request paths read
 	// from conn directly after the head-of-line request is parsed.
 	br := httpwire.GetReader(conn)
 	req, err := httpwire.ReadRequest(br)
 	httpwire.PutReader(br)
 	if err != nil {
-		return
+		return false
 	}
 	params, ok := parseProxyAuth(req.Header.Get("Proxy-Authorization"))
 	if !ok {
 		httpwire.NewResponse(407, []byte("proxy authentication required")).Write(conn)
-		return
+		return false
 	}
 	// The client's trace header (when stamped) parents everything the
 	// service does for this request.
 	ctx := trace.NewContext(context.Background(), trace.ParseHeader(req.Header.Get(trace.HeaderName)))
 	if req.Method == "CONNECT" {
-		sp.handleConnect(ctx, conn, req, params)
-		return
+		return sp.handleConnect(ctx, conn, req, params)
 	}
 	sp.handleGet(ctx, conn, req, params)
+	return false
 }
 
 // fail writes an error response carrying the debug headers.
@@ -245,7 +248,15 @@ func (sp *SuperProxy) failAttempt(parent trace.SpanContext, attempts []Attempt, 
 // completes.
 func (sp *SuperProxy) selectNode(params Params, parent trace.SpanContext) (Peer, []Attempt, *trace.Span) {
 	var attempts []Attempt
-	exclude := make(map[string]bool)
+	// exclude stays nil until a retry actually needs it — the common
+	// request succeeds on the first pick and never pays for the map.
+	var exclude map[string]bool
+	shun := func(zid string) {
+		if exclude == nil {
+			exclude = make(map[string]bool, MaxRetries)
+		}
+		exclude[zid] = true
+	}
 	sessKey := ""
 	win := func(zid string) *trace.Span {
 		return sp.Tracer.StartChild(parent, "proxy.attempt", trace.KindAttempt, trace.Str("zid", zid))
@@ -259,7 +270,7 @@ func (sp *SuperProxy) selectNode(params Params, parent trace.SpanContext) (Peer,
 				return n, attempts, win(zid)
 			}
 			attempts = sp.failAttempt(parent, attempts, zid, "peer_disconnected")
-			exclude[zid] = true
+			shun(zid)
 		}
 	}
 	for len(attempts) < MaxRetries {
@@ -269,7 +280,7 @@ func (sp *SuperProxy) selectNode(params Params, parent trace.SpanContext) (Peer,
 		}
 		if !up {
 			attempts = sp.failAttempt(parent, attempts, n.PeerID(), "peer_connect_timeout")
-			exclude[n.PeerID()] = true
+			shun(n.PeerID())
 			sp.Metrics.Counter("proxy_retry_attempts_total").Inc()
 			continue
 		}
@@ -377,8 +388,8 @@ func (sp *SuperProxy) handleGet(ctx context.Context, conn net.Conn, req *httpwir
 }
 
 // handleConnect establishes a TCP tunnel via an exit node; only port 443 is
-// allowed (§2.3).
-func (sp *SuperProxy) handleConnect(ctx context.Context, conn net.Conn, req *httpwire.Request, params Params) {
+// allowed (§2.3). It reports whether the tunnel detached (see ServeConn).
+func (sp *SuperProxy) handleConnect(ctx context.Context, conn net.Conn, req *httpwire.Request, params Params) bool {
 	sp.Metrics.Counter("proxy_connect_total").Inc()
 	span := sp.Tracer.StartChild(trace.FromContext(ctx), "proxy.connect", trace.KindProxy,
 		trace.Str("target", req.Target))
@@ -392,7 +403,7 @@ func (sp *SuperProxy) handleConnect(ctx context.Context, conn net.Conn, req *htt
 	hostStr, port := httpwire.SplitHostPort(req.Target, 0)
 	if !sp.AnyPortConnect && port != sp.connectPort() {
 		failConnect(403, "CONNECT allowed to port 443 only", "", netip.Addr{}, nil)
-		return
+		return false
 	}
 	ip, err := netip.ParseAddr(hostStr)
 	if err != nil {
@@ -406,14 +417,14 @@ func (sp *SuperProxy) handleConnect(ctx context.Context, conn net.Conn, req *htt
 			dspan.SetError(ErrDNSSuper)
 			dspan.End()
 			failConnect(502, ErrDNSSuper, "", netip.Addr{}, nil)
-			return
+			return false
 		}
 		dspan.End()
 	}
 	node, attempts, aspan := sp.selectNode(params, span.Context())
 	if node == nil {
 		failConnect(502, ErrNoPeers, "", netip.Addr{}, attempts)
-		return
+		return false
 	}
 	ctx = trace.NewContext(ctx, aspan.Context())
 	sp.Metrics.Labeled("proxy_requests_by_node").Inc(node.PeerID())
@@ -423,11 +434,15 @@ func (sp *SuperProxy) handleConnect(ctx context.Context, conn net.Conn, req *htt
 	if err := ok.Write(conn); err != nil {
 		aspan.SetError(err.Error())
 		aspan.End()
-		return
+		return false
 	}
 	sp.logRequest(ctx, "CONNECT", req.Target, node.PeerID(), "", len(attempts))
-	if err := node.Tunnel(ctx, conn, ip, port); err != nil {
-		aspan.SetError(err.Error())
-	}
-	aspan.End()
+	// The attempt span hands off to the tunnel: it ends when the relay
+	// does, which on the event core may be well after this call returns.
+	return node.Tunnel(ctx, conn, ip, port, func(err error) {
+		if err != nil {
+			aspan.SetError(err.Error())
+		}
+		aspan.End()
+	})
 }

@@ -60,9 +60,11 @@ func (sp *SuperProxy) Serve(l net.Listener) error {
 			}
 			return err
 		}
+		//tftlint:ignore nogo -- real-listener accept loop: each client connection rides an OS socket and needs a blocking goroutine
 		go func() {
-			defer conn.Close()
-			sp.ServeConn(conn)
+			if !sp.ServeConn(conn) {
+				conn.Close()
+			}
 		}()
 	}
 }
@@ -78,6 +80,7 @@ func ServeListener(l net.Listener, handler func(conn net.Conn)) error {
 			}
 			return err
 		}
+		//tftlint:ignore nogo -- real-listener accept loop: handlers block on OS sockets and need a goroutine each
 		go handler(conn)
 	}
 }

@@ -53,12 +53,19 @@ func (r realTimer) Stop() bool { return r.t.Stop() }
 // advance it explicitly with Advance or Run, and any AfterFunc callbacks due
 // in the traversed window fire in timestamp order.
 //
+// Fired and stopped events are recycled through a free list, so a run that
+// schedules millions of callbacks (a full-scale monitor window) reuses a
+// bounded set of event objects instead of allocating one per callback.
+//
 // The zero value is not usable; construct with NewVirtual.
 type Virtual struct {
-	mu     sync.Mutex
-	now    time.Time
-	events eventHeap
-	seq    uint64
+	mu      sync.Mutex
+	now     time.Time
+	events  eventHeap
+	seq     uint64
+	live    int      // scheduled, unfired, unstopped — Pending in O(1)
+	free    *event   // recycled event objects, linked through next
+	scratch []*event // reusable firing-batch buffer (nil while in use)
 }
 
 // NewVirtual returns a Virtual clock whose current time is start.
@@ -81,10 +88,37 @@ func (v *Virtual) AfterFunc(d time.Duration, f func()) Timer {
 	if d < 0 {
 		d = 0
 	}
-	ev := &event{at: v.now.Add(d), seq: v.seq, fn: f, clock: v}
+	ev := v.alloc()
+	ev.at = v.now.Add(d)
+	ev.seq = v.seq
+	ev.fn = f
 	v.seq++
 	heap.Push(&v.events, ev)
-	return ev
+	v.live++
+	return vtimer{clock: v, ev: ev, gen: ev.gen}
+}
+
+// vtimer is the handle AfterFunc returns. The generation snapshot keeps a
+// Stop that races (or trails) the event's firing from touching a recycled —
+// possibly re-scheduled — event object.
+type vtimer struct {
+	clock *Virtual
+	ev    *event
+	gen   uint64
+}
+
+// Stop implements Timer.
+func (t vtimer) Stop() bool {
+	v := t.clock
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ev := t.ev
+	if ev.gen != t.gen || ev.stopped || ev.index < 0 {
+		return false
+	}
+	ev.stopped = true
+	v.live--
+	return true
 }
 
 // Advance moves the clock forward by d, firing every due callback in
@@ -111,82 +145,128 @@ func (v *Virtual) Run() int {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	n := 0
-	for len(v.events) > 0 {
-		ev := heap.Pop(&v.events).(*event)
-		if ev.stopped {
-			continue
+	for {
+		for len(v.events) > 0 && v.events[0].stopped {
+			v.recycle(heap.Pop(&v.events).(*event))
 		}
-		if ev.at.After(v.now) {
-			v.now = ev.at
+		if len(v.events) == 0 {
+			return n
 		}
-		v.runEvent(ev)
-		n++
+		n += v.advanceTo(v.events[0].at)
 	}
-	return n
 }
 
 // Pending reports the number of callbacks that have been scheduled but have
-// not yet fired or been stopped.
+// not yet fired or been stopped. O(1): progress and stall reporting poll it
+// from the crawl hot loop.
 func (v *Virtual) Pending() int {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	n := 0
-	for _, ev := range v.events {
-		if !ev.stopped {
-			n++
-		}
-	}
-	return n
+	return v.live
 }
 
-// advanceTo fires due events and sets now to t. Caller holds v.mu.
-func (v *Virtual) advanceTo(t time.Time) {
-	for len(v.events) > 0 {
-		ev := v.events[0]
-		if ev.stopped {
+// advanceTo fires due events batch-by-batch and sets now to t, returning how
+// many callbacks fired. Caller holds v.mu.
+//
+// All events sharing one timestamp are drained under a single lock
+// acquisition, then run back-to-back outside the lock — one unlock/lock pair
+// per instant instead of one per event. Same-instant events scheduled *by*
+// a firing callback land in the next batch, preserving (time, seq) order.
+func (v *Virtual) advanceTo(t time.Time) int {
+	fired := 0
+	for {
+		batch := v.takeScratch()
+		var at time.Time
+		for len(v.events) > 0 {
+			ev := v.events[0]
+			if ev.stopped {
+				heap.Pop(&v.events)
+				v.recycle(ev)
+				continue
+			}
+			if ev.at.After(t) {
+				break
+			}
+			if len(batch) > 0 && !ev.at.Equal(at) {
+				break
+			}
+			at = ev.at
 			heap.Pop(&v.events)
-			continue
+			v.live--
+			batch = append(batch, ev)
 		}
-		if ev.at.After(t) {
+		if len(batch) == 0 {
+			v.giveScratch(batch)
 			break
 		}
-		heap.Pop(&v.events)
-		if ev.at.After(v.now) {
-			v.now = ev.at
+		if at.After(v.now) {
+			v.now = at
 		}
-		v.runEvent(ev)
+		v.mu.Unlock()
+		for _, ev := range batch {
+			ev.fn()
+		}
+		v.mu.Lock()
+		fired += len(batch)
+		for _, ev := range batch {
+			v.recycle(ev)
+		}
+		v.giveScratch(batch)
 	}
 	if t.After(v.now) {
 		v.now = t
 	}
+	return fired
 }
 
-// runEvent invokes an event callback without holding the lock so the
-// callback may call back into the clock.
-func (v *Virtual) runEvent(ev *event) {
-	v.mu.Unlock()
-	ev.fn()
-	v.mu.Lock()
+// takeScratch claims the reusable batch buffer (a nested Advance from inside
+// a callback finds it taken and allocates its own).
+func (v *Virtual) takeScratch() []*event {
+	s := v.scratch
+	v.scratch = nil
+	if s == nil {
+		s = make([]*event, 0, 16)
+	}
+	return s[:0]
+}
+
+// giveScratch returns a batch buffer for reuse.
+func (v *Virtual) giveScratch(s []*event) {
+	if v.scratch == nil || cap(s) > cap(v.scratch) {
+		v.scratch = s[:0]
+	}
+}
+
+// alloc takes an event from the free list, or makes one.
+func (v *Virtual) alloc() *event {
+	ev := v.free
+	if ev == nil {
+		return &event{}
+	}
+	v.free = ev.next
+	ev.next = nil
+	ev.stopped = false
+	return ev
+}
+
+// recycle retires a fired or stopped event to the free list. The generation
+// bump invalidates any Timer handle still pointing here.
+func (v *Virtual) recycle(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	ev.stopped = false
+	ev.next = v.free
+	v.free = ev
 }
 
 type event struct {
 	at      time.Time
 	seq     uint64
 	fn      func()
-	clock   *Virtual
+	gen     uint64
 	stopped bool
 	index   int
-}
-
-// Stop implements Timer.
-func (e *event) Stop() bool {
-	e.clock.mu.Lock()
-	defer e.clock.mu.Unlock()
-	if e.stopped || e.index < 0 {
-		return false
-	}
-	e.stopped = true
-	return true
+	next    *event // free-list link
 }
 
 // eventHeap orders events by (time, sequence) so same-instant callbacks fire

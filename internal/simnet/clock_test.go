@@ -168,3 +168,149 @@ func TestRealClockBasics(t *testing.T) {
 		t.Fatal("Real.AfterFunc never fired")
 	}
 }
+
+// TestVirtualStopRacesFiring hammers Stop from another goroutine while the
+// clock fires the same timers: whatever the interleaving, exactly one of
+// {fired, stopped-true} holds per timer, and recycled event objects must
+// never leak a stale cancellation into a later timer (-race guards the
+// memory side).
+func TestVirtualStopRacesFiring(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		c := NewVirtual(t0)
+		const n = 64
+		var fired [n]int32
+		timers := make([]Timer, n)
+		for i := 0; i < n; i++ {
+			i := i
+			timers[i] = c.AfterFunc(time.Millisecond, func() { fired[i]++ })
+		}
+		stopped := make([]bool, n)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range timers {
+				stopped[i] = timers[i].Stop()
+			}
+		}()
+		c.Advance(time.Millisecond)
+		wg.Wait()
+		for i := 0; i < n; i++ {
+			if stopped[i] == (fired[i] == 1) {
+				t.Fatalf("round %d timer %d: stopped=%v fired=%d; want exactly one",
+					round, i, stopped[i], fired[i])
+			}
+		}
+		// The generation bump must make late Stops on fired (and since
+		// recycled) events report false, even if the event object now
+		// backs a different timer.
+		reused := c.AfterFunc(time.Millisecond, func() {})
+		for i := range timers {
+			if timers[i].Stop() {
+				t.Fatalf("round %d timer %d: Stop true after settle", round, i)
+			}
+		}
+		if !reused.Stop() {
+			t.Fatalf("round %d: fresh timer must stop", round)
+		}
+	}
+}
+
+// TestVirtualSameInstantReschedule pins the batching contract: callbacks
+// that re-schedule at the same instant run in the same Advance, after the
+// current batch, in scheduling order.
+func TestVirtualSameInstantReschedule(t *testing.T) {
+	c := NewVirtual(t0)
+	var order []string
+	c.AfterFunc(time.Second, func() {
+		order = append(order, "a")
+		c.AfterFunc(0, func() { order = append(order, "a2") })
+	})
+	c.AfterFunc(time.Second, func() {
+		order = append(order, "b")
+		c.AfterFunc(0, func() { order = append(order, "b2") })
+	})
+	c.Advance(time.Second)
+	want := "a,b,a2,b2"
+	got := ""
+	for i, s := range order {
+		if i > 0 {
+			got += ","
+		}
+		got += s
+	}
+	if got != want {
+		t.Fatalf("firing order %q, want %q", got, want)
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("Pending() = %d after drain", c.Pending())
+	}
+}
+
+// TestVirtualAfterFuncDuringRun schedules from another goroutine while Run
+// drains the heap; every callback must fire exactly once and Pending must
+// land on zero.
+func TestVirtualAfterFuncDuringRun(t *testing.T) {
+	c := NewVirtual(t0)
+	var mu sync.Mutex
+	firedCount := 0
+	count := func() { mu.Lock(); firedCount++; mu.Unlock() }
+	var wg sync.WaitGroup
+	wg.Add(1)
+	c.AfterFunc(time.Millisecond, func() {
+		// Runs inside Run: keep the external scheduler racing the drain.
+		wg.Done()
+		count()
+	})
+	const extra = 200
+	go func() {
+		wg.Wait()
+		for i := 0; i < extra; i++ {
+			c.AfterFunc(time.Duration(i)*time.Microsecond, count)
+		}
+	}()
+	total := 0
+	for total < 1+extra {
+		total += c.Run()
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if firedCount != 1+extra {
+		t.Fatalf("fired %d callbacks, want %d", firedCount, 1+extra)
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("Pending() = %d after drain", c.Pending())
+	}
+}
+
+// TestVirtualPendingCounts pins the O(1) live counter against schedule,
+// stop, and fire transitions.
+func TestVirtualPendingCounts(t *testing.T) {
+	c := NewVirtual(t0)
+	if c.Pending() != 0 {
+		t.Fatalf("fresh clock Pending() = %d", c.Pending())
+	}
+	a := c.AfterFunc(time.Second, func() {})
+	b := c.AfterFunc(2*time.Second, func() {})
+	c.AfterFunc(3*time.Second, func() {})
+	if got := c.Pending(); got != 3 {
+		t.Fatalf("Pending() = %d, want 3", got)
+	}
+	if !a.Stop() {
+		t.Fatal("Stop() = false on pending timer")
+	}
+	if got := c.Pending(); got != 2 {
+		t.Fatalf("Pending() after Stop = %d, want 2", got)
+	}
+	c.Advance(2 * time.Second)
+	if got := c.Pending(); got != 1 {
+		t.Fatalf("Pending() after Advance = %d, want 1", got)
+	}
+	if b.Stop() {
+		t.Fatal("Stop() = true on fired timer")
+	}
+	c.Run()
+	if got := c.Pending(); got != 0 {
+		t.Fatalf("Pending() after Run = %d, want 0", got)
+	}
+}

@@ -18,6 +18,19 @@ var (
 
 // ConnHandler serves one accepted in-memory connection. The handler owns the
 // connection and must close it when done.
+//
+// Handlers registered with HandleTCP run on the fabric's run-to-completion
+// scheduler: the accept is queued as a task and executes inline on whichever
+// goroutine next blocks on a fabric stream, not on a goroutine of its own.
+// That requires the protocol to be client-talks-first request/response: the
+// handler must be able to run to completion once the dialer has written its
+// request (nested dials and reads inside the handler are fine — they pump
+// the same queue), and the request must fit the stream window so the dialer
+// never blocks mid-request with the handler wanting more. Responses of any
+// size are fine: the service-side send ring grows instead of blocking.
+// Protocols where the server talks first or that interleave multiple rounds
+// with the dialer before the dialer ever blocks on a read it can satisfy
+// must register with HandleTCPStream instead.
 type ConnHandler func(conn net.Conn)
 
 // DNSHandler answers a single DNS query datagram. src is the querying host's
@@ -37,13 +50,29 @@ type Fabric struct {
 	// memory. See Pipe.
 	Window int
 
+	// Clock is the timebase for stream deadlines on dialed connections
+	// (nil means the wall clock). Simulated worlds inject their Virtual
+	// clock so SetDeadline instants live on virtual time.
+	Clock Clock
+
 	mu    sync.RWMutex
 	hosts map[netip.Addr]*host
+
+	// tasks is the run queue of the run-to-completion scheduler: accepted
+	// HandleTCP connections wait here and run inline on whichever
+	// goroutine next blocks on one of the fabric's streams.
+	tasks taskQueue
+}
+
+// service is one registered TCP listener.
+type service struct {
+	h      ConnHandler
+	stream bool // run on an own goroutine instead of the event core
 }
 
 type host struct {
 	mu  sync.RWMutex
-	tcp map[uint16]ConnHandler
+	tcp map[uint16]service
 	dns DNSHandler
 }
 
@@ -52,9 +81,30 @@ func NewFabric() *Fabric {
 	return &Fabric{hosts: make(map[netip.Addr]*host)}
 }
 
-// HandleTCP registers h as the listener for (addr, port). Registering a nil
-// handler removes the listener.
+// clock returns the injected deadline clock, defaulting to the wall clock.
+func (f *Fabric) clock() Clock {
+	if f.Clock != nil {
+		return f.Clock
+	}
+	return Real{}
+}
+
+// HandleTCP registers h as the listener for (addr, port), dispatched on the
+// fabric's run-to-completion event core (see ConnHandler for the contract).
+// Registering a nil handler removes the listener.
 func (f *Fabric) HandleTCP(addr netip.Addr, port uint16, h ConnHandler) {
+	f.handleTCP(addr, port, h, false)
+}
+
+// HandleTCPStream registers h as the listener for (addr, port), running each
+// accepted connection on its own goroutine — for protocols where the server
+// talks first or that interleave rounds with the dialer (SMTP's greeting,
+// interactive tunnels). Registering a nil handler removes the listener.
+func (f *Fabric) HandleTCPStream(addr netip.Addr, port uint16, h ConnHandler) {
+	f.handleTCP(addr, port, h, true)
+}
+
+func (f *Fabric) handleTCP(addr netip.Addr, port uint16, h ConnHandler, stream bool) {
 	hst := f.hostFor(addr)
 	hst.mu.Lock()
 	defer hst.mu.Unlock()
@@ -62,7 +112,7 @@ func (f *Fabric) HandleTCP(addr netip.Addr, port uint16, h ConnHandler) {
 		delete(hst.tcp, port)
 		return
 	}
-	hst.tcp[port] = h
+	hst.tcp[port] = service{h: h, stream: stream}
 }
 
 // HandleDNS registers h as the DNS service on addr.
@@ -79,7 +129,7 @@ func (f *Fabric) hostFor(addr netip.Addr) *host {
 	defer f.mu.Unlock()
 	hst, ok := f.hosts[addr]
 	if !ok {
-		hst = &host{tcp: make(map[uint16]ConnHandler)}
+		hst = &host{tcp: make(map[uint16]service)}
 		f.hosts[addr] = hst
 	}
 	return hst
@@ -92,10 +142,14 @@ func (f *Fabric) lookup(addr netip.Addr) *host {
 	return f.hosts[addr]
 }
 
-// Dial opens an in-memory stream from src to (dst, port). The remote
-// handler runs on its own goroutine, exactly as a real accepted connection
-// would. The returned connection reports src and dst through LocalAddr and
-// RemoteAddr.
+// Dial opens an in-memory stream from src to (dst, port). The returned
+// connection reports src and dst through LocalAddr and RemoteAddr.
+//
+// The remote handler does not get a goroutine of its own: the accept is
+// queued on the fabric's run queue and executes inline on whichever
+// goroutine next blocks on a fabric stream — usually the dialer itself, the
+// moment it waits for the response. Handlers registered with
+// HandleTCPStream are the exception and run on a spawned goroutine.
 //
 // The stream is a buffered Pipe, not a net.Pipe: writes up to the fabric's
 // window complete without waiting for the reader, which removes the
@@ -109,15 +163,31 @@ func (f *Fabric) Dial(ctx context.Context, src, dst netip.Addr, port uint16) (ne
 		return nil, fmt.Errorf("%w: %s", ErrHostUnreachable, dst)
 	}
 	hst.mu.RLock()
-	h := hst.tcp[port]
+	svc := hst.tcp[port]
 	hst.mu.RUnlock()
-	if h == nil {
+	if svc.h == nil {
 		return nil, fmt.Errorf("%w: %s:%d", ErrConnRefused, dst, port)
 	}
-	local, remote := Pipe(f.Window)
-	local.local, local.remote = tcpAddr(src, 0), tcpAddr(dst, port)
-	remote.local, remote.remote = tcpAddr(dst, port), tcpAddr(src, 0)
-	go h(remote)
+	local, remote := newPipePair(f.Window, f.clock(), &f.tasks)
+	// The endpoint addresses live inside the pair's single allocation.
+	pp := local.pair
+	pp.ends[0] = endpoint{ip: src}
+	pp.ends[1] = endpoint{ip: dst, port: port}
+	cl, sv := &pp.ends[0], &pp.ends[1]
+	local.local, local.remote = cl, sv
+	remote.local, remote.remote = sv, cl
+	if !svc.stream {
+		// A sequential handler's dialer is parked beneath it on the stack
+		// while it runs, so a response larger than the window could never
+		// drain: the service-side send ring grows instead of blocking.
+		remote.out.grow = true
+	}
+	if svc.stream {
+		//tftlint:ignore nogo -- stream handlers (server-talks-first or multi-round protocols) deadlock on the dialer's event loop and keep their own goroutine by contract
+		go svc.h(remote)
+	} else {
+		f.tasks.push(func() { svc.h(remote) })
+	}
 	return local, nil
 }
 
@@ -152,21 +222,109 @@ func (f *Fabric) NumHosts() int {
 	return len(f.hosts)
 }
 
-// tcpAddr builds a *net.TCPAddr for an address/port pair.
-func tcpAddr(a netip.Addr, port uint16) net.Addr {
-	return &net.TCPAddr{IP: a.AsSlice(), Port: int(port)}
+// taskQueue is the FIFO run queue of the fabric's run-to-completion
+// scheduler. Tasks are pushed by Dial and drained by blocked stream
+// operations (see ring.pumpOrWait); with a single crawl worker that drain
+// order is deterministic.
+type taskQueue struct {
+	mu    sync.Mutex
+	tasks []func()
+	head  int
+	// waiters are the conds of rings parked with nothing to pump; the next
+	// push wakes them all so the new task cannot strand behind goroutines
+	// that stopped watching the queue.
+	waiters []*sync.Cond
+}
+
+// push enqueues one task and wakes every parked ring. A task pushed while
+// all goroutines are parked (or pinned beneath blocked inline handlers)
+// would otherwise never run: parked rings only wake on their own state
+// changes. Broadcasting with the cond's lock held closes the race with a
+// waiter that subscribed but has not reached Wait — it holds that lock from
+// its queue re-check through parking, so it either saw this task pending or
+// receives the broadcast.
+func (q *taskQueue) push(fn func()) {
+	q.mu.Lock()
+	q.tasks = append(q.tasks, fn)
+	ws := q.waiters
+	q.waiters = nil
+	q.mu.Unlock()
+	for _, c := range ws {
+		c.L.Lock()
+		c.Broadcast()
+		c.L.Unlock()
+	}
+}
+
+// subscribe registers c for a wakeup on the next push. It reports false —
+// registering nothing — when tasks are already pending, so the caller
+// re-pumps instead of parking.
+func (q *taskQueue) subscribe(c *sync.Cond) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head < len(q.tasks) {
+		return false
+	}
+	q.waiters = append(q.waiters, c)
+	return true
+}
+
+// pending reports whether any task is queued.
+func (q *taskQueue) pending() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.head < len(q.tasks)
+}
+
+// runOne pops and runs the oldest task, reporting whether there was one.
+// The task runs without the queue lock, so it may dial (pushing new tasks)
+// and block on streams (draining them, recursively).
+func (q *taskQueue) runOne() bool {
+	q.mu.Lock()
+	if q.head >= len(q.tasks) {
+		q.mu.Unlock()
+		return false
+	}
+	fn := q.tasks[q.head]
+	q.tasks[q.head] = nil
+	q.head++
+	if q.head == len(q.tasks) {
+		q.tasks = q.tasks[:0]
+		q.head = 0
+	}
+	q.mu.Unlock()
+	fn()
+	return true
+}
+
+// endpoint is the fabric's net.Addr: the address/port pair held as values,
+// so building one costs a single small allocation and extracting the peer
+// IP (RemoteIP) costs none.
+type endpoint struct {
+	ip   netip.Addr
+	port uint16
+}
+
+// Network implements net.Addr.
+func (*endpoint) Network() string { return "tcp" }
+
+// String implements net.Addr.
+func (e *endpoint) String() string {
+	return netip.AddrPortFrom(e.ip, e.port).String()
 }
 
 // RemoteIP extracts the peer netip.Addr from a connection served by the
 // fabric (or from a real *net.TCPAddr).
 func RemoteIP(conn net.Conn) (netip.Addr, bool) {
-	ta, ok := conn.RemoteAddr().(*net.TCPAddr)
-	if !ok {
-		return netip.Addr{}, false
+	switch ta := conn.RemoteAddr().(type) {
+	case *endpoint:
+		return ta.ip.Unmap(), true
+	case *net.TCPAddr:
+		a, ok := netip.AddrFromSlice(ta.IP)
+		if !ok {
+			return netip.Addr{}, false
+		}
+		return a.Unmap(), true
 	}
-	a, ok := netip.AddrFromSlice(ta.IP)
-	if !ok {
-		return netip.Addr{}, false
-	}
-	return a.Unmap(), true
+	return netip.Addr{}, false
 }

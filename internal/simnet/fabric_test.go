@@ -18,16 +18,24 @@ var (
 
 func TestDialEcho(t *testing.T) {
 	f := NewFabric()
+	msg := []byte("hello through the fabric")
+	// Request/response handler: reads the full request, echoes it, closes.
+	// This is the HandleTCP contract — it runs inline on the dialer's
+	// goroutine the moment the dialer blocks on ReadFull below.
 	f.HandleTCP(hostB, 80, func(conn net.Conn) {
 		defer conn.Close()
-		io.Copy(conn, conn)
+		buf := make([]byte, len(msg))
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			t.Error(err)
+			return
+		}
+		conn.Write(buf)
 	})
 	conn, err := f.Dial(context.Background(), hostA, hostB, 80)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	msg := []byte("hello through the fabric")
 	if _, err := conn.Write(msg); err != nil {
 		t.Fatal(err)
 	}
@@ -73,6 +81,12 @@ func TestServerSeesClientAddress(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
+	// Block on a read to pump the handler task; it closes the conn, so the
+	// read returns EOF once the handler has reported the peer address.
+	var b [1]byte
+	if _, err := conn.Read(b[:]); err != io.EOF {
+		t.Fatalf("read = %v, want EOF", err)
+	}
 	if ip := <-got; ip != hostC {
 		t.Fatalf("server saw %v, want %v", ip, hostC)
 	}

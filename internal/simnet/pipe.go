@@ -1,10 +1,12 @@
 package simnet
 
 import (
+	"errors"
 	"io"
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -14,11 +16,15 @@ import (
 // response without ever blocking on the reader.
 const DefaultWindow = 64 << 10
 
-// minRing is the initial ring allocation. Buffers start small and grow
-// geometrically toward the window, so the millions of short-lived probe
-// connections a crawl opens pay for the bytes they actually carry, not for
-// the window's worst case.
-const minRing = 1 << 10
+// ErrWouldBlock is returned by TryRead and TryWrite when the operation
+// cannot make progress right now: the readiness error of the non-blocking
+// stream API. Callers arm SetNotify and retry when the callback fires.
+var ErrWouldBlock = errors.New("simnet: operation would block")
+
+// ringBufPool recycles full-window ring storage between connections. A crawl
+// opens millions of short-lived streams; with the pool, the steady-state
+// buffer count is the handful of connections actually in flight.
+var ringBufPool sync.Pool
 
 // Pipe returns a connected pair of buffered in-memory stream ends, the
 // fabric's fast-path replacement for net.Pipe. Each direction is an
@@ -34,15 +40,88 @@ const minRing = 1 << 10
 // net.Pipe cannot buffer, Pipe behaves like TCP: data written before a
 // close is still delivered, and the peer sees io.EOF only after draining
 // it. CloseWrite half-closes like a TCP FIN.
+//
+// A bare Pipe runs deadlines on the wall clock; fabric-dialed streams run
+// them on the fabric's injected Clock.
 func Pipe(window int) (*Stream, *Stream) {
+	return newPipePair(window, Real{}, nil)
+}
+
+// pair is one connection: both direction rings and both Stream ends in
+// a single allocation. Once both ends are fully closed the pair returns its
+// ring storage to ringBufPool.
+type pair struct {
+	r        [2]ring // r[0]: a→b, r[1]: b→a
+	s        [2]Stream
+	ends     [2]endpoint // fabric endpoint addresses, carried in the same allocation
+	released atomic.Bool
+}
+
+// newPipePair builds a connected pair whose deadlines run on clock and
+// whose blocked operations drain pump (when non-nil) before parking.
+func newPipePair(window int, clock Clock, pump *taskQueue) (*Stream, *Stream) {
 	if window <= 0 {
 		window = DefaultWindow
 	}
-	ab := newRing(window)
-	ba := newRing(window)
-	a := &Stream{in: ba, out: ab, local: pipeAddr{}, remote: pipeAddr{}}
-	b := &Stream{in: ab, out: ba, local: pipeAddr{}, remote: pipeAddr{}}
-	return a, b
+	if clock == nil {
+		clock = Real{}
+	}
+	pp := &pair{}
+	for i := range pp.r {
+		r := &pp.r[i]
+		r.window = window
+		r.clock = clock
+		r.pump = pump
+		r.cond.L = &r.mu
+	}
+	pp.s[0] = Stream{in: &pp.r[1], out: &pp.r[0], pair: pp, local: pipeAddr{}, remote: pipeAddr{}}
+	pp.s[1] = Stream{in: &pp.r[0], out: &pp.r[1], pair: pp, local: pipeAddr{}, remote: pipeAddr{}}
+	return &pp.s[0], &pp.s[1]
+}
+
+// maybeReclaim returns the pair's ring storage to the pool once both ends
+// are fully closed. Any operation still in flight observes a closed flag
+// under the ring lock before it could touch the buffer, so reclaiming here
+// is safe; late closes and deadline callbacks only touch flags.
+func (pp *pair) maybeReclaim() {
+	for i := range pp.r {
+		r := &pp.r[i]
+		r.mu.Lock()
+		closed := r.wclosed && r.rclosed
+		r.mu.Unlock()
+		if !closed {
+			return
+		}
+	}
+	if !pp.released.CompareAndSwap(false, true) {
+		return
+	}
+	for i := range pp.r {
+		r := &pp.r[i]
+		r.mu.Lock()
+		buf, bufp := r.buf, r.bufp
+		r.buf, r.bufp = nil, nil
+		r.n, r.start = 0, 0
+		if r.rdead.timer != nil {
+			r.rdead.timer.Stop()
+			r.rdead.timer = nil
+		}
+		if r.wdead.timer != nil {
+			r.wdead.timer.Stop()
+			r.wdead.timer = nil
+		}
+		r.rdead.gen++
+		r.wdead.gen++
+		r.notify = nil
+		r.mu.Unlock()
+		if cap(buf) >= DefaultWindow {
+			if bufp == nil {
+				bufp = new([]byte)
+			}
+			*bufp = buf[:0]
+			ringBufPool.Put(bufp)
+		}
+	}
 }
 
 // pipeAddr is the placeholder endpoint address, as with net.Pipe.
@@ -51,22 +130,34 @@ type pipeAddr struct{}
 func (pipeAddr) Network() string { return "pipe" }
 func (pipeAddr) String() string  { return "pipe" }
 
-// ring is one direction of a Stream: a bounded, growable ring buffer with
-// a single mutex/cond pair coordinating the (usually one) reader and
-// writer, plus the deadline and close state for that direction.
+// ring is one direction of a Stream: a bounded ring buffer with a single
+// mutex/cond pair coordinating the (usually one) reader and writer, plus
+// the deadline and close state for that direction.
+//
+// version counts state transitions; a blocked operation snapshots it before
+// releasing the lock to run a queued fabric task, and re-checks instead of
+// parking if the ring changed underneath — the lost-wakeup guard of the
+// run-to-completion scheduler.
 type ring struct {
 	mu   sync.Mutex
 	cond sync.Cond
 
-	buf    []byte // ring storage; nil until first write, grows to window
-	start  int    // index of the first unread byte
-	n      int    // unread byte count
-	window int    // growth cap
+	buf    []byte  // ring storage; nil until first write, pooled full-window
+	bufp   *[]byte // pool box for buf, reused across Get/Put to avoid re-boxing
+	start  int     // index of the first unread byte
+	n      int     // unread byte count
+	window int     // buffer capacity
 
 	wclosed bool // write side closed: reads drain then EOF, writes fail
 	rclosed bool // read side closed: writes fail immediately
 
 	rdead, wdead deadline // per-side deadline state
+
+	clock   Clock      // deadline timebase
+	pump    *taskQueue // fabric run queue drained while blocked (may be nil)
+	grow    bool       // widen past the window instead of blocking writes
+	version uint64     // state-transition counter
+	notify  func()     // readiness callback (see Stream.SetNotify)
 }
 
 // deadline is one side's deadline: the exceeded flag, the pending timer,
@@ -74,70 +165,89 @@ type ring struct {
 // timer whose Stop raced with its firing.
 type deadline struct {
 	timed bool
-	timer *time.Timer
+	timer Timer
 	gen   uint64
 }
 
-func newRing(window int) *ring {
-	r := &ring{window: window}
-	r.cond.L = &r.mu
-	return r
-}
-
-// grow enlarges the ring to hold at least need more bytes (capped at the
-// window), linearizing buffered data into the new storage.
-func (r *ring) grow(need int) {
-	want := r.n + need
-	if want > r.window {
-		want = r.window
+// ensureBuf allocates the ring storage on first use: a pooled full-window
+// buffer when one fits, a fresh one otherwise. Allocating the whole window
+// up front means the ring never copies to grow, and the buffer recycles
+// through ringBufPool across connections.
+func (r *ring) ensureBuf() {
+	if p, _ := ringBufPool.Get().(*[]byte); p != nil && cap(*p) >= r.window {
+		r.bufp = p
+		r.buf = (*p)[:r.window]
+	} else {
+		// Box the fresh buffer once; the box travels with it through every
+		// later Put/Get so returning it to the pool never allocates.
+		r.bufp = new([]byte)
+		r.buf = make([]byte, r.window)
 	}
-	newCap := cap(r.buf)
-	if newCap == 0 {
-		newCap = minRing
-	}
-	for newCap < want {
-		newCap *= 2
-	}
-	if newCap > r.window {
-		newCap = r.window
-	}
-	if newCap <= cap(r.buf) {
-		return
-	}
-	nb := make([]byte, newCap)
-	if r.n > 0 {
-		tail := copy(nb, r.buf[r.start:min(r.start+r.n, len(r.buf))])
-		if tail < r.n {
-			copy(nb[tail:], r.buf[:r.n-tail])
-		}
-	}
-	r.buf = nb
 	r.start = 0
 }
 
-// read copies buffered bytes out, blocking per the ring's state. Caller is
-// the Stream whose in-direction this ring is.
-func (r *ring) read(p []byte) (int, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for {
-		if r.rclosed {
-			return 0, io.ErrClosedPipe
-		}
-		if r.rdead.timed {
-			return 0, os.ErrDeadlineExceeded
-		}
-		if r.n > 0 {
-			break
-		}
-		if r.wclosed {
-			return 0, io.EOF
-		}
-		if len(p) == 0 {
-			return 0, nil
-		}
-		r.cond.Wait()
+// growBuf widens the ring past its window — the escape hatch for handlers
+// running inline on the event core, whose dialer sits beneath them on the
+// stack and cannot drain the response until they finish. Blocking here
+// would deadlock; growing trades bounded memory for progress on exactly
+// the rings that need it (see Fabric.Dial). Caller holds r.mu with
+// r.n == r.window, so buf is allocated and fully occupied.
+func (r *ring) growBuf(need int) {
+	newCap := r.window * 2
+	for newCap < r.n+need {
+		newCap *= 2
 	}
+	nb := make([]byte, newCap)
+	first := len(r.buf) - r.start
+	if first > r.n {
+		first = r.n
+	}
+	copy(nb, r.buf[r.start:r.start+first])
+	copy(nb[first:], r.buf[:r.n-first])
+	old, oldp := r.buf, r.bufp
+	r.buf, r.bufp = nb, nil
+	r.start = 0
+	r.window = newCap
+	if cap(old) >= DefaultWindow {
+		if oldp == nil {
+			oldp = new([]byte)
+		}
+		*oldp = old[:0]
+		ringBufPool.Put(oldp)
+	}
+}
+
+// pumpOrWait is the blocked path shared by read and write: run one queued
+// fabric task if there is one, otherwise park on the cond. Caller holds
+// r.mu in the same wait loop and re-checks ring state after return.
+//
+// Parking subscribes the ring to the run queue first: a task pushed after
+// this goroutine parks (a Dial from some other goroutine, possibly the very
+// handler this ring is waiting on) must wake somebody, or it strands in the
+// queue while every free goroutine sleeps. The pending() re-check under
+// r.mu closes the race with a push that fired between subscribing and
+// parking — push broadcasts while holding r.mu, so it either finds us in
+// Wait or we see its task pending here and return to pump it.
+func (r *ring) pumpOrWait() {
+	if r.pump != nil {
+		v := r.version
+		r.mu.Unlock()
+		if r.pump.runOne() {
+			r.mu.Lock()
+			return
+		}
+		subscribed := r.pump.subscribe(&r.cond)
+		r.mu.Lock()
+		if !subscribed || r.version != v || r.pump.pending() {
+			return
+		}
+	}
+	r.cond.Wait()
+}
+
+// copyOut moves buffered bytes into p. Caller holds r.mu and guarantees
+// r.n > 0.
+func (r *ring) copyOut(p []byte) int {
 	total := 0
 	for total < len(p) && r.n > 0 {
 		chunk := len(r.buf) - r.start // contiguous run from start
@@ -149,59 +259,179 @@ func (r *ring) read(p []byte) (int, error) {
 		r.n -= k
 		total += k
 	}
+	return total
+}
+
+// copyIn appends up to window-n bytes of p into the ring. Caller holds r.mu.
+func (r *ring) copyIn(p []byte) int {
+	free := r.window - r.n
+	want := len(p)
+	if want > free {
+		want = free
+	}
+	if want > 0 && r.buf == nil {
+		r.ensureBuf()
+	}
+	total := 0
+	for want > 0 {
+		end := (r.start + r.n) % len(r.buf)
+		chunk := len(r.buf) - end
+		if chunk > want {
+			chunk = want
+		}
+		copy(r.buf[end:end+chunk], p[total:total+chunk])
+		r.n += chunk
+		total += chunk
+		want -= chunk
+	}
+	return total
+}
+
+// read copies buffered bytes out, blocking per the ring's state. Caller is
+// the Stream whose in-direction this ring is.
+func (r *ring) read(p []byte) (int, error) {
+	r.mu.Lock()
+	for {
+		if r.rclosed {
+			r.mu.Unlock()
+			return 0, io.ErrClosedPipe
+		}
+		if r.rdead.timed {
+			r.mu.Unlock()
+			return 0, os.ErrDeadlineExceeded
+		}
+		if r.n > 0 {
+			break
+		}
+		if r.wclosed {
+			r.mu.Unlock()
+			return 0, io.EOF
+		}
+		if len(p) == 0 {
+			r.mu.Unlock()
+			return 0, nil
+		}
+		r.pumpOrWait()
+	}
+	total := r.copyOut(p)
+	r.version++
 	r.cond.Broadcast()
+	fn := r.notify
+	r.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
 	return total, nil
 }
 
 // write copies p into the ring, blocking while the window is full. It
 // returns the byte count written before any error.
 func (r *ring) write(p []byte) (int, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.wclosed {
-		return 0, io.ErrClosedPipe
-	}
 	if len(p) == 0 {
-		if r.rclosed {
+		r.mu.Lock()
+		closed := r.wclosed || r.rclosed
+		r.mu.Unlock()
+		if closed {
 			return 0, io.ErrClosedPipe
 		}
 		return 0, nil
 	}
 	total := 0
-	for total < len(p) {
+	for {
+		r.mu.Lock()
 		for {
 			if r.wclosed || r.rclosed {
+				r.mu.Unlock()
 				return total, io.ErrClosedPipe
 			}
 			if r.wdead.timed {
+				r.mu.Unlock()
 				return total, os.ErrDeadlineExceeded
 			}
 			if r.n < r.window {
 				break
 			}
-			r.cond.Wait()
-		}
-		free := r.window - r.n
-		want := len(p) - total
-		if want > free {
-			want = free
-		}
-		if r.n+want > cap(r.buf) {
-			r.grow(want)
-		}
-		// Copy into at most two contiguous runs of the ring.
-		for want > 0 {
-			end := (r.start + r.n) % len(r.buf)
-			chunk := len(r.buf) - end
-			if chunk > want {
-				chunk = want
+			if r.grow {
+				r.growBuf(len(p) - total)
+				break
 			}
-			copy(r.buf[end:end+chunk], p[total:total+chunk])
-			r.n += chunk
-			total += chunk
-			want -= chunk
+			r.pumpOrWait()
 		}
+		total += r.copyIn(p[total:])
+		r.version++
 		r.cond.Broadcast()
+		fn := r.notify
+		r.mu.Unlock()
+		if fn != nil {
+			fn()
+		}
+		if total == len(p) {
+			return total, nil
+		}
+	}
+}
+
+// tryRead is the non-blocking read: (0, ErrWouldBlock) when the ring is
+// empty but open.
+func (r *ring) tryRead(p []byte) (int, error) {
+	r.mu.Lock()
+	if r.rclosed {
+		r.mu.Unlock()
+		return 0, io.ErrClosedPipe
+	}
+	if r.rdead.timed {
+		r.mu.Unlock()
+		return 0, os.ErrDeadlineExceeded
+	}
+	if r.n == 0 {
+		wc := r.wclosed
+		r.mu.Unlock()
+		if wc {
+			return 0, io.EOF
+		}
+		return 0, ErrWouldBlock
+	}
+	total := r.copyOut(p)
+	r.version++
+	r.cond.Broadcast()
+	fn := r.notify
+	r.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+	return total, nil
+}
+
+// tryWrite is the non-blocking write: it appends what fits and reports
+// ErrWouldBlock alongside a short count when the window is full.
+func (r *ring) tryWrite(p []byte) (int, error) {
+	r.mu.Lock()
+	if r.wclosed || r.rclosed {
+		r.mu.Unlock()
+		return 0, io.ErrClosedPipe
+	}
+	if r.wdead.timed {
+		r.mu.Unlock()
+		return 0, os.ErrDeadlineExceeded
+	}
+	if len(p) == 0 {
+		r.mu.Unlock()
+		return 0, nil
+	}
+	if r.n == r.window {
+		r.mu.Unlock()
+		return 0, ErrWouldBlock
+	}
+	total := r.copyIn(p)
+	r.version++
+	r.cond.Broadcast()
+	fn := r.notify
+	r.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+	if total < len(p) {
+		return total, ErrWouldBlock
 	}
 	return total, nil
 }
@@ -211,8 +441,13 @@ func (r *ring) write(p []byte) (int, error) {
 func (r *ring) closeWrite() {
 	r.mu.Lock()
 	r.wclosed = true
+	r.version++
 	r.cond.Broadcast()
+	fn := r.notify
 	r.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
 }
 
 // closeRead marks the direction's read side closed: pending and future
@@ -220,14 +455,20 @@ func (r *ring) closeWrite() {
 func (r *ring) closeRead() {
 	r.mu.Lock()
 	r.rclosed = true
+	r.version++
 	r.cond.Broadcast()
+	fn := r.notify
 	r.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
 }
 
-// setDeadline (re)arms one side's deadline flag and timer.
+// setDeadline (re)arms one side's deadline flag and timer on the ring's
+// clock: the fabric's injected Clock for dialed streams (simnet.Real in
+// daemons), the wall clock for bare Pipes.
 func (r *ring) setDeadline(t time.Time, d *deadline) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if d.timer != nil {
 		d.timer.Stop()
 		d.timer = nil
@@ -235,40 +476,60 @@ func (r *ring) setDeadline(t time.Time, d *deadline) {
 	d.gen++
 	if t.IsZero() {
 		d.timed = false
+		r.mu.Unlock()
 		return
 	}
-	// Pipe deadlines honour the net.Conn contract: SetDeadline takes an
-	// absolute wall-clock instant and must fire even while the virtual
-	// clock stands still, so the timer below is deliberately real.
-	//tftlint:ignore simclock -- net.Conn deadlines are wall-clock by contract; virtual-time runs never set pipe deadlines
-	wait := time.Until(t)
+	wait := t.Sub(r.clock.Now())
 	if wait <= 0 {
 		d.timed = true
+		r.version++
 		r.cond.Broadcast()
+		fn := r.notify
+		r.mu.Unlock()
+		if fn != nil {
+			fn()
+		}
 		return
 	}
 	d.timed = false
 	gen := d.gen
-	//tftlint:ignore simclock -- net.Conn deadlines are wall-clock by contract; virtual-time runs never set pipe deadlines
-	d.timer = time.AfterFunc(wait, func() {
+	d.timer = r.clock.AfterFunc(wait, func() {
 		r.mu.Lock()
-		if d.gen == gen {
+		fired := d.gen == gen
+		var fn func()
+		if fired {
 			d.timed = true
+			r.version++
 			r.cond.Broadcast()
+			fn = r.notify
 		}
 		r.mu.Unlock()
+		if fn != nil {
+			fn()
+		}
 	})
+	r.mu.Unlock()
 }
 
 func (r *ring) setReadDeadline(t time.Time)  { r.setDeadline(t, &r.rdead) }
 func (r *ring) setWriteDeadline(t time.Time) { r.setDeadline(t, &r.wdead) }
 
+// setNotify arms (or clears) the ring's readiness callback.
+func (r *ring) setNotify(fn func()) {
+	r.mu.Lock()
+	r.notify = fn
+	r.mu.Unlock()
+}
+
 // Stream is one end of a buffered fabric pipe. It implements net.Conn plus
-// the CloseWrite half-close that TCP-like streams offer.
+// the CloseWrite half-close that TCP-like streams offer, and a non-blocking
+// readiness API (TryRead, TryWrite, SetNotify) for event-driven consumers
+// like the proxy tunnel splice.
 type Stream struct {
 	in  *ring // peer → us
 	out *ring // us → peer
 
+	pair          *pair
 	local, remote net.Addr
 }
 
@@ -280,12 +541,33 @@ func (s *Stream) Read(p []byte) (int, error) { return s.in.read(p) }
 // Write implements net.Conn.
 func (s *Stream) Write(p []byte) (int, error) { return s.out.write(p) }
 
+// TryRead is the non-blocking Read: it returns whatever is buffered, or
+// (0, ErrWouldBlock) when nothing is and the peer still writes. io.EOF and
+// close errors surface exactly as with Read.
+func (s *Stream) TryRead(p []byte) (int, error) { return s.in.tryRead(p) }
+
+// TryWrite is the non-blocking Write: it buffers what fits in the window
+// and returns the count written, with ErrWouldBlock when p did not fit
+// entirely.
+func (s *Stream) TryWrite(p []byte) (int, error) { return s.out.tryWrite(p) }
+
+// SetNotify arms fn as the stream's readiness callback: it fires, without
+// any lock held, after every state transition on either direction — data
+// arriving or draining, a side closing, a deadline expiring. Callbacks must
+// be brief, must tolerate spurious invocations, and at most one consumer
+// per stream end may arm one. A nil fn disarms.
+func (s *Stream) SetNotify(fn func()) {
+	s.in.setNotify(fn)
+	s.out.setNotify(fn)
+}
+
 // Close implements net.Conn: the peer drains any buffered data and then
 // reads io.EOF; its writes — and every further local operation — fail with
 // io.ErrClosedPipe.
 func (s *Stream) Close() error {
 	s.out.closeWrite()
 	s.in.closeRead()
+	s.pair.maybeReclaim()
 	return nil
 }
 

@@ -338,7 +338,9 @@ func TestFabricDialStreamAddrs(t *testing.T) {
 	srv := netip.MustParseAddr("10.0.0.2")
 	cli := netip.MustParseAddr("10.0.0.1")
 	accepted := make(chan net.Conn, 1)
-	f.HandleTCP(srv, 80, func(c net.Conn) { accepted <- c })
+	// HandleTCPStream: the handler hands the conn over a channel instead of
+	// serving a request, so it cannot run inline on the dialer's event loop.
+	f.HandleTCPStream(srv, 80, func(c net.Conn) { accepted <- c })
 	conn, err := f.Dial(context.Background(), cli, srv, 80)
 	if err != nil {
 		t.Fatal(err)

@@ -2,7 +2,6 @@ package trace
 
 import (
 	"context"
-	"fmt"
 	"log/slog"
 	"strconv"
 	"strings"
@@ -20,7 +19,12 @@ func FormatHeader(sc SpanContext) string {
 	if !sc.Valid() {
 		return ""
 	}
-	return fmt.Sprintf("v1;t=%s;s=%s", sc.Trace, sc.Span)
+	var b [40]byte
+	buf := append(b[:0], "v1;t="...)
+	buf = appendHex16(buf, uint64(sc.Trace))
+	buf = append(buf, ";s="...)
+	buf = appendHex16(buf, uint64(sc.Span))
+	return string(buf)
 }
 
 // ParseHeader parses the wire form. Malformed or empty input yields an

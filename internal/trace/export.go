@@ -47,7 +47,7 @@ func WriteChromeTrace(w io.Writer, spans []SpanData) error {
 			args["error"] = d.Err
 		}
 		for _, a := range d.Attrs {
-			args[a.Key] = a.Value
+			args[a.Key] = a.Value()
 		}
 		dur := d.Duration().Microseconds()
 		if dur < 0 {

@@ -19,6 +19,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
 	"strconv"
 	"sync"
@@ -33,10 +34,34 @@ type TraceID uint64
 type SpanID uint64
 
 // String renders the ID as fixed-width hex (the header/export form).
-func (t TraceID) String() string { return fmt.Sprintf("%016x", uint64(t)) }
+func (t TraceID) String() string { return hex16(uint64(t)) }
 
 // String renders the ID as fixed-width hex.
-func (s SpanID) String() string { return fmt.Sprintf("%016x", uint64(s)) }
+func (s SpanID) String() string { return hex16(uint64(s)) }
+
+const hexDigits = "0123456789abcdef"
+
+// hex16 renders v as 16 lowercase hex digits in a single allocation —
+// String() runs once per log record and twice per propagated header, where
+// fmt.Sprintf("%016x") costs three.
+func hex16(v uint64) string {
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexDigits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+// appendHex16 appends v as 16 lowercase hex digits.
+func appendHex16(b []byte, v uint64) []byte {
+	var h [16]byte
+	for i := 15; i >= 0; i-- {
+		h[i] = hexDigits[v&0xf]
+		v >>= 4
+	}
+	return append(b, h[:]...)
+}
 
 // MarshalJSON renders the ID as a quoted hex string.
 func (t TraceID) MarshalJSON() ([]byte, error) { return []byte(`"` + t.String() + `"`), nil }
@@ -114,20 +139,115 @@ func ValidKind(k Kind) bool {
 	return false
 }
 
-// Attr is one typed span attribute.
+// attrKind discriminates the typed value fields of an Attr.
+type attrKind uint8
+
+const (
+	attrString attrKind = iota
+	attrInt
+	attrBool
+)
+
+// Attr is one typed span attribute. The value lives in typed fields rather
+// than an interface so that building an attribute on the hot path never
+// allocates; MarshalJSON preserves the {"key":K,"value":V} wire form.
 type Attr struct {
-	Key   string `json:"key"`
-	Value any    `json:"value"`
+	Key  string
+	kind attrKind
+	str  string
+	num  int64
 }
 
 // Str builds a string attribute.
-func Str(key, value string) Attr { return Attr{Key: key, Value: value} }
+func Str(key, value string) Attr { return Attr{Key: key, kind: attrString, str: value} }
 
 // Int builds an integer attribute.
-func Int(key string, value int64) Attr { return Attr{Key: key, Value: value} }
+func Int(key string, value int64) Attr { return Attr{Key: key, kind: attrInt, num: value} }
 
 // Bool builds a boolean attribute.
-func Bool(key string, value bool) Attr { return Attr{Key: key, Value: value} }
+func Bool(key string, value bool) Attr {
+	var n int64
+	if value {
+		n = 1
+	}
+	return Attr{Key: key, kind: attrBool, num: n}
+}
+
+// Value returns the attribute's value boxed as any — for exporters and
+// generic inspection; hot paths stay on the typed fields.
+func (a Attr) Value() any {
+	switch a.kind {
+	case attrInt:
+		return a.num
+	case attrBool:
+		return a.num != 0
+	default:
+		return a.str
+	}
+}
+
+// MarshalJSON renders the attribute as {"key":K,"value":V}, the same shape
+// the interface-valued struct produced.
+func (a Attr) MarshalJSON() ([]byte, error) {
+	b := make([]byte, 0, len(a.Key)+len(a.str)+24)
+	b = append(b, `{"key":`...)
+	b = appendJSONString(b, a.Key)
+	b = append(b, `,"value":`...)
+	switch a.kind {
+	case attrInt:
+		b = strconv.AppendInt(b, a.num, 10)
+	case attrBool:
+		b = strconv.AppendBool(b, a.num != 0)
+	default:
+		b = appendJSONString(b, a.str)
+	}
+	return append(b, '}'), nil
+}
+
+// UnmarshalJSON parses the {"key":K,"value":V} wire form back into the
+// typed fields, inferring the kind from the JSON value shape.
+func (a *Attr) UnmarshalJSON(b []byte) error {
+	var raw struct {
+		Key   string          `json:"key"`
+		Value json.RawMessage `json:"value"`
+	}
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return err
+	}
+	a.Key = raw.Key
+	v := string(raw.Value)
+	switch {
+	case len(v) > 0 && v[0] == '"':
+		a.kind = attrString
+		return json.Unmarshal(raw.Value, &a.str)
+	case v == "true" || v == "false":
+		a.kind = attrBool
+		a.num = 0
+		if v == "true" {
+			a.num = 1
+		}
+		return nil
+	default:
+		a.kind = attrInt
+		return json.Unmarshal(raw.Value, &a.num)
+	}
+}
+
+// appendJSONString appends s as a JSON string. The fast path covers plain
+// printable ASCII; anything needing escapes defers to encoding/json so the
+// escaping rules match the rest of the document.
+func appendJSONString(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c >= 0x7f || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			enc, _ := json.Marshal(s)
+			return append(b, enc...)
+		}
+	}
+	b = append(b, '"')
+	b = append(b, s...)
+	return append(b, '"')
+}
 
 // SpanData is a span's frozen state: what the collector retains and the
 // exporters serialize.
@@ -147,17 +267,21 @@ type SpanData struct {
 func (d *SpanData) Attr(key string) any {
 	for _, a := range d.Attrs {
 		if a.Key == key {
-			return a.Value
+			return a.Value()
 		}
 	}
 	return nil
 }
 
 // Str returns the named attribute as a string ("" when absent or not a
-// string).
+// string). It reads the typed field directly, so lookups never box.
 func (d *SpanData) Str(key string) string {
-	s, _ := d.Attr(key).(string)
-	return s
+	for _, a := range d.Attrs {
+		if a.Key == key && a.kind == attrString {
+			return a.str
+		}
+	}
+	return ""
 }
 
 // Context returns the span's propagation context.

@@ -1,8 +1,8 @@
 // Command benchdiff compares the newest two BENCH_<n>.json documents that
 // scripts/benchjson wrote and fails when the shared benchmarks regressed:
-// a delta table goes to stdout, and any benchmark whose ns/op or peak heap
-// ("peak-heap-MB" metric) grew past the threshold (default 15%) makes the
-// command exit 1.
+// a delta table goes to stdout, and any benchmark whose ns/op, allocs/op,
+// or peak heap ("peak-heap-MB" metric) grew past the threshold (default
+// 15%) makes the command exit 1.
 //
 //	go run ./scripts/benchdiff                 # newest two BENCH_<n>.json
 //	go run ./scripts/benchdiff -threshold 25
@@ -25,10 +25,11 @@ import (
 
 // Bench mirrors scripts/benchjson's per-benchmark record.
 type Bench struct {
-	Name    string             `json:"name"`
-	Package string             `json:"package"`
-	NsPerOp float64            `json:"ns_per_op"`
-	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Name        string             `json:"name"`
+	Package     string             `json:"package"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Doc mirrors the BENCH_<n>.json document shape.
@@ -154,6 +155,9 @@ func diff(dir, oldName, curName string, threshold float64) (int, error) {
 		o, c := oldB[k], curB[k]
 		short := c.Name
 		row(short, o.NsPerOp, c.NsPerOp, "ns/op")
+		if o.AllocsPerOp > 0 && c.AllocsPerOp > 0 {
+			row(short+" [allocs]", o.AllocsPerOp, c.AllocsPerOp, "allocs/op")
+		}
 		oldPeak, okO := o.Metrics["peak-heap-MB"]
 		curPeak, okC := c.Metrics["peak-heap-MB"]
 		if okO && okC {
