@@ -10,11 +10,15 @@ check: vet lint build race bench fuzz progress-smoke benchdiff
 vet:
 	$(GO) vet ./...
 
-# Repo-specific static analysis: determinism (simclock, seededrand), span
-# hygiene (spanend), pool discipline (poolpair), and context placement
-# (ctxfirst). Exits non-zero on any unwaived finding.
+# Repo-specific static analysis, all ten analyzers: determinism (simclock,
+# seededrand, maporder), span hygiene (spanend), pool discipline (poolpair),
+# context placement (ctxfirst), the event-core contracts (nogo, noblock,
+# lockorder), and hot-path allocations (hotalloc). Exits non-zero on any
+# unwaived finding, malformed waiver, or unused waiver; the JSON report
+# (findings, package count, wall time) is archived as LINT_9.json next to
+# the BENCH_<n>.json trajectory.
 lint:
-	$(GO) run ./cmd/tftlint ./...
+	$(GO) run ./cmd/tftlint -json ./... > LINT_9.json || { cat LINT_9.json; exit 1; }
 
 build:
 	$(GO) build ./...

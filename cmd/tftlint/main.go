@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"github.com/tftproject/tft/internal/lint"
 )
@@ -29,7 +30,8 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("tftlint", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
 	list := fs.Bool("list", false, "print the registered analyzers and exit")
-	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
+	jsonOut := fs.Bool("json", false, "emit a JSON report (findings, package count, wall time) instead of text")
+	waivers := fs.Bool("waivers", false, "list every //tftlint:ignore waiver with its usage status and exit")
 	only := fs.String("only", "", "comma-separated analyzers to run exclusively")
 	skip := fs.String("skip", "", "comma-separated analyzers to skip")
 	fs.Usage = func() {
@@ -79,13 +81,34 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "tftlint:", err)
 		return 2
 	}
+	if *waivers {
+		ws, err := loader.Waivers(dirs, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tftlint:", err)
+			return 2
+		}
+		if err := lint.WriteWaivers(os.Stdout, ws); err != nil {
+			fmt.Fprintln(os.Stderr, "tftlint:", err)
+			return 2
+		}
+		return 0
+	}
+	//tftlint:ignore simclock -- lint runtime is tool telemetry about the host machine, not simulated time
+	start := time.Now()
 	ds, err := loader.Lint(dirs, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tftlint:", err)
 		return 2
 	}
 	if *jsonOut {
-		if err := lint.WriteJSON(os.Stdout, ds); err != nil {
+		rep := lint.Report{
+			Findings:  ds,
+			Packages:  len(dirs),
+			Analyzers: len(analyzers),
+			//tftlint:ignore simclock -- lint runtime is tool telemetry about the host machine, not simulated time
+			WallMS: time.Since(start).Milliseconds(),
+		}
+		if err := lint.WriteJSONReport(os.Stdout, rep); err != nil {
 			fmt.Fprintln(os.Stderr, "tftlint:", err)
 			return 2
 		}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"net/netip"
+	"sort"
 	"time"
 
 	"github.com/tftproject/tft/internal/cert"
@@ -114,7 +115,15 @@ func main() {
 		seen[dbg0.ZID] = true
 		var zid string
 		keys := map[cert.KeyID]int{}
-		for host, ip := range siteIPs {
+		// Probe sites in sorted order: ranging the map directly would print
+		// the verdict lines in nondeterministic order (maporder).
+		hosts := make([]string, 0, len(siteIPs))
+		for host := range siteIPs {
+			hosts = append(hosts, host)
+		}
+		sort.Strings(hosts)
+		for _, host := range hosts {
+			ip := siteIPs[host]
 			conn, dbg, err := client.Connect(context.Background(), opts, ip.String()+":443")
 			if err != nil {
 				log.Fatal(err)
@@ -144,9 +153,11 @@ func main() {
 			fmt.Printf("%-11s %-21s %s\n", zid, host, verdict)
 		}
 		if len(keys) == 1 && pool.Len() > 0 {
-			for k := range keys {
-				fmt.Printf("%-11s %-21s same public key %s on every spoofed cert (§6.2 key reuse)\n", zid, "(all sites)", k.String()[:12])
+			var k cert.KeyID
+			for key := range keys {
+				k = key
 			}
+			fmt.Printf("%-11s %-21s same public key %s on every spoofed cert (§6.2 key reuse)\n", zid, "(all sites)", k.String()[:12])
 		}
 		fmt.Println()
 	}

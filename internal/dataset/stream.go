@@ -48,7 +48,6 @@ type Writer[T any] struct {
 // the exact observation count when known, or StreamRecords for an
 // unbounded stream.
 func newStreamWriter[T any](w io.Writer, experiment string, seed uint64, scale float64, records int, conv func(T) any) (*Writer[T], error) {
-	//tftlint:ignore poolpair -- the Writer owns the buffer across its streaming lifetime; Close is the paired put
 	bw := getWriter(w)
 	enc := json.NewEncoder(bw)
 	if err := enc.Encode(Header{Format: FormatName, Version: Version, Experiment: experiment,

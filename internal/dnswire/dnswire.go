@@ -273,6 +273,8 @@ func appendRecord(buf []byte, r *Record, comp map[string]int) ([]byte, error) {
 
 // appendName encodes a domain name, emitting a compression pointer when a
 // suffix has been written before.
+//
+//tftlint:hotpath
 func appendName(buf []byte, name string, comp map[string]int) ([]byte, error) {
 	name = CanonicalName(name)
 	if name == "." || name == "" {
@@ -438,6 +440,8 @@ func readRecord(data []byte, off int) (Record, int, error) {
 
 // readName decodes a possibly-compressed name starting at off, returning the
 // canonical dotted name and the offset just past the name's in-place bytes.
+//
+//tftlint:hotpath
 func readName(data []byte, off int) (string, int, error) {
 	// Accumulate into a stack buffer so the whole decode costs exactly one
 	// allocation (the final string). 256 bytes covers every legal name: the

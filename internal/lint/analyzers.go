@@ -18,6 +18,26 @@ func All() []*Analyzer {
 			Run:  runCtxFirst,
 		},
 		{
+			Name: "hotalloc",
+			Doc:  "functions annotated //tftlint:hotpath may not contain fmt calls, loop string concatenation, interface boxing, or escaping composite literals",
+			Run:  runHotAlloc,
+		},
+		{
+			Name: "lockorder",
+			Doc:  "the per-package mutex acquisition graph (simnet, proxynet, metrics) must stay acyclic, and dynamic calls under a held lock need hoisting or a waiver",
+			Run:  runLockOrder,
+		},
+		{
+			Name: "maporder",
+			Doc:  "a range over a map must not reach an order-sensitive sink (fmt output, JSON/dataset writers, Table rows); sort the keys first",
+			Run:  runMapOrder,
+		},
+		{
+			Name: "noblock",
+			Doc:  "no blocking operations (channel ops, mutexes, Stream.Read/Write, interface Read/Write) inside taskQueue callbacks or SetNotify handlers; use the readiness APIs",
+			Run:  runNoBlock,
+		},
+		{
 			Name: "nogo",
 			Doc:  "go statements in internal/simnet and internal/proxynet are banned; connection work runs on the event core unless a waiver argues otherwise",
 			Run:  runNoGo,

@@ -1,0 +1,372 @@
+package lint
+
+// cfg.go builds intra-procedural control-flow graphs from the AST — the
+// substrate the dataflow-aware analyzers (lockorder, noblock, maporder,
+// hotalloc) share. The graph is deliberately lightweight: basic blocks hold
+// the straight-line statement (and control-expression) nodes in execution
+// order, and edges capture branch/loop/switch structure plus break,
+// continue, goto, fallthrough, and return. Compound statements never appear
+// as block nodes themselves; only their non-body parts (an if condition, a
+// range operand, a select case's communication) do, so walking every node
+// subtree of every block visits each executable expression exactly once.
+
+import (
+	"go/ast"
+)
+
+// Block is one basic block: straight-line nodes plus successor edges.
+type Block struct {
+	// Nodes are the block's statements and control expressions in
+	// execution order. Subtrees of distinct nodes never overlap.
+	Nodes []ast.Node
+	// Succs are the blocks control may transfer to next.
+	Succs []*Block
+	// Index is the block's position in CFG.Blocks (build order, entry
+	// first) — stable across runs for deterministic reporting.
+	Index int
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks lists every block in build order; Blocks[0] is the entry.
+	Blocks []*Block
+	// Exit is the synthetic sink reached by falling off the end or
+	// returning. It holds no nodes.
+	Exit *Block
+}
+
+// BuildCFG constructs the control-flow graph of a function body. A nil
+// body (declaration without implementation) yields a graph with just an
+// entry wired to the exit.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{}
+	entry := b.newBlock()
+	b.cur = entry
+	exit := b.newBlock()
+	b.exit = exit
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.link(b.cur, exit)
+	c := &CFG{Blocks: b.blocks, Exit: exit}
+	return c
+}
+
+// Reachable returns the blocks reachable from the entry, in index order.
+// Analyzers walk these so code behind an unconditional return is never
+// diagnosed.
+func (c *CFG) Reachable() []*Block {
+	if len(c.Blocks) == 0 {
+		return nil
+	}
+	seen := make([]bool, len(c.Blocks))
+	var stack []*Block
+	stack = append(stack, c.Blocks[0])
+	seen[0] = true
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range blk.Succs {
+			if !seen[s.Index] {
+				seen[s.Index] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	var out []*Block
+	for i, blk := range c.Blocks {
+		if seen[i] {
+			out = append(out, blk)
+		}
+	}
+	return out
+}
+
+// cfgBuilder tracks the block under construction and the targets of
+// branch statements.
+type cfgBuilder struct {
+	blocks []*Block
+	cur    *Block
+	exit   *Block
+	// frames is the stack of enclosing breakable/continuable constructs.
+	frames []branchFrame
+	// labels maps label names to their goto targets; forward gotos get a
+	// placeholder block that the labeled statement later adopts.
+	labels map[string]*Block
+}
+
+// branchFrame records where break and continue jump for one enclosing
+// loop, switch, or select. cont is nil for switches and selects.
+type branchFrame struct {
+	label     string
+	brk, cont *Block
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.blocks)}
+	b.blocks = append(b.blocks, blk)
+	return blk
+}
+
+// link adds an edge from src to dst (nil-safe, deduplicating).
+func (b *cfgBuilder) link(src, dst *Block) {
+	if src == nil || dst == nil {
+		return
+	}
+	for _, s := range src.Succs {
+		if s == dst {
+			return
+		}
+	}
+	src.Succs = append(src.Succs, dst)
+}
+
+// add appends a straight-line node to the current block.
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// labelBlock returns (creating on first use) the block a label names.
+func (b *cfgBuilder) labelBlock(name string) *Block {
+	if b.labels == nil {
+		b.labels = make(map[string]*Block)
+	}
+	blk, ok := b.labels[name]
+	if !ok {
+		blk = b.newBlock()
+		b.labels[name] = blk
+	}
+	return blk
+}
+
+// frameFor resolves the branch frame a break or continue targets.
+func (b *cfgBuilder) frameFor(label string, needCont bool) (branchFrame, bool) {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if label != "" && f.label != label {
+			continue
+		}
+		if needCont && f.cont == nil {
+			continue
+		}
+		return f, true
+	}
+	return branchFrame{}, false
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// stmt builds the graph for one statement. label is the pending label when
+// the statement is the body of a LabeledStmt (so its break/continue frame
+// answers to that name).
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.link(b.cur, lb)
+		b.cur = lb
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		condB := b.cur
+		after := b.newBlock()
+		thenB := b.newBlock()
+		b.link(condB, thenB)
+		b.cur = thenB
+		b.stmtList(s.Body.List)
+		b.link(b.cur, after)
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.link(condB, elseB)
+			b.cur = elseB
+			b.stmt(s.Else, "")
+			b.link(b.cur, after)
+		} else {
+			b.link(condB, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		b.link(b.cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+			b.link(head, after)
+		}
+		b.link(head, body)
+		b.frames = append(b.frames, branchFrame{label: label, brk: after, cont: post})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.frames = b.frames[:len(b.frames)-1]
+		if s.Post != nil {
+			b.link(b.cur, post)
+			post.Nodes = append(post.Nodes, s.Post)
+			b.link(post, head)
+		} else {
+			b.link(b.cur, head)
+		}
+		b.cur = after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.link(b.cur, head)
+		head.Nodes = append(head.Nodes, s.X)
+		b.link(head, body)
+		b.link(head, after)
+		b.frames = append(b.frames, branchFrame{label: label, brk: after, cont: head})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.link(b.cur, head)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseClauses(s.Body.List, label, func(cc *ast.CaseClause) ([]ast.Node, []ast.Stmt) {
+			nodes := make([]ast.Node, 0, len(cc.List))
+			for _, e := range cc.List {
+				nodes = append(nodes, e)
+			}
+			return nodes, cc.Body
+		})
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.caseClauses(s.Body.List, label, func(cc *ast.CaseClause) ([]ast.Node, []ast.Stmt) {
+			return nil, cc.Body
+		})
+
+	case *ast.SelectStmt:
+		after := b.newBlock()
+		entry := b.cur
+		b.frames = append(b.frames, branchFrame{label: label, brk: after})
+		for _, raw := range s.Body.List {
+			cc := raw.(*ast.CommClause)
+			caseB := b.newBlock()
+			b.link(entry, caseB)
+			b.cur = caseB
+			if cc.Comm != nil {
+				b.stmt(cc.Comm, "")
+			}
+			b.stmtList(cc.Body)
+			b.link(b.cur, after)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		if len(s.Body.List) == 0 {
+			b.link(entry, after)
+		}
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.link(b.cur, b.exit)
+		b.cur = b.newBlock()
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	default:
+		// Assignments, expression statements, declarations, sends, defers,
+		// go statements, increments: straight-line nodes.
+		b.add(s)
+	}
+}
+
+// caseClauses wires switch-shaped bodies: every case block hangs off the
+// entry, fallthrough links a case to its successor, and a missing default
+// adds the entry→after edge.
+func (b *cfgBuilder) caseClauses(list []ast.Stmt, label string, split func(*ast.CaseClause) ([]ast.Node, []ast.Stmt)) {
+	after := b.newBlock()
+	entry := b.cur
+	b.frames = append(b.frames, branchFrame{label: label, brk: after})
+	caseBlocks := make([]*Block, len(list))
+	for i := range list {
+		caseBlocks[i] = b.newBlock()
+	}
+	hasDefault := false
+	for i, raw := range list {
+		cc := raw.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		nodes, body := split(cc)
+		caseB := caseBlocks[i]
+		b.link(entry, caseB)
+		caseB.Nodes = append(caseB.Nodes, nodes...)
+		b.cur = caseB
+		// Fallthrough must be the final statement; wire it to the next
+		// case's block.
+		for _, st := range body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+				if i+1 < len(caseBlocks) {
+					b.link(b.cur, caseBlocks[i+1])
+				}
+				b.cur = b.newBlock()
+				continue
+			}
+			b.stmt(st, "")
+		}
+		b.link(b.cur, after)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	if !hasDefault {
+		b.link(entry, after)
+	}
+	b.cur = after
+}
+
+// branch wires break, continue, goto, and stray fallthrough.
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok.String() {
+	case "break":
+		if f, ok := b.frameFor(label, false); ok {
+			b.link(b.cur, f.brk)
+		}
+	case "continue":
+		if f, ok := b.frameFor(label, true); ok {
+			b.link(b.cur, f.cont)
+		}
+	case "goto":
+		if label != "" {
+			b.link(b.cur, b.labelBlock(label))
+		}
+	}
+	// Fallthrough is handled by caseClauses; anything else ends the block.
+	b.cur = b.newBlock()
+}

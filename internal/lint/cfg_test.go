@@ -1,0 +1,282 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses src as a function body and returns it.
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// reachableIdents collects every identifier usage inside reachable blocks —
+// a convenient fingerprint of what the CFG considers live.
+func reachableIdents(c *CFG) map[string]bool {
+	out := map[string]bool{}
+	for _, blk := range c.Reachable() {
+		for _, n := range blk.Nodes {
+			ast.Inspect(n, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					out[id.Name] = true
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// TestCFGReachability drives BuildCFG through the statement shapes the
+// analyzers depend on and asserts which code survives reachability pruning.
+func TestCFGReachability(t *testing.T) {
+	cases := []struct {
+		name, body   string
+		live, dead   []string
+		minReachable int
+	}{
+		{
+			name: "straight line",
+			body: "a(); b()",
+			live: []string{"a", "b"},
+		},
+		{
+			name: "dead after return",
+			body: "a(); return; dead()",
+			live: []string{"a"},
+			dead: []string{"dead"},
+		},
+		{
+			name: "both branches live",
+			body: "if cond() { a() } else { b() }; after()",
+			live: []string{"cond", "a", "b", "after"},
+		},
+		{
+			name: "loop body and post live",
+			body: "for i := 0; i < n; i++ { body() }; after()",
+			live: []string{"body", "after", "i", "n"},
+		},
+		{
+			name: "range body live",
+			body: "for k := range m { body(k) }; after()",
+			live: []string{"m", "body", "after"},
+		},
+		{
+			name: "infinite loop kills after",
+			body: "for { body() }; dead()",
+			live: []string{"body"},
+			dead: []string{"dead"},
+		},
+		{
+			name: "break escapes infinite loop",
+			body: "for { if cond() { break }; body() }; after()",
+			live: []string{"cond", "body", "after"},
+		},
+		{
+			name: "switch cases live, fallthrough",
+			body: "switch x() {\ncase 1:\n\ta()\n\tfallthrough\ncase 2:\n\tb()\ndefault:\n\tc()\n}\nafter()",
+			live: []string{"x", "a", "b", "c", "after"},
+		},
+		{
+			name: "select comm ops live",
+			body: "select {\ncase v := <-ch:\n\ta(v)\ncase out <- 1:\n\tb()\n}\nafter()",
+			live: []string{"ch", "out", "a", "b", "after"},
+		},
+		{
+			name: "goto skips over",
+			body: "goto done; dead()\ndone:\n\tafter()",
+			live: []string{"after"},
+			dead: []string{"dead"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := BuildCFG(parseBody(t, tc.body))
+			ids := reachableIdents(c)
+			for _, want := range tc.live {
+				if !ids[want] {
+					t.Errorf("%q should be reachable; reachable idents: %v", want, keys(ids))
+				}
+			}
+			for _, dead := range tc.dead {
+				if ids[dead] {
+					t.Errorf("%q should be unreachable; reachable idents: %v", dead, keys(ids))
+				}
+			}
+		})
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestCFGNodeDisjointness pins the builder invariant the analyzers rely
+// on: no node in any block is a descendant of another block node, so
+// walking every node subtree visits each executable expression once.
+func TestCFGNodeDisjointness(t *testing.T) {
+	body := parseBody(t, `
+	if cond() {
+		a()
+	}
+	for i := 0; i < n; i++ {
+		switch v := pick(); v {
+		case 1:
+			b()
+		default:
+			c()
+		}
+	}
+	select {
+	case <-ch:
+		d()
+	}
+`)
+	c := BuildCFG(body)
+	seen := map[ast.Node]bool{}
+	for _, blk := range c.Blocks {
+		for _, n := range blk.Nodes {
+			ast.Inspect(n, func(sub ast.Node) bool {
+				if sub == nil {
+					return false
+				}
+				if seen[sub] {
+					t.Fatalf("node %T appears under two block nodes", sub)
+				}
+				seen[sub] = true
+				return true
+			})
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("CFG captured no nodes")
+	}
+}
+
+// TestCFGNilBody covers declarations without bodies.
+func TestCFGNilBody(t *testing.T) {
+	c := BuildCFG(nil)
+	if len(c.Reachable()) == 0 {
+		t.Fatal("entry must be reachable")
+	}
+	if c.Exit == nil {
+		t.Fatal("nil-body CFG must still have an exit")
+	}
+}
+
+// TestForwardSolver checks the generic worklist solver joins facts across
+// a diamond: a fact set on one branch must reach the merge point as a may
+// fact, and loop back-edges must reach a fixpoint.
+func TestForwardSolver(t *testing.T) {
+	body := parseBody(t, `
+	if cond() {
+		mark()
+	} else {
+		other()
+	}
+	after()
+`)
+	c := BuildCFG(body)
+	type fact = map[string]bool
+	transfer := func(blk *Block, in fact) fact {
+		out := fact{}
+		for k := range in {
+			out[k] = true
+		}
+		for _, n := range blk.Nodes {
+			ast.Inspect(n, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && id.Name == "mark" {
+					out["marked"] = true
+				}
+				return true
+			})
+		}
+		return out
+	}
+	join := func(dst, src fact) (fact, bool) {
+		changed := false
+		for k := range src {
+			if !dst[k] {
+				if !changed {
+					merged := fact{}
+					for k := range dst {
+						merged[k] = true
+					}
+					dst = merged
+				}
+				dst[k] = true
+				changed = true
+			}
+		}
+		return dst, changed
+	}
+	ins := Forward(c, func() fact { return fact{} }, transfer, join)
+	// The block holding after() must see "marked" as a may-fact on entry.
+	var afterIn fact
+	for i, blk := range c.Blocks {
+		for _, n := range blk.Nodes {
+			found := false
+			ast.Inspect(n, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && id.Name == "after" {
+					found = true
+				}
+				return true
+			})
+			if found {
+				afterIn = ins[i]
+			}
+		}
+	}
+	if afterIn == nil || !afterIn["marked"] {
+		t.Fatalf("fact from the then-branch did not reach the merge point: %v", afterIn)
+	}
+}
+
+// TestParallelLintDeterminism lints a multi-package set twice through the
+// concurrent loader and requires byte-identical rendered output.
+func TestParallelLintDeterminism(t *testing.T) {
+	l := loaderFor(t)
+	dirs := []string{
+		"testdata/src/simclock/bad",
+		"testdata/src/seededrand/bad",
+		"testdata/src/maporder/bad",
+		"testdata/src/lockorder/bad",
+		"testdata/src/hotalloc/bad",
+		"testdata/src/noblock/bad",
+		"testdata/src/waiverunused/bad",
+	}
+	render := func() string {
+		ds, err := l.Lint(dirs, All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := WriteText(&b, ds); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	first := render()
+	if first == "" {
+		t.Fatal("expected findings from the bad fixtures")
+	}
+	for i := 0; i < 3; i++ {
+		if got := render(); got != first {
+			t.Fatalf("run %d differs:\n%s\nvs\n%s", i+2, got, first)
+		}
+	}
+}

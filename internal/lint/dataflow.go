@@ -1,0 +1,150 @@
+package lint
+
+// dataflow.go is the second half of the analysis substrate: a generic
+// forward worklist solver over a CFG, plus the per-package static call
+// graph the reachability-style analyzers (noblock, maporder) chase edges
+// through. Everything here is intra-package by design — the lint suite
+// checks the repository's own invariants, and every sink it cares about is
+// at most a few same-package calls away.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Forward runs a forward may-dataflow analysis over c to fixpoint.
+//
+//   - entry produces the state on function entry.
+//   - transfer applies one block's effect and returns the out-state; it must
+//     not mutate its input.
+//   - join merges two predecessor out-states (union for may-analyses,
+//     intersection for must-analyses) and reports whether the result differs
+//     from the first argument, so the solver knows when to requeue.
+//
+// It returns the in-state of every block, indexed like c.Blocks. States for
+// unreachable blocks are the zero value of S.
+func Forward[S any](c *CFG, entry func() S, transfer func(*Block, S) S, join func(S, S) (S, bool)) []S {
+	in := make([]S, len(c.Blocks))
+	seeded := make([]bool, len(c.Blocks))
+	if len(c.Blocks) == 0 {
+		return in
+	}
+	in[0] = entry()
+	seeded[0] = true
+	work := []*Block{c.Blocks[0]}
+	queued := make([]bool, len(c.Blocks))
+	queued[0] = true
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk.Index] = false
+		out := transfer(blk, in[blk.Index])
+		for _, s := range blk.Succs {
+			var changed bool
+			if !seeded[s.Index] {
+				in[s.Index] = out
+				seeded[s.Index] = true
+				changed = true
+			} else {
+				in[s.Index], changed = join(in[s.Index], out)
+			}
+			if changed && !queued[s.Index] {
+				queued[s.Index] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}
+
+// CallGraph indexes a package's function declarations so analyzers can
+// resolve a statically-known callee to its body and chase same-package
+// call chains.
+type CallGraph struct {
+	pass  *Pass
+	decls map[*types.Func]*ast.FuncDecl
+}
+
+// NewCallGraph builds the declaration index for the pass's package.
+func NewCallGraph(p *Pass) *CallGraph {
+	g := &CallGraph{pass: p, decls: make(map[*types.Func]*ast.FuncDecl)}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				g.decls[fn] = fd
+			}
+		}
+	}
+	return g
+}
+
+// DeclOf returns the package-local declaration of a callee resolved from a
+// call expression, or nil when the callee is not a statically-known
+// function declared (with a body) in this package.
+func (g *CallGraph) DeclOf(call *ast.CallExpr) *ast.FuncDecl {
+	fn := g.pass.PkgFunc(call)
+	if fn == nil {
+		return nil
+	}
+	return g.decls[fn]
+}
+
+// funcKey identifies a visited function body during reachability walks:
+// either a declared function or a function literal.
+type funcKey struct {
+	decl *ast.FuncDecl
+	lit  *ast.FuncLit
+}
+
+// ReachWalk visits every node executable from root (a function body),
+// following same-package static calls transitively and descending into
+// function literals created along the way. Only CFG-reachable blocks are
+// walked, so code behind an unconditional return never reaches visit.
+// visit receives each node and the position of the call-chain origin that
+// led into the current function (root's own nodes get depth 0); returning
+// false from visit stops descending into that node's subtree but not the
+// walk as a whole.
+func (g *CallGraph) ReachWalk(root *ast.BlockStmt, visit func(n ast.Node, depth int) bool) {
+	seen := make(map[funcKey]bool)
+	var walkBody func(body *ast.BlockStmt, depth int)
+	walkBody = func(body *ast.BlockStmt, depth int) {
+		cfg := BuildCFG(body)
+		for _, blk := range cfg.Reachable() {
+			for _, n := range blk.Nodes {
+				ast.Inspect(n, func(sub ast.Node) bool {
+					if sub == nil {
+						return true
+					}
+					if !visit(sub, depth) {
+						return false
+					}
+					switch sub := sub.(type) {
+					case *ast.FuncLit:
+						// A literal built on a reachable path is
+						// conservatively assumed to run.
+						k := funcKey{lit: sub}
+						if !seen[k] {
+							seen[k] = true
+							walkBody(sub.Body, depth+1)
+						}
+						return false
+					case *ast.CallExpr:
+						if fd := g.DeclOf(sub); fd != nil {
+							k := funcKey{decl: fd}
+							if !seen[k] {
+								seen[k] = true
+								walkBody(fd.Body, depth+1)
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	walkBody(root, 0)
+}

@@ -1,0 +1,301 @@
+package lint
+
+// hotalloc guards the allocation diet of hand-optimized paths. A function
+// annotated with the directive
+//
+//	//tftlint:hotpath
+//
+// in its doc comment may not contain:
+//
+//   - any fmt call (Sprintf and friends allocate and reflect);
+//   - string concatenation inside a loop (quadratic garbage; build into a
+//     byte slice or hoist out of the loop);
+//   - interface boxing: converting a concrete non-pointer-shaped value
+//     (struct, string, numeric, bool, array) to an interface — as a call
+//     argument (including ...any variadics), assignment, return value,
+//     conversion, or composite-literal element — allocates per conversion;
+//   - escaping composite literals: &T{...} returned, passed, stored in a
+//     field/element, or nested in another literal goes to the heap.
+//
+// The check is intra-procedural and annotation-gated: annotate the probe,
+// splice, and dnswire paths the performance PRs hand-optimized so they
+// cannot quietly regress. Function literals inside a hot function inherit
+// the annotation.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotpathDirective is the annotation comment (recognized anywhere in a
+// function's doc comment group).
+const HotpathDirective = "//tftlint:hotpath"
+
+// isHotpath reports whether a function declaration carries the directive.
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == HotpathDirective || strings.HasPrefix(c.Text, HotpathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// runHotAlloc checks every annotated function.
+func runHotAlloc(p *Pass) []Diagnostic {
+	var ds []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			ds = append(ds, hotAllocFunc(p, fd)...)
+		}
+	}
+	return ds
+}
+
+func hotAllocFunc(p *Pass, fd *ast.FuncDecl) []Diagnostic {
+	var ds []Diagnostic
+	diag := func(pos token.Pos, format string, args ...any) {
+		ds = append(ds, p.Diag(pos, format, args...))
+	}
+	walkParents(fd.Body, func(n ast.Node, stack []ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			hotAllocCall(p, fd, n, diag)
+		case *ast.BinaryExpr:
+			if n.Op != token.ADD || !isStringExpr(p, n) || isConstExpr(p, n) {
+				return
+			}
+			// Flag the outermost + of a chain, once, and only in a loop.
+			if par, ok := parent(stack).(*ast.BinaryExpr); ok && par.Op == token.ADD && isStringExpr(p, par) {
+				return
+			}
+			if inLoop(stack) {
+				diag(n.Pos(), "string concatenation in a loop on a hot path; append to a byte slice or hoist the build out of the loop")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringExpr(p, n.Lhs[0]) && inLoop(stack) {
+				diag(n.Pos(), "string concatenation in a loop on a hot path; append to a byte slice or hoist the build out of the loop")
+			}
+			hotAllocAssign(p, n, diag)
+		case *ast.ReturnStmt:
+			hotAllocReturn(p, fd, n, stack, diag)
+		case *ast.CompositeLit:
+			hotAllocLitElems(p, n, diag)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok && escapes(stack) {
+					diag(cl.Pos(), "escaping composite literal on a hot path; reuse a pooled or caller-provided value")
+				}
+			}
+		}
+	})
+	return ds
+}
+
+// hotAllocCall flags fmt calls and boxing at call boundaries.
+func hotAllocCall(p *Pass, fd *ast.FuncDecl, call *ast.CallExpr, diag func(token.Pos, string, ...any)) {
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion: T(x). Boxing when T is an interface.
+		if len(call.Args) == 1 && types.IsInterface(tv.Type) && boxes(p, call.Args[0], tv.Type) {
+			diag(call.Pos(), "conversion to %s boxes %s on a hot path", types.TypeString(tv.Type, types.RelativeTo(p.Pkg)), exprTypeString(p, call.Args[0]))
+		}
+		return
+	}
+	if fn := p.PkgFunc(call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		diag(call.Pos(), "fmt.%s on a hot path; preformat, use strconv appends, or a typed error", fn.Name())
+		// Still check the arguments below: ...any boxing stacks on top.
+	}
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			slice, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = slice.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(pt) && boxes(p, arg, pt) {
+			diag(arg.Pos(), "passing %s as %s boxes it on a hot path", exprTypeString(p, arg), types.TypeString(pt, types.RelativeTo(p.Pkg)))
+		}
+	}
+}
+
+// hotAllocAssign flags boxing on plain assignments to interface-typed
+// destinations (:= always infers the concrete type, so only = can box).
+func hotAllocAssign(p *Pass, n *ast.AssignStmt, diag func(token.Pos, string, ...any)) {
+	if n.Tok != token.ASSIGN || len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i, lhs := range n.Lhs {
+		lt, ok := p.Info.Types[lhs]
+		if !ok || lt.Type == nil || !types.IsInterface(lt.Type) {
+			continue
+		}
+		if boxes(p, n.Rhs[i], lt.Type) {
+			diag(n.Rhs[i].Pos(), "assigning %s to %s boxes it on a hot path", exprTypeString(p, n.Rhs[i]), types.TypeString(lt.Type, types.RelativeTo(p.Pkg)))
+		}
+	}
+}
+
+// hotAllocReturn flags boxing into interface-typed results of the nearest
+// enclosing function (the declaration or a literal on the ancestor stack).
+func hotAllocReturn(p *Pass, fd *ast.FuncDecl, n *ast.ReturnStmt, stack []ast.Node, diag func(token.Pos, string, ...any)) {
+	var sig *types.Signature
+	for i := len(stack) - 1; i >= 0; i-- {
+		if lit, ok := stack[i].(*ast.FuncLit); ok {
+			if tv, ok := p.Info.Types[lit]; ok {
+				sig, _ = tv.Type.(*types.Signature)
+			}
+			break
+		}
+	}
+	if sig == nil {
+		if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+			sig, _ = fn.Type().(*types.Signature)
+		}
+	}
+	if sig == nil || len(n.Results) != sig.Results().Len() {
+		return
+	}
+	for i, res := range n.Results {
+		rt := sig.Results().At(i).Type()
+		if types.IsInterface(rt) && boxes(p, res, rt) {
+			diag(res.Pos(), "returning %s as %s boxes it on a hot path", exprTypeString(p, res), types.TypeString(rt, types.RelativeTo(p.Pkg)))
+		}
+	}
+}
+
+// hotAllocLitElems flags boxing into interface-typed slice/array/map
+// elements of a composite literal ([]any{...} and friends).
+func hotAllocLitElems(p *Pass, cl *ast.CompositeLit, diag func(token.Pos, string, ...any)) {
+	tv, ok := p.Info.Types[cl]
+	if !ok || tv.Type == nil {
+		return
+	}
+	var elem types.Type
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Slice:
+		elem = t.Elem()
+	case *types.Array:
+		elem = t.Elem()
+	case *types.Map:
+		elem = t.Elem()
+	default:
+		return
+	}
+	if !types.IsInterface(elem) {
+		return
+	}
+	for _, e := range cl.Elts {
+		if kv, ok := e.(*ast.KeyValueExpr); ok {
+			e = kv.Value
+		}
+		if boxes(p, e, elem) {
+			diag(e.Pos(), "storing %s in %s boxes it on a hot path", exprTypeString(p, e), types.TypeString(elem, types.RelativeTo(p.Pkg)))
+		}
+	}
+}
+
+// boxes reports whether storing expr into an interface-typed destination
+// allocates: the expression's type is concrete and not pointer-shaped
+// (pointers, channels, maps, and funcs fit in the interface word).
+func boxes(p *Pass, expr ast.Expr, dst types.Type) bool {
+	tv, ok := p.Info.Types[ast.Unparen(expr)]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return false
+	}
+	t := tv.Type
+	if types.IsInterface(t) {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		if u.Kind() == types.UnsafePointer {
+			return false
+		}
+	}
+	return true
+}
+
+// exprTypeString renders an expression's type for messages.
+func exprTypeString(p *Pass, expr ast.Expr) string {
+	tv, ok := p.Info.Types[ast.Unparen(expr)]
+	if !ok || tv.Type == nil {
+		return "value"
+	}
+	return types.TypeString(tv.Type, types.RelativeTo(p.Pkg))
+}
+
+// isStringExpr reports whether an expression has string type.
+func isStringExpr(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isConstExpr reports whether the whole expression is a compile-time
+// constant (constant folding makes it free).
+func isConstExpr(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// inLoop reports whether the ancestor stack (innermost last) crosses a for
+// or range statement before leaving the current function body.
+func inLoop(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncLit, *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}
+
+// escapes reports whether the value at the top of the ancestor stack is in
+// an escaping position: returned, passed to a call, sent, stored through a
+// selector/index/deref, or nested in another composite literal.
+func escapes(stack []ast.Node) bool {
+	switch par := parent(stack).(type) {
+	case *ast.ReturnStmt, *ast.CallExpr, *ast.SendStmt, *ast.CompositeLit, *ast.KeyValueExpr:
+		return true
+	case *ast.AssignStmt:
+		for _, lhs := range par.Lhs {
+			switch ast.Unparen(lhs).(type) {
+			case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -33,6 +33,7 @@ import (
 	"io"
 	"path/filepath"
 	"sort"
+	"strings"
 )
 
 // Diagnostic is one finding, anchored to a source position. File paths are
@@ -92,6 +93,46 @@ func WriteJSON(w io.Writer, ds []Diagnostic) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(ds)
+}
+
+// Report is the object shape of `tftlint -json`: the findings plus run
+// provenance (how much was scanned, how long it took) so CI archives carry
+// analyzer cost alongside analyzer output.
+type Report struct {
+	// Findings are the diagnostics, in Sort order (never null).
+	Findings []Diagnostic `json:"findings"`
+	// Packages is the number of package directories scanned.
+	Packages int `json:"packages"`
+	// Analyzers is the number of analyzers that ran.
+	Analyzers int `json:"analyzers"`
+	// WallMS is the scan's wall-clock time in milliseconds.
+	WallMS int64 `json:"wall_ms"`
+}
+
+// WriteJSONReport renders a Report as indented JSON.
+func WriteJSONReport(w io.Writer, r Report) error {
+	if r.Findings == nil {
+		r.Findings = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteWaivers renders the -waivers inventory, one line per waiver, with an
+// "[unused]" marker on waivers that suppressed nothing.
+func WriteWaivers(w io.Writer, ws []WaiverInfo) error {
+	for _, wi := range ws {
+		status := ""
+		if !wi.Used {
+			status = "  [unused]"
+		}
+		if _, err := fmt.Fprintf(w, "%s:%d: ignore %s -- %s%s\n",
+			wi.File, wi.Line, strings.Join(wi.Analyzers, ","), wi.Reason, status); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Analyzer is one named check. Run inspects a type-checked package and

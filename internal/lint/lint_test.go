@@ -64,6 +64,11 @@ func TestFixtures(t *testing.T) {
 		"poolpair/bad",
 		"ctxfirst/bad",
 		"nogo/bad",
+		"noblock/bad",
+		"maporder/bad",
+		"lockorder/bad",
+		"hotalloc/bad",
+		"waiverunused/bad",
 		"waiver/malformed",
 	}
 	for _, dir := range positives {
@@ -95,6 +100,11 @@ func TestFixtures(t *testing.T) {
 		"poolpair/good",
 		"ctxfirst/good",
 		"nogo/good",
+		"noblock/good",
+		"maporder/good",
+		"lockorder/good",
+		"hotalloc/good",
+		"waiverunused/good",
 		"waiver/ok",
 	}
 	for _, dir := range negatives {

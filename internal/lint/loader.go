@@ -10,15 +10,19 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Loader parses and type-checks packages of this module without the go
 // tool: module-internal imports are resolved against the repository tree
 // and everything else (the standard library) goes through go/importer's
-// source importer. No module cache or export data is required.
+// source importer. No module cache or export data is required. A Loader is
+// safe for concurrent use: the package cache is once-guarded per import
+// path and the (single-threaded) source importer is serialized.
 type Loader struct {
 	// Root is the module root directory (where go.mod lives).
 	Root string
@@ -28,8 +32,23 @@ type Loader struct {
 	// comparable across packages.
 	Fset *token.FileSet
 
-	std  types.ImporterFrom
-	pkgs map[string]*Package
+	std types.ImporterFrom
+	// stdMu serializes the source importer, which keeps an unlocked
+	// internal package map.
+	stdMu sync.Mutex
+
+	mu   sync.Mutex
+	pkgs map[string]*pkgEntry
+}
+
+// pkgEntry is one cache slot: the once guard lets concurrent importers of
+// the same path share a single load without holding the cache lock across
+// type-checking (module import cycles are impossible, so re-entrant loads
+// of distinct paths cannot deadlock).
+type pkgEntry struct {
+	once sync.Once
+	p    *Package
+	err  error
 }
 
 // Package is one loaded, type-checked package.
@@ -66,7 +85,7 @@ func NewLoader(root string) (*Loader, error) {
 	}
 	cgoOff.Do(func() { build.Default.CgoEnabled = false })
 	fset := token.NewFileSet()
-	l := &Loader{Root: root, Module: mod, Fset: fset, pkgs: make(map[string]*Package)}
+	l := &Loader{Root: root, Module: mod, Fset: fset, pkgs: make(map[string]*pkgEntry)}
 	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
 	return l, nil
 }
@@ -126,9 +145,19 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 
 // load is the cache-aware core of LoadDir and the importer.
 func (l *Loader) load(path, dir string) (*Package, error) {
-	if p, ok := l.pkgs[path]; ok {
-		return p, nil
+	l.mu.Lock()
+	e, ok := l.pkgs[path]
+	if !ok {
+		e = &pkgEntry{}
+		l.pkgs[path] = e
 	}
+	l.mu.Unlock()
+	e.once.Do(func() { e.p, e.err = l.loadUncached(path, dir) })
+	return e.p, e.err
+}
+
+// loadUncached parses and type-checks one package directory.
+func (l *Loader) loadUncached(path, dir string) (*Package, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -172,7 +201,6 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	// much of the package as it could type; analyzers run best-effort on
 	// whatever checked.
 	p.Pkg, _ = conf.Check(path, l.Fset, files, p.Info)
-	l.pkgs[path] = p
 	return p, nil
 }
 
@@ -192,7 +220,65 @@ func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Pac
 		}
 		return p.Pkg, nil
 	}
+	l.stdMu.Lock()
+	defer l.stdMu.Unlock()
 	return l.std.ImportFrom(path, dir, mode)
+}
+
+// lint is the shared engine behind Lint and Waivers: it loads and analyzes
+// the directories on a GOMAXPROCS-bounded worker pool, then merges results
+// in directory order so the output is deterministic regardless of
+// scheduling.
+func (l *Loader) lint(dirs []string, analyzers []*Analyzer) ([]Diagnostic, []*waiver, error) {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	type result struct {
+		ds  []Diagnostic
+		ws  []*waiver
+		err error
+	}
+	results := make([]result, len(dirs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(dirs) {
+		workers = len(dirs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(dirs) {
+					return
+				}
+				pkg, err := l.LoadDir(dirs[i])
+				if err != nil {
+					results[i].err = err
+					continue
+				}
+				results[i].ds, results[i].ws = l.lintPackage(pkg, analyzers, known)
+			}
+		}()
+	}
+	wg.Wait()
+	var all []Diagnostic
+	var ws []*waiver
+	for _, r := range results {
+		if r.err != nil {
+			return nil, nil, r.err
+		}
+		all = append(all, r.ds...)
+		ws = append(ws, r.ws...)
+	}
+	Sort(all)
+	return all, ws, nil
 }
 
 // Expand resolves package patterns relative to cwd into a sorted, deduped

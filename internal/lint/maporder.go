@@ -1,0 +1,122 @@
+package lint
+
+// maporder closes the determinism suite's blind spot: Go map iteration
+// order is random per run, so a `range` over a map whose body reaches an
+// order-sensitive sink — a fmt print, a JSONL/dataset writer, a Table row
+// append — produces output that differs between identically-seeded crawls.
+// The repository idiom is to extract the keys, sort them, and range the
+// slice; under that idiom the sink is never inside the map loop, so any
+// sink reachable from a map-range body (directly or through same-package
+// calls, CFG-reachable code only) is diagnosed at the range statement.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runMapOrder finds map ranges and walks their bodies for sinks.
+func runMapOrder(p *Pass) []Diagnostic {
+	g := NewCallGraph(p)
+	var ds []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Info.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sink, sinkPos, found := mapOrderSink(p, g, rs.Body); found {
+				file, line, _ := p.Rel(sinkPos)
+				ds = append(ds, p.Diag(rs.Pos(),
+					"map iteration order reaches %s (%s:%d); extract the keys, sort them, and range the slice",
+					sink, file, line))
+			}
+			return true
+		})
+	}
+	return ds
+}
+
+// mapOrderSink walks a loop body (chasing same-package static calls and
+// function literals) for the first order-sensitive sink.
+func mapOrderSink(p *Pass, g *CallGraph, body *ast.BlockStmt) (kind string, pos token.Pos, found bool) {
+	g.ReachWalk(body, func(n ast.Node, depth int) bool {
+		if found {
+			return false
+		}
+		if k, ok := orderSink(p, n); ok {
+			kind, pos, found = k, n.Pos(), true
+			return false
+		}
+		return true
+	})
+	return kind, pos, found
+}
+
+// orderSink classifies one node as an order-sensitive output operation.
+func orderSink(p *Pass, n ast.Node) (string, bool) {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		fn := p.PkgFunc(n)
+		if fn == nil || fn.Pkg() == nil {
+			return "", false
+		}
+		name := fn.Name()
+		switch fn.Pkg().Path() {
+		case "fmt":
+			switch name {
+			case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+				return "fmt." + name, true
+			}
+			return "", false
+		case "encoding/json":
+			if name == "Encode" {
+				return "json.Encoder.Encode", true
+			}
+			return "", false
+		}
+		if pathHasSuffix(fn.Pkg().Path(), "internal/dataset") {
+			return "dataset." + name, true
+		}
+		if name == "WriteString" || name == "Write" {
+			// Concrete string/byte accumulators only: an io.Writer
+			// interface receiver also answers to "Writer" but covers
+			// order-insensitive consumers like hashes.
+			sig, _ := fn.Type().(*types.Signature)
+			if sig != nil && sig.Recv() != nil && !types.IsInterface(sig.Recv().Type()) {
+				switch fn.Pkg().Path() {
+				case "strings", "bytes", "bufio":
+					return recvName(sig) + "." + name, true
+				}
+			}
+		}
+	case *ast.AssignStmt:
+		// t.Rows = append(t.Rows, ...) — report rows appended in map order.
+		for _, lhs := range n.Lhs {
+			sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Rows" {
+				continue
+			}
+			if recvTypeName(p, sel.X) == "Table" {
+				return "Table.Rows", true
+			}
+		}
+	}
+	return "", false
+}
+
+// pathHasSuffix matches an import-path suffix on segment boundaries.
+func pathHasSuffix(path, suffix string) bool {
+	if path == suffix {
+		return true
+	}
+	n := len(path) - len(suffix)
+	return n > 0 && path[n-1] == '/' && path[n:] == suffix
+}

@@ -1,0 +1,52 @@
+// Package bad annotates hot paths that allocate: fmt calls, string
+// concatenation in loops, interface boxing, and escaping composite
+// literals must all diagnose — but only inside annotated functions.
+package bad
+
+import "fmt"
+
+// Record is boxed and escaped by the bad paths below.
+type Record struct{ N int }
+
+func sink(v any) { _ = v }
+
+// Format allocates with fmt on an annotated path.
+//
+//tftlint:hotpath
+func Format(host string, port int) string {
+	return fmt.Sprintf("%s:%d", host, port)
+}
+
+// Join concatenates strings inside a loop.
+//
+//tftlint:hotpath
+func Join(parts []string) string {
+	out := ""
+	for _, p := range parts {
+		out += p
+	}
+	return out
+}
+
+// Box passes an integer through an any parameter.
+//
+//tftlint:hotpath
+func Box(n int) {
+	sink(n)
+}
+
+// Escape returns a pointer to a composite literal.
+//
+//tftlint:hotpath
+func Escape(n int) *Record {
+	return &Record{N: n}
+}
+
+// Assign stores a concrete value into an interface variable.
+//
+//tftlint:hotpath
+func Assign(n int) {
+	var v any
+	v = n
+	_ = v
+}

@@ -1,0 +1,46 @@
+// Package good shows the allocation-free shapes hotalloc asks for — and
+// that unannotated functions may allocate freely.
+package good
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Record is returned by pointer from a cold constructor.
+type Record struct{ N int }
+
+// Format builds host:port with strconv appends into a stack buffer.
+//
+//tftlint:hotpath
+func Format(host string, port int) string {
+	b := make([]byte, 0, 64)
+	b = append(b, host...)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, int64(port), 10)
+	return string(b)
+}
+
+// Join accumulates bytes instead of concatenating strings.
+//
+//tftlint:hotpath
+func Join(parts []string) string {
+	b := make([]byte, 0, 64)
+	for _, p := range parts {
+		b = append(b, p...)
+	}
+	return string(b)
+}
+
+// Pass keeps values concrete: pointers are pointer-shaped and do not box.
+//
+//tftlint:hotpath
+func Pass(r *Record, f func(*Record)) {
+	f(r)
+}
+
+// Cold is unannotated: fmt and boxing are fine off the hot path.
+func Cold(n int) string {
+	var v any = n
+	return fmt.Sprint(v)
+}

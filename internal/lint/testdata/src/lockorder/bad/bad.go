@@ -1,0 +1,34 @@
+// Package bad acquires two mutexes in opposite orders on two code paths
+// (a lock-order cycle) and makes an opaque dynamic call inside a critical
+// section; both must diagnose.
+package bad
+
+import "sync"
+
+// A and B each guard part of the fixture's state.
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+// Forward takes A.mu then B.mu.
+func Forward(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// Backward takes B.mu then A.mu — the reversed edge that closes the cycle.
+func Backward(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// Opaque calls through a function value while holding A.mu: the
+// acquisition graph cannot see past it.
+func Opaque(a *A, f func()) {
+	a.mu.Lock()
+	f()
+	a.mu.Unlock()
+}

@@ -1,0 +1,41 @@
+// Package good keeps a single global acquisition order (A.mu before B.mu
+// everywhere, including through a same-package call) and hoists dynamic
+// calls out of critical sections.
+package good
+
+import "sync"
+
+// A and B each guard part of the fixture's state.
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+// Forward takes A.mu then B.mu.
+func Forward(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// Nested reaches the same A.mu -> B.mu edge through a call; consistent
+// order, no cycle.
+func Nested(a *A, b *B) {
+	a.mu.Lock()
+	lockB(b)
+	a.mu.Unlock()
+}
+
+func lockB(b *B) {
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+// Hoisted releases A.mu before the opaque call, then retakes it: the
+// dynamic call happens outside every critical section.
+func Hoisted(a *A, f func()) {
+	a.mu.Lock()
+	a.mu.Unlock()
+	f()
+	a.mu.Lock()
+	a.mu.Unlock()
+}

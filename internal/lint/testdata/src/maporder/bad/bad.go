@@ -1,0 +1,46 @@
+// Package bad ranges over maps whose bodies reach order-sensitive sinks:
+// prints, builder appends, Table rows — directly or through a same-package
+// call. Every map range here must diagnose at the range statement.
+package bad
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table mimics the report table the real sinks append to.
+type Table struct{ Rows [][]string }
+
+// PrintDirect prints one line per map entry in iteration order.
+func PrintDirect(counts map[string]int) {
+	for host, n := range counts {
+		fmt.Printf("%s %d\n", host, n)
+	}
+}
+
+// BuildString accumulates map entries into a strings.Builder.
+func BuildString(counts map[string]int) string {
+	var b strings.Builder
+	for host := range counts {
+		b.WriteString(host)
+	}
+	return b.String()
+}
+
+// AppendRows lands map entries in a Table in iteration order.
+func AppendRows(t *Table, counts map[string]int) {
+	for host, n := range counts {
+		t.Rows = append(t.Rows, []string{host, fmt.Sprint(n)})
+	}
+}
+
+// ThroughCall reaches the print through a same-package helper.
+func ThroughCall(counts map[string]int) {
+	for host := range counts {
+		emit(host)
+	}
+}
+
+func emit(host string) {
+	fmt.Println(host)
+}

@@ -1,0 +1,36 @@
+// Package good shows the legal shapes: sort the keys first, keep the sink
+// outside the loop, or do order-insensitive work inside it.
+package good
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SortedKeys is the repository idiom: extract, sort, range the slice.
+func SortedKeys(counts map[string]int) {
+	hosts := make([]string, 0, len(counts))
+	for host := range counts {
+		hosts = append(hosts, host)
+	}
+	sort.Strings(hosts)
+	for _, host := range hosts {
+		fmt.Printf("%s %d\n", host, counts[host])
+	}
+}
+
+// SinkAfterLoop aggregates inside the loop and prints once after it.
+func SinkAfterLoop(counts map[string]int) {
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	fmt.Println(total)
+}
+
+// SliceRange is not a map range at all.
+func SliceRange(hosts []string) {
+	for _, host := range hosts {
+		fmt.Println(host)
+	}
+}

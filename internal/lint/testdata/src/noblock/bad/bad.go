@@ -1,0 +1,65 @@
+// Package bad registers run-to-completion callbacks (this fixture path is
+// in the noblock scope) that perform blocking operations: every channel
+// op, mutex Lock, and blocking Stream read reachable from a SetNotify or
+// taskQueue callback must diagnose, including through same-package calls.
+package bad
+
+import "sync"
+
+// Stream mimics the fabric stream's readiness API surface.
+type Stream struct {
+	mu     sync.Mutex
+	notify func()
+	data   chan byte
+}
+
+// SetNotify arms the readiness callback — a noblock registration root.
+func (s *Stream) SetNotify(fn func()) { s.notify = fn }
+
+// Read blocks until a byte arrives.
+func (s *Stream) Read(p []byte) (int, error) {
+	p[0] = <-s.data
+	return 1, nil
+}
+
+// TryRead is the non-blocking variant.
+func (s *Stream) TryRead(p []byte) (int, error) { return 0, nil }
+
+// taskQueue mimics the fabric's run-to-completion queue.
+type taskQueue struct{ q []func() }
+
+// push enqueues a callback — the other registration root.
+func (t *taskQueue) push(fn func()) { t.q = append(t.q, fn) }
+
+// ArmDirect blocks directly inside the callback body.
+func ArmDirect(s *Stream, ready chan struct{}) {
+	s.SetNotify(func() {
+		<-ready     // channel receive
+		s.mu.Lock() // mutex Lock
+		s.mu.Unlock()
+		var buf [1]byte
+		s.Read(buf[:]) // blocking Stream.Read
+	})
+}
+
+// ArmThroughCall reaches the sink through a same-package static call.
+func ArmThroughCall(t *taskQueue, ready chan struct{}) {
+	t.push(func() { drain(ready) })
+}
+
+func drain(ready chan struct{}) {
+	ready <- struct{}{} // channel send, reached from the pushed callback
+}
+
+// armNamed registers a named package function rather than a literal.
+func armNamed(s *Stream, t *taskQueue) {
+	t.push(blocker)
+	_ = s
+}
+
+var global sync.Mutex
+
+func blocker() {
+	global.Lock() // mutex Lock inside a pushed named function
+	global.Unlock()
+}

@@ -1,0 +1,64 @@
+// Package good registers run-to-completion callbacks that stay on the
+// readiness API: TryRead/TryWrite, goroutine hand-offs (nogo's concern,
+// not noblock's), and blocking code the CFG proves unreachable are all
+// legal.
+package good
+
+import "sync"
+
+// Stream mimics the fabric stream's readiness API surface.
+type Stream struct {
+	notify func()
+	data   chan byte
+}
+
+// SetNotify arms the readiness callback.
+func (s *Stream) SetNotify(fn func()) { s.notify = fn }
+
+// TryRead never blocks.
+func (s *Stream) TryRead(p []byte) (int, error) { return 0, nil }
+
+// TryWrite never blocks.
+func (s *Stream) TryWrite(p []byte) (int, error) { return len(p), nil }
+
+// taskQueue mimics the fabric's run-to-completion queue.
+type taskQueue struct{ q []func() }
+
+func (t *taskQueue) push(fn func()) { t.q = append(t.q, fn) }
+
+// Arm drives the state machine with the non-blocking API only.
+func Arm(s *Stream) {
+	s.SetNotify(func() {
+		var buf [16]byte
+		n, _ := s.TryRead(buf[:])
+		if n > 0 {
+			s.TryWrite(buf[:n])
+		}
+	})
+}
+
+// ArmDetached hands blocking work to a goroutine: its body may block, and
+// policing goroutine existence is nogo's job, not noblock's.
+func ArmDetached(s *Stream, mu *sync.Mutex) {
+	s.SetNotify(func() {
+		go func() {
+			mu.Lock()
+			defer mu.Unlock()
+			<-s.data
+		}()
+	})
+}
+
+// ArmUnreachable returns before the blocking send: the CFG proves the sink
+// dead, so it must not diagnose.
+func ArmUnreachable(t *taskQueue, ready chan struct{}) {
+	t.push(func() {
+		return
+		ready <- struct{}{}
+	})
+}
+
+// NotACallback blocks in ordinary code: registration roots only.
+func NotACallback(ready chan struct{}) {
+	<-ready
+}

@@ -1,0 +1,17 @@
+// Package bad carries waivers that suppress nothing: every analyzer they
+// name runs over this package and finds no matching diagnostic on the
+// waived line, so each waiver must be flagged as unused.
+package bad
+
+// answer is an ordinary constant; the waiver above it is dead.
+//
+//tftlint:ignore simclock -- stale: this line stopped calling time.Now long ago
+const answer = 42
+
+// double doubles n; nothing here ranges a map.
+func double(n int) int {
+	//tftlint:ignore maporder,seededrand -- stale: the map range this guarded is gone
+	return n * 2
+}
+
+var _ = double(answer)

@@ -1,0 +1,12 @@
+// Package good carries one waiver that genuinely suppresses a finding:
+// used waivers are not flagged, and the suppressed diagnostic stays
+// suppressed, so this package lints clean.
+package good
+
+import "time"
+
+// Epoch reads the wall clock, legitimately waived for this fixture.
+func Epoch() time.Time {
+	//tftlint:ignore simclock -- fixture: demonstrates a used waiver
+	return time.Now()
+}

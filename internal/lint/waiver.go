@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"sort"
 	"strings"
 )
 
@@ -10,32 +11,54 @@ import (
 // anything must never look like it does.
 const WaiverAnalyzer = "waiver"
 
+// UnusedWaiverAnalyzer is the pseudo-analyzer name under which dead
+// waivers are reported: a well-formed //tftlint:ignore whose named
+// analyzers all ran and which suppressed nothing no longer documents a
+// real exception and must be deleted.
+const UnusedWaiverAnalyzer = "waiverunused"
+
 // waiver is one well-formed //tftlint:ignore comment.
 type waiver struct {
 	file      string
-	line      int
+	line, col int
 	analyzers map[string]bool
+	reason    string
+	used      bool
 }
 
 // suppresses reports whether w covers d: same file, the comment's own line
 // or the line directly below it (so both trailing and leading placements
 // work), and a matching analyzer name.
-func (w waiver) suppresses(d Diagnostic) bool {
+func (w *waiver) suppresses(d Diagnostic) bool {
 	return w.file == d.File && (d.Line == w.line || d.Line == w.line+1) && w.analyzers[d.Analyzer]
+}
+
+// names returns the waiver's analyzer list, sorted.
+func (w *waiver) names() []string {
+	ns := make([]string, 0, len(w.analyzers))
+	for n := range w.analyzers {
+		ns = append(ns, n)
+	}
+	sort.Strings(ns)
+	return ns
 }
 
 // collectWaivers scans a package's comments for tftlint directives. It
 // returns the effective waivers plus a diagnostic for every malformed one:
 // a missing "-- reason", an empty analyzer list, or an analyzer name not in
-// known. Malformed waivers suppress nothing.
-func collectWaivers(p *Pass, known map[string]bool) ([]waiver, []Diagnostic) {
-	var ws []waiver
+// known. Malformed waivers suppress nothing. The //tftlint:hotpath
+// annotation (read by the hotalloc analyzer) is recognized and skipped.
+func collectWaivers(p *Pass, known map[string]bool) ([]*waiver, []Diagnostic) {
+	var ws []*waiver
 	var ds []Diagnostic
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				rest, ok := strings.CutPrefix(c.Text, "//tftlint:")
 				if !ok {
+					continue
+				}
+				if rest == "hotpath" || strings.HasPrefix(rest, "hotpath ") {
 					continue
 				}
 				w, msg := parseWaiver(rest, known)
@@ -45,7 +68,7 @@ func collectWaivers(p *Pass, known map[string]bool) ([]waiver, []Diagnostic) {
 					ds = append(ds, d)
 					continue
 				}
-				w.file, w.line, _ = p.Rel(c.Pos())
+				w.file, w.line, w.col = p.Rel(c.Pos())
 				ws = append(ws, w)
 			}
 		}
@@ -55,73 +78,132 @@ func collectWaivers(p *Pass, known map[string]bool) ([]waiver, []Diagnostic) {
 
 // parseWaiver validates the directive text after "//tftlint:". It returns
 // either a waiver or a malformed-waiver message.
-func parseWaiver(rest string, known map[string]bool) (waiver, string) {
+func parseWaiver(rest string, known map[string]bool) (*waiver, string) {
 	args, ok := strings.CutPrefix(rest, "ignore")
 	if !ok {
 		verb := rest
 		if i := strings.IndexAny(verb, " \t"); i >= 0 {
 			verb = verb[:i]
 		}
-		return waiver{}, "unknown tftlint directive \"" + verb + "\" (only \"ignore\" exists)"
+		return nil, "unknown tftlint directive \"" + verb + "\" (only \"ignore\" and \"hotpath\" exist)"
 	}
 	names, reason, ok := strings.Cut(args, "--")
 	if !ok || strings.TrimSpace(reason) == "" {
-		return waiver{}, "waiver without a reason; write //tftlint:ignore <analyzer> -- <reason>"
+		return nil, "waiver without a reason; write //tftlint:ignore <analyzer> -- <reason>"
 	}
 	set := make(map[string]bool)
 	for _, n := range strings.FieldsFunc(names, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
 		if !known[n] {
-			return waiver{}, "waiver names unknown analyzer \"" + n + "\""
+			return nil, "waiver names unknown analyzer \"" + n + "\""
 		}
 		set[n] = true
 	}
 	if len(set) == 0 {
-		return waiver{}, "waiver without analyzer names; write //tftlint:ignore <analyzer> -- <reason>"
+		return nil, "waiver without analyzer names; write //tftlint:ignore <analyzer> -- <reason>"
 	}
-	return waiver{analyzers: set}, ""
+	return &waiver{analyzers: set, reason: strings.TrimSpace(reason)}, ""
+}
+
+// lintPackage runs the analyzers over one loaded package, applying and
+// auditing waivers. A well-formed waiver whose named analyzers all ran yet
+// suppressed no finding is itself diagnosed (waiverunused): dead waivers
+// are documentation of exceptions that no longer exist.
+func (l *Loader) lintPackage(pkg *Package, analyzers []*Analyzer, known map[string]bool) ([]Diagnostic, []*waiver) {
+	pass := &Pass{
+		Fset:   l.Fset,
+		Files:  pkg.Files,
+		Pkg:    pkg.Pkg,
+		Info:   pkg.Info,
+		Path:   pkg.Path,
+		RelDir: pkg.RelDir,
+		root:   l.Root,
+	}
+	waivers, out := collectWaivers(pass, known)
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+		for _, d := range a.Run(pass) {
+			d.Analyzer = a.Name
+			if waived(d, waivers) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	for _, w := range waivers {
+		if w.used {
+			continue
+		}
+		// Only audit a waiver when every analyzer it names actually ran;
+		// under -only/-skip a silent waiver may still be load-bearing.
+		eligible := true
+		for n := range w.analyzers {
+			if !ran[n] {
+				eligible = false
+				break
+			}
+		}
+		if !eligible {
+			continue
+		}
+		out = append(out, Diagnostic{
+			File: w.file, Line: w.line, Col: w.col,
+			Analyzer: UnusedWaiverAnalyzer,
+			Message:  "waiver for " + strings.Join(w.names(), ", ") + " suppresses nothing; delete it",
+		})
+	}
+	return out, waivers
 }
 
 // Lint loads every directory, runs the analyzers over each package, applies
-// waivers, and returns the findings in deterministic order.
+// waivers, and returns the findings in deterministic order. Packages are
+// loaded and analyzed concurrently (bounded by GOMAXPROCS); output order is
+// independent of scheduling.
 func (l *Loader) Lint(dirs []string, analyzers []*Analyzer) ([]Diagnostic, error) {
-	known := make(map[string]bool)
-	for _, a := range All() {
-		known[a.Name] = true
-	}
-	var all []Diagnostic
-	for _, dir := range dirs {
-		pkg, err := l.LoadDir(dir)
-		if err != nil {
-			return nil, err
-		}
-		pass := &Pass{
-			Fset:   l.Fset,
-			Files:  pkg.Files,
-			Pkg:    pkg.Pkg,
-			Info:   pkg.Info,
-			Path:   pkg.Path,
-			RelDir: pkg.RelDir,
-			root:   l.Root,
-		}
-		waivers, malformed := collectWaivers(pass, known)
-		all = append(all, malformed...)
-		for _, a := range analyzers {
-			for _, d := range a.Run(pass) {
-				d.Analyzer = a.Name
-				if waived(d, waivers) {
-					continue
-				}
-				all = append(all, d)
-			}
-		}
-	}
-	Sort(all)
-	return all, nil
+	ds, _, err := l.lint(dirs, analyzers)
+	return ds, err
 }
 
-func waived(d Diagnostic, ws []waiver) bool {
+// WaiverInfo describes one well-formed waiver for the -waivers listing.
+type WaiverInfo struct {
+	File      string   `json:"file"`
+	Line      int      `json:"line"`
+	Col       int      `json:"col"`
+	Analyzers []string `json:"analyzers"`
+	Reason    string   `json:"reason"`
+	// Used reports whether the waiver suppressed at least one finding in
+	// this run.
+	Used bool `json:"used"`
+}
+
+// Waivers runs the analyzers like Lint but returns the waiver inventory
+// (file-sorted) instead of the findings.
+func (l *Loader) Waivers(dirs []string, analyzers []*Analyzer) ([]WaiverInfo, error) {
+	_, ws, err := l.lint(dirs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	infos := make([]WaiverInfo, 0, len(ws))
+	for _, w := range ws {
+		infos = append(infos, WaiverInfo{
+			File: w.file, Line: w.line, Col: w.col,
+			Analyzers: w.names(), Reason: w.reason, Used: w.used,
+		})
+	}
+	sort.Slice(infos, func(i, j int) bool {
+		a, b := infos[i], infos[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+	return infos, nil
+}
+
+func waived(d Diagnostic, ws []*waiver) bool {
 	for _, w := range ws {
 		if w.suppresses(d) {
+			w.used = true
 			return true
 		}
 	}

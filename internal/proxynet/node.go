@@ -9,6 +9,7 @@ package proxynet
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -137,6 +138,11 @@ func (n *ExitNode) FetchHTTP(ctx context.Context, host string, port uint16, path
 
 // Tunnel bridges client to ip:port — the CONNECT data phase. With TLS
 // interceptors on the node's path, the relay parses the handshake and lets
+// errPortBlocked reports an ISP-filtered outbound port. A sentinel rather
+// than a formatted error: Tunnel is a hot path, and the tunnel span already
+// records the port as an attribute.
+var errPortBlocked = errors.New("proxynet: outbound port blocked by the node's ISP")
+
 // them replace the certificate chain; otherwise bytes pass transparently.
 //
 // When both tunnel legs are fabric streams the relay runs on the event
@@ -144,6 +150,8 @@ func (n *ExitNode) FetchHTTP(ctx context.Context, host string, port uint16, path
 // still live; done fires once it finishes. Otherwise the relay blocks (or,
 // for a stream client, detaches onto one goroutine) and done fires with
 // the first non-benign error either direction hit. done may be nil.
+//
+//tftlint:hotpath
 func (n *ExitNode) Tunnel(ctx context.Context, client net.Conn, ip netip.Addr, port uint16, done func(error)) bool {
 	span := n.Tracer.StartChild(trace.FromContext(ctx), "node.tunnel", trace.KindTunnel,
 		trace.Str("zid", n.ZID), trace.Int("port", int64(port)))
@@ -157,7 +165,7 @@ func (n *ExitNode) Tunnel(ctx context.Context, client net.Conn, ip netip.Addr, p
 		}
 	}
 	if n.Path.PortBlocked(port) {
-		finish(fmt.Errorf("proxynet: outbound port %d blocked by the node's ISP", port))
+		finish(errPortBlocked)
 		return false
 	}
 	server, err := n.Net.Dial(ctx, n.Addr, ip, port)

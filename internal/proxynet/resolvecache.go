@@ -98,10 +98,13 @@ func (c *ResolveCache) ttlFor(rcode dnswire.RCode) time.Duration {
 // (outside the cache lock) and remembers the result. Concurrent misses for
 // the same host share one lookup call.
 func (c *ResolveCache) Resolve(host string, lookup func(string) (netip.Addr, dnswire.RCode)) (netip.Addr, dnswire.RCode, cacheOutcome) {
+	// Read the clock before taking the lock: interface calls inside the
+	// critical section are opaque to the lockorder acquisition graph.
+	now := c.Clock.Now()
 	c.mu.Lock()
 	if e, ok := c.entries[host]; ok {
 		ent := e.Value.(*cacheEntry)
-		if c.Clock.Now().Before(ent.expires) {
+		if now.Before(ent.expires) {
 			c.lru.MoveToFront(e)
 			ip, rc := ent.ip, ent.rcode
 			c.mu.Unlock()
@@ -121,10 +124,14 @@ func (c *ResolveCache) Resolve(host string, lookup func(string) (netip.Addr, dns
 
 	f.ip, f.rcode = lookup(host)
 
+	var expires time.Time
+	if ttl := c.ttlFor(f.rcode); ttl > 0 {
+		expires = c.Clock.Now().Add(ttl)
+	}
 	c.mu.Lock()
 	delete(c.flights, host)
-	if ttl := c.ttlFor(f.rcode); ttl > 0 {
-		c.insert(host, f.ip, f.rcode, c.Clock.Now().Add(ttl))
+	if !expires.IsZero() {
+		c.insert(host, f.ip, f.rcode, expires)
 	}
 	c.mu.Unlock()
 	close(f.done)

@@ -4,7 +4,7 @@ import (
 	"errors"
 	"io"
 	"net"
-	"sync"
+	"sync/atomic"
 
 	"github.com/tftproject/tft/internal/simnet"
 )
@@ -21,14 +21,22 @@ import (
 // fires exactly once with the first non-benign error either direction hit
 // (nil when both legs ended in an orderly close).
 type splice struct {
-	mu       sync.Mutex
-	running  bool // a kick is draining the state machines
-	again    bool // a notify arrived while running; drain once more
-	finished bool
+	// state is the lock-free drain coordinator (spliceRunning,
+	// spliceAgain, spliceFinished bits). kick is a stream notify callback
+	// and runs inside the run-to-completion scheduler, where taking a
+	// mutex could park the event loop; CAS transitions collapse concurrent
+	// kicks into one drain without ever blocking.
+	state atomic.Uint32
 
 	dirs [2]spliceDir
 	done func(error)
 }
+
+const (
+	spliceRunning  = 1 << iota // a kick is draining the state machines
+	spliceAgain                // a notify arrived while running; drain once more
+	spliceFinished             // torn down; all further kicks are no-ops
+)
 
 // spliceDir is one copy direction of the tunnel.
 type spliceDir struct {
@@ -43,6 +51,8 @@ type spliceDir struct {
 // startSplice arms a relay between client and server and drives it until
 // either side finishes. rewrite, when non-nil, applies to server→client
 // chunks. done fires exactly once.
+//
+//tftlint:hotpath
 func startSplice(client, server *simnet.Stream, rewrite func([]byte) []byte, done func(error)) {
 	s := &splice{done: done}
 	//tftlint:ignore poolpair -- tunnel-lifetime buffer: Get here, Put in finish when the splice tears down
@@ -58,33 +68,57 @@ func startSplice(client, server *simnet.Stream, rewrite func([]byte) []byte, don
 
 // kick drains both direction state machines until neither can progress.
 // It is the streams' notify callback and may fire from any goroutine; the
-// running/again pair collapses concurrent kicks into one drain loop.
+// running/again pair collapses concurrent kicks into one drain loop. Only
+// the goroutine that wins the running bit touches the per-direction state,
+// so pump still needs no synchronization of its own.
+//
+//tftlint:hotpath
 func (s *splice) kick() {
-	s.mu.Lock()
-	if s.finished || s.running {
-		s.again = s.running
-		s.mu.Unlock()
-		return
-	}
-	s.running = true
-	s.again = false
-	s.mu.Unlock()
 	for {
-		s.pump()
-		s.mu.Lock()
-		if s.finished || !s.again {
-			s.running = false
-			s.mu.Unlock()
+		st := s.state.Load()
+		if st&spliceFinished != 0 {
 			return
 		}
-		s.again = false
-		s.mu.Unlock()
+		if st&spliceRunning != 0 {
+			if s.state.CompareAndSwap(st, st|spliceAgain) {
+				return
+			}
+			continue
+		}
+		if s.state.CompareAndSwap(st, st|spliceRunning) {
+			break
+		}
+	}
+	for {
+		s.pump()
+		redrain := false
+		for {
+			st := s.state.Load()
+			if st&spliceFinished != 0 {
+				return
+			}
+			if st&spliceAgain != 0 {
+				if s.state.CompareAndSwap(st, st&^spliceAgain) {
+					redrain = true
+					break
+				}
+				continue
+			}
+			if s.state.CompareAndSwap(st, st&^spliceRunning) {
+				return
+			}
+		}
+		if !redrain {
+			return
+		}
 	}
 }
 
 // pump advances each direction until it blocks, the tunnel finishes, or an
 // error surfaces. Only one pump runs at a time (kick serializes), so the
 // per-direction state needs no locking of its own.
+//
+//tftlint:hotpath
 func (s *splice) pump() {
 	for i := range s.dirs {
 		d := &s.dirs[i]
@@ -123,13 +157,15 @@ func (s *splice) pump() {
 // finish tears the tunnel down: disarm the callbacks, close both ends,
 // return the buffers, and report the outcome exactly once.
 func (s *splice) finish(err error) {
-	s.mu.Lock()
-	if s.finished {
-		s.mu.Unlock()
-		return
+	for {
+		st := s.state.Load()
+		if st&spliceFinished != 0 {
+			return
+		}
+		if s.state.CompareAndSwap(st, st|spliceFinished) {
+			break
+		}
 	}
-	s.finished = true
-	s.mu.Unlock()
 	client, server := s.dirs[0].src, s.dirs[1].src
 	client.SetNotify(nil)
 	server.SetNotify(nil)

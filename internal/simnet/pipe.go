@@ -102,18 +102,21 @@ func (pp *pair) maybeReclaim() {
 		buf, bufp := r.buf, r.bufp
 		r.buf, r.bufp = nil, nil
 		r.n, r.start = 0, 0
-		if r.rdead.timer != nil {
-			r.rdead.timer.Stop()
-			r.rdead.timer = nil
-		}
-		if r.wdead.timer != nil {
-			r.wdead.timer.Stop()
-			r.wdead.timer = nil
-		}
+		// Detach the timers under the lock but stop them after releasing
+		// it: Timer.Stop is an interface call the lockorder graph cannot
+		// see through, and the gen bump already neuters a racing fire.
+		rt, wt := r.rdead.timer, r.wdead.timer
+		r.rdead.timer, r.wdead.timer = nil, nil
 		r.rdead.gen++
 		r.wdead.gen++
 		r.notify = nil
 		r.mu.Unlock()
+		if rt != nil {
+			rt.Stop()
+		}
+		if wt != nil {
+			wt.Stop()
+		}
 		if cap(buf) >= DefaultWindow {
 			if bufp == nil {
 				bufp = new([]byte)
@@ -468,18 +471,26 @@ func (r *ring) closeRead() {
 // clock: the fabric's injected Clock for dialed streams (simnet.Real in
 // daemons), the wall clock for bare Pipes.
 func (r *ring) setDeadline(t time.Time, d *deadline) {
+	// Clock reads and timer stops stay outside the critical section; the
+	// gen bump under the lock invalidates a stale timer that fires in the
+	// gap (lockorder: interface calls under r.mu are opaque to the
+	// acquisition graph).
+	now := r.clock.Now()
+	var stale Timer
+	defer func() {
+		if stale != nil {
+			stale.Stop()
+		}
+	}()
 	r.mu.Lock()
-	if d.timer != nil {
-		d.timer.Stop()
-		d.timer = nil
-	}
+	stale, d.timer = d.timer, nil
 	d.gen++
 	if t.IsZero() {
 		d.timed = false
 		r.mu.Unlock()
 		return
 	}
-	wait := t.Sub(r.clock.Now())
+	wait := t.Sub(now)
 	if wait <= 0 {
 		d.timed = true
 		r.version++
@@ -493,6 +504,7 @@ func (r *ring) setDeadline(t time.Time, d *deadline) {
 	}
 	d.timed = false
 	gen := d.gen
+	//tftlint:ignore lockorder -- the timer must arm under r.mu so a concurrent setDeadline cannot observe a half-armed deadline; Virtual.AfterFunc takes only the clock's own mutex and ring.mu -> clock.mu is this package's one cross-type order, never reversed
 	d.timer = r.clock.AfterFunc(wait, func() {
 		r.mu.Lock()
 		fired := d.gen == gen

@@ -38,7 +38,10 @@ type Doc struct {
 	Benchmarks  []Bench `json:"benchmarks"`
 }
 
-var benchFile = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+var (
+	benchFile = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+	lintFile  = regexp.MustCompile(`^LINT_(\d+)\.json$`)
+)
 
 func main() {
 	dir := flag.String("dir", ".", "directory holding the BENCH_<n>.json files")
@@ -59,6 +62,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
+	lintLine(*dir)
 	if regressions > 0 {
 		fmt.Printf("\nbenchdiff: %d regression(s) beyond %.0f%% (%s -> %s)\n",
 			regressions, *threshold, old, cur)
@@ -70,9 +74,21 @@ func main() {
 // newestTwo returns the two highest-indexed BENCH files (old, then new).
 // When fewer than two exist, cur is empty.
 func newestTwo(dir string) (old, cur string, err error) {
-	entries, err := os.ReadDir(dir)
+	names, err := matching(dir, benchFile)
 	if err != nil {
 		return "", "", err
+	}
+	if len(names) < 2 {
+		return "", "", nil
+	}
+	return names[len(names)-2], names[len(names)-1], nil
+}
+
+// matching lists dir's files matching re, sorted by their numeric index.
+func matching(dir string, re *regexp.Regexp) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
 	}
 	type indexed struct {
 		n    int
@@ -80,7 +96,7 @@ func newestTwo(dir string) (old, cur string, err error) {
 	}
 	var found []indexed
 	for _, e := range entries {
-		m := benchFile.FindStringSubmatch(e.Name())
+		m := re.FindStringSubmatch(e.Name())
 		if m == nil {
 			continue
 		}
@@ -90,11 +106,51 @@ func newestTwo(dir string) (old, cur string, err error) {
 		}
 		found = append(found, indexed{n, e.Name()})
 	}
-	if len(found) < 2 {
-		return "", "", nil
-	}
 	sort.Slice(found, func(i, j int) bool { return found[i].n < found[j].n })
-	return found[len(found)-2].name, found[len(found)-1].name, nil
+	names := make([]string, len(found))
+	for i, f := range found {
+		names[i] = f.name
+	}
+	return names, nil
+}
+
+// lintReport mirrors the fields of tftlint -json's report this command
+// summarizes.
+type lintReport struct {
+	Findings  []json.RawMessage `json:"findings"`
+	Packages  int               `json:"packages"`
+	Analyzers int               `json:"analyzers"`
+	WallMS    int64             `json:"wall_ms"`
+}
+
+// lintLine prints the lint-runtime trajectory from the archived LINT_<n>
+// reports (newest, plus the wall-time delta against the previous one when
+// two exist). Informational only: lint findings gate elsewhere.
+func lintLine(dir string) {
+	names, err := matching(dir, lintFile)
+	if err != nil || len(names) == 0 {
+		return
+	}
+	readReport := func(name string) (lintReport, bool) {
+		var r lintReport
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil || json.Unmarshal(b, &r) != nil {
+			return r, false
+		}
+		return r, true
+	}
+	cur, ok := readReport(names[len(names)-1])
+	if !ok {
+		return
+	}
+	line := fmt.Sprintf("\nlint: %s: %d analyzers over %d packages, %d finding(s), %d ms",
+		names[len(names)-1], cur.Analyzers, cur.Packages, len(cur.Findings), cur.WallMS)
+	if len(names) > 1 {
+		if prev, ok := readReport(names[len(names)-2]); ok {
+			line += fmt.Sprintf(" (was %d ms in %s)", prev.WallMS, names[len(names)-2])
+		}
+	}
+	fmt.Println(line)
 }
 
 func load(path string) (map[string]Bench, error) {

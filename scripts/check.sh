@@ -9,7 +9,9 @@ set -eux
 unformatted=$(gofmt -l .)
 test -z "$unformatted" || { echo "gofmt needed: $unformatted" >&2; exit 1; }
 go vet ./...
-go run ./cmd/tftlint ./...
+# tftlint's machine-readable report is archived next to the BENCH_<n>.json
+# trajectory (benchdiff prints its wall time); findings still gate the run.
+go run ./cmd/tftlint -json ./... > LINT_9.json || { cat LINT_9.json >&2; exit 1; }
 go build ./...
 go test -race ./...
 go test -run=NONE -fuzz=FuzzUsernameRoundTrip -fuzztime=5s ./internal/proxynet
