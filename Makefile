@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test race bench benchjson benchdiff fuzz progress-smoke
+.PHONY: check vet lint build test race bench benchjson benchdiff fuzz progress-smoke chaos
 
-check: vet lint build race bench fuzz progress-smoke benchdiff
+check: vet lint build race bench fuzz chaos progress-smoke benchdiff
 
 vet:
 	$(GO) vet ./...
@@ -15,10 +15,10 @@ vet:
 # context placement (ctxfirst), the event-core contracts (nogo, noblock,
 # lockorder), and hot-path allocations (hotalloc). Exits non-zero on any
 # unwaived finding, malformed waiver, or unused waiver; the JSON report
-# (findings, package count, wall time) is archived as LINT_9.json next to
+# (findings, package count, wall time) is archived as LINT_10.json next to
 # the BENCH_<n>.json trajectory.
 lint:
-	$(GO) run ./cmd/tftlint -json ./... > LINT_9.json || { cat LINT_9.json; exit 1; }
+	$(GO) run ./cmd/tftlint -json ./... > LINT_10.json || { cat LINT_10.json; exit 1; }
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,13 @@ bench:
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzUsernameRoundTrip -fuzztime=5s ./internal/proxynet
 	$(GO) test -run=NONE -fuzz='FuzzUnmarshal$$' -fuzztime=5s ./internal/cert
+
+# Chaos soak: the fault plane, breaker, and churner under the race detector,
+# plus the fixed-seed end-to-end soaks (byte-identical runs, error budget
+# excluded from violation rates, watchdog silent).
+chaos:
+	$(GO) test -race -run 'TestFault|TestInject|TestHealth|TestBackoff|TestChurner|TestSession' ./internal/simnet ./internal/proxynet
+	$(GO) test -run 'TestChaos' .
 
 # Machine-readable benchmark baseline: runs the full-pipeline, table, pipe,
 # and full-scale (Scale=1.0 DNS, minutes of runtime) benchmarks with

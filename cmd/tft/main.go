@@ -5,6 +5,7 @@
 //
 //	tft [-experiment dns|http|tls|monitor|smtp|longitudinal|all]
 //	    [-scale 0.05] [-seed N] [-workers 8] [-report]
+//	    [-chaos flaky-exits|lossy-links|slow-network]
 //	    [-metrics] [-metrics-json] [-events-json] [-events-kind violation]
 //	    [-trace out.json] [-trace-jsonl out.jsonl]
 //	    [-progress] [-progress-jsonl out.jsonl] [-progress-interval 1s]
@@ -13,6 +14,13 @@
 // -scale 1.0 reproduces full paper scale (1.27M nodes across experiments);
 // expect minutes of runtime and several GB of memory. The default 5% runs
 // in seconds with the same table shapes.
+//
+// -chaos arms a named deterministic fault-injection profile on the synthetic
+// fabric (resets, stalls, trickle, truncation, corruption) and installs the
+// super proxy's per-exit circuit breaker. The schedule is a pure function of
+// (seed, scale, profile): the same triple reproduces the same faults and the
+// same tables. Probes lost to injected faults are reported as the run's
+// error budget and excluded from violation rates.
 //
 // Every experiment implements the tft.Run interface, so the single-
 // experiment and all-experiment paths share one printing loop. -metrics
@@ -79,6 +87,7 @@ func main() {
 		scale       = flag.Float64("scale", 0.05, "fraction of the paper's population sizes (0 < s <= 1)")
 		seed        = flag.Uint64("seed", 20160413, "world/crawl seed; a (seed, scale) pair reproduces a run")
 		workers     = flag.Int("workers", 8, "concurrent measurement sessions")
+		chaos       = flag.String("chaos", "", "fault-injection profile: "+strings.Join(simnet.ProfileNames(), ", ")+" (empty = fault-free)")
 		report      = flag.Bool("report", true, "print the paper-vs-measured report (all experiments only)")
 		dump        = flag.String("dump", "", "directory to write the dataset release into (all experiments only)")
 		showMetrics = flag.Bool("metrics", false, "print each run's crawl-engine metrics table")
@@ -112,7 +121,7 @@ func main() {
 		eventKinds = append(eventKinds, k)
 	}
 
-	opts := tft.Options{Seed: *seed, Scale: *scale, Workers: *workers}
+	opts := tft.Options{Seed: *seed, Scale: *scale, Workers: *workers, Chaos: *chaos}
 	ctx := context.Background()
 	//tftlint:ignore simclock -- operator-facing wall-clock timing of the CLI run; never part of measured output
 	start := time.Now()

@@ -30,6 +30,7 @@ import (
 	"github.com/tftproject/tft/internal/geo"
 	"github.com/tftproject/tft/internal/metrics"
 	"github.com/tftproject/tft/internal/progress"
+	"github.com/tftproject/tft/internal/proxynet"
 	"github.com/tftproject/tft/internal/trace"
 )
 
@@ -315,6 +316,12 @@ type Stats struct {
 	// StoppedByRule reports whether the new-node-rate rule (rather than the
 	// session cap) ended the crawl.
 	StoppedByRule bool
+	// Faulted counts probes lost to transport-layer faults (injected chaos
+	// or their real-world analogues). They are excluded from violation
+	// denominators — a reset mid-probe says nothing about the node's DNS or
+	// content path — and surfaced here as the run's error budget. Filled by
+	// the driver after the shard merge, not by the crawler.
+	Faulted int
 }
 
 func (c *crawler) stats() Stats {
@@ -335,8 +342,11 @@ func (c *crawler) traceProbe(ctx context.Context, name string, cc geo.CountryCod
 			span.SetAttrs(trace.Str("zid", zid))
 		}
 		span.SetAttrs(trace.Str("outcome", oc.String()))
-		if oc == outcomeFailed {
+		switch oc {
+		case outcomeFailed:
 			span.SetError("probe_failed")
+		case outcomeFault:
+			span.SetError("probe_faulted")
 		}
 		span.End()
 	}
@@ -386,15 +396,45 @@ func (c *crawler) runWorkers(ctx context.Context, measure func(shard int, cc geo
 	wg.Wait()
 }
 
+// classifyFailure splits a failed probe between honest failure and
+// transport fault: the client's own error is checked first, then the
+// service-reported debug error (the super proxy stamps ErrPeerTransport
+// when the exit node's fetch died to a reset/stall/truncation). Faulted
+// probes are tallied into the run's error budget instead of the failure
+// count, so chaos does not masquerade as middlebox behaviour — and so
+// genuine failures are not hidden by it either.
+func classifyFailure(err error, dbg *proxynet.Debug) outcome {
+	if proxynet.IsTransportFault(err) {
+		return outcomeFault
+	}
+	if dbg != nil && dbg.Err == proxynet.ErrPeerTransport {
+		return outcomeFault
+	}
+	return outcomeFailed
+}
+
 // shardSink accumulates one worker shard's probe records and outcome
 // tallies. Each shard is written by exactly one worker goroutine, so the
 // hot path appends without locks; mergeShards reduces the partials after
 // the crawl.
 type shardSink[T any] struct {
-	obs        []T
+	obs     []T
+	tallies shardTallies
+}
+
+// shardTallies are the non-observation outcome counts a crawl accumulates.
+type shardTallies struct {
 	failures   int
 	duplicates int
 	discarded  int
+	faults     int
+}
+
+func (t *shardTallies) add(o shardTallies) {
+	t.failures += o.failures
+	t.duplicates += o.duplicates
+	t.discarded += o.discarded
+	t.faults += o.faults
 }
 
 // newShardSinks sizes one sink per worker shard.
@@ -406,7 +446,7 @@ func newShardSinks[T any](workers int) []shardSink[T] {
 // sum, and observations are concatenated then canonically ordered by zID.
 // Because the crawler dedups zIDs globally, the sort is a total order, so
 // the merged dataset is independent of worker count and scheduling.
-func mergeShards[T any](shards []shardSink[T], zid func(T) string) (obs []T, failures, duplicates, discarded int) {
+func mergeShards[T any](shards []shardSink[T], zid func(T) string) (obs []T, t shardTallies) {
 	n := 0
 	for i := range shards {
 		n += len(shards[i].obs)
@@ -414,10 +454,8 @@ func mergeShards[T any](shards []shardSink[T], zid func(T) string) (obs []T, fai
 	obs = make([]T, 0, n)
 	for i := range shards {
 		obs = append(obs, shards[i].obs...)
-		failures += shards[i].failures
-		duplicates += shards[i].duplicates
-		discarded += shards[i].discarded
+		t.add(shards[i].tallies)
 	}
 	slices.SortFunc(obs, func(a, b T) int { return strings.Compare(zid(a), zid(b)) })
-	return obs, failures, duplicates, discarded
+	return obs, t
 }

@@ -48,6 +48,9 @@ type DNSDataset struct {
 	// Discarded counts sessions where the exit node changed between d1 and
 	// d2 (visible in the retry debug header).
 	Discarded int
+	// Faults counts probes lost to transport-layer faults; they are
+	// excluded from violation denominators (see Stats.Faulted).
+	Faults int
 }
 
 // DNSExperiment drives §4's methodology.
@@ -146,21 +149,28 @@ func (e *DNSExperiment) Run(ctx context.Context) (*DNSDataset, error) {
 				sink.obs = append(sink.obs, obs)
 			}
 		case outcomeFailed:
-			sink.failures++
+			sink.tallies.failures++
 			prog.Fail(shard)
 			m.Counter("crawl_failures_total").Inc()
 		case outcomeDuplicate:
-			sink.duplicates++
+			sink.tallies.duplicates++
 			prog.Duplicate(shard)
 		case outcomeDiscarded:
-			sink.discarded++
+			sink.tallies.discarded++
 			prog.Discard(shard)
 			m.Counter("crawl_discarded_total").Inc()
+		case outcomeFault:
+			sink.tallies.faults++
+			prog.Fault(shard)
+			m.Counter("fault_probes_total").Inc()
 		}
 	})
-	ds.Observations, ds.Failures, ds.Duplicates, ds.Discarded =
-		mergeShards(shards, func(o *DNSObservation) string { return o.ZID })
+	var t shardTallies
+	ds.Observations, t = mergeShards(shards, func(o *DNSObservation) string { return o.ZID })
+	ds.Failures, ds.Duplicates, ds.Discarded, ds.Faults =
+		t.failures, t.duplicates, t.discarded, t.faults
 	ds.Crawl = cr.stats()
+	ds.Crawl.Faulted = t.faults
 	return ds, ctx.Err()
 }
 
@@ -171,6 +181,10 @@ const (
 	outcomeFailed
 	outcomeDuplicate
 	outcomeDiscarded
+	// outcomeFault: the probe died to a transport-layer fault rather than
+	// anything the node's path did — counted into the error budget, never
+	// the failure or violation tallies.
+	outcomeFault
 )
 
 // String names the outcome for span attributes and event filters.
@@ -184,6 +198,8 @@ func (o outcome) String() string {
 		return "duplicate"
 	case outcomeDiscarded:
 		return "discarded"
+	case outcomeFault:
+		return "faulted"
 	}
 	return "unknown"
 }
@@ -208,7 +224,7 @@ func (e *DNSExperiment) measure(ctx context.Context, cr *crawler, cc geo.Country
 	// and web logs light up.
 	resp1, dbg1, err := e.Client.Get(ctx, opts, "http://"+d1+"/")
 	if err != nil || dbg1 == nil || dbg1.ZID == "" || dbg1.Err != "" {
-		return nil, outcomeFailed
+		return nil, classifyFailure(err, dbg1)
 	}
 	if !cr.observe(dbg1.ZID) {
 		return nil, outcomeDuplicate
@@ -249,7 +265,7 @@ func (e *DNSExperiment) measure(ctx context.Context, cr *crawler, cc geo.Country
 	// means the node received the honest error.
 	resp2, dbg2, err := e.Client.Get(ctx, opts, "http://"+d2+"/")
 	if err != nil || dbg2 == nil {
-		return nil, outcomeFailed
+		return nil, classifyFailure(err, dbg2)
 	}
 	if dbg2.ZID != obs.ZID {
 		return nil, outcomeDiscarded

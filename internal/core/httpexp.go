@@ -91,6 +91,9 @@ type HTTPDataset struct {
 	// SkippedQuota counts nodes left unmeasured because their AS already
 	// had its three samples and showed no modification (§5.1).
 	SkippedQuota int
+	// Faults counts probes lost to transport-layer faults; they are
+	// excluded from violation denominators (see Stats.Faulted).
+	Faults int
 }
 
 // HTTPExperiment drives §5's methodology.
@@ -180,23 +183,28 @@ func (e *HTTPExperiment) Run(ctx context.Context) (*HTTPDataset, error) {
 					Detail: "http_modified"})
 			}
 		case outcomeFailed:
-			sink.failures++
+			sink.tallies.failures++
 			prog.Fail(shard)
 			m.Counter("crawl_failures_total").Inc()
 		case outcomeDuplicate:
-			sink.duplicates++
+			sink.tallies.duplicates++
 			prog.Duplicate(shard)
 		case outcomeDiscarded:
-			sink.discarded++
+			sink.tallies.discarded++
 			prog.Discard(shard)
 			m.Counter("http_quota_skipped_total").Inc()
+		case outcomeFault:
+			sink.tallies.faults++
+			prog.Fault(shard)
+			m.Counter("fault_probes_total").Inc()
 		}
 	})
-	var skipped int
-	ds.Observations, ds.Failures, ds.Duplicates, skipped =
-		mergeShards(shards, func(o *HTTPObservation) string { return o.ZID })
-	ds.SkippedQuota = skipped
+	var t shardTallies
+	ds.Observations, t = mergeShards(shards, func(o *HTTPObservation) string { return o.ZID })
+	ds.Failures, ds.Duplicates, ds.SkippedQuota, ds.Faults =
+		t.failures, t.duplicates, t.discarded, t.faults
 	ds.Crawl = cr.stats()
+	ds.Crawl.Faulted = t.faults
 	return ds, ctx.Err()
 }
 
@@ -214,8 +222,15 @@ func (e *HTTPExperiment) measure(ctx context.Context, cr *crawler, cc geo.Countr
 		host := httpPrefix + sess + "-" + strconv.Itoa(idx) + "." + e.Zone
 		resp, dbg, err := e.Client.Get(ctx, opts, "http://"+host+k.Path())
 		if err != nil || dbg == nil || dbg.ZID == "" || dbg.Err != "" {
+			oc := classifyFailure(err, dbg)
+			if oc == outcomeFault {
+				// A transport fault mid-measurement would leave ObjError
+				// objects that AnyModified reads as tampering; exclude the
+				// probe into the error budget rather than misclassify it.
+				return nil, outcomeFault
+			}
 			if idx == 0 {
-				return nil, outcomeFailed
+				return nil, oc
 			}
 			continue
 		}

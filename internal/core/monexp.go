@@ -56,6 +56,9 @@ type MonDataset struct {
 	Crawl        Stats
 	Failures     int
 	Duplicates   int
+	// Faults counts probes lost to transport-layer faults; they are
+	// excluded from violation denominators (see Stats.Faulted).
+	Faults int
 }
 
 // MonitorExperiment drives §7's methodology.
@@ -120,17 +123,23 @@ func (e *MonitorExperiment) Run(ctx context.Context) (*MonDataset, error) {
 			prog.Done(shard)
 			sink.obs = append(sink.obs, obs)
 		case outcomeFailed:
-			sink.failures++
+			sink.tallies.failures++
 			prog.Fail(shard)
 			m.Counter("crawl_failures_total").Inc()
 		case outcomeDuplicate:
-			sink.duplicates++
+			sink.tallies.duplicates++
 			prog.Duplicate(shard)
+		case outcomeFault:
+			sink.tallies.faults++
+			prog.Fault(shard)
+			m.Counter("fault_probes_total").Inc()
 		}
 	})
-	ds.Observations, ds.Failures, ds.Duplicates, _ =
-		mergeShards(shards, func(o *MonObservation) string { return o.ZID })
+	var t shardTallies
+	ds.Observations, t = mergeShards(shards, func(o *MonObservation) string { return o.ZID })
+	ds.Failures, ds.Duplicates, ds.Faults = t.failures, t.duplicates, t.faults
 	ds.Crawl = cr.stats()
+	ds.Crawl.Faulted = t.faults
 
 	// Monitors schedule their refetches on the virtual clock; advancing
 	// past the watch window delivers every one that falls inside it.
@@ -159,7 +168,7 @@ func (e *MonitorExperiment) fetch(ctx context.Context, cr *crawler, cc geo.Count
 	at := e.Clock.Now()
 	resp, dbg, err := e.Client.Get(ctx, opts, "http://"+host+"/")
 	if err != nil || dbg == nil || dbg.ZID == "" || dbg.Err != "" {
-		return nil, outcomeFailed
+		return nil, classifyFailure(err, dbg)
 	}
 	if !cr.observe(dbg.ZID) {
 		return nil, outcomeDuplicate

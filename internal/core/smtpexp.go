@@ -37,6 +37,11 @@ type SMTPDataset struct {
 	Crawl        Stats
 	Failures     int
 	Duplicates   int
+	// Faults counts probes lost to transport-layer faults before the
+	// tunnel opened. Faults after the tunnel opens are indistinguishable
+	// from port-25 blocking on the wire (the paper's own point about
+	// silent port blocking) and land in Blocked.
+	Faults int
 }
 
 // SMTPExperiment probes a mail server the measurement team controls
@@ -86,17 +91,23 @@ func (e *SMTPExperiment) Run(ctx context.Context) (*SMTPDataset, error) {
 					Detail: "smtp_starttls_stripped"})
 			}
 		case outcomeFailed:
-			sink.failures++
+			sink.tallies.failures++
 			prog.Fail(shard)
 			m.Counter("crawl_failures_total").Inc()
 		case outcomeDuplicate:
-			sink.duplicates++
+			sink.tallies.duplicates++
 			prog.Duplicate(shard)
+		case outcomeFault:
+			sink.tallies.faults++
+			prog.Fault(shard)
+			m.Counter("fault_probes_total").Inc()
 		}
 	})
-	ds.Observations, ds.Failures, ds.Duplicates, _ =
-		mergeShards(shards, func(o *SMTPObservation) string { return o.ZID })
+	var t shardTallies
+	ds.Observations, t = mergeShards(shards, func(o *SMTPObservation) string { return o.ZID })
+	ds.Failures, ds.Duplicates, ds.Faults = t.failures, t.duplicates, t.faults
 	ds.Crawl = cr.stats()
+	ds.Crawl.Faulted = t.faults
 	return ds, ctx.Err()
 }
 
@@ -105,7 +116,7 @@ func (e *SMTPExperiment) measure(ctx context.Context, cr *crawler, cc geo.Countr
 	opts := proxynet.Options{Country: cc, Session: sess}
 	conn, dbg, err := e.Client.Connect(ctx, opts, fmt.Sprintf("%s:25", e.MailIP))
 	if err != nil || dbg == nil || dbg.ZID == "" {
-		return nil, outcomeFailed
+		return nil, classifyFailure(err, dbg)
 	}
 	defer conn.Close()
 	if !cr.observe(dbg.ZID) {

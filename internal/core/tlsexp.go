@@ -104,6 +104,9 @@ type TLSDataset struct {
 	// Probes counts CONNECT tunnels opened — the bandwidth metric the
 	// two-phase design minimizes (§6.1).
 	Probes int64
+	// Faults counts probes lost to transport-layer faults; they are
+	// excluded from violation denominators (see Stats.Faulted).
+	Faults int
 }
 
 // TLSExperiment drives §6's methodology.
@@ -164,22 +167,29 @@ func (e *TLSExperiment) Run(ctx context.Context) (*TLSDataset, error) {
 					Detail: "tls_cert_replaced"})
 			}
 		case outcomeFailed:
-			sink.failures++
+			sink.tallies.failures++
 			prog.Fail(shard)
 			m.Counter("crawl_failures_total").Inc()
 		case outcomeDuplicate:
-			sink.duplicates++
+			sink.tallies.duplicates++
 			prog.Duplicate(shard)
 		case outcomeDiscarded:
-			sink.discarded++
+			sink.tallies.discarded++
 			prog.Discard(shard)
 			m.Counter("crawl_discarded_total").Inc()
+		case outcomeFault:
+			sink.tallies.faults++
+			prog.Fault(shard)
+			m.Counter("fault_probes_total").Inc()
 		}
 	})
-	ds.Observations, ds.Failures, ds.Duplicates, ds.Discarded =
-		mergeShards(shards, func(o *TLSObservation) string { return o.ZID })
+	var t shardTallies
+	ds.Observations, t = mergeShards(shards, func(o *TLSObservation) string { return o.ZID })
+	ds.Failures, ds.Duplicates, ds.Discarded, ds.Faults =
+		t.failures, t.duplicates, t.discarded, t.faults
 	m.Counter("tls_probes_total").Add(ds.Probes)
 	ds.Crawl = cr.stats()
+	ds.Crawl.Faulted = t.faults
 	return ds, ctx.Err()
 }
 
@@ -204,7 +214,7 @@ func (e *TLSExperiment) measure(ctx context.Context, cr *crawler, cc geo.Country
 		res, dbg, err := e.probe(ctx, opts, site)
 		if err != nil {
 			if i == 0 {
-				return nil, outcomeFailed
+				return nil, classifyFailure(err, dbg)
 			}
 			res = SiteResult{Host: site.Host, Class: site.Class, Err: err.Error()}
 		}

@@ -35,15 +35,19 @@ type RunManifest struct {
 	// counts successful observations (UniqueNodes minus sessions that
 	// failed after discovery), and TotalNodes is the population the ETA
 	// counted down from.
-	Sessions      int64 `json:"sessions"`
-	UniqueNodes   int64 `json:"unique_nodes"`
-	NodesDone     int64 `json:"nodes_done"`
-	TotalNodes    int64 `json:"total_nodes"`
-	Probes        int64 `json:"probes"`
-	Violations    int64 `json:"violations"`
-	Failures      int64 `json:"failures"`
-	Discarded     int64 `json:"discarded"`
-	Duplicates    int64 `json:"duplicates"`
+	Sessions    int64 `json:"sessions"`
+	UniqueNodes int64 `json:"unique_nodes"`
+	NodesDone   int64 `json:"nodes_done"`
+	TotalNodes  int64 `json:"total_nodes"`
+	Probes      int64 `json:"probes"`
+	Violations  int64 `json:"violations"`
+	Failures    int64 `json:"failures"`
+	Discarded   int64 `json:"discarded"`
+	Duplicates  int64 `json:"duplicates"`
+	// Faults is the run's error budget: probes lost to transport faults
+	// (injected chaos or real-network analogues), excluded from violation
+	// denominators.
+	Faults        int64 `json:"faults"`
 	StoppedByRule bool  `json:"stopped_by_rule"`
 	Stalls        int64 `json:"stalls"`
 

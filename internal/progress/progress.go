@@ -24,7 +24,7 @@ import (
 )
 
 // shardCell is one worker shard's progress counters, padded so adjacent
-// shards do not share a cache line (5 x 8 bytes + 24 pad = 64).
+// shards do not share a cache line (7 x 8 bytes + 8 pad = 64).
 type shardCell struct {
 	done       atomic.Int64
 	probes     atomic.Int64
@@ -32,7 +32,8 @@ type shardCell struct {
 	failures   atomic.Int64
 	discarded  atomic.Int64
 	duplicates atomic.Int64
-	_          [16]byte
+	faults     atomic.Int64
+	_          [8]byte
 }
 
 // runState is the per-crawl portion of a Tracker, swapped atomically by
@@ -149,6 +150,14 @@ func (t *Tracker) Discard(shard int) {
 	}
 }
 
+// Fault records a probe lost to a transport-layer fault on shard — the
+// run's error budget, disjoint from Fail's honest failures.
+func (t *Tracker) Fault(shard int) {
+	if c := t.cell(shard); c != nil {
+		c.faults.Add(1)
+	}
+}
+
 // Stalls reports how many times the watchdog fired over the tracker's
 // lifetime.
 func (t *Tracker) Stalls() int64 {
@@ -237,6 +246,7 @@ type ShardStatus struct {
 	Failures   int64 `json:"failures"`
 	Discarded  int64 `json:"discarded"`
 	Duplicates int64 `json:"duplicates"`
+	Faults     int64 `json:"faults"`
 }
 
 // Status is a Tracker's point-in-time view: per-shard counters, their sums,
@@ -252,6 +262,7 @@ type Status struct {
 	Failures   int64 `json:"failures"`
 	Discarded  int64 `json:"discarded"`
 	Duplicates int64 `json:"duplicates"`
+	Faults     int64 `json:"faults"`
 
 	Shards     []ShardStatus `json:"shards,omitempty"`
 	Watermarks Watermarks    `json:"watermarks"`
@@ -293,6 +304,7 @@ func (t *Tracker) Snapshot() Status {
 			Failures:   c.failures.Load(),
 			Discarded:  c.discarded.Load(),
 			Duplicates: c.duplicates.Load(),
+			Faults:     c.faults.Load(),
 		}
 		st.Shards[i] = s
 		st.Done += s.Done
@@ -301,6 +313,7 @@ func (t *Tracker) Snapshot() Status {
 		st.Failures += s.Failures
 		st.Discarded += s.Discarded
 		st.Duplicates += s.Duplicates
+		st.Faults += s.Faults
 	}
 	return st
 }

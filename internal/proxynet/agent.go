@@ -324,8 +324,15 @@ type Agent struct {
 	Gateway string
 	// Conns is the number of parallel agent connections (default 4).
 	Conns int
-	// Backoff between reconnect attempts (default 500ms).
+	// Backoff is the first reconnect delay (default 500ms); consecutive
+	// failures double it with seeded jitter up to BackoffMax, and a
+	// successful connection resets the schedule.
 	Backoff time.Duration
+	// BackoffMax caps the reconnect delay (default 30s).
+	BackoffMax time.Duration
+	// Seed derives the per-connection jitter generators; agents on the
+	// same gateway should differ so reconnect storms decorrelate.
+	Seed uint64
 	// Clock paces reconnect backoff; nil means the wall clock (the agent
 	// dials real sockets).
 	Clock simnet.Clock
@@ -337,9 +344,13 @@ func (a *Agent) Run(ctx context.Context) error {
 	if conns <= 0 {
 		conns = 4
 	}
-	backoff := a.Backoff
-	if backoff <= 0 {
-		backoff = 500 * time.Millisecond
+	base := a.Backoff
+	if base <= 0 {
+		base = 500 * time.Millisecond
+	}
+	maxDelay := a.BackoffMax
+	if maxDelay <= 0 {
+		maxDelay = 30 * time.Second
 	}
 	clock := a.Clock
 	if clock == nil {
@@ -348,18 +359,25 @@ func (a *Agent) Run(ctx context.Context) error {
 	var wg sync.WaitGroup
 	for i := 0; i < conns; i++ {
 		wg.Add(1)
+		// Each connection gets its own jitter stream so simultaneous drops
+		// do not reconnect in lockstep.
+		bo := NewBackoff(base, maxDelay, simnet.NewRand(a.Seed^(uint64(i)*0x9e3779b97f4a7c15+1)))
 		//tftlint:ignore nogo -- agent worker pool: each persistent connection to the super proxy blocks on a real socket
 		go func() {
 			defer wg.Done()
 			for ctx.Err() == nil {
 				if err := a.serveOne(ctx); err != nil && ctx.Err() == nil {
 					wait := make(chan struct{})
-					t := clock.AfterFunc(backoff, func() { close(wait) })
+					t := clock.AfterFunc(bo.Next(), func() { close(wait) })
 					select {
 					case <-wait:
 					case <-ctx.Done():
 					}
 					t.Stop()
+				} else {
+					// The connection registered and served: restart the
+					// backoff schedule for the next drop.
+					bo.Reset()
 				}
 			}
 		}()

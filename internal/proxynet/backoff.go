@@ -1,0 +1,75 @@
+package proxynet
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// Backoff computes truncated exponential retry delays with seeded jitter:
+// Next returns Base doubling per attempt (Factor when set), capped at Max,
+// scaled by a jitter factor in [1-Jitter, 1+Jitter) drawn from the seeded
+// generator. Reset after a success restarts the schedule. The zero Jitter
+// or a nil generator disables jitter; the helper is shared by the agent's
+// reconnect loop and the health breaker's cooldown schedule.
+type Backoff struct {
+	// Base is the first delay.
+	Base time.Duration
+	// Max caps the delay.
+	Max time.Duration
+	// Factor is the per-attempt multiplier (default 2).
+	Factor float64
+	// Jitter is the +/- fraction applied to each delay (default 0.2 via
+	// NewBackoff; 0 disables).
+	Jitter float64
+
+	rng     *rand.Rand
+	attempt int
+}
+
+// NewBackoff returns a doubling backoff between base and max with 20%
+// seeded jitter.
+func NewBackoff(base, max time.Duration, rng *rand.Rand) *Backoff {
+	return &Backoff{Base: base, Max: max, Factor: 2, Jitter: 0.2, rng: rng}
+}
+
+// Next returns the delay for the current attempt and advances the
+// schedule.
+func (b *Backoff) Next() time.Duration {
+	draw := 0.5 // centre of the jitter band when no generator is wired
+	if b.rng != nil {
+		draw = b.rng.Float64()
+	}
+	d := backoffDelay(b.Base, b.Max, b.Factor, b.Jitter, b.attempt, draw)
+	b.attempt++
+	return d
+}
+
+// Reset restarts the schedule — call after a successful attempt.
+func (b *Backoff) Reset() { b.attempt = 0 }
+
+// backoffDelay is the stateless core shared with the health breaker's
+// cooldown: base*factor^attempt capped at max, scaled by a jitter factor
+// in [1-jitter, 1+jitter) where draw is a uniform sample in [0, 1).
+func backoffDelay(base, max time.Duration, factor, jitter float64, attempt int, draw float64) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	if factor < 1 {
+		factor = 2
+	}
+	d := float64(base)
+	for i := 0; i < attempt; i++ {
+		d *= factor
+		if max > 0 && d >= float64(max) {
+			d = float64(max)
+			break
+		}
+	}
+	if jitter > 0 {
+		d *= 1 - jitter + 2*jitter*draw
+	}
+	if max > 0 && d > float64(max) {
+		d = float64(max)
+	}
+	return time.Duration(d)
+}

@@ -1,0 +1,77 @@
+package proxynet
+
+import (
+	"testing"
+	"time"
+
+	"github.com/tftproject/tft/internal/simnet"
+)
+
+func TestBackoffDoublesAndCaps(t *testing.T) {
+	b := &Backoff{Base: 100 * time.Millisecond, Max: 1 * time.Second, Factor: 2}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1 * time.Second,
+		1 * time.Second,
+	}
+	for i, w := range want {
+		if got := b.Next(); got != w {
+			t.Fatalf("attempt %d: got %v, want %v", i, got, w)
+		}
+	}
+	b.Reset()
+	if got := b.Next(); got != want[0] {
+		t.Fatalf("after Reset: got %v, want %v", got, want[0])
+	}
+}
+
+func TestBackoffJitterBandAndDeterminism(t *testing.T) {
+	base, max := 100*time.Millisecond, 10*time.Second
+	run := func() []time.Duration {
+		b := NewBackoff(base, max, simnet.NewRand(7))
+		out := make([]time.Duration, 8)
+		for i := range out {
+			out[i] = b.Next()
+		}
+		return out
+	}
+	d1, d2 := run(), run()
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("attempt %d: %v vs %v under the same seed", i, d1[i], d2[i])
+		}
+		// The ideal (jitterless) delay for this attempt.
+		ideal := float64(base) * float64(int(1)<<i)
+		if ideal > float64(max) {
+			ideal = float64(max)
+		}
+		lo, hi := time.Duration(0.8*ideal), time.Duration(1.2*ideal)
+		if d1[i] < lo || d1[i] > hi {
+			t.Fatalf("attempt %d: %v outside jitter band [%v, %v]", i, d1[i], lo, hi)
+		}
+	}
+}
+
+func TestBackoffNilRNGUsesBandCentre(t *testing.T) {
+	b := NewBackoff(100*time.Millisecond, time.Second, nil)
+	// draw = 0.5 makes the jitter factor exactly 1.
+	if got := b.Next(); got != 100*time.Millisecond {
+		t.Fatalf("nil-rng first delay = %v, want 100ms", got)
+	}
+}
+
+func TestBackoffDelayGuards(t *testing.T) {
+	if d := backoffDelay(0, time.Second, 2, 0.2, 3, 0.5); d != 0 {
+		t.Fatalf("zero base should yield 0, got %v", d)
+	}
+	if d := backoffDelay(time.Second, 0, 2, 0, 4, 0.5); d != 16*time.Second {
+		t.Fatalf("uncapped delay = %v, want 16s", d)
+	}
+	// A factor below 1 falls back to doubling rather than decaying.
+	if d := backoffDelay(time.Second, 0, 0.5, 0, 1, 0.5); d != 2*time.Second {
+		t.Fatalf("degenerate factor delay = %v, want 2s", d)
+	}
+}

@@ -53,6 +53,122 @@ func TestChurnerStop(t *testing.T) {
 	}
 }
 
+// TestChurnerTickSemanticsOnVirtualClock pins down when a tick fires on the
+// injected clock: never before a full Interval has elapsed (partial
+// advances accumulate), exactly at the boundary, and again at every
+// subsequent boundary.
+func TestChurnerTickSemanticsOnVirtualClock(t *testing.T) {
+	w := newTestWorld(t, 0)
+	ch := &Churner{Pool: w.pool, Clock: w.clock, Rand: simnet.NewRand(34),
+		Interval: 10 * time.Second, DownProb: 1.0, UpProb: 0}
+	ch.Start()
+	defer ch.Stop()
+
+	// Partial advances below the interval must not tick.
+	for i := 0; i < 9; i++ {
+		w.clock.Advance(time.Second)
+	}
+	if ch.OnlineCount() != w.pool.Len() {
+		t.Fatalf("tick fired before the interval elapsed: %d/%d online",
+			ch.OnlineCount(), w.pool.Len())
+	}
+	// The tenth second completes the interval: DownProb 1 takes all down.
+	w.clock.Advance(time.Second)
+	if ch.OnlineCount() != 0 {
+		t.Fatalf("tick did not fire at the interval boundary: %d still online", ch.OnlineCount())
+	}
+	// The churner reschedules itself: bring everyone back and the next full
+	// interval must take them down again.
+	for _, n := range w.pool.Nodes() {
+		n.SetOnline(true)
+	}
+	w.clock.Advance(10 * time.Second)
+	if ch.OnlineCount() != 0 {
+		t.Fatalf("churner did not reschedule after its first tick: %d online", ch.OnlineCount())
+	}
+}
+
+// TestChurnerStopRacesPendingTick drives Stop concurrently with clock
+// advances that are firing the pending tick. Run under -race this pins the
+// mutex discipline around stopped/timer; the functional guarantee is that
+// no tick lands after Stop returns.
+func TestChurnerStopRacesPendingTick(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		w := newTestWorld(t, 0)
+		ch := &Churner{Pool: w.pool, Clock: w.clock, Rand: simnet.NewRand(uint64(35 + round)),
+			Interval: time.Second, DownProb: 1.0, UpProb: 0}
+		ch.Start()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 0; i < 5; i++ {
+				w.clock.Advance(time.Second)
+			}
+		}()
+		ch.Stop()
+		<-done
+		// After Stop has returned and the advancing goroutine has drained,
+		// no further tick may fire.
+		for _, n := range w.pool.Nodes() {
+			n.SetOnline(true)
+		}
+		w.clock.Advance(10 * time.Second)
+		if ch.OnlineCount() != w.pool.Len() {
+			t.Fatalf("round %d: churner ticked after Stop", round)
+		}
+	}
+}
+
+// TestSessionRepinsAfterPinnedNodeChurnsOffline is the deterministic core
+// of the retry test below: pin a session, take exactly that node offline
+// (as a churn tick would), and require the next request to succeed on a
+// different node with the dead pin reported in the attempt chain.
+func TestSessionRepinsAfterPinnedNodeChurnsOffline(t *testing.T) {
+	w := newTestWorld(t, 0)
+	w.setRule("d1", dnsserver.Always(webIP))
+	opts := Options{Session: "pinned"}
+
+	resp, dbg, err := w.client.Get(context.Background(), opts, "http://d1."+zone+"/")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("pinning request failed: %v (status %d)", err, resp.StatusCode)
+	}
+	first := dbg.ZID
+
+	for _, n := range w.pool.Nodes() {
+		if n.ZID == first {
+			n.SetOnline(false)
+		}
+	}
+
+	resp, dbg, err = w.client.Get(context.Background(), opts, "http://d1."+zone+"/")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("request after pinned node went offline failed: %v", err)
+	}
+	if dbg.ZID == first {
+		t.Fatalf("proxy kept serving through offline node %s", first)
+	}
+	found := false
+	for _, a := range dbg.Attempts {
+		if a.ZID == first && a.Err == "peer_disconnected" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dead pin %s not reported in attempts: %+v", first, dbg.Attempts)
+	}
+
+	// The new pin sticks: a third request reuses the replacement node with
+	// a clean attempt chain.
+	repinned := dbg.ZID
+	_, dbg, err = w.client.Get(context.Background(), opts, "http://d1."+zone+"/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dbg.ZID != repinned || len(dbg.Attempts) != 0 {
+		t.Fatalf("session did not re-pin cleanly: zid=%s attempts=%+v", dbg.ZID, dbg.Attempts)
+	}
+}
+
 func TestSessionsSurviveChurnViaRetry(t *testing.T) {
 	// Under heavy churn, pinned sessions keep working: the proxy repins and
 	// reports the dead node in the retry chain — the §2.3 behaviour the

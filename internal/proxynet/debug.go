@@ -30,6 +30,13 @@ const (
 	ErrNoPeers = "no_peer_available"
 	// ErrPeerFetch: the exit node failed to fetch the content.
 	ErrPeerFetch = "peer_fetch_failed"
+	// ErrPeerTransport: the exit node's fetch died to a transport-layer
+	// fault (reset, stall, truncation) rather than a protocol failure.
+	// Clients exclude these probes from violation denominators.
+	ErrPeerTransport = "peer_transport_error"
+	// ErrPeerUnhealthy: the node was skipped because its circuit breaker
+	// is open (too many recent transport failures).
+	ErrPeerUnhealthy = "peer_unhealthy"
 )
 
 // Attempt records one exit-node try within a request.

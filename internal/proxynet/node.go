@@ -15,6 +15,7 @@ import (
 	"net"
 	"net/netip"
 	"sync/atomic"
+	"time"
 
 	"github.com/tftproject/tft/internal/cert"
 	"github.com/tftproject/tft/internal/dnsserver"
@@ -54,6 +55,13 @@ type ExitNode struct {
 	Env *middlebox.Env
 	// Net carries the node's traffic.
 	Net Dialer
+	// Clock, when non-nil, arms per-attempt deadline budgets on the node's
+	// outbound connections (fetchBudget, tunnelBudget) so a faulted or
+	// stalled origin cannot wedge an attempt forever. Under the virtual
+	// clock — which never advances mid-crawl — the budgets are inert and
+	// the stall fault's own deadline collapse does the bounding; on real
+	// networks they are live timers.
+	Clock simnet.Clock
 	// Tracer, when non-nil, records a span per node-side operation (DNS
 	// resolution, origin fetch, tunnel relay), parented under the span
 	// context carried by the request's context.
@@ -61,6 +69,14 @@ type ExitNode struct {
 
 	offline atomic.Bool
 }
+
+// Per-attempt deadline budgets on the node's outbound legs.
+const (
+	// fetchBudget bounds one proxied GET: dial through response read.
+	fetchBudget = 30 * time.Second
+	// tunnelBudget bounds a CONNECT tunnel's server leg.
+	tunnelBudget = 5 * time.Minute
+)
 
 // SetOnline flips the node's availability; offline nodes make Luminati
 // retry with another peer.
@@ -114,6 +130,12 @@ func (n *ExitNode) FetchHTTP(ctx context.Context, host string, port uint16, path
 			return
 		}
 		defer conn.Close()
+		if n.Clock != nil {
+			conn.SetDeadline(deadlineClock(conn, n.Clock).Now().Add(fetchBudget))
+			// Clearing on the way out stops the deadline timer rather
+			// than leaving it to fire against a closed stream.
+			defer conn.SetDeadline(time.Time{})
+		}
 		req := httpwire.NewRequest("GET", path)
 		req.Header.Set("Host", host)
 		br := httpwire.GetReader(conn)
@@ -172,6 +194,15 @@ func (n *ExitNode) Tunnel(ctx context.Context, client net.Conn, ip netip.Addr, p
 	if err != nil {
 		finish(err)
 		return false
+	}
+	if n.Clock != nil {
+		server.SetDeadline(deadlineClock(server, n.Clock).Now().Add(tunnelBudget))
+		inner := finish
+		finish = func(err error) {
+			// The budget covers the relay only; clearing stops the timer.
+			server.SetDeadline(time.Time{})
+			inner(err)
+		}
 	}
 
 	var rewrite func([]byte) []byte

@@ -2,10 +2,12 @@ package proxynet
 
 import (
 	"context"
+	"errors"
 	"log/slog"
 	"net"
 	"net/netip"
 	"strings"
+	"time"
 
 	"github.com/tftproject/tft/internal/dnsserver"
 	"github.com/tftproject/tft/internal/dnswire"
@@ -120,6 +122,11 @@ type SuperProxy struct {
 	// hypothetical arbitrary-traffic VPN of §3.4 that the SMTP extension
 	// measures through. Luminati itself never allowed this.
 	AnyPortConnect bool
+	// Health, when non-nil, is the per-exit-node circuit breaker: nodes
+	// with too many consecutive transport failures are skipped by
+	// selectNode until their cooldown lapses (chaos runs wire one; the
+	// fault-free baseline leaves it nil so node selection is unchanged).
+	Health *HealthTracker
 	// Metrics, when non-nil, receives the service-side telemetry: the
 	// GET/CONNECT split, per-exit-node request counts, session pin
 	// hits/misses, and failure counters.
@@ -190,11 +197,42 @@ func (sp *SuperProxy) ServeConn(conn net.Conn) bool {
 	return false
 }
 
-// fail writes an error response carrying the debug headers.
-func fail(conn net.Conn, status int, errStr, zid string, ip netip.Addr, attempts []Attempt) {
+// respWriteBudget bounds how long the service will block writing a
+// response (or error) back to a client whose receive path has stalled.
+const respWriteBudget = 10 * time.Second
+
+// deadlineClock returns the timebase governing conn's deadlines: fabric
+// streams keep deadlines on the world's injected clock, but a real socket
+// always measures them against the wall clock — mixed rigs (virtual
+// session clock, real TCP conns) would otherwise arm deadlines that are
+// decades stale.
+func deadlineClock(conn net.Conn, injected simnet.Clock) simnet.Clock {
+	if _, ok := conn.(*simnet.Stream); ok && injected != nil {
+		return injected
+	}
+	return simnet.Real{}
+}
+
+// armWriteDeadline puts a write deadline on a client connection so a
+// stalled or fault-injected client cannot wedge the service goroutine.
+func (sp *SuperProxy) armWriteDeadline(conn net.Conn) {
+	conn.SetWriteDeadline(deadlineClock(conn, sp.Clock).Now().Add(respWriteBudget))
+}
+
+// clearWriteDeadline removes the response write deadline — required before
+// a CONNECT tunnel detaches, and it releases the deadline timer.
+func (sp *SuperProxy) clearWriteDeadline(conn net.Conn) {
+	conn.SetWriteDeadline(time.Time{})
+}
+
+// fail writes an error response carrying the debug headers, under a write
+// deadline so an unresponsive client cannot hold the goroutine.
+func (sp *SuperProxy) fail(conn net.Conn, status int, errStr, zid string, ip netip.Addr, attempts []Attempt) {
 	resp := httpwire.NewResponse(status, []byte(errStr))
 	attachDebug(resp, zid, ip, attempts, errStr)
+	sp.armWriteDeadline(conn)
 	resp.Write(conn)
+	sp.clearWriteDeadline(conn)
 }
 
 // resolveSuper resolves host at the super proxy, consulting the DNS cache
@@ -265,12 +303,20 @@ func (sp *SuperProxy) selectNode(params Params, parent trace.SpanContext) (Peer,
 		sessKey = params.User + "/" + params.Session
 		if zid, ok := sp.sessions.get(sessKey); ok {
 			if n, ok := sp.Pool.Get(zid); ok && n.Online() {
-				sp.sessions.put(sessKey, zid)
-				sp.Metrics.Counter("proxy_session_hits_total").Inc()
-				return n, attempts, win(zid)
+				if sp.Health.Allow(zid) {
+					sp.sessions.put(sessKey, zid)
+					sp.Metrics.Counter("proxy_session_hits_total").Inc()
+					return n, attempts, win(zid)
+				}
+				// The pinned node's breaker is open: drop the pin and
+				// re-pin on whatever healthy node the loop below picks.
+				attempts = sp.failAttempt(parent, attempts, zid, ErrPeerUnhealthy)
+				shun(zid)
+				sp.Metrics.Counter("proxy_breaker_skips_total").Inc()
+			} else {
+				attempts = sp.failAttempt(parent, attempts, zid, "peer_disconnected")
+				shun(zid)
 			}
-			attempts = sp.failAttempt(parent, attempts, zid, "peer_disconnected")
-			shun(zid)
 		}
 	}
 	for len(attempts) < MaxRetries {
@@ -282,6 +328,12 @@ func (sp *SuperProxy) selectNode(params Params, parent trace.SpanContext) (Peer,
 			attempts = sp.failAttempt(parent, attempts, n.PeerID(), "peer_connect_timeout")
 			shun(n.PeerID())
 			sp.Metrics.Counter("proxy_retry_attempts_total").Inc()
+			continue
+		}
+		if !sp.Health.Allow(n.PeerID()) {
+			attempts = sp.failAttempt(parent, attempts, n.PeerID(), ErrPeerUnhealthy)
+			shun(n.PeerID())
+			sp.Metrics.Counter("proxy_breaker_skips_total").Inc()
 			continue
 		}
 		if sessKey != "" {
@@ -321,7 +373,7 @@ func (sp *SuperProxy) handleGet(ctx context.Context, conn net.Conn, req *httpwir
 	failGet := func(status int, errStr, zid string, ip netip.Addr, attempts []Attempt) {
 		span.SetError(errStr)
 		sp.logRequest(ctx, "GET", req.Target, zid, errStr, len(attempts))
-		fail(conn, status, errStr, zid, ip, attempts)
+		sp.fail(conn, status, errStr, zid, ip, attempts)
 	}
 	host, port, path, err := httpwire.ParseAbsoluteURL(req.Target)
 	if err != nil {
@@ -364,10 +416,13 @@ func (sp *SuperProxy) handleGet(ctx context.Context, conn net.Conn, req *httpwir
 	if params.RemoteDNS {
 		nip, rc, err := node.ResolveA(ctx, host)
 		if err != nil || rc == dnswire.RCodeServFail {
+			sp.Health.Failure(node.PeerID())
 			failNode(ErrPeerFetch)
 			return
 		}
 		if rc == dnswire.RCodeNXDomain || !nip.IsValid() {
+			// NXDOMAIN is the resolver's honest answer, not node distress.
+			sp.Health.Success(node.PeerID())
 			failNode(ErrDNSPeer)
 			return
 		}
@@ -377,14 +432,23 @@ func (sp *SuperProxy) handleGet(ctx context.Context, conn net.Conn, req *httpwir
 	sp.Metrics.Labeled("proxy_requests_by_node").Inc(node.PeerID())
 	resp, err := node.FetchHTTP(ctx, host, port, path, ip)
 	if err != nil {
+		sp.Health.Failure(node.PeerID())
 		sp.Metrics.Counter("proxy_peer_fetch_fail_total").Inc()
-		failNode(ErrPeerFetch)
+		errStr := ErrPeerFetch
+		if IsTransportFault(err) {
+			errStr = ErrPeerTransport
+			sp.Metrics.Counter("proxy_peer_transport_fail_total").Inc()
+		}
+		failNode(errStr)
 		return
 	}
+	sp.Health.Success(node.PeerID())
 	aspan.End()
 	sp.logRequest(ctx, "GET", req.Target, node.PeerID(), "", len(attempts))
 	attachDebug(resp, node.PeerID(), node.PeerIP(), attempts, "")
+	sp.armWriteDeadline(conn)
 	resp.Write(conn)
+	sp.clearWriteDeadline(conn)
 }
 
 // handleConnect establishes a TCP tunnel via an exit node; only port 443 is
@@ -398,7 +462,7 @@ func (sp *SuperProxy) handleConnect(ctx context.Context, conn net.Conn, req *htt
 	failConnect := func(status int, errStr, zid string, ip netip.Addr, attempts []Attempt) {
 		span.SetError(errStr)
 		sp.logRequest(ctx, "CONNECT", req.Target, zid, errStr, len(attempts))
-		fail(conn, status, errStr, zid, ip, attempts)
+		sp.fail(conn, status, errStr, zid, ip, attempts)
 	}
 	hostStr, port := httpwire.SplitHostPort(req.Target, 0)
 	if !sp.AnyPortConnect && port != sp.connectPort() {
@@ -431,7 +495,13 @@ func (sp *SuperProxy) handleConnect(ctx context.Context, conn net.Conn, req *htt
 	ok := httpwire.NewResponse(200, nil)
 	ok.Reason = "Connection established"
 	attachDebug(ok, node.PeerID(), node.PeerIP(), attempts, "")
-	if err := ok.Write(conn); err != nil {
+	sp.armWriteDeadline(conn)
+	err = ok.Write(conn)
+	// The deadline must not outlive the handshake: the tunnel relays on
+	// this connection for as long as the client keeps it open.
+	sp.clearWriteDeadline(conn)
+	if err != nil {
+		sp.Health.Failure(node.PeerID())
 		aspan.SetError(err.Error())
 		aspan.End()
 		return false
@@ -440,8 +510,17 @@ func (sp *SuperProxy) handleConnect(ctx context.Context, conn net.Conn, req *htt
 	// The attempt span hands off to the tunnel: it ends when the relay
 	// does, which on the event core may be well after this call returns.
 	return node.Tunnel(ctx, conn, ip, port, func(err error) {
-		if err != nil {
+		// errPortBlocked is a measured property of the node's network, not
+		// node distress — counting it would open breakers on every blocked
+		// SMTP port and suppress the paper's port-25 results.
+		if err != nil && !errors.Is(err, errPortBlocked) {
+			sp.Health.Failure(node.PeerID())
 			aspan.SetError(err.Error())
+		} else {
+			sp.Health.Success(node.PeerID())
+			if err != nil {
+				aspan.SetError(err.Error())
+			}
 		}
 		aspan.End()
 	})

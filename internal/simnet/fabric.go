@@ -55,6 +55,11 @@ type Fabric struct {
 	// clock so SetDeadline instants live on virtual time.
 	Clock Clock
 
+	// Faults, when non-nil, is the chaos plane: every Dial matching its
+	// profile may have deterministic seeded faults armed on the dialer's
+	// stream end (see FaultPlane).
+	Faults *FaultPlane
+
 	mu    sync.RWMutex
 	hosts map[netip.Addr]*host
 
@@ -182,6 +187,9 @@ func (f *Fabric) Dial(ctx context.Context, src, dst netip.Addr, port uint16) (ne
 		// drain: the service-side send ring grows instead of blocking.
 		remote.out.grow = true
 	}
+	// Arm any scheduled faults before the handler dispatches, so the fault
+	// schedule is a function of dial order alone.
+	f.Faults.arm(local, port)
 	if svc.stream {
 		//tftlint:ignore nogo -- stream handlers (server-talks-first or multi-round protocols) deadlock on the dialer's event loop and keep their own goroutine by contract
 		go svc.h(remote)

@@ -21,6 +21,12 @@ const DefaultWindow = 64 << 10
 // stream API. Callers arm SetNotify and retry when the callback fires.
 var ErrWouldBlock = errors.New("simnet: operation would block")
 
+// ErrInjectedReset is the failure an InjectReset leaves on both directions
+// of a stream: the simulation analogue of a TCP RST. Fault-aware callers
+// (the proxy path, the experiment drivers) classify it as a transport
+// fault, never as a middlebox outcome.
+var ErrInjectedReset = errors.New("simnet: connection reset by injected fault")
+
 // ringBufPool recycles full-window ring storage between connections. A crawl
 // opens millions of short-lived streams; with the pool, the steady-state
 // buffer count is the handful of connections actually in flight.
@@ -161,6 +167,105 @@ type ring struct {
 	grow    bool       // widen past the window instead of blocking writes
 	version uint64     // state-transition counter
 	notify  func()     // readiness callback (see Stream.SetNotify)
+
+	fault *ringFault // injected-fault state; nil on healthy rings
+}
+
+// ringFault is the injected-fault state of one ring direction (see the
+// Stream.Inject* methods). A nil pointer is the healthy fast path: the
+// data paths pay one pointer check. Fields are guarded by the ring mutex.
+//
+// Stalls and truncations are byte-count triggered and collapse to their
+// client-visible outcome (os.ErrDeadlineExceeded, io.EOF) the moment the
+// threshold is crossed, instead of parking the reader until a timer: the
+// crawl worlds never advance the virtual clock mid-run, so a parked stall
+// would deadlock the run-to-completion core, while the collapsed error is
+// byte-for-byte what a real client with a deadline would observe.
+type ringFault struct {
+	failErr      error // reset: every read and write fails with this
+	stallAfter   int64 // -1 disabled; reads past this fail like a deadline
+	truncAfter   int64 // -1 disabled; reads past this see a clean io.EOF
+	corruptEvery int64 // >0: every Nth delivered byte is XORed
+	trickle      int   // >0: per-read byte cap
+	delivered    int64 // bytes handed to the reader so far
+}
+
+// corruptMask is the XOR pattern FaultCorrupt applies — enough to break
+// any header token or payload byte it lands on without zeroing it.
+const corruptMask = 0x55
+
+// capRead bounds a read's destination to what the fault state lets
+// through. Caller holds the ring mutex and has already returned the
+// stall/truncate error when the threshold was reached, so the remaining
+// allowance is at least one byte.
+func (f *ringFault) capRead(p []byte) []byte {
+	max := len(p)
+	if f.trickle > 0 && max > f.trickle {
+		max = f.trickle
+	}
+	if f.stallAfter >= 0 {
+		if rem := f.stallAfter - f.delivered; int64(max) > rem {
+			max = int(rem)
+		}
+	}
+	if f.truncAfter >= 0 {
+		if rem := f.truncAfter - f.delivered; int64(max) > rem {
+			max = int(rem)
+		}
+	}
+	return p[:max]
+}
+
+// deliver accounts bytes handed to the reader, corrupting the stride's
+// positions in place. Caller holds the ring mutex.
+func (f *ringFault) deliver(p []byte) {
+	if f.corruptEvery > 0 {
+		for i := range p {
+			if (f.delivered+int64(i))%f.corruptEvery == f.corruptEvery-1 {
+				p[i] ^= corruptMask
+			}
+		}
+	}
+	f.delivered += int64(len(p))
+}
+
+// readFaultErr returns the error a read must surface before touching the
+// buffer, or nil. Caller holds the ring mutex. Reset discards buffered
+// data (as a RST does); stall and truncation fire once the delivered byte
+// count reaches their threshold, even with more data buffered — the rest
+// "never arrived".
+func (f *ringFault) readFaultErr() error {
+	switch {
+	case f == nil:
+		return nil
+	case f.failErr != nil:
+		return f.failErr
+	case f.stallAfter >= 0 && f.delivered >= f.stallAfter:
+		return os.ErrDeadlineExceeded
+	case f.truncAfter >= 0 && f.delivered >= f.truncAfter:
+		return io.EOF
+	}
+	return nil
+}
+
+// injectFault mutates the ring's fault state through the standard
+// state-transition path — version bump, broadcast, readiness notify — so
+// parked readers, pumping handlers, and TryRead/TryWrite splices observe
+// the fault like any other stream event.
+func (r *ring) injectFault(mutate func(*ringFault)) {
+	r.mu.Lock()
+	if r.fault == nil {
+		r.fault = &ringFault{stallAfter: -1, truncAfter: -1}
+	}
+	//tftlint:ignore lockorder -- every mutate closure (Stream.Inject*) only assigns ringFault fields; none can lock
+	mutate(r.fault)
+	r.version++
+	r.cond.Broadcast()
+	fn := r.notify
+	r.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
 }
 
 // deadline is one side's deadline: the exceeded flag, the pending timer,
@@ -299,6 +404,10 @@ func (r *ring) read(p []byte) (int, error) {
 			r.mu.Unlock()
 			return 0, io.ErrClosedPipe
 		}
+		if err := r.fault.readFaultErr(); err != nil {
+			r.mu.Unlock()
+			return 0, err
+		}
 		if r.rdead.timed {
 			r.mu.Unlock()
 			return 0, os.ErrDeadlineExceeded
@@ -316,7 +425,14 @@ func (r *ring) read(p []byte) (int, error) {
 		}
 		r.pumpOrWait()
 	}
-	total := r.copyOut(p)
+	dst := p
+	if r.fault != nil {
+		dst = r.fault.capRead(p)
+	}
+	total := r.copyOut(dst)
+	if r.fault != nil {
+		r.fault.deliver(dst[:total])
+	}
 	r.version++
 	r.cond.Broadcast()
 	fn := r.notify
@@ -346,6 +462,11 @@ func (r *ring) write(p []byte) (int, error) {
 			if r.wclosed || r.rclosed {
 				r.mu.Unlock()
 				return total, io.ErrClosedPipe
+			}
+			if r.fault != nil && r.fault.failErr != nil {
+				err := r.fault.failErr
+				r.mu.Unlock()
+				return total, err
 			}
 			if r.wdead.timed {
 				r.mu.Unlock()
@@ -382,6 +503,10 @@ func (r *ring) tryRead(p []byte) (int, error) {
 		r.mu.Unlock()
 		return 0, io.ErrClosedPipe
 	}
+	if err := r.fault.readFaultErr(); err != nil {
+		r.mu.Unlock()
+		return 0, err
+	}
 	if r.rdead.timed {
 		r.mu.Unlock()
 		return 0, os.ErrDeadlineExceeded
@@ -394,7 +519,14 @@ func (r *ring) tryRead(p []byte) (int, error) {
 		}
 		return 0, ErrWouldBlock
 	}
-	total := r.copyOut(p)
+	dst := p
+	if r.fault != nil {
+		dst = r.fault.capRead(p)
+	}
+	total := r.copyOut(dst)
+	if r.fault != nil {
+		r.fault.deliver(dst[:total])
+	}
 	r.version++
 	r.cond.Broadcast()
 	fn := r.notify
@@ -412,6 +544,11 @@ func (r *ring) tryWrite(p []byte) (int, error) {
 	if r.wclosed || r.rclosed {
 		r.mu.Unlock()
 		return 0, io.ErrClosedPipe
+	}
+	if r.fault != nil && r.fault.failErr != nil {
+		err := r.fault.failErr
+		r.mu.Unlock()
+		return 0, err
 	}
 	if r.wdead.timed {
 		r.mu.Unlock()
@@ -613,4 +750,38 @@ func (s *Stream) SetReadDeadline(t time.Time) error {
 func (s *Stream) SetWriteDeadline(t time.Time) error {
 	s.out.setWriteDeadline(t)
 	return nil
+}
+
+// InjectReset kills both directions of the stream: every further read and
+// write — on either end, buffered data included — fails with
+// ErrInjectedReset, as after a TCP RST.
+func (s *Stream) InjectReset() {
+	s.in.injectFault(func(f *ringFault) { f.failErr = ErrInjectedReset })
+	s.out.injectFault(func(f *ringFault) { f.failErr = ErrInjectedReset })
+}
+
+// InjectStall lets this end read after more bytes of its receive
+// direction and then fail with os.ErrDeadlineExceeded — a peer that went
+// silent until the reader's patience ran out. The peer's writes are
+// unaffected.
+func (s *Stream) InjectStall(after int64) {
+	s.in.injectFault(func(f *ringFault) { f.stallAfter = after })
+}
+
+// InjectTruncate delivers after more bytes of this end's receive
+// direction and then reports a clean io.EOF — a response cut short.
+func (s *Stream) InjectTruncate(after int64) {
+	s.in.injectFault(func(f *ringFault) { f.truncAfter = after })
+}
+
+// InjectTrickle caps every read on this end's receive direction at chunk
+// bytes — a slow link releasing bytes a few at a time.
+func (s *Stream) InjectTrickle(chunk int) {
+	s.in.injectFault(func(f *ringFault) { f.trickle = chunk })
+}
+
+// InjectCorrupt XORs every every-th byte delivered on this end's receive
+// direction — an on-path link mangling payloads.
+func (s *Stream) InjectCorrupt(every int64) {
+	s.in.injectFault(func(f *ringFault) { f.corruptEvery = every })
 }

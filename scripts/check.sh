@@ -11,7 +11,7 @@ test -z "$unformatted" || { echo "gofmt needed: $unformatted" >&2; exit 1; }
 go vet ./...
 # tftlint's machine-readable report is archived next to the BENCH_<n>.json
 # trajectory (benchdiff prints its wall time); findings still gate the run.
-go run ./cmd/tftlint -json ./... > LINT_9.json || { cat LINT_9.json >&2; exit 1; }
+go run ./cmd/tftlint -json ./... > LINT_10.json || { cat LINT_10.json >&2; exit 1; }
 go build ./...
 go test -race ./...
 go test -run=NONE -fuzz=FuzzUsernameRoundTrip -fuzztime=5s ./internal/proxynet
@@ -21,6 +21,9 @@ go test -run=NONE -bench=Pipe -benchtime=1x -benchmem ./internal/simnet
 # Small-K shard-merge smoke: per-shard sinks and aggregate Merge must
 # reproduce the unsharded tables byte-for-byte.
 go test -run='TestDNSShardSinksMergeCanonically|TestDNSMergePartialsMatchUnsharded' .
+# Chaos smoke: fixed-seed soaks under fault injection — byte-identical
+# reruns, faulted probes excluded from violation rates, watchdog silent.
+go test -run 'TestChaos' .
 go run ./scripts/promsmoke
 # Flight-recorder smoke: a short crawl with -progress-jsonl must produce a
 # parseable checkpoint stream and a manifest consistent with the run.

@@ -35,6 +35,7 @@ import (
 	"github.com/tftproject/tft/internal/population"
 	"github.com/tftproject/tft/internal/progress"
 	"github.com/tftproject/tft/internal/proxynet"
+	"github.com/tftproject/tft/internal/simnet"
 	"github.com/tftproject/tft/internal/trace"
 )
 
@@ -55,6 +56,12 @@ type Options struct {
 	// Crawl.Metrics is nil, each Run* call installs a fresh registry so
 	// every run exposes a Metrics() snapshot.
 	Crawl core.CrawlConfig
+	// Chaos names a fault-injection profile (simnet.ProfileNames) to arm on
+	// the world's fabric; it also installs the super proxy's per-exit
+	// circuit breaker. Empty (the default) runs fault-free and is
+	// byte-identical to builds without the chaos plane. The injection
+	// schedule is a pure function of (Seed, Scale, Chaos).
+	Chaos string
 }
 
 func (o Options) withDefaults() Options {
@@ -105,9 +112,13 @@ func (o *Options) instrument(w *population.World) *metrics.Registry {
 	}
 	if w != nil && w.Pool != nil {
 		tracer := o.Crawl.Tracer
+		clock := w.Clock
 		w.Pool.SetPrepare(func(n *proxynet.ExitNode) {
 			if n.Tracer == nil {
 				n.Tracer = tracer
+			}
+			if n.Clock == nil {
+				n.Clock = clock
 			}
 		})
 		if lp, ok := w.Pool.(*proxynet.LazyPool); ok {
@@ -115,6 +126,27 @@ func (o *Options) instrument(w *population.World) *metrics.Registry {
 		}
 	}
 	return o.Crawl.Metrics
+}
+
+// applyChaos arms the world's fault plane and the proxy-side hardening when
+// Options.Chaos names a profile. Called after instrument (so the metrics
+// registry exists) and before the experiment runs. With Chaos empty it does
+// nothing: the breaker is only installed under chaos, so a fault-free run
+// stays byte-identical to a build without the chaos plane.
+func (o *Options) applyChaos(w *population.World) error {
+	if o.Chaos == "" {
+		return nil
+	}
+	prof, ok := simnet.ProfileByName(o.Chaos)
+	if !ok {
+		return fmt.Errorf("unknown chaos profile %q (have %v)", o.Chaos, simnet.ProfileNames())
+	}
+	plane := simnet.NewFaultPlane(prof, o.Seed, w.Clock)
+	faults := o.Crawl.Metrics.Labeled("fault_injected_total")
+	plane.OnInject(func(kind string) { faults.Inc(kind) })
+	w.Fabric.Faults = plane
+	w.Super.Health = proxynet.NewHealthTracker(w.Clock, o.Seed, o.Crawl.Metrics)
+	return nil
 }
 
 // wallNow stamps run manifests. Manifests are operator-facing run records
@@ -154,6 +186,7 @@ func (o Options) buildManifest(name string, st core.Stats, started, finished tim
 		Failures:        snap.Failures,
 		Discarded:       snap.Discarded,
 		Duplicates:      snap.Duplicates,
+		Faults:          snap.Faults,
 		StoppedByRule:   st.StoppedByRule,
 		Stalls:          snap.Stalls,
 		Watermarks:      wm,
@@ -177,6 +210,16 @@ func (r runManifest) WriteManifest(w io.Writer) error {
 }
 
 func (o Options) cfg() analysis.Config { return analysis.Config{Scale: o.Scale} }
+
+// faultLine is the error-budget suffix shared by every Headline. It is
+// empty when the run lost no probes to transport faults, so fault-free
+// output is byte-identical to builds without the chaos plane.
+func faultLine(st core.Stats) string {
+	if st.Faulted == 0 {
+		return ""
+	}
+	return fmt.Sprintf("   error budget: %d probes lost to transport faults (excluded from violation rates)\n", st.Faulted)
+}
 
 // Run is the uniform view over one experiment's results: every experiment
 // (DNS, HTTP, TLS, monitoring, SMTP) exposes its rendered paper tables,
@@ -238,6 +281,9 @@ func RunDNS(ctx context.Context, opts Options) (*DNSRun, error) {
 		return nil, err
 	}
 	reg := opts.instrument(w)
+	if err := opts.applyChaos(w); err != nil {
+		return nil, err
+	}
 	exp := &core.DNSExperiment{
 		Client: w.Client, Auth: w.Auth, Web: w.Web, Geo: w.Geo,
 		Zone: population.Zone, Weights: w.Pool.CountryCounts(),
@@ -283,7 +329,7 @@ func (r *DNSRun) Headline() string {
 		"   hijacked: %d (%.1f%%); attribution: %v\n",
 		s.MeasuredNodes, s.FilteredAnycast, s.UniqueResolvers, s.Countries, s.ASes,
 		rs.TotalServers, rs.AboveThreshold, rs.ISPServers, rs.ISPAboveThreshold, rs.HijackingISP,
-		s.Hijacked, s.HijackPct, s.Attribution)
+		s.Hijacked, s.HijackPct, s.Attribution) + faultLine(r.Dataset.Crawl)
 }
 
 // Overview is the Table-2 row.
@@ -324,6 +370,9 @@ func RunHTTP(ctx context.Context, opts Options) (*HTTPRun, error) {
 		return nil, err
 	}
 	reg := opts.instrument(w)
+	if err := opts.applyChaos(w); err != nil {
+		return nil, err
+	}
 	exp := &core.HTTPExperiment{
 		Client: w.Client, Auth: w.Auth, Geo: w.Geo,
 		Zone: population.Zone, Weights: w.Pool.CountryCounts(),
@@ -365,7 +414,8 @@ func (r *HTTPRun) Headline() string {
 	return fmt.Sprintf("== HTTP (§5): %d nodes, %d ASes, %d countries; crawl skipped %d by AS quota\n"+
 		"   HTML modified %d (injected %d, block pages %d), images %d, JS %d, CSS %d\n",
 		s.MeasuredNodes, s.ASes, s.Countries, r.Dataset.SkippedQuota,
-		s.HTMLModified, s.HTMLInjected, s.HTMLBlockPage, s.ImageModified, s.JSReplaced, s.CSSReplaced)
+		s.HTMLModified, s.HTMLInjected, s.HTMLBlockPage, s.ImageModified, s.JSReplaced, s.CSSReplaced) +
+		faultLine(r.Dataset.Crawl)
 }
 
 // Overview is the Table-2 row.
@@ -406,6 +456,9 @@ func RunTLS(ctx context.Context, opts Options) (*TLSRun, error) {
 		return nil, err
 	}
 	reg := opts.instrument(w)
+	if err := opts.applyChaos(w); err != nil {
+		return nil, err
+	}
 	exp := &core.TLSExperiment{
 		Client: w.Client, Geo: w.Geo, Trust: w.Trust,
 		Targets: core.TargetsFromRegistry(w.Sites),
@@ -447,7 +500,7 @@ func (r *TLSRun) Headline() string {
 	return fmt.Sprintf("== HTTPS (§6): %d nodes, %d ASes, %d countries; %d CONNECT tunnels\n"+
 		"   replaced certificates on %d nodes (%.2f%%); selective on %d; ASes >10%% affected: %.1f%%\n",
 		s.MeasuredNodes, s.ASes, s.Countries, r.Dataset.Probes,
-		s.Affected, s.AffectedPct, s.SelectiveNodes, s.HighASShare)
+		s.Affected, s.AffectedPct, s.SelectiveNodes, s.HighASShare) + faultLine(r.Dataset.Crawl)
 }
 
 // Overview is the Table-2 row.
@@ -488,6 +541,9 @@ func RunMonitor(ctx context.Context, opts Options) (*MonitorRun, error) {
 		return nil, err
 	}
 	reg := opts.instrument(w)
+	if err := opts.applyChaos(w); err != nil {
+		return nil, err
+	}
 	exp := &core.MonitorExperiment{
 		Client: w.Client, Auth: w.Auth, Web: w.Web, Geo: w.Geo, Clock: w.Clock,
 		Zone: population.Zone, Weights: w.Pool.CountryCounts(),
@@ -528,7 +584,8 @@ func (r *MonitorRun) Spans() []trace.SpanData { return r.tracer.Spans() }
 func (r *MonitorRun) Headline() string {
 	s := r.Analysis.Summary()
 	return fmt.Sprintf("== Monitoring (§7): %d nodes; monitored %d (%.2f%%) by %d IPs in %d AS groups\n",
-		s.MeasuredNodes, s.Monitored, s.MonitoredPct, s.UniqueIPs, s.ASGroups)
+		s.MeasuredNodes, s.Monitored, s.MonitoredPct, s.UniqueIPs, s.ASGroups) +
+		faultLine(r.Dataset.Crawl)
 }
 
 // Overview is the Table-2 row.
@@ -583,6 +640,9 @@ func RunSMTP(ctx context.Context, opts Options) (*SMTPRun, error) {
 		return nil, err
 	}
 	reg := opts.instrument(w)
+	if err := opts.applyChaos(w); err != nil {
+		return nil, err
+	}
 	exp := &core.SMTPExperiment{
 		Client: w.Client, Geo: w.Geo, Weights: w.Pool.CountryCounts(),
 		Seed: opts.Seed, Crawl: opts.Crawl,
@@ -621,7 +681,8 @@ func (r *SMTPRun) Headline() string {
 	s := r.Analysis.Summary()
 	return fmt.Sprintf("== SMTP extension (§3.4 future work): %d nodes probed through an any-port tunnel\n"+
 		"   port 25 blocked: %d (%.1f%%); STARTTLS stripped: %d (%.2f%%) in %d ASes\n",
-		s.MeasuredNodes, s.Blocked, s.BlockedPct, s.Stripped, s.StrippedPct, s.StripperASes)
+		s.MeasuredNodes, s.Blocked, s.BlockedPct, s.Stripped, s.StrippedPct, s.StripperASes) +
+		faultLine(r.Dataset.Crawl)
 }
 
 // Overview is the Table-2 row.
@@ -748,6 +809,9 @@ func RunLongitudinal(ctx context.Context, opts Options, waves int) (*Longitudina
 		return nil, err
 	}
 	opts.instrument(w)
+	if err := opts.applyChaos(w); err != nil {
+		return nil, err
+	}
 	exp := &core.DNSExperiment{
 		Client: w.Client, Auth: w.Auth, Web: w.Web, Geo: w.Geo,
 		Zone: population.Zone, Weights: w.Pool.CountryCounts(),
